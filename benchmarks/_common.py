@@ -1,0 +1,55 @@
+"""Shared helpers for the benchmark harness.
+
+Streams are cached per-parameter so different bench functions reuse them;
+metrics captured during setup are attached to pytest-benchmark's
+``extra_info`` so the regenerated "table rows" land in the benchmark
+report next to the timings.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.streams.generators import (
+    bounded_deletion_stream,
+    sensor_occupancy_stream,
+    strong_alpha_stream,
+    traffic_difference_stream,
+)
+
+
+@lru_cache(maxsize=32)
+def cached_bounded_stream(n: int, m: int, alpha: float, seed: int,
+                          strict: bool = True):
+    return bounded_deletion_stream(n, m, alpha=alpha, seed=seed, strict=strict)
+
+
+@lru_cache(maxsize=16)
+def cached_sensor_stream(n: int, regions: int, seed: int):
+    return sensor_occupancy_stream(n, regions, seed=seed)
+
+
+@lru_cache(maxsize=16)
+def cached_traffic_stream(n: int, flows: int, seed: int,
+                          change_fraction: float = 0.1):
+    return traffic_difference_stream(
+        n, flows, change_fraction=change_fraction, seed=seed
+    )
+
+
+@lru_cache(maxsize=16)
+def cached_strong_stream(n: int, items: int, alpha: float, seed: int):
+    return strong_alpha_stream(n, items, alpha=alpha, magnitude=8, seed=seed)
+
+
+def median_estimate(make_and_estimate, seeds) -> float:
+    """Median of ``make_and_estimate(seed)`` over seeds."""
+    return float(np.median([make_and_estimate(s) for s in seeds]))
+
+
+def relative_error(estimate: float, truth: float) -> float:
+    if truth == 0:
+        return abs(estimate)
+    return abs(estimate - truth) / abs(truth)

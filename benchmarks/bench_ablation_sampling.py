@@ -1,0 +1,87 @@
+"""Experiment A1 — Lemma 1 ablation: sampling error vs budget.
+
+The engine behind all L1 results: empirical concentration of the rescaled
+sampled frequencies, swept over sample budget and alpha — the error must
+fall like the Lemma 1 functional form predicts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _common import cached_bounded_stream
+from repro.core.sampling import SampledFrequencies
+
+N = 256
+M = 40_000
+
+
+@pytest.fixture(scope="module")
+def streams():
+    return {
+        alpha: cached_bounded_stream(N, M, alpha, seed=90, strict=False)
+        for alpha in (2, 8)
+    }
+
+
+def _median_point_error(stream, budget: int, seeds=range(7)) -> float:
+    fv = stream.frequency_vector()
+    tops = fv.top_k(5)
+    errs = []
+    for seed in seeds:
+        sf = SampledFrequencies(budget=budget, rng=np.random.default_rng(seed))
+        sf.consume(stream)
+        errs.append(
+            float(np.median([abs(sf.estimate(i) - fv.f[i]) for i in tops]))
+        )
+    return float(np.median(errs)) / max(1, fv.l1())
+
+
+def test_a1_error_falls_with_budget(streams, benchmark):
+    stream = streams[2]
+    sweep = {b: _median_point_error(stream, b) for b in (250, 1000, 4000)}
+    for budget, err in sweep.items():
+        benchmark.extra_info[f"rel_err_budget_{budget}"] = round(err, 4)
+    assert sweep[4000] <= sweep[250] + 0.02
+    benchmark(lambda: _median_point_error(stream, 250, seeds=range(3)))
+
+
+def test_a1_larger_alpha_needs_larger_budget(streams, benchmark):
+    """At a fixed budget, the alpha = 8 stream errs more than alpha = 2 —
+    the alpha^2 in Lemma 1's sampling rate."""
+    budget = 1000
+    err_2 = _median_point_error(streams[2], budget)
+    err_8 = _median_point_error(streams[8], budget)
+    benchmark.extra_info["rel_err_alpha_2"] = round(err_2, 4)
+    benchmark.extra_info["rel_err_alpha_8"] = round(err_8, 4)
+    assert err_8 >= err_2 - 0.02
+    benchmark(lambda: None)
+
+
+def test_a1_sum_preservation(streams, benchmark):
+    """Lemma 1's final claim: the rescaled total matches sum_i f_i."""
+    stream = streams[2]
+    fv = stream.frequency_vector()
+    sums = []
+    for seed in range(9):
+        sf = SampledFrequencies(budget=2000, rng=np.random.default_rng(seed))
+        sf.consume(stream)
+        sums.append(sf.sum_estimate())
+    med = float(np.median(sums))
+    benchmark.extra_info["median_sum_estimate"] = round(med, 1)
+    benchmark.extra_info["true_sum"] = int(fv.f.sum())
+    assert abs(med - fv.f.sum()) <= 0.1 * fv.l1()
+    benchmark(lambda: None)
+
+
+def test_a1_sampling_throughput(streams, benchmark):
+    stream = streams[2]
+    updates = [(u.item, u.delta) for u in stream][:5000]
+
+    def run():
+        sf = SampledFrequencies(budget=1000, rng=np.random.default_rng(0))
+        for item, delta in updates:
+            sf.update(item, delta)
+
+    benchmark(run)

@@ -1,0 +1,120 @@
+"""Experiment F2 — Figure 2 / Theorem 1: CSSS accuracy and throughput.
+
+Validates the Theorem 1 error bound on an α-property stream, compares
+point-query error against the full CountSketch baseline, and measures
+update/query throughput of both.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _common import cached_bounded_stream, relative_error
+from repro.core.csss import CSSS
+from repro.sketches.countsketch import CountSketch
+
+N = 1 << 12
+M = 30_000
+ALPHA = 4
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return cached_bounded_stream(N, M, ALPHA, seed=10, strict=False)
+
+
+@pytest.fixture(scope="module")
+def truth(stream):
+    return stream.frequency_vector()
+
+
+@pytest.fixture(scope="module")
+def csss(stream):
+    sk = CSSS(N, k=16, eps=0.1, alpha=ALPHA,
+              rng=np.random.default_rng(0), depth=6)
+    sk.consume(stream)
+    return sk
+
+
+@pytest.fixture(scope="module")
+def countsketch(stream):
+    sk = CountSketch(N, width=6 * 16, depth=6, rng=np.random.default_rng(1))
+    sk.consume(stream)
+    return sk
+
+
+def test_fig2_theorem1_error_bound(csss, truth, benchmark):
+    """max_i |y*_i - f_i| <= 2 (Err_2^k / sqrt(k) + eps ||f||_1)."""
+    bound = 2 * (truth.err_k_p(16) / 4.0 + 0.1 * truth.l1())
+    estimates = csss.query_all(np.arange(N))
+    worst = float(np.abs(estimates - truth.f).max())
+    benchmark.extra_info["worst_abs_error"] = round(worst, 2)
+    benchmark.extra_info["theorem1_bound"] = round(bound, 2)
+    assert worst <= bound
+    benchmark(csss.query, truth.top_k(1)[0])
+
+
+def test_fig2_heavy_point_queries_match_baseline(csss, countsketch, truth,
+                                                 benchmark):
+    """On the heavy items, CSSS tracks CountSketch despite sampling."""
+    tops = truth.top_k(8)
+    csss_err = np.median([
+        relative_error(csss.query(i), float(truth.f[i])) for i in tops
+    ])
+    cs_err = np.median([
+        relative_error(float(countsketch.query(i)), float(truth.f[i]))
+        for i in tops
+    ])
+    benchmark.extra_info["csss_median_rel_err_top8"] = round(float(csss_err), 4)
+    benchmark.extra_info["countsketch_median_rel_err_top8"] = round(
+        float(cs_err), 4
+    )
+    assert csss_err <= cs_err + 0.15
+    benchmark(csss.query_all, np.asarray(tops))
+
+
+def test_fig2_update_throughput_csss(stream, benchmark):
+    updates = [(u.item, u.delta) for u in stream][:2000]
+
+    def run():
+        sk = CSSS(N, k=16, eps=0.1, alpha=ALPHA,
+                  rng=np.random.default_rng(2), depth=6)
+        for item, delta in updates:
+            sk.update(item, delta)
+
+    benchmark(run)
+
+
+def test_fig2_update_throughput_countsketch(stream, benchmark):
+    updates = [(u.item, u.delta) for u in stream][:2000]
+
+    def run():
+        sk = CountSketch(N, width=6 * 16, depth=6,
+                         rng=np.random.default_rng(3))
+        for item, delta in updates:
+            sk.update(item, delta)
+
+    benchmark(run)
+
+
+def test_fig2_error_falls_with_budget(stream, truth, benchmark):
+    """Ablation: the eps-term of Theorem 1 shrinks as the sample budget
+    grows (the alpha^2/eps^2 functional form)."""
+
+    def worst_error(budget: int) -> float:
+        sk = CSSS(N, k=16, eps=0.1, alpha=ALPHA,
+                  rng=np.random.default_rng(4), depth=6,
+                  sample_budget=budget)
+        sk.consume(stream)
+        tops = truth.top_k(5)
+        return float(np.median([
+            abs(sk.query(i) - truth.f[i]) for i in tops
+        ]))
+
+    small = worst_error(128)
+    large = worst_error(4096)
+    benchmark.extra_info["median_abs_err_budget_128"] = round(small, 2)
+    benchmark.extra_info["median_abs_err_budget_4096"] = round(large, 2)
+    assert large <= small + 0.01 * truth.l1()
+    benchmark(lambda: worst_error(128))

@@ -1,0 +1,106 @@
+"""Experiment F4 — Figure 4 / Theorem 6: strict-turnstile L1 estimation.
+
+Relative error vs eps, the log(alpha) space scaling, and the Lemma 11
+Morris-counter ablation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _common import cached_bounded_stream, relative_error
+from repro.core.l1_estimation import AlphaL1EstimatorStrict
+from repro.counters.morris import MorrisCounter
+
+N = 512
+M = 60_000
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return cached_bounded_stream(N, M, 4, seed=50, strict=False)
+
+
+@pytest.fixture(scope="module")
+def truth(stream):
+    return stream.frequency_vector()
+
+
+def _median_error(stream, truth, s: int, seeds=range(7),
+                  use_morris: bool = True) -> float:
+    errs = []
+    for seed in seeds:
+        e = AlphaL1EstimatorStrict(
+            alpha=4, eps=0.2, rng=np.random.default_rng(seed), s=s,
+            use_morris=use_morris,
+        ).consume(stream)
+        errs.append(relative_error(e.estimate(), truth.l1()))
+    return float(np.median(errs))
+
+
+def test_fig4_relative_error(stream, truth, benchmark):
+    err = _median_error(stream, truth, s=2000)
+    benchmark.extra_info["median_relative_error"] = round(err, 4)
+    benchmark.extra_info["true_l1"] = truth.l1()
+    assert err <= 0.25
+    benchmark(
+        lambda: AlphaL1EstimatorStrict(
+            alpha=4, eps=0.2, rng=np.random.default_rng(0), s=2000
+        ).consume(stream).estimate()
+    )
+
+
+def test_fig4_error_falls_with_budget(stream, truth, benchmark):
+    coarse = _median_error(stream, truth, s=500)
+    fine = _median_error(stream, truth, s=8000)
+    benchmark.extra_info["median_err_s_500"] = round(coarse, 4)
+    benchmark.extra_info["median_err_s_8000"] = round(fine, 4)
+    assert fine <= coarse + 0.05
+    benchmark(lambda: _median_error(stream, truth, s=500, seeds=range(3)))
+
+
+def test_fig4_space_scales_with_log_alpha_not_log_m(stream, benchmark):
+    """Counters hold <= s^2-ish samples: bits ~ log(s) = O(log(alpha/eps)),
+    independent of m (the log log n Morris bits aside)."""
+    e = AlphaL1EstimatorStrict(
+        alpha=4, eps=0.2, rng=np.random.default_rng(1), s=2000
+    ).consume(stream)
+    bits = e.space_bits()
+    benchmark.extra_info["bits"] = bits
+    benchmark.extra_info["m"] = len(stream)
+    assert bits < 4 * (np.log2(2000) ** 2)  # generous O(log^2 s) ceiling
+    benchmark(e.estimate)
+
+
+def test_fig4_morris_ablation(stream, truth, benchmark):
+    """Lemma 11 ablation: Morris pacing costs little accuracy relative to
+    exact pacing, at exponentially smaller position-counter space."""
+    with_morris = _median_error(stream, truth, s=2000, use_morris=True)
+    exact = _median_error(stream, truth, s=2000, use_morris=False)
+    benchmark.extra_info["median_err_morris"] = round(with_morris, 4)
+    benchmark.extra_info["median_err_exact_pacing"] = round(exact, 4)
+    assert with_morris <= exact + 0.15
+    benchmark(lambda: _median_error(stream, truth, s=2000, seeds=range(3)))
+
+
+def test_fig4_morris_counter_band(benchmark):
+    """Lemma 11 on its own: the coarse band holds for most runs."""
+    t = 50_000
+    delta = 0.25
+    log_m = np.log2(t)
+    inside = 0
+    trials = 30
+    for seed in range(trials):
+        mc = MorrisCounter(np.random.default_rng(seed))
+        mc.increment(t)
+        inside += (delta / (12 * log_m)) * t <= mc.estimate <= t / delta
+    benchmark.extra_info["fraction_inside_band"] = inside / trials
+    assert inside / trials >= 1 - delta
+
+    def run():
+        mc = MorrisCounter(np.random.default_rng(0))
+        mc.increment(t)
+        return mc.estimate
+
+    benchmark(run)

@@ -1,0 +1,116 @@
+"""Experiment F6/F7 — Figures 6 & 7 / Theorems 9 & 10: L0 estimation.
+
+Relative error of the α-window estimator vs the full KNW baseline, the
+live-row count (O(log(α/ε)) vs log n), and the resulting space ratio at
+large n.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _common import cached_sensor_stream, relative_error
+from repro.core.l0_estimation import AlphaConstL0Estimator, AlphaL0Estimator
+from repro.sketches.knw_l0 import KNWL0Estimator
+
+N = 1 << 20
+REGIONS = 400
+ALPHA = 4
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return cached_sensor_stream(N, REGIONS, seed=70)
+
+
+@pytest.fixture(scope="module")
+def truth(stream):
+    return stream.frequency_vector()
+
+
+@pytest.fixture(scope="module")
+def alpha_estimator(stream):
+    return AlphaL0Estimator(
+        N, eps=0.15, alpha=ALPHA, rng=np.random.default_rng(0),
+        window_slack=1,
+    ).consume(stream)
+
+
+@pytest.fixture(scope="module")
+def knw(stream):
+    return KNWL0Estimator(
+        N, eps=0.15, rng=np.random.default_rng(1)
+    ).consume(stream)
+
+
+def test_fig7_relative_error(stream, truth, benchmark):
+    errs = []
+    for seed in range(5):
+        e = AlphaL0Estimator(
+            N, eps=0.15, alpha=ALPHA, rng=np.random.default_rng(seed),
+            window_slack=1,
+        ).consume(stream)
+        errs.append(relative_error(e.estimate(), truth.l0()))
+    med = float(np.median(errs))
+    benchmark.extra_info["median_relative_error"] = round(med, 4)
+    benchmark.extra_info["true_l0"] = truth.l0()
+    assert med <= 0.3
+    benchmark(lambda: None)
+
+
+def test_fig7_matches_baseline_accuracy(alpha_estimator, knw, truth,
+                                        benchmark):
+    a_err = relative_error(alpha_estimator.estimate(), truth.l0())
+    b_err = relative_error(knw.estimate(), truth.l0())
+    benchmark.extra_info["alpha_rel_err"] = round(a_err, 4)
+    benchmark.extra_info["knw_rel_err"] = round(b_err, 4)
+    assert a_err <= b_err + 0.3
+    benchmark(alpha_estimator.estimate)
+
+
+def test_fig7_live_rows_are_o_log_alpha(alpha_estimator, benchmark):
+    live = len(alpha_estimator.live_rows())
+    benchmark.extra_info["live_rows"] = live
+    benchmark.extra_info["log_n_rows_baseline"] = int(np.log2(N)) + 1
+    assert live < int(np.log2(N))
+    benchmark(alpha_estimator.live_rows)
+
+
+def test_fig7_space_ratio(alpha_estimator, knw, benchmark):
+    a_bits = alpha_estimator.space_bits()
+    b_bits = knw.space_bits()
+    benchmark.extra_info["alpha_bits"] = a_bits
+    benchmark.extra_info["knw_bits"] = b_bits
+    benchmark.extra_info["ratio"] = round(b_bits / a_bits, 2)
+    assert a_bits < b_bits
+    benchmark(alpha_estimator.space_bits)
+
+
+def test_fig7_const_factor_estimator(stream, truth, benchmark):
+    """Lemma 20's constant-factor estimator at O(log alpha loglog n)."""
+    ests = []
+    for seed in range(5):
+        c = AlphaConstL0Estimator(
+            N, alpha=ALPHA, rng=np.random.default_rng(seed), window_slack=1
+        ).consume(stream)
+        ests.append(c.estimate())
+    med = float(np.median(ests))
+    benchmark.extra_info["median_estimate"] = round(med, 1)
+    benchmark.extra_info["true_l0"] = truth.l0()
+    assert truth.l0() / 8 <= med <= 8 * truth.l0()
+    benchmark(lambda: None)
+
+
+def test_fig7_update_throughput(stream, benchmark):
+    updates = [(u.item, u.delta) for u in stream][:1000]
+
+    def run():
+        e = AlphaL0Estimator(
+            N, eps=0.25, alpha=ALPHA, rng=np.random.default_rng(2),
+            window_slack=1,
+        )
+        for item, delta in updates:
+            e.update(item, delta)
+
+    benchmark(run)

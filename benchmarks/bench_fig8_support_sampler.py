@@ -1,0 +1,96 @@
+"""Experiment F8 — Figure 8 / Theorem 11: support sampling.
+
+Success rate (>= min(k, L0) valid support coordinates), live-level count,
+and the space comparison against the log(n)-level turnstile baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _common import cached_sensor_stream
+from repro.core.support_sampler import AlphaSupportSampler
+from repro.sketches.support_sampler_turnstile import TurnstileSupportSampler
+
+N = 1 << 20
+REGIONS = 300
+ALPHA = 4
+K = 8
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return cached_sensor_stream(N, REGIONS, seed=80)
+
+
+@pytest.fixture(scope="module")
+def truth(stream):
+    return stream.frequency_vector()
+
+
+@pytest.fixture(scope="module")
+def alpha_sampler(stream):
+    return AlphaSupportSampler(
+        N, k=K, alpha=ALPHA, rng=np.random.default_rng(0), window_slack=1
+    ).consume(stream)
+
+
+def test_fig8_validity_and_yield(alpha_sampler, truth, benchmark):
+    got = alpha_sampler.sample()
+    benchmark.extra_info["recovered"] = len(got)
+    benchmark.extra_info["requested_k"] = K
+    benchmark.extra_info["all_valid"] = got <= truth.support()
+    assert got <= truth.support()
+    assert len(got) >= min(K, truth.l0())
+    benchmark(alpha_sampler.sample)
+
+
+def test_fig8_success_rate_over_seeds(stream, truth, benchmark):
+    wins = 0
+    trials = 5
+    for seed in range(trials):
+        ss = AlphaSupportSampler(
+            N, k=K, alpha=ALPHA, rng=np.random.default_rng(seed),
+            window_slack=1,
+        ).consume(stream)
+        got = ss.sample()
+        wins += (got <= truth.support()) and len(got) >= min(K, truth.l0())
+    benchmark.extra_info["success_rate"] = wins / trials
+    assert wins >= trials - 1
+    benchmark(lambda: None)
+
+
+def test_fig8_live_levels_sublinear(alpha_sampler, benchmark):
+    live = len(alpha_sampler.live_levels())
+    benchmark.extra_info["live_levels"] = live
+    benchmark.extra_info["baseline_levels"] = int(np.log2(N)) + 1
+    assert live < int(np.log2(N)) + 1
+    benchmark(alpha_sampler.live_levels)
+
+
+def test_fig8_space_vs_baseline(alpha_sampler, stream, benchmark):
+    baseline = TurnstileSupportSampler(
+        N, k=K, rng=np.random.default_rng(1)
+    ).consume(stream)
+    a_bits = alpha_sampler.space_bits()
+    b_bits = baseline.space_bits()
+    benchmark.extra_info["alpha_bits"] = a_bits
+    benchmark.extra_info["baseline_bits"] = b_bits
+    benchmark.extra_info["ratio"] = round(b_bits / a_bits, 2)
+    assert a_bits < b_bits
+    benchmark(alpha_sampler.space_bits)
+
+
+def test_fig8_update_throughput(stream, benchmark):
+    updates = [(u.item, u.delta) for u in stream][:500]
+
+    def run():
+        ss = AlphaSupportSampler(
+            N, k=K, alpha=ALPHA, rng=np.random.default_rng(2),
+            window_slack=1,
+        )
+        for item, delta in updates:
+            ss.update(item, delta)
+
+    benchmark(run)

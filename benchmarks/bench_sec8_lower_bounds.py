@@ -1,0 +1,118 @@
+"""Experiment T12-T21 — Section 8: executable lower-bound reductions.
+
+Each benchmark drives one reduction end-to-end: build the hard instance,
+verify the claimed (strong) alpha-property of the construction, and show
+that decoding through an exact oracle (and, where cheap enough, through
+this library's sketches) recovers the communication answer — i.e. the
+sketch state provably carries the indexed information.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.lowerbounds.communication import AugmentedIndexingInstance
+from repro.lowerbounds.reductions import (
+    HeavyHittersReduction,
+    InnerProductReduction,
+    L1EstimationEqualityReduction,
+    L1EstimationStrictReduction,
+    L1SamplingReduction,
+    SupportSamplingReduction,
+)
+from repro.streams.alpha import l0_alpha, strong_alpha
+
+
+def test_sec8_heavy_hitters_reduction(benchmark):
+    red = HeavyHittersReduction(n=256, eps=1 / 8, alpha=64, seed=0)
+    ok = 0
+    trials = 10
+    for seed in range(trials):
+        inst = AugmentedIndexingInstance.random(red.d, seed=seed)
+        s = red.build_stream(inst)
+        assert strong_alpha(s) <= 3 * 64**2
+        fv = s.frequency_vector()
+        ok += red.decode(fv.heavy_hitters(red.eps), inst) == inst.answer
+    benchmark.extra_info["decode_accuracy"] = ok / trials
+    benchmark.extra_info["instance_bits_d"] = red.d
+    assert ok == trials
+
+    inst = AugmentedIndexingInstance.random(red.d, seed=99)
+    benchmark(red.build_stream, inst)
+
+
+def test_sec8_l1_equality_reduction(benchmark):
+    red = L1EstimationEqualityReduction(n=256, size_bits=3, seed=1)
+    eq = red.build_stream(3, 3).frequency_vector().l1()
+    ne = red.build_stream(3, 5).frequency_vector().l1()
+    benchmark.extra_info["equal_l1"] = eq
+    benchmark.extra_info["unequal_l1"] = ne
+    benchmark.extra_info["threshold"] = red.threshold()
+    assert red.decode(eq * (1 + 1 / 16)) is True
+    assert red.decode(ne * (1 - 1 / 16)) is False
+    benchmark(red.build_stream, 3, 5)
+
+
+def test_sec8_l1_strict_reduction(benchmark):
+    red = L1EstimationStrictReduction(alpha=10**4)
+    ok = 0
+    trials = 10
+    for seed in range(trials):
+        inst = AugmentedIndexingInstance.random(red.d, seed=seed)
+        fv = red.build_stream(inst).frequency_vector()
+        ok += red.decode(fv.l1(), inst) == inst.answer
+    benchmark.extra_info["decode_accuracy"] = ok / trials
+    assert ok == trials
+    inst = AugmentedIndexingInstance.random(red.d, seed=98)
+    benchmark(red.build_stream, inst)
+
+
+def test_sec8_l1_sampling_reduction(benchmark):
+    red = L1SamplingReduction(n=128, alpha=64, seed=2)
+    ok = 0
+    trials = 8
+    for seed in range(trials):
+        inst = AugmentedIndexingInstance.random(red.d, seed=seed)
+        fv = red.build_stream(inst).frequency_vector()
+        # Ideal 1/6-close L1 sampler: returns the dominant item most often.
+        mags = np.abs(fv.f.astype(np.float64))
+        p = mags / mags.sum()
+        rng = np.random.default_rng(seed)
+        draws = list(rng.choice(fv.n, size=15, p=p))
+        ok += red.decode(draws, inst) == inst.answer
+    benchmark.extra_info["decode_accuracy"] = ok / trials
+    assert ok >= trials - 1
+    inst = AugmentedIndexingInstance.random(red.d, seed=97)
+    benchmark(red.build_stream, inst)
+
+
+def test_sec8_support_sampling_reduction(benchmark):
+    red = SupportSamplingReduction(n=1024, alpha=64, seed=3)
+    ok = 0
+    trials = 10
+    for seed in range(trials):
+        inst = AugmentedIndexingInstance.random(red.d, seed=seed)
+        s = red.build_stream(inst)
+        assert l0_alpha(s) <= 64
+        ok += red.decode(s.frequency_vector().support(), inst) == inst.answer
+    benchmark.extra_info["decode_accuracy"] = ok / trials
+    assert ok == trials
+    inst = AugmentedIndexingInstance.random(red.d, seed=96)
+    benchmark(red.build_stream, inst)
+
+
+def test_sec8_inner_product_reduction(benchmark):
+    red = InnerProductReduction(alpha=100)
+    ok = 0
+    trials = 10
+    for seed in range(trials):
+        inst = AugmentedIndexingInstance.random(red.d, seed=seed)
+        f, g = red.build_streams(inst)
+        assert strong_alpha(f) <= 5 * 100**2
+        ip = f.frequency_vector().inner_product(g.frequency_vector())
+        ok += red.decode(ip, inst) == inst.answer
+    benchmark.extra_info["decode_accuracy"] = ok / trials
+    assert ok == trials
+    inst = AugmentedIndexingInstance.random(red.d, seed=95)
+    benchmark(red.build_streams, inst)

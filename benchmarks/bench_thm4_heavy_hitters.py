@@ -1,0 +1,78 @@
+"""Experiment T3/T4 — Section 3: L1 heavy hitters.
+
+Recall/precision across an eps sweep (strict and general turnstile), the
+space comparison against CountSketch, and query throughput.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _common import cached_bounded_stream
+from repro.core.heavy_hitters import AlphaHeavyHitters
+from repro.sketches.countsketch import CountSketch
+
+N = 1 << 12
+M = 30_000
+ALPHA = 4
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return cached_bounded_stream(N, M, ALPHA, seed=30, strict=True)
+
+
+@pytest.fixture(scope="module")
+def truth(stream):
+    return stream.frequency_vector()
+
+
+@pytest.mark.parametrize("eps", [1 / 8, 1 / 16, 1 / 32])
+def test_thm4_recall_precision_strict(stream, truth, benchmark, eps):
+    hh = AlphaHeavyHitters(
+        N, eps=eps, alpha=ALPHA, rng=np.random.default_rng(0)
+    ).consume(stream)
+    got = hh.heavy_hitters()
+    want = truth.heavy_hitters(eps)
+    allowed = truth.heavy_hitters(eps / 2)
+    recall = len(got & want) / max(1, len(want))
+    benchmark.extra_info["eps"] = eps
+    benchmark.extra_info["true_heavy"] = len(want)
+    benchmark.extra_info["reported"] = len(got)
+    benchmark.extra_info["recall"] = recall
+    assert want <= got
+    assert got <= allowed
+    benchmark(hh.heavy_hitters)
+
+
+def test_thm3_general_turnstile(benchmark):
+    s = cached_bounded_stream(N, M, ALPHA, seed=31, strict=False)
+    truth = s.frequency_vector()
+    eps = 1 / 16
+    hh = AlphaHeavyHitters(
+        N, eps=eps, alpha=ALPHA, rng=np.random.default_rng(1),
+        strict_turnstile=False,
+    ).consume(s)
+    got = hh.heavy_hitters()
+    want = truth.heavy_hitters(eps)
+    benchmark.extra_info["recall"] = len(got & want) / max(1, len(want))
+    benchmark.extra_info["reported"] = len(got)
+    assert want <= got
+    benchmark(hh.heavy_hitters)
+
+
+def test_thm4_space_vs_countsketch(benchmark):
+    """Figure 1 row: alpha-HH beats CountSketch on bits at long streams."""
+    s = cached_bounded_stream(N, 60_000, 2, seed=32, strict=False)
+    rng = np.random.default_rng(2)
+    eps = 1 / 8
+    hh = AlphaHeavyHitters(
+        N, eps=eps, alpha=2, rng=rng, sample_budget=128, depth=6
+    ).consume(s)
+    k = int(np.ceil(8 / eps))
+    cs = CountSketch(N, width=6 * k, depth=6, rng=rng).consume(s)
+    benchmark.extra_info["alpha_bits"] = hh.space_bits()
+    benchmark.extra_info["countsketch_bits"] = cs.space_bits()
+    assert hh.space_bits() < cs.space_bits()
+    benchmark(hh.space_bits)

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Remote Differential Compression: sketch-assisted file synchronisation.
+
+The paper's database application (Section 1): a client and server hold
+similar files; the stream inserts the client's blocks and deletes the
+server's, so the surviving frequency vector is supported exactly on the
+*dirty* blocks.  Even when half the file differs, alpha stays around 2 —
+the regime where the paper's algorithms shine.
+
+This example uses:
+
+* AlphaSupportSampler (Figure 8) to enumerate dirty blocks for resync,
+* AlphaL0Estimator (Figure 7) to size the resync up front,
+* AlphaL1EstimatorStrict (Figure 4) to bound the total block-difference
+  mass with a few dozen bits of state.
+
+Run:  python examples/database_sync_rdc.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    AlphaL0Estimator,
+    AlphaL1EstimatorStrict,
+    AlphaSupportSampler,
+    l0_alpha,
+    l1_alpha,
+    rdc_sync_stream,
+)
+
+
+def main() -> None:
+    rng = np.random.default_rng(23)
+    n = 1 << 16  # block-hash universe
+    blocks = 3000
+    dirty_fraction = 0.2
+
+    print("=== RDC sync stream: client blocks +1, clean server blocks -1 ===")
+    sync = rdc_sync_stream(n=n, blocks=blocks, dirty_fraction=dirty_fraction,
+                           seed=9)
+    truth = sync.frequency_vector()
+    a_l0 = max(2.0, l0_alpha(sync))
+    print(f"file blocks = {blocks}, dirty fraction = {dirty_fraction}")
+    print(f"L1 alpha = {l1_alpha(sync):.1f}, L0 alpha = {a_l0:.1f}")
+    print(f"dirty blocks (support) = {truth.l0()}")
+
+    print("\n=== size the resync before moving bytes (L0 estimation) ===")
+    l0_est = AlphaL0Estimator(n=n, eps=0.15, alpha=a_l0, rng=rng).consume(sync)
+    print(f"estimated dirty blocks: {l0_est.estimate():.0f} "
+          f"(true {truth.l0()})")
+    print(f"estimator keeps only rows {l0_est.live_rows()} "
+          f"of the {int(np.log2(n))}-row turnstile baseline")
+
+    print("\n=== enumerate dirty blocks to ship (support sampling) ===")
+    want = 25
+    ss = AlphaSupportSampler(n=n, k=want, alpha=a_l0, rng=rng).consume(sync)
+    dirty = ss.sample()
+    valid = dirty <= truth.support()
+    print(f"requested {want}, recovered {len(dirty)} dirty block ids "
+          f"(all genuinely dirty: {valid})")
+    print(f"first few: {sorted(dirty)[:8]}")
+
+    print("\n=== total difference mass (strict-turnstile L1) ===")
+    l1_est = AlphaL1EstimatorStrict(
+        alpha=max(2.0, l1_alpha(sync)), eps=0.1, rng=rng
+    ).consume(sync)
+    print(f"||f||_1 estimate = {l1_est.estimate():.0f} (true {truth.l1()}) "
+          f"using {l1_est.space_bits()} bits of state")
+
+    print("\nWith alpha ~= 2 the client can verify a resync with sketches "
+          "a log(n)/log(alpha) factor smaller than turnstile ones.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,110 @@
+"""repro — reproduction of *Data Streams with Bounded Deletions*
+(Jayaram & Woodruff, PODS 2018).
+
+The package implements the paper's α-property streaming algorithms
+(:mod:`repro.core`), the classical turnstile baselines they improve upon
+(:mod:`repro.sketches`), every substrate both depend on
+(:mod:`repro.streams`, :mod:`repro.hashing`, :mod:`repro.counters`,
+:mod:`repro.space`), and executable versions of the Section 8 lower-bound
+reductions (:mod:`repro.lowerbounds`).
+
+Quickstart::
+
+    import numpy as np
+    from repro import AlphaHeavyHitters, bounded_deletion_stream
+
+    stream = bounded_deletion_stream(n=1 << 14, m=100_000, alpha=4, seed=7)
+    hh = AlphaHeavyHitters(
+        n=stream.n, eps=1 / 16, alpha=4, rng=np.random.default_rng(0)
+    ).consume(stream)
+    print(hh.heavy_hitters())
+"""
+
+from repro.core import (
+    CSSS,
+    CSSSWithTailEstimate,
+    AlphaHeavyHitters,
+    AlphaInnerProduct,
+    AlphaInnerProductSketch,
+    AlphaL0Estimator,
+    AlphaConstL0Estimator,
+    AlphaRoughL0Estimate,
+    AlphaL1EstimatorGeneral,
+    AlphaL1EstimatorStrict,
+    AlphaL1MultiSampler,
+    AlphaL1Sampler,
+    AlphaL2HeavyHitters,
+    AlphaSupportSampler,
+)
+from repro.sketches import (
+    AMSSketch,
+    CauchyL1Sketch,
+    CountMin,
+    CountSketch,
+    KNWL0Estimator,
+    MisraGries,
+    RoughL0Estimator,
+    SparseRecovery,
+    TurnstileL1Sampler,
+    TurnstileSupportSampler,
+)
+from repro.streams import (
+    FrequencyVector,
+    Stream,
+    Update,
+    adversarial_cancellation_stream,
+    bounded_deletion_stream,
+    l0_alpha,
+    l1_alpha,
+    rdc_sync_stream,
+    sensor_occupancy_stream,
+    strong_alpha,
+    strong_alpha_stream,
+    stream_from_updates,
+    traffic_difference_stream,
+    zipfian_insertion_stream,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CSSS",
+    "CSSSWithTailEstimate",
+    "AlphaHeavyHitters",
+    "AlphaInnerProduct",
+    "AlphaInnerProductSketch",
+    "AlphaL0Estimator",
+    "AlphaConstL0Estimator",
+    "AlphaRoughL0Estimate",
+    "AlphaL1EstimatorGeneral",
+    "AlphaL1EstimatorStrict",
+    "AlphaL1MultiSampler",
+    "AlphaL1Sampler",
+    "AlphaL2HeavyHitters",
+    "AlphaSupportSampler",
+    "AMSSketch",
+    "CauchyL1Sketch",
+    "CountMin",
+    "CountSketch",
+    "KNWL0Estimator",
+    "MisraGries",
+    "RoughL0Estimator",
+    "SparseRecovery",
+    "TurnstileL1Sampler",
+    "TurnstileSupportSampler",
+    "FrequencyVector",
+    "Stream",
+    "Update",
+    "adversarial_cancellation_stream",
+    "bounded_deletion_stream",
+    "l0_alpha",
+    "l1_alpha",
+    "rdc_sync_stream",
+    "sensor_occupancy_stream",
+    "strong_alpha",
+    "strong_alpha_stream",
+    "stream_from_updates",
+    "traffic_difference_stream",
+    "zipfian_insertion_stream",
+    "__version__",
+]

@@ -1,0 +1,176 @@
+"""Sampling Lemma machinery (Lemma 1 / Lemma 13) and adaptive samplers.
+
+The engine behind every L1 result in the paper: for an α-property stream,
+each coordinate sees at most ``α ‖f‖_1`` insertions and deletions, so a
+uniform sample of ``poly(α/ε)`` updates preserves every ``f_i`` — after
+rescaling — up to an additive ``ε ‖f‖_1`` (Lemma 1), and sums of updates
+to a single virtual counter up to ``γ m`` (Lemma 13).
+
+Because the stream length ``m`` is unknown in advance, the paper's data
+structures sample at rate ``2^-p`` and *halve* their retained counters via
+binomial thinning each time the sample budget overflows (Figure 2, step
+5a); :class:`AdaptiveUniformSampler` packages exactly that mechanism.
+Non-unit updates are folded in by binomial thinning of ``|Δ|`` trials
+(Section 1.3, Remark 2) via :func:`binomial_thin`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.space.accounting import counter_bits
+
+
+def lemma1_sampling_probability(
+    alpha: float, eps: float, m: int, delta: float = 0.01
+) -> float:
+    """The Lemma 1 theoretical rate ``p >= α² ε⁻³ log(1/δ) / m``.
+
+    Exposed for documentation/ablation; at practical scale this often
+    exceeds 1 (sample everything), which is precisely the paper's point —
+    sampling only pays once ``m >> poly(α/ε)``.
+    """
+    if alpha < 1 or not 0 < eps < 1 or m < 1 or not 0 < delta < 1:
+        raise ValueError("need alpha >= 1, eps in (0,1), m >= 1, delta in (0,1)")
+    return min(1.0, alpha**2 * np.log(1.0 / delta) / (eps**3 * m))
+
+
+def binomial_thin(delta: int, p: float, rng: np.random.Generator) -> int:
+    """Sample an update of magnitude |delta| at rate p (Remark 2).
+
+    Returns ``sign(delta) * Bin(|delta|, p)`` — the distributional
+    equivalent of expanding the update into unit updates and sampling each
+    independently.
+    """
+    if not 0 <= p <= 1:
+        raise ValueError("p must be in [0, 1]")
+    if delta == 0:
+        return 0
+    mag = abs(delta)
+    kept = mag if p >= 1.0 else int(rng.binomial(mag, p))
+    return kept if delta > 0 else -kept
+
+
+class SampledFrequencies:
+    """A uniformly sampled frequency table with rescaled point queries.
+
+    The direct object of Lemma 1: feed updates, each retained at the
+    current rate; ``estimate(i)`` returns the rescaled sampled frequency
+    ``f*_i`` with additive error ``ε ‖f‖_1`` once the retained budget is
+    ``poly(α/ε)``.  Halves itself (binomial thinning of every counter)
+    when the retained gross weight exceeds ``budget``, so the rate adapts
+    to unknown stream length exactly as in Figure 2.
+    """
+
+    def __init__(self, budget: int, rng: np.random.Generator) -> None:
+        if budget < 1:
+            raise ValueError("budget must be positive")
+        self.budget = int(budget)
+        self._rng = rng
+        self.log2_inv_p = 0  # current rate is 2^-log2_inv_p
+        self._pos: dict[int, int] = {}
+        self._neg: dict[int, int] = {}
+        self._retained = 0
+
+    @property
+    def rate(self) -> float:
+        return 2.0**-self.log2_inv_p
+
+    def _halve(self) -> None:
+        for table in (self._pos, self._neg):
+            for key in list(table):
+                kept = int(self._rng.binomial(table[key], 0.5))
+                if kept:
+                    table[key] = kept
+                else:
+                    del table[key]
+        self._retained = sum(self._pos.values()) + sum(self._neg.values())
+        self.log2_inv_p += 1
+
+    def update(self, item: int, delta: int) -> None:
+        kept = binomial_thin(delta, self.rate, self._rng)
+        if kept > 0:
+            self._pos[item] = self._pos.get(item, 0) + kept
+        elif kept < 0:
+            self._neg[item] = self._neg.get(item, 0) - kept
+        self._retained += abs(kept)
+        while self._retained > self.budget:
+            self._halve()
+
+    def consume(self, stream) -> "SampledFrequencies":
+        for u in stream:
+            self.update(u.item, u.delta)
+        return self
+
+    def estimate(self, item: int) -> float:
+        """Rescaled ``f*_i`` (Lemma 1)."""
+        raw = self._pos.get(item, 0) - self._neg.get(item, 0)
+        return raw / self.rate
+
+    def sum_estimate(self) -> float:
+        """Rescaled ``sum_i f*_i`` (the final statement of Lemma 1)."""
+        raw = sum(self._pos.values()) - sum(self._neg.values())
+        return raw / self.rate
+
+    def sampled_items(self) -> set[int]:
+        return set(self._pos) | set(self._neg)
+
+    def space_bits(self) -> int:
+        # Each retained entry: item id (log n not known here; charge the
+        # id at its own bit-length) + counter at observed width.
+        bits = 0
+        for table in (self._pos, self._neg):
+            for item, count in table.items():
+                bits += max(1, int(item).bit_length()) + counter_bits(
+                    count, signed=False
+                )
+        bits += max(1, self.log2_inv_p.bit_length())  # the exponent p
+        return bits
+
+
+class AdaptiveUniformSampler:
+    """Budgeted uniform sampling of an *unstructured* update sequence.
+
+    Generic building block for structures that need "a uniform sample of
+    the stream so far, of size about S, at a power-of-two rate" — CSSS
+    rows, the sampled Cauchy counters of Theorem 8, etc.  The caller
+    supplies a ``thin(structure, rng)`` halving callback; this class owns
+    the schedule: rate starts at 1, and each time the number of *sampled*
+    updates crosses ``budget`` it directs a halving and doubles the
+    inverse rate, exactly the Figure 2 step-5a schedule keyed to sample
+    counts rather than wall-clock t (equivalent up to constants, and
+    self-tuning when update magnitudes vary).
+    """
+
+    def __init__(self, budget: int, rng: np.random.Generator) -> None:
+        if budget < 1:
+            raise ValueError("budget must be positive")
+        self.budget = int(budget)
+        self._rng = rng
+        self.log2_inv_p = 0
+        self.sampled_weight = 0
+
+    @property
+    def rate(self) -> float:
+        return 2.0**-self.log2_inv_p
+
+    def offer(self, delta: int) -> int:
+        """Thin an update through the current rate; returns the signed
+        retained magnitude (0 = dropped) and books the retained weight."""
+        kept = binomial_thin(delta, self.rate, self._rng)
+        self.sampled_weight += abs(kept)
+        return kept
+
+    def needs_halving(self) -> bool:
+        return self.sampled_weight > self.budget
+
+    def register_halving(self) -> None:
+        """Record that the caller thinned its structure by 1/2."""
+        self.log2_inv_p += 1
+        # The caller's thinning halves retained weight in expectation.
+        self.sampled_weight = self.sampled_weight // 2
+
+    def space_bits(self) -> int:
+        return max(1, self.log2_inv_p.bit_length()) + counter_bits(
+            max(1, self.sampled_weight), signed=False
+        )

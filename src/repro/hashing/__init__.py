@@ -1,0 +1,29 @@
+"""Hashing substrate: primes, k-wise independent families, modular hashing.
+
+These are the building blocks every sketch in the paper relies on:
+
+* :mod:`repro.hashing.primes` — Miller-Rabin primality, random primes in
+  ``[D, D^3]`` (used by the inner-product estimator of Section 2.2 and the
+  L0 machinery of Section 6).
+* :mod:`repro.hashing.kwise` — k-wise independent hash families realised as
+  random degree-(k-1) polynomials over a prime field (Carter-Wegman [13]).
+* :mod:`repro.hashing.modhash` — streaming modular reduction of a log(n)-bit
+  identity in ``O(log log n + log p)`` working bits (Lemma 7) and the
+  least-significant-bit subsampling map ``lsb`` used by the L0 algorithms.
+"""
+
+from repro.hashing.primes import is_prime, next_prime, random_prime_in_range
+from repro.hashing.kwise import KWiseHash, PairwiseHash, FourWiseHash, SignHash
+from repro.hashing.modhash import StreamingModReducer, lsb
+
+__all__ = [
+    "is_prime",
+    "next_prime",
+    "random_prime_in_range",
+    "KWiseHash",
+    "PairwiseHash",
+    "FourWiseHash",
+    "SignHash",
+    "StreamingModReducer",
+    "lsb",
+]

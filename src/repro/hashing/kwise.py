@@ -1,0 +1,192 @@
+"""k-wise independent hash families (Carter-Wegman polynomial hashing).
+
+A random polynomial of degree ``k-1`` over a prime field ``F_p`` evaluated
+at distinct points is a k-wise independent family [13].  Every sketch in the
+paper draws its hash functions from such families:
+
+* CountSketch rows use a 4-wise ``h: [n] -> [6k]`` and a 4-wise sign
+  function ``g: [n] -> {-1, +1}`` (Lemma 2).
+* The L0 estimator (Figure 6) uses 2-wise ``h1, h2, h4`` and a
+  ``Theta(log(1/eps)/log log(1/eps))``-wise ``h3``.
+* The αL1Sampler scales items by ``O(log(1/eps))``-wise independent uniform
+  factors ``t_i``.
+
+Implementation notes
+---------------------
+Evaluation is vectorised with numpy ``object`` arrays so that Horner's rule
+runs on exact Python integers (no modular overflow for primes near 2^61).
+The seed coefficients account for ``k * ceil(log2 p)`` bits of space, which
+is what :meth:`space_bits` reports — the paper's accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.hashing.primes import prime_for_universe
+
+
+class KWiseHash:
+    """k-wise independent hash ``h: [universe) -> [range_size)``.
+
+    Parameters
+    ----------
+    universe:
+        Domain size; inputs must lie in ``[0, universe)``.
+    range_size:
+        Output values lie in ``[0, range_size)``.
+    k:
+        Independence; ``k >= 1``.  ``k = 1`` degenerates to a constant.
+    rng:
+        Source of randomness for the coefficients.
+    prime:
+        Field size; defaults to a fixed prime above the universe.
+
+    Notes
+    -----
+    Composing the polynomial with ``mod range_size`` keeps the family
+    k-wise independent up to an ``O(range_size / p)`` bias, negligible for
+    our default prime (> 2^16 above the universe).
+    """
+
+    def __init__(
+        self,
+        universe: int,
+        range_size: int,
+        k: int,
+        rng: np.random.Generator,
+        prime: int | None = None,
+    ) -> None:
+        if universe < 1:
+            raise ValueError("universe must be positive")
+        if range_size < 1:
+            raise ValueError("range_size must be positive")
+        if k < 1:
+            raise ValueError("independence k must be >= 1")
+        self.universe = int(universe)
+        self.range_size = int(range_size)
+        self.k = int(k)
+        if prime is not None:
+            self.prime = int(prime)
+        else:
+            # The field must dominate both the domain (for distinct
+            # evaluation points) and the range (so that reducing the
+            # polynomial value mod range_size has negligible bias).
+            self.prime = prime_for_universe(max(self.universe, self.range_size))
+        if self.prime <= max(self.universe, self.range_size):
+            raise ValueError("prime must exceed universe and range sizes")
+        # Leading coefficient non-zero keeps the polynomial degree exactly
+        # k-1; not required for independence but avoids degenerate draws.
+        coeffs = rng.integers(0, self.prime, size=self.k)
+        if self.k > 1 and coeffs[0] == 0:
+            coeffs[0] = 1 + int(rng.integers(0, self.prime - 1))
+        self._coeffs: tuple[int, ...] = tuple(int(c) for c in coeffs)
+
+    def __call__(self, x: int) -> int:
+        """Hash a single item."""
+        acc = 0
+        for c in self._coeffs:
+            acc = (acc * x + c) % self.prime
+        return acc % self.range_size
+
+    def hash_array(self, xs: np.ndarray | Sequence[int]) -> np.ndarray:
+        """Vectorised hashing; returns an int64 array of hashed values."""
+        arr = np.asarray(xs, dtype=object)
+        acc = np.zeros_like(arr, dtype=object)
+        for c in self._coeffs:
+            acc = (acc * arr + c) % self.prime
+        return (acc % self.range_size).astype(np.int64)
+
+    def space_bits(self) -> int:
+        """Seed storage: k coefficients of ceil(log2 p) bits each."""
+        return self.k * max(1, int(np.ceil(np.log2(self.prime))))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"KWiseHash(universe={self.universe}, range={self.range_size}, "
+            f"k={self.k}, p={self.prime})"
+        )
+
+
+class PairwiseHash(KWiseHash):
+    """2-wise independent family (the workhorse of the L0 algorithms)."""
+
+    def __init__(
+        self,
+        universe: int,
+        range_size: int,
+        rng: np.random.Generator,
+        prime: int | None = None,
+    ) -> None:
+        super().__init__(universe, range_size, k=2, rng=rng, prime=prime)
+
+
+class FourWiseHash(KWiseHash):
+    """4-wise independent family (CountSketch rows, Lemma 2)."""
+
+    def __init__(
+        self,
+        universe: int,
+        range_size: int,
+        rng: np.random.Generator,
+        prime: int | None = None,
+    ) -> None:
+        super().__init__(universe, range_size, k=4, rng=rng, prime=prime)
+
+
+class SignHash:
+    """k-wise independent sign function ``g: [n] -> {-1, +1}``.
+
+    Wraps a :class:`KWiseHash` into two buckets and maps ``{0,1}`` to
+    ``{-1,+1}``.
+    """
+
+    def __init__(
+        self,
+        universe: int,
+        rng: np.random.Generator,
+        k: int = 4,
+        prime: int | None = None,
+    ) -> None:
+        self._h = KWiseHash(universe, 2, k=k, rng=rng, prime=prime)
+
+    def __call__(self, x: int) -> int:
+        return 1 if self._h(x) else -1
+
+    def hash_array(self, xs: np.ndarray | Sequence[int]) -> np.ndarray:
+        return self._h.hash_array(xs) * 2 - 1
+
+    def space_bits(self) -> int:
+        return self._h.space_bits()
+
+
+class UniformScalars:
+    """k-wise independent uniform scalars ``t_i in (0, 1]``.
+
+    The αL1Sampler (Figure 3) scales item ``i`` by ``1/t_i`` with
+    ``O(log(1/eps))``-wise independent uniform ``t_i``.  We derive ``t_i``
+    from a k-wise hash into ``[0, resolution)``: ``t_i = (h(i)+1) /
+    resolution``, so ``t_i`` is never zero and is uniform on a fine grid.
+    """
+
+    def __init__(
+        self,
+        universe: int,
+        rng: np.random.Generator,
+        k: int,
+        resolution: int = 1 << 30,
+        prime: int | None = None,
+    ) -> None:
+        self.resolution = int(resolution)
+        self._h = KWiseHash(universe, self.resolution, k=k, rng=rng, prime=prime)
+
+    def __call__(self, x: int) -> float:
+        return (self._h(x) + 1) / self.resolution
+
+    def hash_array(self, xs: np.ndarray | Sequence[int]) -> np.ndarray:
+        return (self._h.hash_array(xs) + 1) / self.resolution
+
+    def space_bits(self) -> int:
+        return self._h.space_bits()

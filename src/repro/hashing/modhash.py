@@ -1,0 +1,71 @@
+"""Streaming modular reduction (Lemma 7) and lsb subsampling.
+
+Lemma 7 of the paper: a log(n)-bit integer ``x`` can be reduced modulo a
+prime ``p`` using only ``O(log log n + log p)`` bits of working space, by
+scanning the bits of ``x`` while maintaining ``2^t mod p`` incrementally.
+The inner-product estimator (Theorem 2) needs this to hash sampled
+identities down to a universe of ``p`` elements without storing either the
+identity or a pairwise-independent seed of ``log n`` bits.
+
+``lsb`` is the (0-based) least-significant-bit map used to subsample the
+universe at geometric rates in the L0 estimator and support sampler
+(Sections 6 and 7): ``lsb(h(i)) = j`` with probability ``2^-(j+1)``.
+"""
+
+from __future__ import annotations
+
+
+def lsb(x: int, zero_value: int | None = None) -> int:
+    """0-based index of the least significant set bit of ``x``.
+
+    The paper defines ``lsb(0) = log(n)``; pass ``zero_value`` to match
+    (callers that know their universe supply ``log2(n)``).  Without it,
+    ``lsb(0)`` raises, because a silent default hides bugs.
+    """
+    if x < 0:
+        raise ValueError("lsb is defined for non-negative integers")
+    if x == 0:
+        if zero_value is None:
+            raise ValueError("lsb(0) undefined without zero_value")
+        return zero_value
+    return (x & -x).bit_length() - 1
+
+
+class StreamingModReducer:
+    """Reduce a log(n)-bit identity mod p bit-by-bit (Lemma 7).
+
+    The reduction processes ``x``'s bits from least significant upwards,
+    maintaining ``y_t = 2^t mod p`` and an accumulator ``c``; the working
+    state is two residues mod p plus a ``log log n``-bit position index,
+    matching the lemma's space bound.  ``reduce`` performs the whole scan;
+    the class exists (rather than a bare ``x % p``) so the space accounting
+    and tests can exercise the actual streaming procedure the paper's space
+    bound relies on.
+    """
+
+    def __init__(self, prime: int, n_bits: int) -> None:
+        if prime < 2:
+            raise ValueError("prime must be >= 2")
+        if n_bits < 1:
+            raise ValueError("n_bits must be >= 1")
+        self.prime = int(prime)
+        self.n_bits = int(n_bits)
+
+    def reduce(self, x: int) -> int:
+        """Compute ``x mod p`` scanning one bit of ``x`` at a time."""
+        if x < 0:
+            raise ValueError("identities are non-negative")
+        if x >= (1 << self.n_bits):
+            raise ValueError(f"x needs more than {self.n_bits} bits")
+        c = 0
+        y = 1  # 2^0 mod p
+        for t in range(self.n_bits):
+            if (x >> t) & 1:
+                c = (c + y) % self.prime
+            y = (y * 2) % self.prime
+        return c
+
+    def space_bits(self) -> int:
+        """Working space: two residues mod p + bit-position counter."""
+        p_bits = max(1, self.prime.bit_length())
+        return 2 * p_bits + max(1, self.n_bits.bit_length())

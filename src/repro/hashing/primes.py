@@ -1,0 +1,120 @@
+"""Prime-number utilities.
+
+Several algorithms in the paper pick a *random prime* in an interval
+``[D, D^3]`` (inner products, Section 2.2; the L0 estimator's bucket field,
+Section 6; the exact small-F0 counter of Lemma 19).  The correctness
+arguments only use that (a) there are ``Omega(D / log D)`` primes in the
+interval, so a random one rarely divides any fixed small set of integers,
+and (b) arithmetic modulo the prime forms a field.  We provide deterministic
+Miller-Rabin testing (exact for 64-bit inputs) plus samplers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# Deterministic Miller-Rabin witness sets.  The first set is exact for all
+# n < 3,317,044,064,679,887,385,961,981 (covers every 64-bit integer).
+_MR_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+_SMALL_PRIMES = (
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149,
+)
+
+
+def _miller_rabin_round(n: int, d: int, r: int, a: int) -> bool:
+    """One Miller-Rabin round; True means *possibly prime* for witness a."""
+    x = pow(a, d, n)
+    if x in (1, n - 1):
+        return True
+    for _ in range(r - 1):
+        x = (x * x) % n
+        if x == n - 1:
+            return True
+    return False
+
+
+def is_prime(n: int) -> bool:
+    """Deterministic primality test (exact for every n < 2^81).
+
+    Uses trial division by small primes followed by Miller-Rabin with a
+    witness set proven exhaustive for the sizes used anywhere in this
+    library (identities and counters never exceed a few hundred bits of
+    *value*, but primes we generate stay below 2^64).
+    """
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    d, r = n - 1, 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    return all(_miller_rabin_round(n, d, r, a) for a in _MR_WITNESSES if a < n)
+
+
+def next_prime(n: int) -> int:
+    """Smallest prime >= n (n >= 0)."""
+    if n <= 2:
+        return 2
+    candidate = n | 1  # first odd >= n
+    while not is_prime(candidate):
+        candidate += 2
+    return candidate
+
+
+def _uniform_below(hi: int, rng: np.random.Generator) -> int:
+    """Uniform integer in ``[0, hi)`` for arbitrary-precision ``hi``.
+
+    ``Generator.integers`` is limited to int64; this draws raw bytes and
+    rejects, so prime windows above 2^63 (which the paper's ``[D, D^3]``
+    ranges produce readily) work.
+    """
+    bits = max(1, int(hi - 1).bit_length())
+    nbytes = (bits + 7) // 8
+    excess = 8 * nbytes - bits
+    while True:
+        candidate = int.from_bytes(rng.bytes(nbytes), "big") >> excess
+        if candidate < hi:
+            return candidate
+
+
+def random_prime_in_range(
+    lo: int, hi: int, rng: np.random.Generator
+) -> int:
+    """Uniformly-ish random prime in ``[lo, hi)``.
+
+    Repeatedly samples a uniform integer and advances to the next prime;
+    this is the standard rejection scheme and matches the paper's use (the
+    proofs only need the prime to avoid a fixed set of ``poly(n)`` divisors,
+    which holds for any near-uniform choice over a dense-enough range).
+
+    Raises ``ValueError`` if the interval contains no prime.
+    """
+    if hi <= lo:
+        raise ValueError(f"empty range [{lo}, {hi})")
+    span = hi - lo
+    for _ in range(512):
+        candidate = lo + _uniform_below(span, rng)
+        p = next_prime(candidate)
+        if p < hi:
+            return p
+    # Fall back to scanning from the bottom; guarantees termination.
+    p = next_prime(lo)
+    if p < hi:
+        return p
+    raise ValueError(f"no prime in [{lo}, {hi})")
+
+
+def prime_for_universe(n: int) -> int:
+    """A fixed prime comfortably above ``n`` for polynomial hash families.
+
+    Hash families over universe ``[n]`` need a field of size > n; we use the
+    smallest prime above ``max(n, 2^16)`` so small universes still get
+    well-mixed polynomial hashing.
+    """
+    return next_prime(max(int(n), 1 << 16) + 1)

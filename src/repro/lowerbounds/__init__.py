@@ -1,0 +1,37 @@
+"""Executable Section 8 lower-bound reductions.
+
+A space lower bound cannot be "run", but its *reduction* can: each class
+here constructs the exact hard-instance stream the proof describes (Alice's
+encoding), verifies that the construction has the claimed (strong)
+α-property, and implements Bob's decoder — demonstrating end-to-end that a
+working sketch for the problem lets Bob recover Alice's indexed bit, i.e.
+that the sketch state must carry Ω(instance-size) information.
+"""
+
+from repro.lowerbounds.communication import (
+    AugmentedIndexingInstance,
+    EqualityInstance,
+    GapHammingInstance,
+)
+from repro.lowerbounds.reductions import (
+    HeavyHittersReduction,
+    L1EstimationEqualityReduction,
+    L1EstimationGapHammingReduction,
+    L1EstimationStrictReduction,
+    L1SamplingReduction,
+    SupportSamplingReduction,
+    InnerProductReduction,
+)
+
+__all__ = [
+    "AugmentedIndexingInstance",
+    "EqualityInstance",
+    "GapHammingInstance",
+    "HeavyHittersReduction",
+    "L1EstimationEqualityReduction",
+    "L1EstimationGapHammingReduction",
+    "L1EstimationStrictReduction",
+    "L1SamplingReduction",
+    "SupportSamplingReduction",
+    "InnerProductReduction",
+]

@@ -1,0 +1,150 @@
+"""One-way communication problems underlying the Section 8 lower bounds.
+
+Three problems, each packaged as an *instance generator* with Alice/Bob
+views and a ground-truth answer, so the reductions in
+:mod:`repro.lowerbounds.reductions` can be executed and checked:
+
+* **Augmented Indexing (Ind)** — Alice holds ``y ∈ {0,1}^d``; Bob holds an
+  index ``i*`` and the suffix ``y_{i*+1..d}`` and must output ``y_{i*}``.
+  One-way cost Ω(d) (Miltersen et al., Lemma 23).
+* **Equality** — Alice holds ``y``, Bob holds ``x``, decide ``x = y``;
+  Ω(log d) without public coins (Lemma 24).
+* **Gap-Hamming** — Bob must distinguish ``‖x−y‖₁ > d/2 + √d`` from
+  ``< d/2 − √d`` (Definition 3); Ind reduces to it (Theorem 15).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def _rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+@dataclass(frozen=True)
+class AugmentedIndexingInstance:
+    """One Ind instance: Alice's bits, Bob's index and known suffix."""
+
+    y: tuple[int, ...]
+    i_star: int
+
+    @property
+    def d(self) -> int:
+        return len(self.y)
+
+    @property
+    def suffix(self) -> tuple[int, ...]:
+        """The bits Bob already knows: ``y_{i*+1}, ..., y_d`` (0-indexed:
+        strictly after i_star)."""
+        return self.y[self.i_star + 1 :]
+
+    @property
+    def answer(self) -> int:
+        return self.y[self.i_star]
+
+    @staticmethod
+    def random(d: int, seed: int | np.random.Generator | None = None
+               ) -> "AugmentedIndexingInstance":
+        rng = _rng(seed)
+        y = tuple(int(b) for b in rng.integers(0, 2, size=d))
+        i_star = int(rng.integers(0, d))
+        return AugmentedIndexingInstance(y=y, i_star=i_star)
+
+
+@dataclass(frozen=True)
+class EqualityInstance:
+    """One Equality instance over d-bit strings."""
+
+    x: tuple[int, ...]
+    y: tuple[int, ...]
+
+    @property
+    def answer(self) -> bool:
+        return self.x == self.y
+
+    @staticmethod
+    def random(
+        d: int,
+        equal: bool,
+        seed: int | np.random.Generator | None = None,
+    ) -> "EqualityInstance":
+        rng = _rng(seed)
+        y = tuple(int(b) for b in rng.integers(0, 2, size=d))
+        if equal:
+            return EqualityInstance(x=y, y=y)
+        x = list(y)
+        flip = rng.choice(d, size=max(1, d // 4), replace=False)
+        for pos in flip:
+            x[pos] ^= 1
+        return EqualityInstance(x=tuple(x), y=y)
+
+
+@dataclass(frozen=True)
+class GapHammingInstance:
+    """One Gap-Hamming instance with the promise gap satisfied."""
+
+    x: tuple[int, ...]
+    y: tuple[int, ...]
+    is_yes: bool  # YES: distance > d/2 + sqrt(d); NO: < d/2 - sqrt(d)
+
+    @property
+    def d(self) -> int:
+        return len(self.x)
+
+    @property
+    def distance(self) -> int:
+        return sum(a != b for a, b in zip(self.x, self.y))
+
+    @staticmethod
+    def random(
+        d: int,
+        is_yes: bool,
+        seed: int | np.random.Generator | None = None,
+    ) -> "GapHammingInstance":
+        rng = _rng(seed)
+        y = tuple(int(b) for b in rng.integers(0, 2, size=d))
+        sqrt_d = int(np.ceil(np.sqrt(d)))
+        if is_yes:
+            distance = min(d, d // 2 + 2 * sqrt_d)
+        else:
+            distance = max(0, d // 2 - 2 * sqrt_d)
+        flips = rng.choice(d, size=distance, replace=False)
+        x = list(y)
+        for pos in flips:
+            x[pos] ^= 1
+        return GapHammingInstance(x=tuple(x), y=y, is_yes=is_yes)
+
+
+def coding_family(
+    n_half: int,
+    size_bits: int,
+    rng: np.random.Generator,
+    limit: int | None = None,
+) -> list[tuple[int, ...]]:
+    """A family of ``2^size_bits`` subsets of ``[n_half]`` of size
+    ``n_half/8`` with pairwise intersections below ``limit`` (default
+    ``n_half/16``, the Theorem 13 parameters).
+
+    Stands in for the coding-theoretic family G of Theorem 13 (random
+    subsets achieve the intersection bound w.h.p. at these sizes; the
+    generator retries any violating member).
+    """
+    target = max(1, n_half // 8)
+    if limit is None:
+        limit = max(1, n_half // 16)
+    family: list[tuple[int, ...]] = []
+    attempts = 0
+    while len(family) < (1 << size_bits):
+        attempts += 1
+        if attempts > (1 << size_bits) * 64:
+            raise RuntimeError("could not build coding family; shrink size_bits")
+        cand = tuple(sorted(map(int, rng.choice(n_half, size=target, replace=False))))
+        cand_set = set(cand)
+        if all(len(cand_set & set(other)) < limit for other in family):
+            family.append(cand)
+    return family

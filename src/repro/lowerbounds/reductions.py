@@ -1,0 +1,476 @@
+"""Hard-instance stream constructions from Section 8, executable.
+
+Each reduction builds Alice's stream, applies Bob's deletions, checks the
+claimed (strong) α-property of the construction, and decodes the
+communication answer using one of this library's sketches.  Tests assert
+(a) the α-property claim and (b) that the decode succeeds — i.e. the
+sketch state demonstrably carries the indexed information the lower bound
+charges it for.
+
+Conventions: blocks are 0-indexed; magnitudes follow the paper's
+construction up to 0-indexing (block j carries weight ``α D^(j+1)`` for
+D = 6 or 10 as in each theorem).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.lowerbounds.communication import AugmentedIndexingInstance, coding_family
+from repro.streams.model import Stream, Update
+
+
+def _rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def _bits_to_int(bits: tuple[int, ...]) -> int:
+    value = 0
+    for b in bits:
+        value = (value << 1) | int(b)
+    return value
+
+
+@dataclass
+class HeavyHittersReduction:
+    """Theorem 12: Ind → ε-heavy hitters on strong-α strict streams.
+
+    Alice splits her string into ``r = log_6(α/4)`` chunks; chunk j indexes
+    a subset ``x_j ⊂ [n]`` of ``⌊(1/2ε)^p⌋`` items, inserted at weight
+    ``α 6^(j+1) + 1``.  Bob, knowing later chunks, deletes their weight
+    back to 1, leaving chunk j(i*) as the unique ε-heavy set; recovering
+    the heavy hitters recovers the chunk and hence Alice's bit.
+
+    Parameters mirror the theorem: universe n, threshold eps (p = 1), and
+    the α controlling the number of chunks.
+    """
+
+    n: int
+    eps: float
+    alpha: float
+    seed: int | np.random.Generator | None = None
+    D: int = 6
+    _family: list[tuple[int, ...]] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        rng = _rng(self.seed)
+        set_size = max(1, int(np.floor(1.0 / (2.0 * self.eps))))
+        # Family bits per chunk: as many as we can index while keeping the
+        # family construction cheap.
+        self.bits_per_chunk = max(1, min(8, int(np.log2(self.n // set_size + 1))))
+        self.num_chunks = max(1, int(np.floor(np.log(self.alpha / 4.0) / np.log(self.D))))
+        self.set_size = set_size
+        self._family = _subset_family(self.n, set_size, self.bits_per_chunk, rng)
+
+    @property
+    def d(self) -> int:
+        """Ind instance length this stream encodes (Ω(d) bound)."""
+        return self.num_chunks * self.bits_per_chunk
+
+    def chunk_of(self, i_star: int) -> int:
+        return i_star // self.bits_per_chunk
+
+    def _chunk_sets(self, y: tuple[int, ...]) -> list[tuple[int, ...]]:
+        sets = []
+        for j in range(self.num_chunks):
+            bits = y[j * self.bits_per_chunk : (j + 1) * self.bits_per_chunk]
+            sets.append(self._family[_bits_to_int(bits)])
+        return sets
+
+    def build_stream(self, inst: AugmentedIndexingInstance) -> Stream:
+        """Alice's insertions followed by Bob's deletions."""
+        if inst.d != self.d:
+            raise ValueError(f"instance must have d = {self.d}")
+        sets = self._chunk_sets(inst.y)
+        out = Stream(self.n)
+        # Alice: chunk j inserted at weight alpha * D^(j+1) + 1.
+        for j, items in enumerate(sets):
+            w = int(self.alpha) * self.D ** (j + 1) + 1
+            for i in items:
+                out.append(Update(i, w))
+        # Bob: deletes alpha * D^(j+1) from every chunk after his target.
+        j_star = self.chunk_of(inst.i_star)
+        for j in range(j_star + 1, self.num_chunks):
+            w = int(self.alpha) * self.D ** (j + 1)
+            for i in sets[j]:
+                out.append(Update(i, -w))
+        return out
+
+    def decode(self, heavy: set[int], inst: AugmentedIndexingInstance) -> int:
+        """Bob's decoder: match the heavy set against the family to
+        recover the chunk, then read off his bit."""
+        j_star = self.chunk_of(inst.i_star)
+        best_idx, best_overlap = 0, -1
+        for idx, cand in enumerate(self._family):
+            overlap = len(heavy & set(cand))
+            if overlap > best_overlap:
+                best_idx, best_overlap = idx, overlap
+        bits = []
+        for b in range(self.bits_per_chunk - 1, -1, -1):
+            bits.append((best_idx >> b) & 1)
+        offset = inst.i_star - j_star * self.bits_per_chunk
+        return bits[offset]
+
+
+def _subset_family(
+    n: int, set_size: int, bits: int, rng: np.random.Generator
+) -> list[tuple[int, ...]]:
+    """2^bits random size-``set_size`` subsets of [n], pairwise-distinct."""
+    family: list[tuple[int, ...]] = []
+    seen: set[tuple[int, ...]] = set()
+    while len(family) < (1 << bits):
+        cand = tuple(
+            sorted(map(int, rng.choice(n, size=set_size, replace=False)))
+        )
+        if cand not in seen:
+            seen.add(cand)
+            family.append(cand)
+    return family
+
+
+@dataclass
+class L1EstimationEqualityReduction:
+    """Theorem 13: Equality → (1 ± 1/16) L1 estimation at α = 3/2.
+
+    Alice inserts the padded characteristic vector of her coded subset
+    plus a unit vector on the second half of the universe; Bob deletes his
+    own characteristic vector.  Equal inputs leave ``‖f‖₁ = n/2``; unequal
+    coded inputs leave ``‖f‖₁ >= 5n/8`` — distinguishable by any 1/16
+    estimator, while the stream keeps α = 3/2.
+    """
+
+    n: int
+    size_bits: int = 4
+    seed: int | np.random.Generator | None = None
+
+    def __post_init__(self) -> None:
+        rng = _rng(self.seed)
+        if self.n % 2:
+            raise ValueError("n must be even")
+        # Theorem 13 uses intersections < n_half/16, which leaves zero
+        # margin at small n; a limit of size/4 widens the equal/unequal
+        # gap so the 1/16-relative-error tolerance holds at any scale.
+        self._set_size = max(1, (self.n // 2) // 8)
+        self._limit = max(1, self._set_size // 4)
+        self._family = coding_family(
+            self.n // 2, self.size_bits, rng, limit=self._limit
+        )
+
+    def build_stream(self, alice_code: int, bob_code: int) -> Stream:
+        s_y = self._family[alice_code % len(self._family)]
+        s_x = self._family[bob_code % len(self._family)]
+        out = Stream(self.n)
+        for i in s_y:
+            out.append(Update(i, 1))
+        for i in range(self.n // 2, self.n):
+            out.append(Update(i, 1))
+        for i in s_x:
+            out.append(Update(i, -1))
+        return out
+
+    def threshold(self) -> float:
+        """Mid-gap decision threshold.
+
+        Equal inputs leave ``‖f‖₁ = n/2`` exactly; unequal coded inputs
+        leave at least ``n/2 + 2 (set_size - limit)``.  The midpoint
+        tolerates the 1/16-relative estimation error on both sides.
+        """
+        gap = 2.0 * (self._set_size - self._limit)
+        return self.n / 2.0 + gap / 2.0
+
+    def decode(self, l1_estimate: float) -> bool:
+        """True = 'equal' (small norm)."""
+        return l1_estimate < self.threshold()
+
+
+@dataclass
+class L1EstimationStrictReduction:
+    """Theorem 16: Ind → O(1)-factor L1 estimation, strict turnstile.
+
+    Bit j of Alice's string is encoded as weight ``α 10^(j+1)`` on
+    coordinate j (plus 1); Bob deletes the weights of all later bits and
+    thresholds the surviving norm at ``α 10^(j*+1) / 2``.
+    """
+
+    alpha: float
+    D: int = 10
+
+    @property
+    def d(self) -> int:
+        return max(1, int(np.floor(np.log(self.alpha / 4.0) / np.log(self.D))))
+
+    def build_stream(self, inst: AugmentedIndexingInstance) -> Stream:
+        if inst.d != self.d:
+            raise ValueError(f"instance must have d = {self.d}")
+        out = Stream(self.d)
+        for j, bit in enumerate(inst.y):
+            out.append(Update(j, int(self.alpha) * self.D ** (j + 1) * bit + 1))
+        for j in range(inst.i_star + 1, self.d):
+            if inst.y[j]:
+                out.append(Update(j, -int(self.alpha) * self.D ** (j + 1)))
+        return out
+
+    def decode(self, l1_estimate: float, inst: AugmentedIndexingInstance) -> int:
+        threshold = int(self.alpha) * self.D ** (inst.i_star + 1) / 2.0
+        return 1 if l1_estimate > threshold else 0
+
+
+@dataclass
+class L1SamplingReduction:
+    """Theorem 19: Ind → L1 sampling (strong α-property, ε = 1/2).
+
+    The Theorem 12 construction with one item per chunk: the indexed
+    chunk's single item carries half the final mass, so the mode of any
+    (1/6-close) L1 sampler's output identifies it.
+    """
+
+    n: int
+    alpha: float
+    seed: int | np.random.Generator | None = None
+
+    def __post_init__(self) -> None:
+        self._hh = HeavyHittersReduction(
+            n=self.n, eps=0.5, alpha=self.alpha, seed=self.seed
+        )
+
+    @property
+    def d(self) -> int:
+        return self._hh.d
+
+    def build_stream(self, inst: AugmentedIndexingInstance) -> Stream:
+        return self._hh.build_stream(inst)
+
+    def decode(self, sampled_items: list[int], inst: AugmentedIndexingInstance) -> int:
+        if not sampled_items:
+            raise ValueError("decoder needs at least one sample")
+        values, counts = np.unique(np.asarray(sampled_items), return_counts=True)
+        mode = int(values[int(np.argmax(counts))])
+        return self._hh.decode({mode}, inst)
+
+
+@dataclass
+class SupportSamplingReduction:
+    """Theorem 20: Ind → support sampling (L0 α-property).
+
+    Alice splits her string into ``log(α/4)`` chunks; chunk j indexes a
+    block of the universe into which she inserts ``2^j`` distinct items.
+    Bob deletes the blocks he knows; the surviving dominant block (2^j*
+    of at most 2^(j*+1) live items) is identified by majority over
+    repeated support samples.
+    """
+
+    n: int
+    alpha: float
+    seed: int | np.random.Generator | None = None
+
+    def __post_init__(self) -> None:
+        self.num_chunks = max(1, int(np.floor(np.log2(self.alpha / 4.0))))
+        self.block_size = max(1, int(self.alpha) // 4)
+        self.blocks = max(1, self.n // self.block_size)
+        self.bits_per_chunk = max(1, min(8, int(np.log2(self.blocks))))
+
+    @property
+    def d(self) -> int:
+        return self.num_chunks * self.bits_per_chunk
+
+    def _chunk_blocks(self, y: tuple[int, ...]) -> list[int]:
+        out = []
+        for j in range(self.num_chunks):
+            bits = y[j * self.bits_per_chunk : (j + 1) * self.bits_per_chunk]
+            out.append(_bits_to_int(bits) % self.blocks)
+        return out
+
+    def build_stream(self, inst: AugmentedIndexingInstance) -> Stream:
+        if inst.d != self.d:
+            raise ValueError(f"instance must have d = {self.d}")
+        blocks = self._chunk_blocks(inst.y)
+        out = Stream(self.n)
+        j_star = inst.i_star // self.bits_per_chunk
+        for j, block in enumerate(blocks):
+            count = min(self.block_size, 2**j)
+            base = block * self.block_size
+            for offset in range(count):
+                out.append(Update(base + offset, 1))
+        for j in range(j_star + 1, self.num_chunks):
+            count = min(self.block_size, 2**j)
+            base = blocks[j] * self.block_size
+            for offset in range(count):
+                out.append(Update(base + offset, -1))
+        return out
+
+    def decode(self, support_samples: set[int], inst: AugmentedIndexingInstance) -> int:
+        """Bob looks for the block holding the most sampled items."""
+        tally: dict[int, int] = {}
+        for item in support_samples:
+            block = item // self.block_size
+            tally[block] = tally.get(block, 0) + 1
+        best_block = max(tally, key=tally.get)
+        j_star = inst.i_star // self.bits_per_chunk
+        bits = []
+        idx = best_block
+        for b in range(self.bits_per_chunk - 1, -1, -1):
+            bits.append((idx >> b) & 1)
+        offset = inst.i_star - j_star * self.bits_per_chunk
+        return bits[offset]
+
+
+@dataclass
+class L1EstimationGapHammingReduction:
+    """Theorem 14: Ind → Gap-Hamming blocks → (1 ± ε) L1 estimation.
+
+    Alice splits her ``kt``-bit string into ``t = log(αε²)`` blocks of
+    ``k = 1/ε²`` bits.  Block i is turned into a Gap-Hamming vector
+    ``y_i`` (via Theorem 15's reduction, here instantiated directly with
+    promise-respecting instances); coordinate j of block i is inserted
+    with weight ``β 2^i + 1`` when ``(y_i)_j = 1``, ``β = ε⁻² α``.  Bob
+    strips the blocks above his target, streams his own Gap-Hamming
+    vector negatively scaled into the target block, and reads the
+    block's Hamming distance off a (1 ± Θ(ε)) L1 estimate — so any such
+    estimator solves Gap-Hamming, hence Ind, hence needs Ω(ε⁻² log(ε²α))
+    bits.
+
+    We expose the *Gap-Hamming-to-L1* step: given promise vectors x, y
+    for one block, build the two-party stream and decode YES/NO from an
+    L1 estimate.
+    """
+
+    alpha: float
+    eps: float = 0.25
+
+    def __post_init__(self) -> None:
+        self.k = max(4, int(np.floor(1.0 / self.eps**2)))
+        self.t = max(1, int(np.floor(np.log2(max(2.0, self.alpha * self.eps**2)))))
+        self.beta = max(1, int(np.ceil(self.alpha / self.eps**2)))
+
+    @property
+    def n(self) -> int:
+        """Universe: one coordinate per (block, position)."""
+        return self.k * self.t
+
+    def build_stream(
+        self,
+        block_vectors: list[tuple[int, ...]],
+        bob_vector: tuple[int, ...],
+        target_block: int,
+    ) -> Stream:
+        """Alice inserts every block; Bob deletes blocks above the target
+        and overlays his Gap-Hamming vector on the target block."""
+        if len(block_vectors) != self.t:
+            raise ValueError(f"need {self.t} block vectors")
+        if any(len(v) != self.k for v in block_vectors):
+            raise ValueError(f"block vectors must have length {self.k}")
+        if not 0 <= target_block < self.t:
+            raise ValueError("target block out of range")
+        out = Stream(self.n)
+        for i, vec in enumerate(block_vectors):
+            w = self.beta * 2**i
+            for j, bit in enumerate(vec):
+                if bit:
+                    out.append(Update(i * self.k + j, w + 1))
+        # Bob knows blocks > target: delete their coded weight entirely.
+        for i in range(target_block + 1, self.t):
+            w = self.beta * 2**i
+            for j, bit in enumerate(block_vectors[i]):
+                if bit:
+                    out.append(Update(i * self.k + j, -w))
+        # Bob overlays his own vector on the target block: matching 1s
+        # cancel the coded weight, mismatches leave it standing.
+        w = self.beta * 2**target_block
+        for j, bit in enumerate(bob_vector):
+            if bit:
+                out.append(Update(target_block * self.k + j, -w))
+        return out
+
+    def hamming_distance_from_l1(
+        self,
+        l1_estimate: float,
+        block_vectors: list[tuple[int, ...]],
+        bob_vector: tuple[int, ...],
+        target_block: int,
+    ) -> float:
+        """Recover ||x - y||_1 of the target block from the stream's L1.
+
+        The surviving coded mass is ``beta 2^i`` per *mismatched*
+        coordinate (x_j != y_j), plus small-order terms: +1 residues of
+        Alice's set bits in blocks <= target, Bob-only coordinates going
+        to ``-(beta 2^i) + ...``, and the untouched lower blocks' coded
+        weight.  Bob knows every term except the mismatch count and
+        subtracts them exactly (he holds his own vector and the lower
+        blocks arrive scaled by smaller powers, which he bounds away).
+        """
+        w = self.beta * 2**target_block
+        lower = 0.0
+        for i in range(target_block):
+            ones = sum(block_vectors[i])
+            lower += ones * (self.beta * 2**i + 1)
+        ones_alice = sum(block_vectors[target_block])
+        # Surviving mass in the target block: mismatches carry w (+-1s);
+        # matched ones carry 1.  ||f||_1 ~= lower + matches + mismatches*w.
+        residual = l1_estimate - lower
+        # matches + mismatches = ones_alice + (bob-only mismatches); the
+        # +-1 terms are O(k) << w, so dividing by w isolates mismatches.
+        return max(0.0, residual - ones_alice) / w
+
+    def decode(
+        self,
+        l1_estimate: float,
+        block_vectors: list[tuple[int, ...]],
+        bob_vector: tuple[int, ...],
+        target_block: int,
+    ) -> bool:
+        """True = YES instance (distance > k/2 + sqrt(k))."""
+        dist = self.hamming_distance_from_l1(
+            l1_estimate, block_vectors, bob_vector, target_block
+        )
+        return dist > self.k / 2.0
+
+
+@dataclass
+class InnerProductReduction:
+    """Theorem 21: Ind → inner-product estimation (strong α-property).
+
+    Bit i in block j is encoded as ``f_i = b_i 10^(j+1) + 1`` with
+    ``b_i ∈ {α, 2α}``; Bob zeroes later blocks, points ``g = e_{i*}``, and
+    thresholds the estimate at ``(3/2) α 10^(j*+1)``.
+    """
+
+    alpha: float
+    eps: float = 1.0 / 8.0
+    D: int = 10
+
+    def __post_init__(self) -> None:
+        self.block_size = max(1, int(np.floor(1.0 / (8.0 * self.eps))))
+        # Block weights reach D^(num_blocks) <= alpha, keeping every item's
+        # gross traffic within the theorem's strong 5 alpha^2 budget.
+        self.num_blocks = max(1, int(np.floor(np.log10(self.alpha))))
+
+    @property
+    def d(self) -> int:
+        return self.num_blocks * self.block_size
+
+    def build_streams(self, inst: AugmentedIndexingInstance) -> tuple[Stream, Stream]:
+        if inst.d != self.d:
+            raise ValueError(f"instance must have d = {self.d}")
+        f = Stream(self.d)
+        a = int(self.alpha)
+        for i, bit in enumerate(inst.y):
+            j = i // self.block_size
+            b_i = 2 * a if bit else a
+            f.append(Update(i, b_i * self.D ** (j + 1) + 1))
+        # Bob deletes the coded weight of every index he knows.
+        for i in range(inst.i_star + 1, self.d):
+            j = i // self.block_size
+            b_i = 2 * a if inst.y[i] else a
+            f.append(Update(i, -b_i * self.D ** (j + 1)))
+        g = Stream(self.d)
+        g.append(Update(inst.i_star, 1))
+        return f, g
+
+    def decode(self, ip_estimate: float, inst: AugmentedIndexingInstance) -> int:
+        j_star = inst.i_star // self.block_size
+        threshold = 1.5 * self.alpha * self.D ** (j_star + 1)
+        return 1 if ip_estimate > threshold else 0

@@ -1,0 +1,34 @@
+"""Baseline unbounded-deletion (turnstile) sketches.
+
+These are the classical algorithms the paper improves upon for α-property
+streams, implemented from scratch so that every comparison row in Figure 1
+can be regenerated: CountSketch [14], CountMin [22], AMS [6], Indyk's
+Cauchy L1 sketch as analysed by [39], s-sparse recovery (Lemma 22), the KNW
+L0 estimator [40] (Figure 6), the JST precision-sampling L1 sampler [38],
+and a log(n)-level turnstile support sampler [38, 41].
+"""
+
+from repro.sketches.countsketch import CountSketch
+from repro.sketches.countmin import CountMin
+from repro.sketches.ams import AMSSketch
+from repro.sketches.cauchy import CauchyL1Sketch
+from repro.sketches.sparse_recovery import SparseRecovery, DenseError
+from repro.sketches.knw_l0 import KNWL0Estimator, RoughL0Estimator, RoughF0Estimator
+from repro.sketches.l1_sampler_turnstile import TurnstileL1Sampler
+from repro.sketches.support_sampler_turnstile import TurnstileSupportSampler
+from repro.sketches.misra_gries import MisraGries
+
+__all__ = [
+    "CountSketch",
+    "CountMin",
+    "AMSSketch",
+    "CauchyL1Sketch",
+    "SparseRecovery",
+    "DenseError",
+    "KNWL0Estimator",
+    "RoughL0Estimator",
+    "RoughF0Estimator",
+    "TurnstileL1Sampler",
+    "TurnstileSupportSampler",
+    "MisraGries",
+]

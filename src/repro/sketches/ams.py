@@ -1,0 +1,83 @@
+"""AMS (Alon-Matias-Szegedy [6]) F2 / inner-product sketch.
+
+Each of ``r`` atomic estimators keeps ``Z = sum_i sigma(i) f_i`` for a
+4-wise independent sign function sigma.  ``Z^2`` is an unbiased estimator
+of ``‖f‖_2^2``; the product of two atomic estimators sharing signs is an
+unbiased estimator of ``<f, g>`` with variance ``O(‖f‖_2^2 ‖g‖_2^2)``.
+Medians of means give the usual concentration.  Used as the second
+unbounded-deletion inner-product baseline in the Theorem 2 benchmark.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hashing.kwise import SignHash
+from repro.space.accounting import counter_bits
+
+
+class AMSSketch:
+    """AMS sketch: ``groups`` means of ``per_group`` atomic estimators."""
+
+    def __init__(
+        self,
+        n: int,
+        per_group: int,
+        groups: int,
+        rng: np.random.Generator,
+    ) -> None:
+        if per_group < 1 or groups < 1:
+            raise ValueError("per_group and groups must be positive")
+        self.n = int(n)
+        self.per_group = int(per_group)
+        self.groups = int(groups)
+        self.r = self.per_group * self.groups
+        self.z = np.zeros(self.r, dtype=np.int64)
+        self._signs = [SignHash(n, rng, k=4) for _ in range(self.r)]
+        self._max_abs = 0
+        self._gross_weight = 0
+
+    def update(self, item: int, delta: int) -> None:
+        self._gross_weight += abs(delta)
+        for j in range(self.r):
+            self.z[j] += self._signs[j](item) * delta
+        peak = int(np.abs(self.z).max())
+        if peak > self._max_abs:
+            self._max_abs = peak
+
+    def consume(self, stream) -> "AMSSketch":
+        for u in stream:
+            self.update(u.item, u.delta)
+        return self
+
+    def f2_estimate(self) -> float:
+        """Median of group means of ``Z^2`` — estimates ``‖f‖_2^2``."""
+        sq = self.z.astype(np.float64) ** 2
+        means = sq.reshape(self.groups, self.per_group).mean(axis=1)
+        return float(np.median(means))
+
+    def inner_product(self, other: "AMSSketch") -> float:
+        """Median of group means of ``Z_f * Z_g`` (shared signs)."""
+        if other._signs is not self._signs:
+            raise ValueError("sketches do not share sign functions")
+        prod = self.z.astype(np.float64) * other.z.astype(np.float64)
+        means = prod.reshape(self.groups, self.per_group).mean(axis=1)
+        return float(np.median(means))
+
+    def clone_empty(self) -> "AMSSketch":
+        clone = object.__new__(AMSSketch)
+        clone.n = self.n
+        clone.per_group = self.per_group
+        clone.groups = self.groups
+        clone.r = self.r
+        clone.z = np.zeros_like(self.z)
+        clone._signs = self._signs
+        clone._max_abs = 0
+        clone._gross_weight = 0
+        return clone
+
+    def space_bits(self) -> int:
+        # Capacity accounting, as for CountSketch.
+        per = counter_bits(max(self._max_abs, self._gross_weight))
+        seeds = sum(s.space_bits() for s in self._signs)
+        return self.r * per + seeds

@@ -1,0 +1,149 @@
+"""CountSketch (Charikar-Chen-Farach-Colton [14]; paper Lemma 2).
+
+A ``d x w`` table; row i hashes each item with a 4-wise ``h_i: [n] -> [w]``
+and a 4-wise sign ``g_i: [n] -> {-1,+1}``; the point-query estimate of
+``f_j`` is the median over rows of ``g_i(j) * A[i, h_i(j)]``.  Lemma 2: one
+row errs by more than ``Err_2^k(f) / sqrt(k)`` with probability < 1/3 when
+``w = 6k``; the median over ``d = O(log n)`` rows is then correct for all
+items w.h.p.  Space is ``O(k log^2 n)`` bits — the log(n) counter width is
+exactly what the paper's CSSS replaces with log(α · poly log n / eps).
+
+This implementation is also the building block for the unbounded-deletion
+baselines of the L1 sampler and the L2 norm estimator (Lemma 4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hashing.kwise import FourWiseHash, SignHash
+from repro.space.accounting import counter_bits
+
+
+class CountSketch:
+    """Classic CountSketch over universe ``[n]``.
+
+    Parameters
+    ----------
+    n:
+        Universe size.
+    width:
+        Buckets per row (the paper's ``6k``).
+    depth:
+        Number of rows (``O(log n)`` for w.h.p. guarantees).
+    rng:
+        Randomness source for the hash seeds.
+    """
+
+    def __init__(
+        self, n: int, width: int, depth: int, rng: np.random.Generator
+    ) -> None:
+        if width < 1 or depth < 1:
+            raise ValueError("width and depth must be positive")
+        self.n = int(n)
+        self.width = int(width)
+        self.depth = int(depth)
+        self.table = np.zeros((depth, width), dtype=np.int64)
+        self._bucket_hashes = [FourWiseHash(n, width, rng) for _ in range(depth)]
+        self._sign_hashes = [SignHash(n, rng, k=4) for _ in range(depth)]
+        self._max_abs_counter = 0
+        self._gross_weight = 0
+
+    def update(self, item: int, delta: int) -> None:
+        """Apply stream update ``(item, delta)``."""
+        self._gross_weight += abs(delta)
+        for r in range(self.depth):
+            b = self._bucket_hashes[r](item)
+            self.table[r, b] += self._sign_hashes[r](item) * delta
+        peak = int(np.abs(self.table).max())
+        if peak > self._max_abs_counter:
+            self._max_abs_counter = peak
+
+    def consume(self, stream) -> "CountSketch":
+        """Feed every update of a stream; returns self for chaining."""
+        for u in stream:
+            self.update(u.item, u.delta)
+        return self
+
+    def query(self, item: int) -> int:
+        """Point query: median-of-rows estimate of ``f_item``."""
+        estimates = np.empty(self.depth, dtype=np.int64)
+        for r in range(self.depth):
+            b = self._bucket_hashes[r](item)
+            estimates[r] = self._sign_hashes[r](item) * self.table[r, b]
+        return int(np.median(estimates))
+
+    def query_all(self, items: np.ndarray | list[int]) -> np.ndarray:
+        """Vectorised point queries for many items."""
+        items_arr = np.asarray(items, dtype=np.int64)
+        est = np.empty((self.depth, len(items_arr)), dtype=np.int64)
+        for r in range(self.depth):
+            buckets = self._bucket_hashes[r].hash_array(items_arr)
+            signs = self._sign_hashes[r].hash_array(items_arr)
+            est[r] = signs * self.table[r, buckets]
+        return np.median(est, axis=0).astype(np.int64)
+
+    def row_l2_estimate(self, row: int = 0) -> float:
+        """``(sum_b A[row,b]^2)^(1/2)``, a (1 ± O(w^-1/2)) estimate of
+        ``‖f‖_2`` (Lemma 4)."""
+        vals = self.table[row].astype(np.float64)
+        return float(np.sqrt((vals**2).sum()))
+
+    def l2_estimate(self) -> float:
+        """Median of per-row L2 estimates."""
+        return float(
+            np.median([self.row_l2_estimate(r) for r in range(self.depth)])
+        )
+
+    def heavy_hitters(self, threshold: float) -> set[int]:
+        """All items whose point query is >= threshold (exhaustive scan —
+        the baseline HH decoder; fine at benchmark scale)."""
+        estimates = self.query_all(np.arange(self.n))
+        return {int(i) for i in np.nonzero(np.abs(estimates) >= threshold)[0]}
+
+    def merged_with(self, other: "CountSketch") -> "CountSketch":
+        """Linear-sketch merge (requires shared seeds — i.e. the other
+        sketch must have been constructed with identical hash functions;
+        used by tests via :meth:`clone_empty`)."""
+        if (
+            other.n != self.n
+            or other.width != self.width
+            or other.depth != self.depth
+            or other._bucket_hashes is not self._bucket_hashes
+        ):
+            raise ValueError("sketches do not share hash functions")
+        out = self.clone_empty()
+        out.table = self.table + other.table
+        out._max_abs_counter = int(np.abs(out.table).max())
+        out._gross_weight = self._gross_weight + other._gross_weight
+        return out
+
+    def clone_empty(self) -> "CountSketch":
+        """Empty sketch sharing this one's hash functions (for merges and
+        for the shared-hash inner-product trick of Lemma 8)."""
+        clone = object.__new__(CountSketch)
+        clone.n = self.n
+        clone.width = self.width
+        clone.depth = self.depth
+        clone.table = np.zeros_like(self.table)
+        clone._bucket_hashes = self._bucket_hashes
+        clone._sign_hashes = self._sign_hashes
+        clone._max_abs_counter = 0
+        clone._gross_weight = 0
+        return clone
+
+    def space_bits(self) -> int:
+        """Counters at *capacity* width + hash seeds.
+
+        The paper charges each baseline counter O(log(mM)) bits: a single
+        bucket can absorb the stream's entire gross weight, so the sketch
+        must allocate for it.  (This is exactly the cost the alpha-property
+        structures avoid — their counters are capped by the sample budget.)
+        """
+        per_counter = counter_bits(max(self._max_abs_counter, self._gross_weight))
+        seeds = sum(h.space_bits() for h in self._bucket_hashes)
+        seeds += sum(g.space_bits() for g in self._sign_hashes)
+        return self.depth * self.width * per_counter + seeds
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"CountSketch(n={self.n}, width={self.width}, depth={self.depth})"

@@ -1,0 +1,99 @@
+"""Misra-Gries / SpaceSaving: the insertion-only heavy hitters endpoint.
+
+Figure 1's α = 1 endpoint: insertion-only ε-heavy hitters take
+``O(ε⁻¹ log n)`` bits [10].  Misra-Gries keeps ``ceil(1/ε) - 1`` (item,
+counter) pairs; on an unmatched item with no free slot every counter is
+decremented.  The classic guarantee: the tracked estimate of any item
+undercounts by at most ``ε m``, so every ε-heavy hitter survives with a
+non-zero counter.
+
+This is a *baseline endpoint*, not an α-property algorithm: it is only
+correct for insertion-only streams (α = 1), and it anchors the benchmark
+tables at the regime the paper's algorithms converge to as α → 1.
+"""
+
+from __future__ import annotations
+
+from repro.space.accounting import counter_bits
+
+
+class MisraGries:
+    """Deterministic insertion-only ε-heavy hitters summary.
+
+    Parameters
+    ----------
+    n:
+        Universe size (only used for id-width space accounting).
+    eps:
+        Threshold; ``ceil(1/eps) - 1`` counters are kept.
+    """
+
+    def __init__(self, n: int, eps: float) -> None:
+        if not 0 < eps < 1:
+            raise ValueError("eps must be in (0, 1)")
+        self.n = int(n)
+        self.eps = float(eps)
+        self.capacity = max(1, int(-(-1 // eps)) - 1)  # ceil(1/eps) - 1
+        self._counters: dict[int, int] = {}
+        self._m = 0
+        self._max_counter = 0
+
+    def update(self, item: int, delta: int) -> None:
+        """Process ``delta`` insertions of ``item`` (delta must be > 0)."""
+        if delta <= 0:
+            raise ValueError(
+                "Misra-Gries is insertion-only (the alpha = 1 endpoint); "
+                "use the alpha-property algorithms for deletions"
+            )
+        self._m += delta
+        counters = self._counters
+        if item in counters:
+            counters[item] += delta
+        elif len(counters) < self.capacity:
+            counters[item] = delta
+        else:
+            # Decrement everything by the largest amount delta covers;
+            # the classic algorithm decrements by 1 per unmatched unit,
+            # batched here: decrement by d = min(delta, min counter).
+            remaining = delta
+            while remaining > 0:
+                smallest = min(counters.values())
+                if len(counters) < self.capacity:
+                    counters[item] = counters.get(item, 0) + remaining
+                    break
+                dec = min(remaining, smallest)
+                remaining -= dec
+                for key in list(counters):
+                    counters[key] -= dec
+                    if counters[key] == 0:
+                        del counters[key]
+        if counters:
+            self._max_counter = max(self._max_counter, max(counters.values()))
+
+    def consume(self, stream) -> "MisraGries":
+        for u in stream:
+            self.update(u.item, u.delta)
+        return self
+
+    def query(self, item: int) -> int:
+        """Tracked estimate; undercounts the truth by at most ``eps * m``."""
+        return self._counters.get(item, 0)
+
+    def heavy_hitters(self) -> set[int]:
+        """Superset of the ε-heavy hitters (classical MG guarantee)."""
+        return set(self._counters)
+
+    def heavy_hitters_above(self, threshold: float) -> set[int]:
+        """Items whose tracked count exceeds ``threshold - eps*m`` — used
+        to report certified ε-heavy hitters only."""
+        cutoff = threshold - self.eps * self._m
+        return {i for i, c in self._counters.items() if c > cutoff}
+
+    @property
+    def stream_length(self) -> int:
+        return self._m
+
+    def space_bits(self) -> int:
+        id_bits = max(1, int(self.n - 1).bit_length())
+        value_bits = counter_bits(max(1, self._max_counter), signed=False)
+        return self.capacity * (id_bits + value_bits)

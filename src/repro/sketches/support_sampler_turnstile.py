@@ -1,0 +1,88 @@
+"""Turnstile support sampler baseline (log n subsampling levels) [38, 41].
+
+Subsample the universe at every lsb-level ``j = 0..log n`` (expected
+``2^-(j+1)`` survival), keep an s-sparse recovery sketch of each level, and
+at query time decode the deepest level that is s-sparse.  Some level has
+Theta(s) survivors from the support, so at least ``min(k, ‖f‖_0)`` support
+coordinates are recovered with constant probability.
+
+Space: O(k log^2 n) bits — the O(log n) live levels are the cost the paper
+reduces to O(log α) via a rough-F0-steered sliding window (Figure 8).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hashing.kwise import PairwiseHash
+from repro.hashing.modhash import lsb
+from repro.sketches.sparse_recovery import DenseError, SparseRecovery
+
+
+class TurnstileSupportSampler:
+    """Support sampler keeping all ``log n`` levels.
+
+    Parameters
+    ----------
+    n:
+        Universe size.
+    k:
+        Number of support coordinates requested.
+    rng:
+        Randomness source.
+    sparsity_slack:
+        Each level's recovery budget is ``sparsity_slack * k`` (the paper's
+        s = Theta(k)).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        k: int,
+        rng: np.random.Generator,
+        sparsity_slack: int = 8,
+    ) -> None:
+        if k < 1:
+            raise ValueError("k must be positive")
+        self.n = int(n)
+        self.k = int(k)
+        self.s = sparsity_slack * self.k
+        self.log_n = max(1, int(np.ceil(np.log2(self.n))))
+        self._h = PairwiseHash(self.n, self.n, rng)
+        self._levels = [
+            SparseRecovery(self.n, s=self.s, rng=rng)
+            for _ in range(self.log_n + 1)
+        ]
+
+    def _level_of(self, item: int) -> int:
+        return min(lsb(self._h(item), zero_value=self.log_n), self.log_n)
+
+    def update(self, item: int, delta: int) -> None:
+        # Item i belongs to levels 0..lsb(h(i)): level j keeps items whose
+        # hash is divisible by 2^j, giving nested samples I_0 ⊇ I_1 ⊇ ...
+        top = self._level_of(item)
+        for j in range(top + 1):
+            self._levels[j].update(item, delta)
+
+    def consume(self, stream) -> "TurnstileSupportSampler":
+        for u in stream:
+            self.update(u.item, u.delta)
+        return self
+
+    def sample(self) -> set[int]:
+        """Support coordinates from the deepest decodable level (largest
+        decodable sample), empty set when every level is dense/undecodable."""
+        best: dict[int, int] = {}
+        for j in range(self.log_n + 1):
+            try:
+                rec = self._levels[j].recover()
+            except DenseError:
+                continue
+            if len(rec) > len(best):
+                best = rec
+            if len(best) >= self.k:
+                break
+        return set(best)
+
+    def space_bits(self) -> int:
+        return self._h.space_bits() + sum(l.space_bits() for l in self._levels)

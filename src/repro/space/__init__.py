@@ -1,0 +1,9 @@
+"""Space accounting substrate."""
+
+from repro.space.accounting import (
+    counter_bits,
+    SpaceReport,
+    space_of,
+)
+
+__all__ = ["counter_bits", "SpaceReport", "space_of"]

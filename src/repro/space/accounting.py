@@ -1,0 +1,67 @@
+"""Bit-level space accounting in the paper's cost model.
+
+Python objects cannot expose true bit footprints, so every sketch in this
+library implements ``space_bits()`` computing the *information-theoretic*
+cost of its state exactly as the paper accounts it:
+
+* a counter whose magnitude never exceeded ``V`` costs ``1 + ceil(log2(V+1))``
+  bits (sign + magnitude);
+* a k-wise hash seed costs ``k * ceil(log2 p)`` bits;
+* a Morris counter costs ``O(log log m)`` = bits of its exponent.
+
+This module adds the shared helpers plus :class:`SpaceReport`, the row
+format the Figure 1 benchmark prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+def counter_bits(max_abs_value: int, signed: bool = True) -> int:
+    """Bits to hold a counter that never exceeded ``max_abs_value``."""
+    if max_abs_value < 0:
+        raise ValueError("magnitude must be non-negative")
+    magnitude = max(1, int(max_abs_value).bit_length())
+    return magnitude + (1 if signed else 0)
+
+
+def space_of(obj: Any) -> int:
+    """Dispatch to an object's ``space_bits`` (duck-typed)."""
+    fn = getattr(obj, "space_bits", None)
+    if fn is None:
+        raise TypeError(f"{type(obj).__name__} has no space_bits()")
+    return int(fn())
+
+
+@dataclass
+class SpaceReport:
+    """One row of a space-comparison table (Figure 1 benchmark)."""
+
+    problem: str
+    algorithm: str
+    n: int
+    alpha: float
+    bits: int
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def as_row(self) -> str:
+        extras = " ".join(f"{k}={v}" for k, v in self.extra.items())
+        return (
+            f"{self.problem:<22} {self.algorithm:<28} n=2^{self.n.bit_length() - 1:<3}"
+            f" alpha={self.alpha:<8.1f} bits={self.bits:<10d} {extras}"
+        )
+
+
+def format_table(rows: list[SpaceReport]) -> str:
+    """Render rows grouped by problem, baseline vs α-property side by side."""
+    lines = []
+    problems: dict[str, list[SpaceReport]] = {}
+    for r in rows:
+        problems.setdefault(r.problem, []).append(r)
+    for problem, group in problems.items():
+        lines.append(f"== {problem} ==")
+        for r in group:
+            lines.append("  " + r.as_row())
+    return "\n".join(lines)

@@ -1,0 +1,126 @@
+"""Measuring the α-property (Definitions 1 and 2).
+
+Definition 1 (Lp α-property): ``‖I + D‖_p <= α ‖f‖_p`` at query time, where
+``I``/``D`` are the insertion/deletion vectors and ``f = I - D``.
+
+* For p = 1 with unit updates this reduces to ``m <= α ‖f‖_1`` (Section
+  1.3), i.e. deletions remove at most a ``(1 - 1/α)`` fraction of the mass.
+* For p = 0 it says the final support is at least a ``1/α`` fraction of the
+  number of distinct items ever seen (``F0``).
+
+Definition 2 (strong α-property): ``I_i + D_i <= α |f_i|`` for every
+coordinate updated in the stream.
+
+These helpers compute the *smallest* α for which the property holds, which
+is what the workload generators assert and what benchmark tables report.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.streams.model import FrequencyVector, Stream
+
+
+class AlphaPropertyError(ValueError):
+    """Raised when a stream fails a required α-property."""
+
+
+def _as_frequency_vector(obj: Stream | FrequencyVector) -> FrequencyVector:
+    if isinstance(obj, Stream):
+        return obj.frequency_vector()
+    return obj
+
+
+def lp_alpha(obj: Stream | FrequencyVector, p: float) -> float:
+    """Smallest α such that the Lp α-property (Definition 1) holds.
+
+    Returns ``inf`` when ``‖f‖_p = 0`` but the stream is non-empty (the
+    turnstile regime the model excludes), and ``1.0`` for an empty stream.
+    """
+    fv = _as_frequency_vector(obj)
+    gross = fv.insertions + fv.deletions
+    if p == 0:
+        numer: float = float(np.count_nonzero(gross))
+        denom: float = float(fv.l0())
+    elif p == 1:
+        numer = float(gross.sum())
+        denom = float(fv.l1())
+    else:
+        numer = float((gross.astype(np.float64) ** p).sum() ** (1.0 / p))
+        denom = float(fv.lp(p))
+    if numer == 0.0:
+        return 1.0
+    if denom == 0.0:
+        return float("inf")
+    return max(1.0, numer / denom)
+
+
+def l1_alpha(obj: Stream | FrequencyVector) -> float:
+    """Smallest α for the L1 α-property."""
+    return lp_alpha(obj, 1)
+
+
+def l0_alpha(obj: Stream | FrequencyVector) -> float:
+    """Smallest α for the L0 α-property (= F0 / L0)."""
+    return lp_alpha(obj, 0)
+
+
+def strong_alpha(obj: Stream | FrequencyVector) -> float:
+    """Smallest α for the strong α-property (Definition 2).
+
+    ``max_i (I_i + D_i) / |f_i|`` over updated coordinates; ``inf`` if any
+    updated coordinate ends at frequency zero (the strong property forces
+    ``f_i != 0`` for updated i).
+    """
+    fv = _as_frequency_vector(obj)
+    gross = (fv.insertions + fv.deletions).astype(np.float64)
+    touched = gross > 0
+    if not touched.any():
+        return 1.0
+    final = np.abs(fv.f[touched]).astype(np.float64)
+    if (final == 0).any():
+        return float("inf")
+    return max(1.0, float((gross[touched] / final).max()))
+
+
+def has_lp_alpha_property(
+    obj: Stream | FrequencyVector, alpha: float, p: float
+) -> bool:
+    """True iff the stream satisfies the Lp α-property for this α."""
+    if alpha < 1:
+        raise ValueError("alpha must be >= 1")
+    return lp_alpha(obj, p) <= alpha
+
+
+def has_strong_alpha_property(obj: Stream | FrequencyVector, alpha: float) -> bool:
+    """True iff the stream satisfies the strong α-property for this α."""
+    if alpha < 1:
+        raise ValueError("alpha must be >= 1")
+    return strong_alpha(obj) <= alpha
+
+
+def require_lp_alpha(
+    obj: Stream | FrequencyVector, alpha: float, p: float, what: str = "stream"
+) -> None:
+    """Raise :class:`AlphaPropertyError` unless the property holds."""
+    observed = lp_alpha(obj, p)
+    if observed > alpha:
+        raise AlphaPropertyError(
+            f"{what} violates the L{p:g} {alpha:g}-property "
+            f"(smallest valid alpha = {observed:g})"
+        )
+
+
+def is_strict_turnstile(obj: Stream) -> bool:
+    """True iff every prefix keeps all frequencies non-negative.
+
+    The strict turnstile model (Sections 3, 5.1, 7) promises ``f_i >= 0``
+    at *every* point of the stream, not only at the end.
+    """
+    running: dict[int, int] = {}
+    for u in obj:
+        running[u.item] = running.get(u.item, 0) + u.delta
+        if running[u.item] < 0:
+            return False
+    return True

@@ -1,0 +1,284 @@
+"""Synthetic workload generators for α-property streams.
+
+The paper motivates the model with concrete applications (Section 1):
+network-traffic differences between intervals/routers, remote differential
+compression (RDC) of files, sensor-network occupancy, trending-term and
+DDoS detection.  None of those datasets are shippable offline, so each
+generator here synthesizes a stream with the *property that matters* — a
+bounded deletion fraction (L1) or a bounded inactive:active ratio (L0) —
+while exercising exactly the same code paths the real workloads would.
+
+Every generator takes ``rng``/``seed`` and returns a :class:`Stream`; the
+docstring of each states which α-property it targets, and the test suite
+verifies the claims via :mod:`repro.streams.alpha`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.streams.alpha import l0_alpha, l1_alpha
+from repro.streams.model import Stream, Update
+
+
+def _rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def zipfian_insertion_stream(
+    n: int,
+    m: int,
+    skew: float = 1.1,
+    seed: int | np.random.Generator | None = None,
+) -> Stream:
+    """Insertion-only zipfian stream (α = 1 baseline).
+
+    Items are drawn from a Zipf-like distribution with exponent ``skew``
+    over the universe; all updates are +1.
+    """
+    rng = _rng(seed)
+    weights = 1.0 / np.arange(1, n + 1, dtype=np.float64) ** skew
+    weights /= weights.sum()
+    perm = rng.permutation(n)
+    items = perm[rng.choice(n, size=m, p=weights)]
+    return Stream(n, (Update(int(i), 1) for i in items))
+
+
+def bounded_deletion_stream(
+    n: int,
+    m: int,
+    alpha: float,
+    skew: float = 1.1,
+    seed: int | np.random.Generator | None = None,
+    strict: bool = True,
+) -> Stream:
+    """Zipfian turnstile stream engineered to satisfy the L1 α-property.
+
+    Inserts zipfian-distributed items, then deletes a ``(1 - 1/alpha)/2``
+    fraction of the *inserted occurrences* uniformly at random (so with
+    unit updates, ``m_total <= alpha * ||f||_1`` holds with slack).  With
+    ``strict=True`` deletions are interleaved after their insertions,
+    keeping every prefix non-negative (strict turnstile).
+
+    The achieved α is close to, and never exceeds, the requested one:
+    gross traffic is ``I + D = (1 + q) * I`` and remaining mass is
+    ``(1 - q) * I`` where ``q = (alpha - 1)/(alpha + 1)`` is the deletion
+    fraction solving ``(1+q)/(1-q) = alpha``.
+    """
+    if alpha < 1:
+        raise ValueError("alpha must be >= 1")
+    rng = _rng(seed)
+    q = (alpha - 1.0) / (alpha + 1.0)
+    num_inserts = max(1, int(round(m / (1.0 + q))))
+    base = zipfian_insertion_stream(n, num_inserts, skew=skew, seed=rng)
+    inserted_items = np.fromiter((u.item for u in base), dtype=np.int64)
+    num_deletes = int(np.floor(q * num_inserts))
+    delete_positions = rng.choice(num_inserts, size=num_deletes, replace=False)
+    to_delete = np.zeros(num_inserts, dtype=bool)
+    to_delete[delete_positions] = True
+
+    out = Stream(n)
+    if strict:
+        # Interleave: emit each insertion; with probability ~q it is later
+        # deleted — queue the matching deletion a geometric distance ahead.
+        pending: list[tuple[int, int]] = []  # (emit_at, item)
+        t = 0
+        for pos in range(num_inserts):
+            item = int(inserted_items[pos])
+            out.append(Update(item, 1))
+            t += 1
+            if to_delete[pos]:
+                delay = int(rng.geometric(0.05))
+                pending.append((t + delay, item))
+            pending.sort()
+            while pending and pending[0][0] <= t:
+                __, del_item = pending.pop(0)
+                out.append(Update(del_item, -1))
+                t += 1
+        for __, del_item in pending:
+            out.append(Update(del_item, -1))
+    else:
+        for pos in range(num_inserts):
+            out.append(Update(int(inserted_items[pos]), 1))
+        order = rng.permutation(np.nonzero(to_delete)[0])
+        for pos in order:
+            out.append(Update(int(inserted_items[pos]), -1))
+    return out
+
+
+def traffic_difference_stream(
+    n: int,
+    flows: int,
+    packets_per_flow: int = 40,
+    change_fraction: float = 0.05,
+    seed: int | np.random.Generator | None = None,
+) -> Stream:
+    """Difference of two traffic snapshots ``f = f1 - f2`` (Section 1).
+
+    Models the network-monitoring application: ``f1`` (day one / router
+    one) is inserted positively, ``f2`` (day two / router two) negatively.
+    Most flows carry identical traffic across snapshots and cancel;
+    ``change_fraction`` of flows differ, leaving signal.  The resulting
+    general-turnstile stream has L1 α roughly ``2 / change_fraction`` —
+    small when differences are not arbitrarily tiny, exactly the paper's
+    point about α < 1000 for >=0.1% traffic changes.
+    """
+    rng = _rng(seed)
+    flow_ids = rng.choice(n, size=flows, replace=False)
+    base = rng.poisson(packets_per_flow, size=flows) + 1
+    changed = rng.random(flows) < change_fraction
+    # Changed flows move by a +/-50% swing; unchanged flows cancel exactly.
+    swing = np.where(
+        rng.random(flows) < 0.5, 1.5, 0.5
+    )
+    other = np.where(changed, np.maximum(1, (base * swing).astype(np.int64)), base)
+
+    out = Stream(n)
+    for fid, c1 in zip(flow_ids, base):
+        out.append(Update(int(fid), int(c1)))
+    for fid, c2 in zip(flow_ids, other):
+        out.append(Update(int(fid), -int(c2)))
+    return out
+
+
+def rdc_sync_stream(
+    n: int,
+    blocks: int,
+    dirty_fraction: float = 0.25,
+    seed: int | np.random.Generator | None = None,
+) -> Stream:
+    """Remote Differential Compression workload (Section 1).
+
+    A file of ``blocks`` content blocks is inserted (client copy), then the
+    server's copy is subtracted; only a ``dirty_fraction`` of blocks differ.
+    Even when half the file must resync the stream keeps α about
+    ``2/dirty_fraction`` — the paper's "α = 2 suffices" scenario maps to
+    ``dirty_fraction = 1``.
+    """
+    rng = _rng(seed)
+    block_ids = rng.choice(n, size=blocks, replace=False)
+    dirty = rng.random(blocks) < dirty_fraction
+    out = Stream(n)
+    for bid in block_ids:
+        out.append(Update(int(bid), 1))
+    for bid, is_dirty in zip(block_ids, dirty):
+        if not is_dirty:
+            out.append(Update(int(bid), -1))
+    return out
+
+
+def sensor_occupancy_stream(
+    n: int,
+    active_regions: int,
+    churn_rounds: int = 5,
+    churn_fraction: float = 0.5,
+    seed: int | np.random.Generator | None = None,
+) -> Stream:
+    """Moving-sensor occupancy workload targeting the **L0** α-property.
+
+    Sensors cluster in ``active_regions`` cells; each churn round moves a
+    ``churn_fraction`` of the population to fresh cells (insert at the new
+    cell, delete at the old).  The final support is the set of currently
+    occupied cells while F0 counts every cell ever visited, so
+    ``alpha_L0 ≈ 1 + churn_rounds * churn_fraction`` — the paper's bounded
+    F0:L0 regime for wildlife/water-flow sensing.
+    """
+    rng = _rng(seed)
+    if active_regions > n:
+        raise ValueError("more active regions than cells")
+    occupied = list(rng.choice(n, size=active_regions, replace=False))
+    free = list(set(range(n)) - set(occupied))
+    rng.shuffle(free)
+    out = Stream(n)
+    for cell in occupied:
+        out.append(Update(int(cell), 1))
+    for _ in range(churn_rounds):
+        movers = rng.choice(
+            active_regions,
+            size=max(1, int(churn_fraction * active_regions)),
+            replace=False,
+        )
+        for idx in movers:
+            if not free:
+                break
+            old = occupied[idx]
+            new = free.pop()
+            out.append(Update(int(old), -1))
+            out.append(Update(int(new), 1))
+            occupied[idx] = new
+    return out
+
+
+def adversarial_cancellation_stream(
+    n: int,
+    m: int,
+    survivors: int = 1,
+    seed: int | np.random.Generator | None = None,
+) -> Stream:
+    """Near-total cancellation — the *unbounded deletion* regime.
+
+    Inserts ``m/2`` items then deletes all but ``survivors`` of their mass,
+    mimicking the lower-bound constructions "inserting a large number of
+    items before deleting nearly all of them" (Section 1).  Used by tests
+    and benchmarks as the stress case where α ≈ m and α-property algorithms
+    are *expected* to degrade unless given large budgets.
+    """
+    rng = _rng(seed)
+    half = max(survivors + 1, m // 2)
+    items = rng.integers(0, n, size=half)
+    out = Stream(n, (Update(int(i), 1) for i in items))
+    keep = set(map(int, rng.choice(half, size=survivors, replace=False)))
+    for pos in range(half):
+        if pos not in keep:
+            out.append(Update(int(items[pos]), -1))
+    return out
+
+
+def strong_alpha_stream(
+    n: int,
+    items: int,
+    alpha: float,
+    magnitude: int = 4,
+    seed: int | np.random.Generator | None = None,
+) -> Stream:
+    """Stream satisfying the **strong** α-property (Definition 2).
+
+    Every touched coordinate i receives ``c_i`` insert/delete churn pairs
+    followed by a non-zero residual of magnitude ~``magnitude``, with
+    ``(I_i + D_i) / |f_i| <= alpha`` enforced per coordinate.  This is the
+    regime required by the αL1Sampler (Section 4).
+    """
+    if alpha < 1:
+        raise ValueError("alpha must be >= 1")
+    rng = _rng(seed)
+    ids = rng.choice(n, size=items, replace=False)
+    out = Stream(n)
+    for i in ids:
+        residual = int(rng.integers(1, magnitude + 1))
+        # Budget for gross traffic on i: alpha * residual.  Spend pairs of
+        # (+1, -1) churn without exceeding it.
+        churn_budget = int(np.floor((alpha * residual - residual) / 2.0))
+        churn = int(rng.integers(0, churn_budget + 1)) if churn_budget > 0 else 0
+        for _ in range(churn):
+            out.append(Update(int(i), 1))
+            out.append(Update(int(i), -1))
+        for _ in range(residual):
+            out.append(Update(int(i), 1))
+    return out
+
+
+def describe_stream(stream: Stream) -> dict[str, float]:
+    """Summary stats used by benchmark tables."""
+    fv = stream.frequency_vector()
+    return {
+        "n": stream.n,
+        "m": len(stream),
+        "gross_weight": stream.total_update_weight,
+        "l1": fv.l1(),
+        "l0": fv.l0(),
+        "f0": fv.f0(),
+        "alpha_l1": l1_alpha(fv),
+        "alpha_l0": l0_alpha(fv),
+    }

@@ -1,0 +1,95 @@
+"""Stream serialization and one-pass multi-sketch execution.
+
+Benchmark workloads want to be generated once and replayed byte-identically
+into every competing sketch; :func:`save_stream`/:func:`load_stream` use a
+compact npz container, and :class:`StreamRunner` feeds an update sequence
+into many sketches in a single pass (the way a production pipeline would,
+rather than one ``consume`` loop per sketch).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Iterable
+
+import numpy as np
+
+from repro.streams.model import Stream, Update
+
+_FORMAT_VERSION = 1
+
+
+def save_stream(stream: Stream, path: str | Path) -> None:
+    """Persist a stream to an ``.npz`` container."""
+    items = np.fromiter((u.item for u in stream), dtype=np.int64,
+                        count=len(stream))
+    deltas = np.fromiter((u.delta for u in stream), dtype=np.int64,
+                         count=len(stream))
+    np.savez_compressed(
+        Path(path),
+        version=np.int64(_FORMAT_VERSION),
+        n=np.int64(stream.n),
+        items=items,
+        deltas=deltas,
+    )
+
+
+def load_stream(path: str | Path) -> Stream:
+    """Load a stream previously written by :func:`save_stream`."""
+    with np.load(Path(path)) as data:
+        version = int(data["version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported stream format version {version}")
+        n = int(data["n"])
+        items = data["items"]
+        deltas = data["deltas"]
+    out = Stream(n)
+    for item, delta in zip(items, deltas):
+        out.append(Update(int(item), int(delta)))
+    return out
+
+
+class StreamRunner:
+    """Feed one stream into many sketches in a single pass.
+
+    Register sketches under names, then :meth:`run`; every registered
+    sketch sees every update in order.  ``results()`` maps each name to
+    the sketch object for querying, and ``space_report()`` collects
+    ``space_bits`` for side-by-side comparison.
+    """
+
+    def __init__(self) -> None:
+        self._sketches: dict[str, Any] = {}
+        self.updates_processed = 0
+
+    def register(self, name: str, sketch: Any) -> "StreamRunner":
+        """Register a sketch (must expose ``update(item, delta)``)."""
+        if name in self._sketches:
+            raise ValueError(f"duplicate sketch name {name!r}")
+        if not callable(getattr(sketch, "update", None)):
+            raise TypeError(f"{type(sketch).__name__} has no update method")
+        self._sketches[name] = sketch
+        return self
+
+    def run(self, updates: Iterable[Update]) -> "StreamRunner":
+        sketches = list(self._sketches.values())
+        for u in updates:
+            for sk in sketches:
+                sk.update(u.item, u.delta)
+            self.updates_processed += 1
+        return self
+
+    def __getitem__(self, name: str) -> Any:
+        return self._sketches[name]
+
+    def results(self) -> dict[str, Any]:
+        return dict(self._sketches)
+
+    def space_report(self) -> dict[str, int]:
+        """``space_bits`` per registered sketch (skips sketches without)."""
+        out = {}
+        for name, sk in self._sketches.items():
+            fn = getattr(sk, "space_bits", None)
+            if callable(fn):
+                out[name] = int(fn())
+        return out

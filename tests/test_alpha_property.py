@@ -1,0 +1,135 @@
+"""Tests for repro.streams.alpha (Definitions 1 and 2)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.streams.alpha import (
+    AlphaPropertyError,
+    has_lp_alpha_property,
+    has_strong_alpha_property,
+    is_strict_turnstile,
+    l0_alpha,
+    l1_alpha,
+    lp_alpha,
+    require_lp_alpha,
+    strong_alpha,
+)
+from repro.streams.model import stream_from_updates
+
+
+class TestL1Alpha:
+    def test_insertion_only_is_alpha_one(self):
+        s = stream_from_updates(8, [(0, 1), (1, 2), (2, 3)])
+        assert l1_alpha(s) == 1.0
+
+    def test_half_deleted_gives_three(self):
+        # Insert 2, delete 1: gross = 3, remaining = 1 -> alpha = 3.
+        s = stream_from_updates(8, [(0, 1), (0, 1), (0, -1)])
+        assert l1_alpha(s) == pytest.approx(3.0)
+
+    def test_full_cancellation_is_infinite(self):
+        s = stream_from_updates(8, [(0, 1), (0, -1)])
+        assert l1_alpha(s) == float("inf")
+
+    def test_empty_stream(self):
+        s = stream_from_updates(8, [])
+        assert l1_alpha(s) == 1.0
+
+
+class TestL0Alpha:
+    def test_no_deletions(self):
+        s = stream_from_updates(8, [(0, 1), (1, 1)])
+        assert l0_alpha(s) == 1.0
+
+    def test_ratio_f0_over_l0(self):
+        # Touch 4 items, zero out 2: F0 = 4, L0 = 2 -> alpha = 2.
+        s = stream_from_updates(
+            8, [(0, 1), (1, 1), (2, 1), (3, 1), (0, -1), (1, -1)]
+        )
+        assert l0_alpha(s) == pytest.approx(2.0)
+
+
+class TestStrongAlpha:
+    def test_untouched_and_clean(self):
+        s = stream_from_updates(8, [(0, 2), (1, 1)])
+        assert strong_alpha(s) == 1.0
+
+    def test_churned_coordinate(self):
+        # Item 0: +1 -1 +1 -> gross 3, final 1 -> strong alpha 3.
+        s = stream_from_updates(8, [(0, 1), (0, -1), (0, 1)])
+        assert strong_alpha(s) == pytest.approx(3.0)
+
+    def test_zeroed_coordinate_is_infinite(self):
+        s = stream_from_updates(8, [(0, 1), (0, -1), (1, 1)])
+        assert strong_alpha(s) == float("inf")
+
+    def test_strong_implies_l1(self):
+        s = stream_from_updates(8, [(0, 1), (0, -1), (0, 1), (1, 1)])
+        assert l1_alpha(s) <= strong_alpha(s)
+
+
+class TestPredicatesAndValidation:
+    def test_has_lp_alpha_property(self):
+        s = stream_from_updates(8, [(0, 1), (0, 1), (0, -1)])
+        assert has_lp_alpha_property(s, alpha=3, p=1)
+        assert not has_lp_alpha_property(s, alpha=2, p=1)
+
+    def test_has_strong_alpha_property(self):
+        s = stream_from_updates(8, [(0, 1), (0, -1), (0, 1)])
+        assert has_strong_alpha_property(s, 3)
+        assert not has_strong_alpha_property(s, 2)
+
+    def test_alpha_below_one_rejected(self):
+        s = stream_from_updates(8, [(0, 1)])
+        with pytest.raises(ValueError):
+            has_lp_alpha_property(s, alpha=0.5, p=1)
+        with pytest.raises(ValueError):
+            has_strong_alpha_property(s, 0.9)
+
+    def test_require_raises_with_message(self):
+        s = stream_from_updates(8, [(0, 1), (0, 1), (0, -1)])
+        with pytest.raises(AlphaPropertyError, match="violates"):
+            require_lp_alpha(s, alpha=2, p=1)
+        require_lp_alpha(s, alpha=3, p=1)  # no raise
+
+    def test_lp_general_p(self):
+        s = stream_from_updates(8, [(0, 2), (1, 2), (0, -2)])
+        # L2: gross vector (4, 2) -> sqrt(20); final (0, 2) -> 2.
+        assert lp_alpha(s, 2) == pytest.approx(20**0.5 / 2)
+
+
+class TestStrictTurnstile:
+    def test_strict_stream(self):
+        s = stream_from_updates(8, [(0, 2), (0, -1), (0, -1)])
+        assert is_strict_turnstile(s)
+
+    def test_non_strict_stream(self):
+        s = stream_from_updates(8, [(0, -1), (0, 2)])
+        assert not is_strict_turnstile(s)
+
+
+@given(
+    updates=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=15),
+            st.integers(min_value=-3, max_value=3).filter(lambda d: d != 0),
+        ),
+        max_size=40,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_property_alpha_bounds(updates):
+    """Invariants: alpha >= 1 always; strong alpha dominates L1 alpha;
+    insertion-only streams have every alpha = 1."""
+    s = stream_from_updates(16, updates)
+    a1 = l1_alpha(s)
+    a0 = l0_alpha(s)
+    strong = strong_alpha(s)
+    assert a1 >= 1.0
+    assert a0 >= 1.0
+    assert strong >= a1 or strong == float("inf")
+    if all(d > 0 for _, d in updates):
+        assert a1 == 1.0 and a0 == 1.0 and strong == 1.0

@@ -1,0 +1,139 @@
+"""Tests for CountMin, AMS, and the Cauchy L1 baseline sketches."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sketches.ams import AMSSketch
+from repro.sketches.cauchy import CauchyL1Sketch
+from repro.sketches.countmin import CountMin
+from repro.streams.generators import bounded_deletion_stream
+
+
+class TestCountMin:
+    @pytest.fixture
+    def cm_and_truth(self, small_alpha_stream):
+        rng = np.random.default_rng(200)
+        cm = CountMin(small_alpha_stream.n, width=128, depth=5, rng=rng)
+        cm.consume(small_alpha_stream)
+        return cm, small_alpha_stream.frequency_vector()
+
+    def test_overestimates_in_strict_turnstile(self, cm_and_truth):
+        cm, fv = cm_and_truth
+        for item in fv.top_k(10):
+            assert cm.query(item) >= fv.f[item]
+
+    def test_error_bounded_by_l1_over_width(self, cm_and_truth):
+        cm, fv = cm_and_truth
+        bound = 2 * fv.l1() / 128
+        for item in fv.top_k(10):
+            assert cm.query(item) - fv.f[item] <= max(3, 4 * bound)
+
+    def test_inner_product_upper_bounds_true(self, small_alpha_stream):
+        rng = np.random.default_rng(201)
+        g = bounded_deletion_stream(1024, 4000, alpha=4, seed=77)
+        cm_f = CountMin(1024, 128, 5, rng).consume(small_alpha_stream)
+        cm_g = cm_f.clone_empty().consume(g)
+        true = small_alpha_stream.frequency_vector().inner_product(
+            g.frequency_vector()
+        )
+        est = cm_f.inner_product(cm_g)
+        assert est >= true
+        assert est - true <= 4 * (
+            small_alpha_stream.frequency_vector().l1()
+            * g.frequency_vector().l1()
+            / 128
+        )
+
+    def test_inner_product_requires_shared_hashes(self):
+        a = CountMin(64, 8, 3, np.random.default_rng(1))
+        b = CountMin(64, 8, 3, np.random.default_rng(2))
+        with pytest.raises(ValueError):
+            a.inner_product(b)
+
+    def test_linearity_cancellation(self):
+        cm = CountMin(64, 8, 3, np.random.default_rng(3))
+        cm.update(5, 9)
+        cm.update(5, -9)
+        assert not cm.table.any()
+
+
+class TestAMS:
+    def test_f2_estimate(self, small_alpha_stream):
+        fv = small_alpha_stream.frequency_vector()
+        estimates = []
+        for seed in range(9):
+            ams = AMSSketch(1024, per_group=32, groups=5,
+                            rng=np.random.default_rng(seed))
+            ams.consume(small_alpha_stream)
+            estimates.append(ams.f2_estimate())
+        med = float(np.median(estimates))
+        assert med == pytest.approx(fv.l2() ** 2, rel=0.35)
+
+    def test_inner_product_estimate(self, small_alpha_stream):
+        g = bounded_deletion_stream(1024, 4000, alpha=4, seed=78)
+        fv, gv = small_alpha_stream.frequency_vector(), g.frequency_vector()
+        estimates = []
+        for seed in range(9):
+            ams_f = AMSSketch(1024, per_group=32, groups=5,
+                              rng=np.random.default_rng(seed))
+            ams_f.consume(small_alpha_stream)
+            ams_g = ams_f.clone_empty().consume(g)
+            estimates.append(ams_f.inner_product(ams_g))
+        med = float(np.median(estimates))
+        assert abs(med - fv.inner_product(gv)) <= 0.5 * fv.l2() * gv.l2()
+
+    def test_shared_signs_required(self):
+        a = AMSSketch(64, 4, 2, np.random.default_rng(1))
+        b = AMSSketch(64, 4, 2, np.random.default_rng(2))
+        with pytest.raises(ValueError):
+            a.inner_product(b)
+
+    def test_empty_estimates_zero(self):
+        ams = AMSSketch(64, 4, 2, np.random.default_rng(3))
+        assert ams.f2_estimate() == 0.0
+
+
+class TestCauchyL1:
+    def test_estimate_close_on_alpha_stream(self, general_alpha_stream):
+        fv = general_alpha_stream.frequency_vector()
+        estimates = []
+        for seed in range(7):
+            sk = CauchyL1Sketch(1024, eps=0.2, rng=np.random.default_rng(seed))
+            sk.consume(general_alpha_stream)
+            estimates.append(sk.estimate())
+        med = float(np.median(estimates))
+        assert med == pytest.approx(fv.l1(), rel=0.35)
+
+    def test_estimate_handles_cancelling_stream(self):
+        """General turnstile: mass cancels, the norm is small but nonzero."""
+        sk = CauchyL1Sketch(256, eps=0.25, rng=np.random.default_rng(5))
+        for i in range(100):
+            sk.update(i, 1)
+        for i in range(99):
+            sk.update(i, -1)
+        # ||f||_1 = 1; a constant-factor answer suffices here.
+        assert 0 <= sk.estimate() < 30
+
+    def test_median_estimator_agrees_roughly(self, general_alpha_stream):
+        fv = general_alpha_stream.frequency_vector()
+        sk = CauchyL1Sketch(1024, eps=0.2, rng=np.random.default_rng(6))
+        sk.consume(general_alpha_stream)
+        assert sk.median_estimate() == pytest.approx(fv.l1(), rel=0.6)
+
+    def test_empty_is_zero(self):
+        sk = CauchyL1Sketch(64, eps=0.3, rng=np.random.default_rng(7))
+        assert sk.estimate() == 0.0
+
+    def test_space_grows_with_stream_length(self):
+        short = CauchyL1Sketch(64, eps=0.3, rng=np.random.default_rng(8))
+        long = CauchyL1Sketch(64, eps=0.3, rng=np.random.default_rng(9))
+        short.update(1, 1)
+        for _ in range(1000):
+            long.update(1, 1)
+        assert long.space_bits() > short.space_bits()
+
+    def test_eps_validation(self):
+        with pytest.raises(ValueError):
+            CauchyL1Sketch(64, eps=1.5, rng=np.random.default_rng(10))

@@ -1,0 +1,73 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["describe"])
+        assert args.workload == "zipf"
+        assert args.n == 1 << 12
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["describe", "--workload", "nope"])
+
+
+class TestCommands:
+    def test_describe(self, capsys):
+        assert main(["describe", "--n", "256", "--m", "1000"]) == 0
+        out = capsys.readouterr().out
+        assert "alpha_l1" in out and "strict" in out
+
+    def test_heavy_hitters(self, capsys):
+        code = main([
+            "heavy-hitters", "--n", "512", "--m", "3000",
+            "--alpha", "4", "--eps", "0.125",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "reported" in out and "bits" in out
+
+    def test_l1_strict_path(self, capsys):
+        assert main(["l1", "--n", "512", "--m", "3000", "--alpha", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out
+
+    def test_l1_general_path(self, capsys):
+        # traffic workload is general turnstile -> Theorem 8 estimator.
+        assert main([
+            "l1", "--workload", "traffic", "--n", "2048", "--m", "8000",
+            "--eps", "0.3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 8" in out
+
+    def test_l0(self, capsys):
+        assert main(["l0", "--workload", "sensor", "--n", "4096",
+                     "--m", "20000"]) == 0
+        out = capsys.readouterr().out
+        assert "L0 estimate" in out and "live rows" in out
+
+    def test_support(self, capsys):
+        assert main(["support", "--workload", "sensor", "--n", "4096",
+                     "--m", "20000", "--k", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "recovered" in out
+
+    def test_generate_and_reload(self, tmp_path, capsys):
+        out_path = tmp_path / "s.npz"
+        assert main(["generate", "--n", "256", "--m", "500",
+                     "--out", str(out_path)]) == 0
+        assert out_path.exists()
+        assert main(["describe", "--stream", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "alpha_l1" in out

@@ -1,0 +1,42 @@
+"""Guard the examples: they must stay runnable as the library evolves.
+
+The two fastest examples are executed end-to-end; the rest are compiled
+and import-checked (full runs belong to manual/demo time, not the unit
+suite).
+"""
+
+from __future__ import annotations
+
+import py_compile
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+ALL_EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+FAST_EXAMPLES = ["quickstart.py", "database_sync_rdc.py"]
+
+
+def test_examples_directory_has_at_least_four():
+    assert len(ALL_EXAMPLES) >= 4
+
+
+@pytest.mark.parametrize("path", ALL_EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path):
+    py_compile.compile(str(path), doraise=True)
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_fast_example_runs_clean(name):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert "Traceback" not in result.stderr
+    # Each example prints ground truth next to estimates.
+    assert "true" in result.stdout.lower()

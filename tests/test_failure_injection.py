@@ -1,0 +1,132 @@
+"""Failure injection: behaviour outside the promised model.
+
+The α-property algorithms are only guaranteed on α-property streams;
+these tests document what happens when the promise is violated
+(adversarial near-total cancellation, wrong α supplied, huge deltas) —
+the structures must degrade *gracefully* (bounded output, no crash, and
+the model checkers must flag the violation), never silently corrupt
+state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.csss import CSSS
+from repro.core.heavy_hitters import AlphaHeavyHitters
+from repro.core.l0_estimation import AlphaL0Estimator
+from repro.core.l1_estimation import AlphaL1EstimatorStrict
+from repro.core.sampling import SampledFrequencies
+from repro.core.support_sampler import AlphaSupportSampler
+from repro.streams.alpha import l1_alpha
+from repro.streams.generators import adversarial_cancellation_stream
+from repro.streams.model import Stream, Update
+
+
+@pytest.fixture
+def cancelling_stream():
+    return adversarial_cancellation_stream(1024, 6000, survivors=2, seed=66)
+
+
+class TestModelViolationIsDetectable:
+    def test_alpha_checker_flags_cancellation(self, cancelling_stream):
+        assert l1_alpha(cancelling_stream) > 100
+
+
+class TestGracefulDegradation:
+    def test_csss_answers_are_bounded(self, cancelling_stream):
+        """With alpha lied about (claimed 4, actual ~m), CSSS answers must
+        stay within the gross-traffic envelope, not explode."""
+        c = CSSS(1024, k=8, eps=0.2, alpha=4,
+                 rng=np.random.default_rng(1), sample_budget=256)
+        c.consume(cancelling_stream)
+        gross = cancelling_stream.total_update_weight
+        estimates = c.query_all(np.arange(1024))
+        assert float(np.abs(estimates).max()) <= gross
+
+    def test_heavy_hitters_never_crashes(self, cancelling_stream):
+        hh = AlphaHeavyHitters(1024, eps=0.25, alpha=4,
+                               rng=np.random.default_rng(2))
+        hh.consume(cancelling_stream)
+        got = hh.heavy_hitters()
+        assert isinstance(got, set)
+        # The two survivors carry all the mass; anything reported beyond
+        # the support would be a correctness (not just accuracy) bug at
+        # this eps.
+        support = cancelling_stream.frequency_vector().support()
+        assert got <= support | set()  # may be empty, must not hallucinate
+
+    def test_strict_l1_on_cancelling_stream_reports_small(self,
+                                                          cancelling_stream):
+        e = AlphaL1EstimatorStrict(alpha=4, eps=0.2,
+                                   rng=np.random.default_rng(3), s=2000)
+        e.consume(cancelling_stream)
+        # Sum of sampled deltas rescales to ~||f||_1 = 2 +- sampling noise;
+        # the noise envelope is eps * m / alpha_true, far below m.
+        assert abs(e.estimate()) <= len(cancelling_stream)
+
+    def test_l0_estimator_cancellation(self):
+        """Everything cancels: the estimator must return ~0, not F0."""
+        e = AlphaL0Estimator(1024, eps=0.2, alpha=2,
+                             rng=np.random.default_rng(4))
+        for i in range(200):
+            e.update(i, 1)
+        for i in range(200):
+            e.update(i, -1)
+        assert e.estimate() <= 10
+
+    def test_support_sampler_empty_after_cancellation(self):
+        ss = AlphaSupportSampler(1024, k=4, alpha=2,
+                                 rng=np.random.default_rng(5))
+        for i in range(100):
+            ss.update(i, 1)
+        for i in range(100):
+            ss.update(i, -1)
+        assert ss.sample() == set()
+
+
+class TestExtremeInputs:
+    def test_huge_deltas_binomial_thinning(self):
+        """Deltas of 10^6 route through Bin(|delta|, p) (Remark 2)."""
+        sf = SampledFrequencies(budget=1000, rng=np.random.default_rng(6))
+        sf.update(3, 1_000_000)
+        sf.update(3, -400_000)
+        assert sf.estimate(3) == pytest.approx(600_000, rel=0.2)
+
+    def test_csss_huge_delta(self):
+        c = CSSS(64, k=4, eps=0.25, alpha=2,
+                 rng=np.random.default_rng(7), sample_budget=512)
+        c.update(5, 1 << 20)
+        assert c.query(5) == pytest.approx(float(1 << 20), rel=0.2)
+
+    def test_alternating_signs_on_one_item(self):
+        c = CSSS(64, k=4, eps=0.25, alpha=4,
+                 rng=np.random.default_rng(8), sample_budget=4096)
+        for _ in range(300):
+            c.update(9, 3)
+            c.update(9, -2)
+        assert c.query(9) == pytest.approx(300.0, abs=120)
+
+    def test_single_update_stream(self):
+        for make in (
+            lambda: AlphaL0Estimator(64, eps=0.25, alpha=2,
+                                     rng=np.random.default_rng(9)),
+            lambda: AlphaHeavyHitters(64, eps=0.25, alpha=2,
+                                      rng=np.random.default_rng(10)),
+        ):
+            sk = make()
+            sk.update(7, 1)
+            # No exceptions and sane output types.
+            if hasattr(sk, "estimate"):
+                assert sk.estimate() >= 0
+            else:
+                assert isinstance(sk.heavy_hitters(), set)
+
+    def test_maximum_item_id(self):
+        n = 1 << 16
+        s = Stream(n)
+        s.append(Update(n - 1, 5))
+        c = CSSS(n, k=4, eps=0.25, alpha=2,
+                 rng=np.random.default_rng(11)).consume(s)
+        assert c.query(n - 1) == pytest.approx(5.0)

@@ -1,0 +1,106 @@
+"""Tests for the Theorem 14 Gap-Hamming reduction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.lowerbounds.communication import GapHammingInstance
+from repro.lowerbounds.reductions import L1EstimationGapHammingReduction
+from repro.streams.alpha import strong_alpha
+
+
+def _random_blocks(red, rng):
+    return [
+        tuple(int(b) for b in rng.integers(0, 2, size=red.k))
+        for _ in range(red.t)
+    ]
+
+
+class TestConstruction:
+    def test_dimensions(self):
+        red = L1EstimationGapHammingReduction(alpha=1000, eps=0.25)
+        assert red.k == 16
+        assert red.t >= 1
+        assert red.n == red.k * red.t
+
+    def test_wrong_block_count_rejected(self):
+        red = L1EstimationGapHammingReduction(alpha=1000, eps=0.25)
+        with pytest.raises(ValueError):
+            red.build_stream([(1,) * red.k], (0,) * red.k, 0)
+
+    def test_wrong_block_length_rejected(self):
+        red = L1EstimationGapHammingReduction(alpha=1000, eps=0.25)
+        blocks = [(1,) * (red.k + 1)] * red.t
+        with pytest.raises(ValueError):
+            red.build_stream(blocks, (0,) * red.k, 0)
+
+    def test_target_block_range(self):
+        red = L1EstimationGapHammingReduction(alpha=1000, eps=0.25)
+        rng = np.random.default_rng(0)
+        blocks = _random_blocks(red, rng)
+        with pytest.raises(ValueError):
+            red.build_stream(blocks, blocks[0], red.t)
+
+
+class TestDecoding:
+    @pytest.mark.parametrize("is_yes", [True, False])
+    def test_gap_instances_decode_exactly(self, is_yes):
+        red = L1EstimationGapHammingReduction(alpha=1000, eps=0.25)
+        rng = np.random.default_rng(1 if is_yes else 2)
+        blocks = _random_blocks(red, rng)
+        target = red.t - 1
+        gh = GapHammingInstance.random(red.k, is_yes=is_yes, seed=3)
+        blocks[target] = gh.x
+        stream = red.build_stream(blocks, gh.y, target)
+        l1 = stream.frequency_vector().l1()
+        assert red.decode(l1, blocks, gh.y, target) == is_yes
+
+    def test_recovered_distance_close(self):
+        red = L1EstimationGapHammingReduction(alpha=1000, eps=0.25)
+        rng = np.random.default_rng(4)
+        blocks = _random_blocks(red, rng)
+        target = 0
+        gh = GapHammingInstance.random(red.k, is_yes=True, seed=5)
+        blocks[target] = gh.x
+        stream = red.build_stream(blocks, gh.y, target)
+        l1 = stream.frequency_vector().l1()
+        dist = red.hamming_distance_from_l1(l1, blocks, gh.y, target)
+        assert dist == pytest.approx(gh.distance, abs=2)
+
+    def test_decode_survives_eps_relative_error(self):
+        """The whole point of Theorem 14: a (1 ± Θ(eps)) L1 estimate still
+        decides Gap-Hamming, so the estimator pays the Ω(eps^-2 log(eps^2
+        alpha)) bound."""
+        red = L1EstimationGapHammingReduction(alpha=1000, eps=0.25)
+        rng = np.random.default_rng(6)
+        blocks = _random_blocks(red, rng)
+        target = red.t - 1
+        ok = 0
+        trials = 10
+        for seed in range(trials):
+            is_yes = bool(seed % 2)
+            gh = GapHammingInstance.random(red.k, is_yes=is_yes, seed=seed)
+            blocks[target] = gh.x
+            stream = red.build_stream(blocks, gh.y, target)
+            l1 = stream.frequency_vector().l1()
+            # Inject the worst-direction relative error of eps/8 (the
+            # reduction's own tolerance; estimators are run at eps' << eps).
+            noisy = l1 * (1 - 0.03) if is_yes else l1 * (1 + 0.03)
+            ok += red.decode(noisy, blocks, gh.y, target) == is_yes
+        assert ok >= trials - 1
+
+
+class TestAlphaProperty:
+    def test_stream_has_bounded_strong_alpha(self):
+        red = L1EstimationGapHammingReduction(alpha=1000, eps=0.25)
+        rng = np.random.default_rng(7)
+        blocks = _random_blocks(red, rng)
+        gh = GapHammingInstance.random(red.k, is_yes=True, seed=8)
+        target = red.t - 1
+        blocks[target] = gh.x
+        stream = red.build_stream(blocks, gh.y, target)
+        # Coded weights reach beta 2^t <= 2 alpha / eps^2; every touched
+        # coordinate retains at least 1, so strong alpha is polynomial in
+        # alpha/eps — the theorem's strong-alpha-property regime.
+        assert strong_alpha(stream) <= 4 * red.beta * 2**red.t

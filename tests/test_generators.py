@@ -1,0 +1,155 @@
+"""Tests for repro.streams.generators — every generator must deliver the
+α-property its docstring promises."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.streams.alpha import (
+    is_strict_turnstile,
+    l0_alpha,
+    l1_alpha,
+    strong_alpha,
+)
+from repro.streams.generators import (
+    adversarial_cancellation_stream,
+    bounded_deletion_stream,
+    describe_stream,
+    rdc_sync_stream,
+    sensor_occupancy_stream,
+    strong_alpha_stream,
+    traffic_difference_stream,
+    zipfian_insertion_stream,
+)
+
+
+class TestZipfianInsertion:
+    def test_insertion_only(self):
+        s = zipfian_insertion_stream(256, 2000, seed=1)
+        assert all(u.delta == 1 for u in s)
+        assert l1_alpha(s) == 1.0
+
+    def test_skew_concentrates_mass(self):
+        s = zipfian_insertion_stream(256, 5000, skew=1.5, seed=2)
+        fv = s.frequency_vector()
+        top = max(fv.f)
+        assert top > 0.05 * fv.l1()
+
+    def test_length(self):
+        assert len(zipfian_insertion_stream(64, 500, seed=3)) == 500
+
+
+class TestBoundedDeletion:
+    @pytest.mark.parametrize("alpha", [1, 2, 4, 16])
+    def test_achieved_alpha_within_requested(self, alpha):
+        s = bounded_deletion_stream(512, 3000, alpha=alpha, seed=4)
+        assert l1_alpha(s) <= alpha + 1e-9
+
+    def test_achieved_alpha_not_trivially_one(self):
+        s = bounded_deletion_stream(512, 3000, alpha=8, seed=5)
+        assert l1_alpha(s) > 2.0
+
+    def test_strict_mode_prefixes_nonnegative(self):
+        s = bounded_deletion_stream(512, 2000, alpha=4, seed=6, strict=True)
+        assert is_strict_turnstile(s)
+
+    def test_nonstrict_mode_orders_deletions_last(self):
+        s = bounded_deletion_stream(512, 2000, alpha=4, seed=7, strict=False)
+        deltas = [u.delta for u in s]
+        first_neg = deltas.index(-1)
+        assert all(d == -1 for d in deltas[first_neg:])
+
+    def test_alpha_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            bounded_deletion_stream(512, 1000, alpha=0.5)
+
+
+class TestTrafficDifference:
+    def test_small_change_fraction_gives_bounded_alpha(self):
+        s = traffic_difference_stream(4096, 400, change_fraction=0.1, seed=8)
+        a = l1_alpha(s)
+        assert 1.0 <= a < 200  # ~2/0.1 plus swing noise
+
+    def test_zero_change_cancels_everything(self):
+        s = traffic_difference_stream(4096, 100, change_fraction=0.0, seed=9)
+        assert s.frequency_vector().l1() == 0
+
+    def test_signal_lives_on_changed_flows(self):
+        s = traffic_difference_stream(4096, 400, change_fraction=0.05, seed=10)
+        fv = s.frequency_vector()
+        assert 0 < fv.l0() < 400
+
+
+class TestRdcSync:
+    def test_alpha_tracks_dirty_fraction(self):
+        s = rdc_sync_stream(1 << 14, 2000, dirty_fraction=0.5, seed=11)
+        # gross ~ 2 - dirty inserts+deletes per block; remaining = dirty.
+        assert 1.0 <= l1_alpha(s) < 8.0
+
+    def test_support_is_dirty_blocks(self):
+        s = rdc_sync_stream(1 << 14, 1000, dirty_fraction=0.25, seed=12)
+        fv = s.frequency_vector()
+        assert 150 < fv.l0() < 350  # ~250 expected
+
+    def test_strict(self):
+        s = rdc_sync_stream(1 << 14, 500, seed=13)
+        assert is_strict_turnstile(s)
+
+
+class TestSensorOccupancy:
+    def test_l0_alpha_tracks_churn(self):
+        s = sensor_occupancy_stream(
+            4096, 200, churn_rounds=5, churn_fraction=0.5, seed=14
+        )
+        a = l0_alpha(s)
+        assert 2.0 < a < 6.0  # ~1 + 5*0.5 = 3.5
+
+    def test_support_size_is_population(self):
+        s = sensor_occupancy_stream(4096, 200, seed=15)
+        assert s.frequency_vector().l0() == 200
+
+    def test_strict(self):
+        s = sensor_occupancy_stream(4096, 100, seed=16)
+        assert is_strict_turnstile(s)
+
+    def test_too_many_regions_rejected(self):
+        with pytest.raises(ValueError):
+            sensor_occupancy_stream(10, 20)
+
+
+class TestAdversarialCancellation:
+    def test_alpha_is_huge(self):
+        s = adversarial_cancellation_stream(1024, 4000, survivors=1, seed=17)
+        assert l1_alpha(s) > 100
+
+    def test_survivor_count(self):
+        s = adversarial_cancellation_stream(1024, 4000, survivors=3, seed=18)
+        assert s.frequency_vector().l1() == 3
+
+
+class TestStrongAlphaStream:
+    @pytest.mark.parametrize("alpha", [1, 2, 3, 8])
+    def test_strong_alpha_within_budget(self, alpha):
+        s = strong_alpha_stream(512, 50, alpha=alpha, seed=19)
+        assert strong_alpha(s) <= alpha + 1e-9
+
+    def test_all_touched_coordinates_nonzero(self):
+        s = strong_alpha_stream(512, 50, alpha=4, seed=20)
+        fv = s.frequency_vector()
+        touched = (fv.insertions + fv.deletions) > 0
+        assert (fv.f[touched] != 0).all()
+
+    def test_churn_actually_happens_for_large_alpha(self):
+        s = strong_alpha_stream(512, 80, alpha=8, seed=21)
+        fv = s.frequency_vector()
+        assert fv.deletions.sum() > 0
+
+
+class TestDescribeStream:
+    def test_fields(self):
+        s = bounded_deletion_stream(256, 1000, alpha=4, seed=22)
+        d = describe_stream(s)
+        for key in ("n", "m", "l1", "l0", "f0", "alpha_l1", "alpha_l0"):
+            assert key in d
+        assert d["m"] == len(s)
+        assert d["alpha_l1"] >= 1.0

@@ -1,0 +1,119 @@
+"""Tests for repro.core.inner_product (Section 2.2, Theorem 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.inner_product import AlphaInnerProduct
+from repro.streams.generators import (
+    bounded_deletion_stream,
+    traffic_difference_stream,
+)
+
+
+def _estimate(ctx, f, g):
+    sf = ctx.make_sketch().consume(f)
+    sg = ctx.make_sketch().consume(g)
+    return ctx.estimate(sf, sg)
+
+
+class TestAdditiveErrorGuarantee:
+    def test_traffic_pair(self, traffic_pair):
+        f, g = traffic_pair
+        fv, gv = f.frequency_vector(), g.frequency_vector()
+        eps = 0.1
+        bound = eps * fv.l1() * gv.l1()
+        errs = []
+        for seed in range(9):
+            ctx = AlphaInnerProduct(
+                4096, eps=eps, alpha=64, rng=np.random.default_rng(seed)
+            )
+            errs.append(abs(_estimate(ctx, f, g) - fv.inner_product(gv)))
+        assert float(np.median(errs)) <= bound
+
+    def test_correlated_streams(self):
+        """Streams sharing heavy coordinates: the estimator must see the
+        correlation, not just the norms."""
+        f = bounded_deletion_stream(1024, 4000, alpha=4, seed=70)
+        g = f  # identical stream: <f, f> = ||f||_2^2
+        fv = f.frequency_vector()
+        true = fv.inner_product(fv)
+        eps = 0.1
+        ests = []
+        for seed in range(9):
+            ctx = AlphaInnerProduct(
+                1024, eps=eps, alpha=4, rng=np.random.default_rng(seed)
+            )
+            ests.append(_estimate(ctx, f, g))
+        med = float(np.median(ests))
+        assert abs(med - true) <= eps * fv.l1() ** 2
+
+    def test_disjoint_streams_give_near_zero(self):
+        f = bounded_deletion_stream(512, 1500, alpha=2, seed=71)
+        from repro.streams.model import Stream, Update
+
+        g = Stream(1024)
+        for u in f:
+            g.append(Update(u.item + 512, u.delta))
+        f2 = Stream(1024)
+        for u in f:
+            f2.append(Update(u.item, u.delta))
+        fv, gv = f2.frequency_vector(), g.frequency_vector()
+        assert fv.inner_product(gv) == 0
+        eps = 0.1
+        ctx = AlphaInnerProduct(1024, eps=eps, alpha=2, rng=np.random.default_rng(72))
+        est = _estimate(ctx, f2, g)
+        assert abs(est) <= eps * fv.l1() * gv.l1()
+
+
+class TestMechanics:
+    def test_shared_context_required_semantics(self, traffic_pair):
+        """Sketches from different contexts use different hashes; the
+        public API routes estimation through the shared context object."""
+        f, g = traffic_pair
+        ctx = AlphaInnerProduct(4096, eps=0.2, alpha=16, rng=np.random.default_rng(73))
+        sf = ctx.make_sketch().consume(f)
+        sg = ctx.make_sketch().consume(g)
+        est = ctx.estimate(sf, sg)
+        assert np.isfinite(est)
+
+    def test_interval_schedule_drops_old_levels(self):
+        ctx = AlphaInnerProduct(
+            256, eps=0.3, alpha=1, rng=np.random.default_rng(74), sample_budget=64
+        )
+        sk = ctx.make_sketch()
+        for t in range(70_000):
+            sk.update(t % 256, 1)
+        # With s = 64, by t = 70k we are past I_0 (ends 64^2 = 4096) and
+        # inside level >= 1 intervals only.
+        assert all(lvl >= 1 for lvl in sk._live)
+
+    def test_rate_of_final_vector(self):
+        ctx = AlphaInnerProduct(
+            256, eps=0.3, alpha=1, rng=np.random.default_rng(75), sample_budget=64
+        )
+        sk = ctx.make_sketch()
+        for t in range(10_000):
+            sk.update(t % 256, 1)
+        __, rate = sk.final_vector_and_rate()
+        assert 0 < rate <= 1
+
+    def test_space_scales_with_k_not_n(self):
+        small_eps = AlphaInnerProduct(
+            1 << 16, eps=0.05, alpha=2, rng=np.random.default_rng(76)
+        )
+        big_eps = AlphaInnerProduct(
+            1 << 16, eps=0.5, alpha=2, rng=np.random.default_rng(77)
+        )
+        f = bounded_deletion_stream(1 << 16, 2000, alpha=2, seed=78)
+        a = small_eps.make_sketch().consume(f)
+        b = big_eps.make_sketch().consume(f)
+        assert a.space_bits() > b.space_bits()
+
+    def test_validation(self):
+        rng = np.random.default_rng(79)
+        with pytest.raises(ValueError):
+            AlphaInnerProduct(64, eps=0, alpha=2, rng=rng)
+        with pytest.raises(ValueError):
+            AlphaInnerProduct(64, eps=0.1, alpha=0.5, rng=rng)

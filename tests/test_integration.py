@@ -1,0 +1,189 @@
+"""Integration tests: multi-module end-to-end scenarios mirroring the
+paper's motivating applications (Section 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.heavy_hitters import AlphaHeavyHitters
+from repro.core.inner_product import AlphaInnerProduct
+from repro.core.l0_estimation import AlphaL0Estimator
+from repro.core.l1_estimation import AlphaL1EstimatorStrict
+from repro.core.support_sampler import AlphaSupportSampler
+from repro.streams.alpha import l0_alpha, l1_alpha
+from repro.streams.generators import (
+    rdc_sync_stream,
+    sensor_occupancy_stream,
+    traffic_difference_stream,
+)
+
+
+class TestNetworkMonitoringScenario:
+    """Traffic difference f1 - f2 (Section 1): find the flows that changed
+    and quantify the change — heavy hitters + L1 estimation together."""
+
+    @pytest.fixture
+    def diff_stream(self):
+        return traffic_difference_stream(
+            n=1 << 13, flows=500, change_fraction=0.08, seed=400
+        )
+
+    def test_alpha_is_moderate(self, diff_stream):
+        assert l1_alpha(diff_stream) < 500
+
+    def test_changed_flows_surface_as_heavy_hitters(self, diff_stream):
+        fv = diff_stream.frequency_vector()
+        alpha = max(2.0, l1_alpha(diff_stream))
+        eps = 1 / 8
+        hh = AlphaHeavyHitters(
+            diff_stream.n, eps=eps, alpha=alpha, rng=np.random.default_rng(1)
+        ).consume(diff_stream)
+        got = hh.heavy_hitters()
+        assert fv.heavy_hitters(eps) <= got
+        assert got <= fv.support()  # changed flows only
+
+    def test_change_magnitude_estimated(self, diff_stream):
+        """The difference stream is general turnstile (flows can swing in
+        either direction), so the magnitude of change needs the Theorem 8
+        estimator, not the strict-turnstile one."""
+        from repro.core.l1_estimation import AlphaL1EstimatorGeneral
+
+        fv = diff_stream.frequency_vector()
+        alpha = min(64.0, max(2.0, l1_alpha(diff_stream)))
+        ests = []
+        for seed in range(3):
+            e = AlphaL1EstimatorGeneral(
+                diff_stream.n, eps=0.3, alpha=alpha,
+                rng=np.random.default_rng(seed),
+            ).consume(diff_stream)
+            ests.append(e.estimate())
+        assert float(np.median(ests)) == pytest.approx(fv.l1(), rel=0.4)
+
+
+class TestRdcSyncScenario:
+    """Remote Differential Compression (Section 1): identify dirty blocks
+    via support sampling, size the resync via L0."""
+
+    @pytest.fixture
+    def sync_stream(self):
+        return rdc_sync_stream(1 << 14, blocks=1500, dirty_fraction=0.2, seed=401)
+
+    def test_support_sampler_finds_dirty_blocks(self, sync_stream):
+        fv = sync_stream.frequency_vector()
+        alpha = max(2.0, l0_alpha(sync_stream))
+        ss = AlphaSupportSampler(
+            sync_stream.n, k=20, alpha=alpha, rng=np.random.default_rng(3)
+        ).consume(sync_stream)
+        got = ss.sample()
+        assert got <= fv.support()
+        assert len(got) >= min(20, fv.l0())
+
+    def test_l0_estimates_resync_size(self, sync_stream):
+        fv = sync_stream.frequency_vector()
+        alpha = max(2.0, l0_alpha(sync_stream))
+        ests = []
+        for seed in range(5):
+            e = AlphaL0Estimator(
+                sync_stream.n, eps=0.15, alpha=alpha,
+                rng=np.random.default_rng(seed),
+            ).consume(sync_stream)
+            ests.append(e.estimate())
+        assert float(np.median(ests)) == pytest.approx(fv.l0(), rel=0.3)
+
+
+class TestSensorFleetScenario:
+    """Moving sensors (Section 1): count occupied cells (L0) and list
+    occupied regions (support sampling) under churn."""
+
+    @pytest.fixture
+    def fleet_stream(self):
+        return sensor_occupancy_stream(
+            1 << 14, active_regions=400, churn_rounds=4, seed=402
+        )
+
+    def test_l0_alpha_property_holds(self, fleet_stream):
+        assert 1.0 < l0_alpha(fleet_stream) < 8.0
+
+    def test_occupied_cells_counted(self, fleet_stream):
+        fv = fleet_stream.frequency_vector()
+        alpha = l0_alpha(fleet_stream)
+        ests = []
+        for seed in range(5):
+            e = AlphaL0Estimator(
+                fleet_stream.n, eps=0.15, alpha=alpha,
+                rng=np.random.default_rng(seed),
+            ).consume(fleet_stream)
+            ests.append(e.estimate())
+        assert float(np.median(ests)) == pytest.approx(fv.l0(), rel=0.3)
+
+    def test_occupied_regions_sampled(self, fleet_stream):
+        fv = fleet_stream.frequency_vector()
+        ss = AlphaSupportSampler(
+            fleet_stream.n, k=12, alpha=l0_alpha(fleet_stream),
+            rng=np.random.default_rng(4),
+        ).consume(fleet_stream)
+        got = ss.sample()
+        assert got <= fv.support()
+        assert len(got) >= 12
+
+
+class TestJoinSizeScenario:
+    """Inner products estimate join sizes between two relations whose key
+    histograms arrive as alpha-property streams (Section 2.2)."""
+
+    def test_join_size_estimate(self):
+        f = traffic_difference_stream(1 << 12, 300, change_fraction=0.3, seed=403)
+        g = traffic_difference_stream(1 << 12, 300, change_fraction=0.3, seed=404)
+        fv, gv = f.frequency_vector(), g.frequency_vector()
+        alpha = max(l1_alpha(f), l1_alpha(g), 2.0)
+        eps = 0.1
+        ctx = AlphaInnerProduct(
+            1 << 12, eps=eps, alpha=min(alpha, 64), rng=np.random.default_rng(5)
+        )
+        sf = ctx.make_sketch().consume(f)
+        sg = ctx.make_sketch().consume(g)
+        est = ctx.estimate(sf, sg)
+        assert abs(est - fv.inner_product(gv)) <= eps * fv.l1() * gv.l1()
+
+
+class TestCrossValidationOfEstimators:
+    """Different estimators of the same quantity must agree on the same
+    stream — catching inconsistent conventions between modules."""
+
+    def test_l0_estimators_agree(self, sensor_stream):
+        from repro.core.l0_estimation import AlphaConstL0Estimator
+        from repro.sketches.knw_l0 import KNWL0Estimator
+
+        alpha_est = AlphaL0Estimator(
+            4096, eps=0.1, alpha=4, rng=np.random.default_rng(6)
+        ).consume(sensor_stream)
+        const_est = AlphaConstL0Estimator(
+            4096, alpha=4, rng=np.random.default_rng(7)
+        ).consume(sensor_stream)
+        knw = KNWL0Estimator(4096, eps=0.1, rng=np.random.default_rng(8)).consume(
+            sensor_stream
+        )
+        fine = alpha_est.estimate()
+        coarse = const_est.estimate()
+        baseline = knw.estimate()
+        assert fine == pytest.approx(baseline, rel=0.4)
+        assert coarse == pytest.approx(fine, rel=4.0)
+
+    def test_l1_estimators_agree(self, small_alpha_stream):
+        from repro.core.l1_estimation import AlphaL1EstimatorGeneral
+        from repro.sketches.cauchy import CauchyL1Sketch
+
+        fv = small_alpha_stream.frequency_vector()
+        strict = AlphaL1EstimatorStrict(
+            alpha=4, eps=0.2, rng=np.random.default_rng(9)
+        ).consume(small_alpha_stream)
+        general = AlphaL1EstimatorGeneral(
+            1024, eps=0.25, alpha=4, rng=np.random.default_rng(10)
+        ).consume(small_alpha_stream)
+        cauchy = CauchyL1Sketch(
+            1024, eps=0.25, rng=np.random.default_rng(11)
+        ).consume(small_alpha_stream)
+        assert strict.estimate() == fv.l1()
+        assert general.estimate() == pytest.approx(fv.l1(), rel=0.4)
+        assert cauchy.estimate() == pytest.approx(fv.l1(), rel=0.4)

@@ -1,0 +1,167 @@
+"""Tests for repro.sketches.knw_l0 (Figure 6 baseline and its parts)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sketches.knw_l0 import (
+    ExactSmallL0,
+    KNWL0Estimator,
+    RoughF0Estimator,
+    RoughL0Estimator,
+)
+from repro.streams.generators import (
+    bounded_deletion_stream,
+    sensor_occupancy_stream,
+)
+
+
+class TestExactSmallL0:
+    def test_exact_within_capacity(self):
+        e = ExactSmallL0(1 << 14, c=50, rng=np.random.default_rng(1))
+        for i in range(40):
+            e.update(i, 1)
+        assert e.estimate() == 40
+
+    def test_cancellation_decrements(self):
+        e = ExactSmallL0(1024, c=20, rng=np.random.default_rng(2))
+        e.update(3, 2)
+        e.update(7, 1)
+        e.update(3, -2)
+        assert e.estimate() == 1
+
+    def test_handles_signed_noise(self):
+        e = ExactSmallL0(1024, c=20, rng=np.random.default_rng(3))
+        for i in range(10):
+            e.update(i, 1)
+            e.update(i, 3)
+            e.update(i, -4)
+        assert e.estimate() == 0
+
+    def test_space_scales_with_capacity(self):
+        small = ExactSmallL0(1024, c=8, rng=np.random.default_rng(4))
+        big = ExactSmallL0(1024, c=128, rng=np.random.default_rng(4))
+        assert big.space_bits() > small.space_bits()
+
+
+class TestRoughL0Estimator:
+    @pytest.mark.parametrize("l0_target", [30, 200, 1500])
+    def test_constant_factor_band(self, l0_target):
+        estimates = []
+        for seed in range(9):
+            r = RoughL0Estimator(1 << 13, np.random.default_rng(seed))
+            for i in range(l0_target):
+                r.update(i, 1)
+            estimates.append(r.estimate())
+        med = float(np.median(estimates))
+        assert l0_target / 4 <= med <= 4 * l0_target
+
+    def test_respects_deletions(self):
+        r = RoughL0Estimator(1 << 12, np.random.default_rng(10))
+        for i in range(600):
+            r.update(i, 1)
+        for i in range(550):
+            r.update(i, -1)
+        assert r.estimate() <= 450  # ~50 live
+
+
+class TestRoughF0Estimator:
+    def test_monotone_nondecreasing(self):
+        r = RoughF0Estimator(1 << 16, np.random.default_rng(11))
+        last = 0.0
+        rng = np.random.default_rng(99)
+        for i in rng.integers(0, 1 << 16, size=3000):
+            r.update(int(i), 1)
+            est = r.estimate()
+            assert est >= last
+            last = est
+
+    def test_band_contains_f0(self):
+        f0 = 2000
+        inside = 0
+        for seed in range(9):
+            r = RoughF0Estimator(1 << 16, np.random.default_rng(seed))
+            for i in range(f0):
+                r.update(i, 1)
+            est = r.estimate()
+            inside += f0 <= est <= 8 * f0
+        assert inside >= 7
+
+    def test_deletions_do_not_decrease_f0(self):
+        r = RoughF0Estimator(1 << 12, np.random.default_rng(12))
+        for i in range(500):
+            r.update(i, 1)
+        before = r.estimate()
+        for i in range(500):
+            r.update(i, -1)
+        assert r.estimate() >= before
+
+    def test_exact_while_below_k(self):
+        r = RoughF0Estimator(1 << 12, np.random.default_rng(13), k=64)
+        for i in range(20):
+            r.update(i, 1)
+        # Below k distinct, the raw estimate is the exact count (x bias).
+        assert 20 <= r.estimate() <= 2 * 20 + 1
+
+
+class TestKNWL0Estimator:
+    def test_relative_error_on_alpha_stream(self, small_alpha_stream):
+        fv = small_alpha_stream.frequency_vector()
+        estimates = []
+        for seed in range(7):
+            k = KNWL0Estimator(1024, eps=0.1, rng=np.random.default_rng(seed))
+            k.consume(small_alpha_stream)
+            estimates.append(k.estimate())
+        med = float(np.median(estimates))
+        assert med == pytest.approx(fv.l0(), rel=0.25)
+
+    def test_small_l0_exact_path(self):
+        k = KNWL0Estimator(1 << 14, eps=0.2, rng=np.random.default_rng(20))
+        for i in range(37):
+            k.update(i * 11, 1)
+        assert k.estimate() == 37
+
+    def test_zero_stream(self):
+        k = KNWL0Estimator(1024, eps=0.2, rng=np.random.default_rng(21))
+        assert k.estimate() == 0
+
+    def test_cancellation_not_counted(self):
+        k = KNWL0Estimator(1024, eps=0.2, rng=np.random.default_rng(22))
+        for i in range(30):
+            k.update(i, 1)
+        for i in range(25):
+            k.update(i, -1)
+        assert k.estimate() == pytest.approx(5, abs=3)
+
+    def test_sensor_stream(self, sensor_stream):
+        fv = sensor_stream.frequency_vector()
+        estimates = []
+        for seed in range(5):
+            k = KNWL0Estimator(4096, eps=0.1, rng=np.random.default_rng(seed))
+            k.consume(sensor_stream)
+            estimates.append(k.estimate())
+        assert float(np.median(estimates)) == pytest.approx(fv.l0(), rel=0.25)
+
+    def test_larger_support(self):
+        s = bounded_deletion_stream(1 << 14, 30000, alpha=2, seed=30, strict=False)
+        fv = s.frequency_vector()
+        estimates = []
+        for seed in range(5):
+            k = KNWL0Estimator(1 << 14, eps=0.1, rng=np.random.default_rng(seed))
+            k.consume(s)
+            estimates.append(k.estimate())
+        assert float(np.median(estimates)) == pytest.approx(fv.l0(), rel=0.25)
+
+    def test_eps_validation(self):
+        with pytest.raises(ValueError):
+            KNWL0Estimator(64, eps=0, rng=np.random.default_rng(0))
+
+    def test_space_charges_rows(self):
+        shallow = KNWL0Estimator(
+            1 << 10, eps=0.25, rng=np.random.default_rng(31), rows=3
+        )
+        deep = KNWL0Estimator(
+            1 << 10, eps=0.25, rng=np.random.default_rng(31), rows=11
+        )
+        assert deep.space_bits() > shallow.space_bits()

@@ -1,0 +1,172 @@
+"""Tests for repro.hashing.kwise (k-wise independent hash families)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashing.kwise import (
+    FourWiseHash,
+    KWiseHash,
+    PairwiseHash,
+    SignHash,
+    UniformScalars,
+)
+
+
+class TestKWiseHashBasics:
+    def test_output_in_range(self):
+        rng = np.random.default_rng(1)
+        h = KWiseHash(1024, 64, k=4, rng=rng)
+        for x in range(0, 1024, 37):
+            assert 0 <= h(x) < 64
+
+    def test_deterministic_per_instance(self):
+        rng = np.random.default_rng(2)
+        h = KWiseHash(1024, 64, k=4, rng=rng)
+        assert all(h(x) == h(x) for x in range(50))
+
+    def test_instances_differ(self):
+        h1 = KWiseHash(1 << 16, 1 << 12, k=2, rng=np.random.default_rng(3))
+        h2 = KWiseHash(1 << 16, 1 << 12, k=2, rng=np.random.default_rng(4))
+        outs1 = [h1(x) for x in range(200)]
+        outs2 = [h2(x) for x in range(200)]
+        assert outs1 != outs2
+
+    def test_hash_array_matches_scalar(self):
+        rng = np.random.default_rng(5)
+        h = KWiseHash(4096, 128, k=4, rng=rng)
+        xs = np.arange(0, 4096, 17)
+        vec = h.hash_array(xs)
+        assert [h(int(x)) for x in xs] == list(vec)
+
+    def test_prime_exceeds_range(self):
+        # Regression: ranges above the universe must still be covered.
+        rng = np.random.default_rng(6)
+        h = KWiseHash(1024, 1 << 24, k=4, rng=rng)
+        assert h.prime > 1 << 24
+        vals = h.hash_array(np.arange(2000))
+        # Values should spread across the whole range, not a prefix.
+        assert vals.max() > (1 << 24) * 0.5
+
+    def test_validation(self):
+        rng = np.random.default_rng(7)
+        with pytest.raises(ValueError):
+            KWiseHash(0, 4, k=2, rng=rng)
+        with pytest.raises(ValueError):
+            KWiseHash(4, 0, k=2, rng=rng)
+        with pytest.raises(ValueError):
+            KWiseHash(4, 4, k=0, rng=rng)
+        with pytest.raises(ValueError):
+            KWiseHash(100, 10, k=2, rng=rng, prime=50)
+
+    def test_space_bits_counts_coefficients(self):
+        rng = np.random.default_rng(8)
+        h2 = KWiseHash(1024, 64, k=2, rng=rng)
+        h4 = KWiseHash(1024, 64, k=4, rng=rng)
+        assert h4.space_bits() == 2 * h2.space_bits()
+
+
+class TestStatisticalUniformity:
+    def test_single_value_marginal_is_uniform(self):
+        """Marginal of h(x) over instances should be near-uniform."""
+        buckets = 8
+        counts = np.zeros(buckets)
+        trials = 600
+        for seed in range(trials):
+            h = KWiseHash(1 << 16, buckets, k=2, rng=np.random.default_rng(seed))
+            counts[h(12345)] += 1
+        expected = trials / buckets
+        chi2 = ((counts - expected) ** 2 / expected).sum()
+        # chi-square with 7 dof: 24 is ~0.001 tail.
+        assert chi2 < 24
+
+    def test_pairwise_collision_rate(self):
+        """Pr[h(x) = h(y)] for x != y should be ~1/range."""
+        buckets = 32
+        collisions = 0
+        trials = 2000
+        for seed in range(trials):
+            h = KWiseHash(1 << 16, buckets, k=2, rng=np.random.default_rng(seed))
+            collisions += h(111) == h(999)
+        rate = collisions / trials
+        assert abs(rate - 1 / buckets) < 0.02
+
+    def test_bucket_balance_over_items(self):
+        rng = np.random.default_rng(10)
+        h = KWiseHash(1 << 16, 16, k=4, rng=rng)
+        vals = h.hash_array(np.arange(16000))
+        counts = np.bincount(vals, minlength=16)
+        assert counts.min() > 700 and counts.max() < 1300
+
+
+class TestSignHash:
+    def test_outputs_plus_minus_one(self):
+        rng = np.random.default_rng(11)
+        g = SignHash(1024, rng)
+        assert set(g(x) for x in range(200)) == {-1, 1}
+
+    def test_roughly_balanced(self):
+        rng = np.random.default_rng(12)
+        g = SignHash(1 << 16, rng)
+        s = g.hash_array(np.arange(10000)).sum()
+        assert abs(s) < 600
+
+    def test_array_matches_scalar(self):
+        rng = np.random.default_rng(13)
+        g = SignHash(1024, rng)
+        xs = np.arange(0, 1024, 13)
+        assert list(g.hash_array(xs)) == [g(int(x)) for x in xs]
+
+
+class TestUniformScalars:
+    def test_in_unit_interval_and_nonzero(self):
+        rng = np.random.default_rng(14)
+        t = UniformScalars(1024, rng, k=4)
+        vals = [t(x) for x in range(500)]
+        assert all(0 < v <= 1 for v in vals)
+
+    def test_mean_near_half(self):
+        rng = np.random.default_rng(15)
+        t = UniformScalars(1 << 16, rng, k=4)
+        vals = t.hash_array(np.arange(20000))
+        assert abs(float(vals.mean()) - 0.5) < 0.02
+
+    def test_inverse_moments_finite_on_grid(self):
+        """1/t_i is bounded by the grid resolution (no division blowup)."""
+        rng = np.random.default_rng(16)
+        t = UniformScalars(1024, rng, k=4, resolution=1 << 10)
+        inv = [1.0 / t(x) for x in range(1024)]
+        assert max(inv) <= 1 << 10
+
+
+class TestConvenienceFamilies:
+    def test_pairwise_is_k2(self):
+        rng = np.random.default_rng(17)
+        assert PairwiseHash(256, 16, rng).k == 2
+
+    def test_fourwise_is_k4(self):
+        rng = np.random.default_rng(18)
+        assert FourWiseHash(256, 16, rng).k == 4
+
+
+@given(
+    universe_log=st.integers(min_value=4, max_value=16),
+    range_log=st.integers(min_value=1, max_value=20),
+    k=st.integers(min_value=1, max_value=6),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_hash_stays_in_range(universe_log, range_log, k, seed):
+    """For any configuration, outputs always lie in [0, range)."""
+    rng = np.random.default_rng(seed)
+    universe = 1 << universe_log
+    range_size = 1 << range_log
+    h = KWiseHash(universe, range_size, k=k, rng=rng)
+    xs = rng.integers(0, universe, size=32)
+    vals = h.hash_array(xs)
+    assert (vals >= 0).all() and (vals < range_size).all()
+    # Scalar path agrees with vector path.
+    assert h(int(xs[0])) == int(vals[0])

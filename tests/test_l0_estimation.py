@@ -1,0 +1,144 @@
+"""Tests for repro.core.l0_estimation (Section 6, Figure 7, Lemma 20)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.l0_estimation import (
+    AlphaConstL0Estimator,
+    AlphaL0Estimator,
+    AlphaRoughL0Estimate,
+)
+from repro.streams.generators import (
+    bounded_deletion_stream,
+    sensor_occupancy_stream,
+)
+
+
+class TestAlphaRoughL0Estimate:
+    def test_nondecreasing_and_bounded(self, sensor_stream):
+        r = AlphaRoughL0Estimate(4096, np.random.default_rng(1))
+        last = 0.0
+        for u in sensor_stream:
+            r.update(u.item, u.delta)
+            est = r.estimate()
+            assert est >= last
+            last = est
+        fv = sensor_stream.frequency_vector()
+        # Corollary 2 band: [L0^m, 8 alpha L0]; alpha_L0 here is ~3.5.
+        assert fv.l0() / 4 <= last <= 8 * 8 * fv.l0()
+
+    def test_floor_on_empty(self):
+        r = AlphaRoughL0Estimate(1 << 16, np.random.default_rng(2))
+        assert r.estimate() >= 8.0
+
+
+class TestAlphaConstL0Estimator:
+    def test_constant_factor(self, sensor_stream):
+        fv = sensor_stream.frequency_vector()
+        ests = []
+        for seed in range(7):
+            c = AlphaConstL0Estimator(
+                4096, alpha=4, rng=np.random.default_rng(seed)
+            ).consume(sensor_stream)
+            ests.append(c.estimate())
+        med = float(np.median(ests))
+        assert fv.l0() / 5 <= med <= 5 * fv.l0()
+
+    def test_window_limits_live_levels(self):
+        c = AlphaConstL0Estimator(
+            1 << 20, alpha=2, rng=np.random.default_rng(3), window_slack=1
+        )
+        for i in range(5000):
+            c.update(i, 1)
+        assert len(c._levels) <= 2 * c.half_window + 2
+        assert len(c._levels) < 21  # fewer than log n levels
+
+    def test_space_below_full_rough_estimator(self):
+        from repro.sketches.knw_l0 import RoughL0Estimator
+
+        n = 1 << 20
+        s = bounded_deletion_stream(n, 4000, alpha=2, seed=90)
+        a = AlphaConstL0Estimator(
+            n, alpha=2, rng=np.random.default_rng(4), window_slack=1
+        ).consume(s)
+        full = RoughL0Estimator(n, np.random.default_rng(5)).consume(s)
+        assert a.space_bits() < full.space_bits()
+
+
+class TestAlphaL0Estimator:
+    def test_relative_error_sensor(self, sensor_stream):
+        fv = sensor_stream.frequency_vector()
+        ests = []
+        for seed in range(7):
+            e = AlphaL0Estimator(
+                4096, eps=0.1, alpha=4, rng=np.random.default_rng(seed)
+            ).consume(sensor_stream)
+            ests.append(e.estimate())
+        med = float(np.median(ests))
+        assert med == pytest.approx(fv.l0(), rel=0.25)
+
+    def test_small_l0_exact(self):
+        e = AlphaL0Estimator(1 << 14, eps=0.2, alpha=2,
+                             rng=np.random.default_rng(6))
+        for i in range(23):
+            e.update(i * 31, 1)
+        assert e.estimate() == 23
+
+    def test_zero_stream(self):
+        e = AlphaL0Estimator(1024, eps=0.2, alpha=2,
+                             rng=np.random.default_rng(7))
+        assert e.estimate() == 0
+
+    def test_window_is_sublinear_in_log_n(self):
+        n = 1 << 20
+        e = AlphaL0Estimator(
+            n, eps=0.25, alpha=2, rng=np.random.default_rng(8), window_slack=1
+        )
+        for i in range(3000):
+            e.update(i, 1)
+        assert len(e.live_rows()) < int(np.log2(n))
+
+    def test_window_follows_growing_support(self):
+        """Rows must slide as L0 grows by orders of magnitude."""
+        n = 1 << 18
+        e = AlphaL0Estimator(
+            n, eps=0.25, alpha=2, rng=np.random.default_rng(9), window_slack=1
+        )
+        for i in range(50):
+            e.update(i, 1)
+        early_rows = set(e.live_rows())
+        for i in range(50, 60_000):
+            e.update(i, 1)
+        late_rows = set(e.live_rows())
+        assert early_rows != late_rows
+        est = e.estimate()
+        assert est == pytest.approx(60_000, rel=0.3)
+
+    def test_deletions_respected(self, sensor_stream):
+        """The final estimate reflects L0, not F0."""
+        fv = sensor_stream.frequency_vector()
+        assert fv.f0() > fv.l0()  # churn happened
+        e = AlphaL0Estimator(
+            4096, eps=0.1, alpha=4, rng=np.random.default_rng(10)
+        ).consume(sensor_stream)
+        assert e.estimate() < 0.75 * fv.f0()
+
+    def test_space_beats_baseline_at_large_n(self):
+        from repro.sketches.knw_l0 import KNWL0Estimator
+
+        n = 1 << 20
+        s = sensor_occupancy_stream(n, 400, seed=91)
+        a = AlphaL0Estimator(
+            n, eps=0.25, alpha=4, rng=np.random.default_rng(11), window_slack=1
+        ).consume(s)
+        b = KNWL0Estimator(n, eps=0.25, rng=np.random.default_rng(12)).consume(s)
+        assert a.space_bits() < b.space_bits()
+
+    def test_validation(self):
+        rng = np.random.default_rng(13)
+        with pytest.raises(ValueError):
+            AlphaL0Estimator(64, eps=0, alpha=2, rng=rng)
+        with pytest.raises(ValueError):
+            AlphaL0Estimator(64, eps=0.2, alpha=0.5, rng=rng)

@@ -1,0 +1,124 @@
+"""Tests for repro.core.l1_estimation (Figure 4 strict; Theorem 8 general)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.l1_estimation import (
+    AlphaL1EstimatorGeneral,
+    AlphaL1EstimatorStrict,
+)
+from repro.streams.generators import bounded_deletion_stream
+
+
+class TestStrictEstimator:
+    def test_exact_while_stream_short(self, small_alpha_stream):
+        """Below the interval base s the estimator samples everything."""
+        fv = small_alpha_stream.frequency_vector()
+        est = AlphaL1EstimatorStrict(
+            alpha=4, eps=0.1, rng=np.random.default_rng(1)
+        ).consume(small_alpha_stream)
+        assert est.estimate() == fv.l1()
+
+    @pytest.mark.parametrize("alpha", [2, 4])
+    def test_relative_error_on_long_stream(self, alpha):
+        """Sampling engages (m >> s) and the estimate stays within eps-ish."""
+        s = bounded_deletion_stream(512, 60_000, alpha=alpha, seed=80,
+                                    strict=False)
+        fv = s.frequency_vector()
+        ests = []
+        for seed in range(9):
+            e = AlphaL1EstimatorStrict(
+                alpha=alpha, eps=0.2, rng=np.random.default_rng(seed), s=2000
+            ).consume(s)
+            ests.append(e.estimate())
+        med = float(np.median(ests))
+        assert med == pytest.approx(fv.l1(), rel=0.25)
+
+    def test_sampling_actually_engaged(self):
+        s = bounded_deletion_stream(512, 60_000, alpha=2, seed=81, strict=False)
+        e = AlphaL1EstimatorStrict(
+            alpha=2, eps=0.2, rng=np.random.default_rng(2), s=2000
+        ).consume(s)
+        assert max(e._levels) >= 1  # moved past the base interval
+
+    def test_morris_vs_exact_pacing(self):
+        """Ablation: exact pacing should be at least as accurate."""
+        s = bounded_deletion_stream(512, 60_000, alpha=2, seed=82, strict=False)
+        fv = s.frequency_vector()
+
+        def run(use_morris: bool) -> float:
+            errs = []
+            for seed in range(7):
+                e = AlphaL1EstimatorStrict(
+                    alpha=2, eps=0.2, rng=np.random.default_rng(seed),
+                    s=2000, use_morris=use_morris,
+                ).consume(s)
+                errs.append(abs(e.estimate() - fv.l1()) / fv.l1())
+            return float(np.median(errs))
+
+        assert run(use_morris=False) <= run(use_morris=True) + 0.15
+
+    def test_space_is_tiny(self):
+        """The whole point: O(log(alpha/eps) + log log n) bits."""
+        s = bounded_deletion_stream(512, 30_000, alpha=2, seed=83, strict=False)
+        e = AlphaL1EstimatorStrict(
+            alpha=2, eps=0.2, rng=np.random.default_rng(3), s=2000
+        ).consume(s)
+        assert e.space_bits() < 200
+
+    def test_space_scales_with_log_s(self):
+        s = bounded_deletion_stream(512, 30_000, alpha=2, seed=84, strict=False)
+        small = AlphaL1EstimatorStrict(
+            alpha=2, eps=0.2, rng=np.random.default_rng(4), s=500
+        ).consume(s)
+        big = AlphaL1EstimatorStrict(
+            alpha=2, eps=0.2, rng=np.random.default_rng(5), s=8000
+        ).consume(s)
+        assert big.space_bits() >= small.space_bits()
+
+    def test_validation(self):
+        rng = np.random.default_rng(6)
+        with pytest.raises(ValueError):
+            AlphaL1EstimatorStrict(alpha=0.5, eps=0.2, rng=rng)
+        with pytest.raises(ValueError):
+            AlphaL1EstimatorStrict(alpha=2, eps=0, rng=rng)
+
+
+class TestGeneralEstimator:
+    def test_relative_error(self, general_alpha_stream):
+        fv = general_alpha_stream.frequency_vector()
+        ests = []
+        for seed in range(5):
+            e = AlphaL1EstimatorGeneral(
+                1024, eps=0.25, alpha=4, rng=np.random.default_rng(seed)
+            ).consume(general_alpha_stream)
+            ests.append(e.estimate())
+        med = float(np.median(ests))
+        assert med == pytest.approx(fv.l1(), rel=0.35)
+
+    def test_sampling_narrows_counters(self):
+        """With a small sample budget, counters stay narrow even on long
+        streams (the log(alpha) vs log(n) counter-width story)."""
+        s = bounded_deletion_stream(256, 40_000, alpha=2, seed=85, strict=False)
+        budgeted = AlphaL1EstimatorGeneral(
+            256, eps=0.3, alpha=2, rng=np.random.default_rng(7),
+            sample_budget=512,
+        ).consume(s)
+        assert budgeted.log2_inv_p.max() >= 1  # halving engaged
+        est = budgeted.estimate()
+        fv = s.frequency_vector()
+        assert est == pytest.approx(fv.l1(), rel=0.6)
+
+    def test_zero_stream(self):
+        e = AlphaL1EstimatorGeneral(64, eps=0.3, alpha=2,
+                                    rng=np.random.default_rng(8))
+        assert e.estimate() == 0.0
+
+    def test_validation(self):
+        rng = np.random.default_rng(9)
+        with pytest.raises(ValueError):
+            AlphaL1EstimatorGeneral(64, eps=0, alpha=2, rng=rng)
+        with pytest.raises(ValueError):
+            AlphaL1EstimatorGeneral(64, eps=0.3, alpha=0.5, rng=rng)

@@ -1,0 +1,68 @@
+"""Tests for repro.core.l2_heavy_hitters (Appendix A)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.l2_heavy_hitters import AlphaL2HeavyHitters
+from repro.streams.generators import bounded_deletion_stream
+
+
+class TestL2HeavyHitters:
+    def test_recall_and_precision(self, general_alpha_stream):
+        fv = general_alpha_stream.frequency_vector()
+        eps = 0.25
+        hh = AlphaL2HeavyHitters(
+            1024, eps=eps, alpha=2, rng=np.random.default_rng(1)
+        ).consume(general_alpha_stream)
+        got = hh.heavy_hitters()
+        assert fv.heavy_hitters(eps, p=2) <= got
+        # precision down to eps/3 (norm estimates are approximate)
+        assert got <= fv.heavy_hitters(eps / 3, p=2)
+
+    @pytest.mark.parametrize("eps", [0.5, 0.25])
+    def test_eps_sweep(self, general_alpha_stream, eps):
+        fv = general_alpha_stream.frequency_vector()
+        hh = AlphaL2HeavyHitters(
+            1024, eps=eps, alpha=2, rng=np.random.default_rng(2)
+        ).consume(general_alpha_stream)
+        assert fv.heavy_hitters(eps, p=2) <= hh.heavy_hitters()
+
+    def test_l2_hh_that_is_not_l1_hh_is_found(self):
+        """The L2 regime's raison d'etre: an item can be an L2 HH while
+        far below the L1 threshold."""
+        from repro.streams.model import Stream, Update
+
+        n = 1 << 12
+        s = Stream(n)
+        for i in range(1, 2049):
+            s.append(Update(i, 1))
+        s.append(Update(0, 40))  # L2 heavy (40 vs sqrt(2048+1600)), L1 light
+        fv = s.frequency_vector()
+        assert 0 in fv.heavy_hitters(0.5, p=2)
+        assert 0 not in fv.heavy_hitters(0.5, p=1)
+        hh = AlphaL2HeavyHitters(
+            n, eps=0.5, alpha=1, rng=np.random.default_rng(3)
+        ).consume(s)
+        assert 0 in hh.heavy_hitters()
+
+    def test_empty_stream(self):
+        hh = AlphaL2HeavyHitters(64, eps=0.5, alpha=2, rng=np.random.default_rng(4))
+        assert hh.heavy_hitters() == set()
+
+    def test_space_polynomial_in_alpha(self):
+        small = AlphaL2HeavyHitters(
+            1024, eps=0.25, alpha=1, rng=np.random.default_rng(5)
+        )
+        big = AlphaL2HeavyHitters(
+            1024, eps=0.25, alpha=8, rng=np.random.default_rng(6)
+        )
+        assert big.space_bits() > small.space_bits()
+
+    def test_validation(self):
+        rng = np.random.default_rng(7)
+        with pytest.raises(ValueError):
+            AlphaL2HeavyHitters(64, eps=0, alpha=2, rng=rng)
+        with pytest.raises(ValueError):
+            AlphaL2HeavyHitters(64, eps=0.5, alpha=0.5, rng=rng)

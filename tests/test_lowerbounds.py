@@ -1,0 +1,213 @@
+"""Tests for repro.lowerbounds — every reduction must (a) produce streams
+with the claimed (strong) α-property and (b) decode correctly through an
+exact oracle AND through this library's sketches."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.lowerbounds.communication import (
+    AugmentedIndexingInstance,
+    EqualityInstance,
+    GapHammingInstance,
+    coding_family,
+)
+from repro.lowerbounds.reductions import (
+    HeavyHittersReduction,
+    InnerProductReduction,
+    L1EstimationEqualityReduction,
+    L1EstimationStrictReduction,
+    L1SamplingReduction,
+    SupportSamplingReduction,
+)
+from repro.streams.alpha import l0_alpha, l1_alpha, strong_alpha
+
+
+class TestCommunicationInstances:
+    def test_augmented_indexing(self):
+        inst = AugmentedIndexingInstance.random(32, seed=1)
+        assert inst.d == 32
+        assert inst.answer == inst.y[inst.i_star]
+        assert inst.suffix == inst.y[inst.i_star + 1 :]
+
+    def test_equality_equal_and_unequal(self):
+        eq = EqualityInstance.random(16, equal=True, seed=2)
+        ne = EqualityInstance.random(16, equal=False, seed=3)
+        assert eq.answer and not ne.answer
+
+    def test_gap_hamming_gap_respected(self):
+        d = 256
+        yes = GapHammingInstance.random(d, is_yes=True, seed=4)
+        no = GapHammingInstance.random(d, is_yes=False, seed=5)
+        sqrt_d = int(np.ceil(np.sqrt(d)))
+        assert yes.distance > d // 2 + sqrt_d
+        assert no.distance < d // 2 - sqrt_d
+
+    def test_coding_family_intersections(self):
+        rng = np.random.default_rng(6)
+        fam = coding_family(256, size_bits=4, rng=rng)
+        assert len(fam) == 16
+        limit = 256 // 16
+        for i, a in enumerate(fam):
+            for b in fam[i + 1 :]:
+                assert len(set(a) & set(b)) < limit
+
+
+class TestHeavyHittersReduction:
+    def test_stream_has_strong_alpha_squared_property(self):
+        red = HeavyHittersReduction(n=256, eps=1 / 8, alpha=64, seed=7)
+        for seed in range(5):
+            inst = AugmentedIndexingInstance.random(red.d, seed=seed)
+            s = red.build_stream(inst)
+            assert strong_alpha(s) <= 3 * 64**2
+
+    def test_decode_via_exact_oracle(self):
+        red = HeavyHittersReduction(n=256, eps=1 / 8, alpha=64, seed=8)
+        ok = 0
+        for seed in range(10):
+            inst = AugmentedIndexingInstance.random(red.d, seed=seed)
+            fv = red.build_stream(inst).frequency_vector()
+            ok += red.decode(fv.heavy_hitters(red.eps), inst) == inst.answer
+        assert ok == 10
+
+    def test_decode_via_alpha_sketch(self):
+        """End-to-end: a working AlphaHeavyHitters solves Ind — the content
+        of the Theorem 12 lower bound."""
+        from repro.core.heavy_hitters import AlphaHeavyHitters
+
+        red = HeavyHittersReduction(n=256, eps=1 / 8, alpha=16, seed=9)
+        ok = 0
+        trials = 6
+        for seed in range(trials):
+            inst = AugmentedIndexingInstance.random(red.d, seed=100 + seed)
+            s = red.build_stream(inst)
+            hh = AlphaHeavyHitters(
+                256, eps=red.eps, alpha=3 * 16**2,
+                rng=np.random.default_rng(seed),
+            ).consume(s)
+            ok += red.decode(hh.heavy_hitters(), inst) == inst.answer
+        assert ok >= trials - 1
+
+
+class TestL1EstimationReductions:
+    def test_equality_reduction_alpha_three_halves(self):
+        red = L1EstimationEqualityReduction(n=256, size_bits=3, seed=10)
+        s_eq = red.build_stream(2, 2)
+        s_ne = red.build_stream(1, 5)
+        assert l1_alpha(s_eq) <= 2.0
+        assert l1_alpha(s_ne) <= 2.0
+
+    def test_equality_decode_exact(self):
+        red = L1EstimationEqualityReduction(n=256, size_bits=3, seed=11)
+        eq_l1 = red.build_stream(4, 4).frequency_vector().l1()
+        ne_l1 = red.build_stream(4, 6).frequency_vector().l1()
+        assert red.decode(eq_l1) is True
+        assert red.decode(ne_l1) is False
+
+    def test_equality_decode_survives_sixteenth_error(self):
+        red = L1EstimationEqualityReduction(n=256, size_bits=3, seed=12)
+        eq_l1 = red.build_stream(4, 4).frequency_vector().l1()
+        ne_l1 = red.build_stream(4, 6).frequency_vector().l1()
+        assert red.decode(eq_l1 * (1 + 1 / 16)) is True
+        assert red.decode(ne_l1 * (1 - 1 / 16)) is False
+
+    def test_strict_reduction_decodes(self):
+        red = L1EstimationStrictReduction(alpha=10**4)
+        ok = 0
+        for seed in range(10):
+            inst = AugmentedIndexingInstance.random(red.d, seed=seed)
+            fv = red.build_stream(inst).frequency_vector()
+            ok += red.decode(fv.l1(), inst) == inst.answer
+        assert ok == 10
+
+    def test_strict_reduction_alpha_property(self):
+        red = L1EstimationStrictReduction(alpha=10**4)
+        for seed in range(5):
+            inst = AugmentedIndexingInstance.random(red.d, seed=seed)
+            s = red.build_stream(inst)
+            assert strong_alpha(s) <= (10**4) ** 2
+
+
+class TestL1SamplingReduction:
+    def test_decode_via_exact_mode(self):
+        red = L1SamplingReduction(n=128, alpha=64, seed=13)
+        inst = AugmentedIndexingInstance.random(red.d, seed=14)
+        fv = red.build_stream(inst).frequency_vector()
+        # An ideal L1 sampler returns the max-mass item most of the time.
+        heaviest = fv.top_k(1)[0]
+        assert red.decode([heaviest] * 5, inst) == inst.answer
+
+
+class TestSupportSamplingReduction:
+    def test_l0_alpha_bounded(self):
+        red = SupportSamplingReduction(n=1024, alpha=64, seed=15)
+        for seed in range(5):
+            inst = AugmentedIndexingInstance.random(red.d, seed=seed)
+            s = red.build_stream(inst)
+            assert l0_alpha(s) <= 64
+
+    def test_decode_exact_support(self):
+        red = SupportSamplingReduction(n=1024, alpha=64, seed=16)
+        ok = 0
+        for seed in range(10):
+            inst = AugmentedIndexingInstance.random(red.d, seed=seed)
+            fv = red.build_stream(inst).frequency_vector()
+            ok += red.decode(fv.support(), inst) == inst.answer
+        assert ok == 10
+
+    def test_decode_via_alpha_support_sampler(self):
+        from repro.core.support_sampler import AlphaSupportSampler
+
+        red = SupportSamplingReduction(n=1024, alpha=64, seed=17)
+        ok = 0
+        trials = 5
+        for seed in range(trials):
+            inst = AugmentedIndexingInstance.random(red.d, seed=200 + seed)
+            s = red.build_stream(inst)
+            ss = AlphaSupportSampler(
+                1024, k=16, alpha=64, rng=np.random.default_rng(seed)
+            ).consume(s)
+            got = ss.sample()
+            if not got:
+                continue
+            ok += red.decode(got, inst) == inst.answer
+        assert ok >= trials - 1
+
+
+class TestInnerProductReduction:
+    def test_strong_alpha_bounded(self):
+        red = InnerProductReduction(alpha=100)
+        for seed in range(5):
+            inst = AugmentedIndexingInstance.random(red.d, seed=seed)
+            f, __ = red.build_streams(inst)
+            assert strong_alpha(f) <= 5 * 100**2
+
+    def test_decode_exact(self):
+        red = InnerProductReduction(alpha=100)
+        ok = 0
+        for seed in range(10):
+            inst = AugmentedIndexingInstance.random(red.d, seed=seed)
+            f, g = red.build_streams(inst)
+            ip = f.frequency_vector().inner_product(g.frequency_vector())
+            ok += red.decode(ip, inst) == inst.answer
+        assert ok == 10
+
+    def test_decode_survives_additive_error(self):
+        """The reduction tolerates the eps ||f||_1 ||g||_1 error budget."""
+        red = InnerProductReduction(alpha=100, eps=1 / 8)
+        inst = AugmentedIndexingInstance.random(red.d, seed=18)
+        f, g = red.build_streams(inst)
+        fv, gv = f.frequency_vector(), g.frequency_vector()
+        ip = fv.inner_product(gv)
+        budget = (1 / 3) * 100 * 10 ** ((inst.i_star // red.block_size) + 1)
+        assert red.decode(ip + budget * 0.9, inst) == inst.answer
+        assert red.decode(ip - budget * 0.9, inst) == inst.answer
+
+
+class TestInstanceSizeMismatch:
+    def test_build_rejects_wrong_d(self):
+        red = HeavyHittersReduction(n=256, eps=1 / 8, alpha=64, seed=19)
+        bad = AugmentedIndexingInstance.random(red.d + 1, seed=20)
+        with pytest.raises(ValueError):
+            red.build_stream(bad)

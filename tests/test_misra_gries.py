@@ -1,0 +1,102 @@
+"""Tests for repro.sketches.misra_gries (insertion-only endpoint)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketches.misra_gries import MisraGries
+from repro.streams.generators import zipfian_insertion_stream
+
+
+class TestGuarantee:
+    def test_undercount_bounded_by_eps_m(self):
+        s = zipfian_insertion_stream(512, 8000, skew=1.2, seed=1)
+        fv = s.frequency_vector()
+        eps = 1 / 16
+        mg = MisraGries(512, eps).consume(s)
+        for item in range(512):
+            true = int(fv.f[item])
+            est = mg.query(item)
+            assert est <= true
+            assert true - est <= eps * len(s)
+
+    def test_all_heavy_hitters_tracked(self):
+        s = zipfian_insertion_stream(512, 8000, skew=1.3, seed=2)
+        fv = s.frequency_vector()
+        eps = 1 / 16
+        mg = MisraGries(512, eps).consume(s)
+        assert fv.heavy_hitters(eps) <= mg.heavy_hitters()
+
+    def test_certified_reporting(self):
+        s = zipfian_insertion_stream(512, 8000, skew=1.5, seed=3)
+        fv = s.frequency_vector()
+        eps = 1 / 8
+        mg = MisraGries(512, eps).consume(s)
+        certified = mg.heavy_hitters_above(2 * eps * len(s))
+        # Everything certified at 2eps truly exceeds eps.
+        for item in certified:
+            assert fv.f[item] >= eps * len(s)
+
+
+class TestMechanics:
+    def test_capacity(self):
+        assert MisraGries(64, 1 / 8).capacity == 7
+        assert MisraGries(64, 0.5).capacity == 1
+
+    def test_never_exceeds_capacity(self):
+        mg = MisraGries(1 << 12, 1 / 4)
+        rng = np.random.default_rng(4)
+        for i in rng.integers(0, 1 << 12, size=2000):
+            mg.update(int(i), 1)
+            assert len(mg._counters) <= mg.capacity
+
+    def test_batched_updates_match_units(self):
+        a = MisraGries(64, 1 / 4)
+        b = MisraGries(64, 1 / 4)
+        seq = [(1, 5), (2, 3), (3, 4), (1, 2), (4, 6)]
+        for item, count in seq:
+            a.update(item, count)
+            for _ in range(count):
+                b.update(item, 1)
+        # Decrement batching is order-equivalent for the guarantee, and
+        # here with few items the states agree exactly.
+        for item in (1, 2, 3, 4):
+            assert abs(a.query(item) - b.query(item)) <= 6
+
+    def test_deletions_rejected(self):
+        mg = MisraGries(64, 1 / 4)
+        with pytest.raises(ValueError, match="insertion-only"):
+            mg.update(3, -1)
+
+    def test_space_is_eps_inverse_counters(self):
+        small = MisraGries(1 << 12, 1 / 4)
+        big = MisraGries(1 << 12, 1 / 64)
+        small.update(0, 1)
+        big.update(0, 1)
+        assert big.space_bits() > small.space_bits()
+
+    def test_eps_validation(self):
+        with pytest.raises(ValueError):
+            MisraGries(64, 0)
+
+
+@given(
+    items=st.lists(st.integers(min_value=0, max_value=15), min_size=1,
+                   max_size=300),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_mg_undercount_invariant(items):
+    """For any insertion-only sequence: 0 <= f_i - est_i <= eps * m."""
+    eps = 1 / 4
+    mg = MisraGries(16, eps)
+    truth = np.zeros(16, dtype=int)
+    for i in items:
+        mg.update(i, 1)
+        truth[i] += 1
+    m = len(items)
+    for i in range(16):
+        est = mg.query(i)
+        assert 0 <= truth[i] - est <= eps * m + 1e-9

@@ -1,0 +1,71 @@
+"""Tests for repro.hashing.modhash (Lemma 7 reduction, lsb map)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashing.modhash import StreamingModReducer, lsb
+
+
+class TestLsb:
+    @pytest.mark.parametrize(
+        "x,expected",
+        [(1, 0), (2, 1), (3, 0), (4, 2), (5, 0), (6, 1), (8, 3), (12, 2), (1 << 20, 20)],
+    )
+    def test_known_values(self, x, expected):
+        assert lsb(x) == expected
+
+    def test_zero_requires_zero_value(self):
+        with pytest.raises(ValueError):
+            lsb(0)
+        assert lsb(0, zero_value=10) == 10
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            lsb(-1)
+
+    def test_geometric_distribution_over_uniform_inputs(self):
+        """lsb of a uniform value is j with probability ~2^-(j+1)."""
+        rng = np.random.default_rng(3)
+        xs = rng.integers(1, 1 << 30, size=40000)
+        levels = np.array([lsb(int(x)) for x in xs])
+        for j in range(5):
+            frac = (levels == j).mean()
+            assert abs(frac - 2.0 ** -(j + 1)) < 0.02
+
+
+class TestStreamingModReducer:
+    def test_matches_builtin_mod(self):
+        red = StreamingModReducer(prime=10007, n_bits=20)
+        for x in range(0, 1 << 20, 9973):
+            assert red.reduce(x) == x % 10007
+
+    def test_rejects_oversized_inputs(self):
+        red = StreamingModReducer(prime=101, n_bits=8)
+        with pytest.raises(ValueError):
+            red.reduce(256)
+        with pytest.raises(ValueError):
+            red.reduce(-1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StreamingModReducer(prime=1, n_bits=8)
+        with pytest.raises(ValueError):
+            StreamingModReducer(prime=7, n_bits=0)
+
+    def test_space_is_log_p_plus_loglog_n(self):
+        red = StreamingModReducer(prime=10007, n_bits=1 << 10)
+        # Two residues (14 bits each) + a 10+1-bit position counter.
+        assert red.space_bits() < 3 * 14 + 12
+
+    @given(
+        x=st.integers(min_value=0, max_value=(1 << 40) - 1),
+        prime=st.sampled_from([101, 10007, 65537, 2**31 - 1]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_agrees_with_mod(self, x, prime):
+        red = StreamingModReducer(prime=prime, n_bits=40)
+        assert red.reduce(x) == x % prime

@@ -1,0 +1,111 @@
+"""Tests for repro.hashing.primes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashing.primes import (
+    is_prime,
+    next_prime,
+    prime_for_universe,
+    random_prime_in_range,
+)
+
+KNOWN_PRIMES = [2, 3, 5, 7, 11, 13, 101, 65537, 2**31 - 1, 2**61 - 1]
+KNOWN_COMPOSITES = [0, 1, 4, 6, 9, 15, 91, 65536, 2**31, 561, 41041, 825265]
+
+
+class TestIsPrime:
+    @pytest.mark.parametrize("p", KNOWN_PRIMES)
+    def test_known_primes(self, p):
+        assert is_prime(p)
+
+    @pytest.mark.parametrize("c", KNOWN_COMPOSITES)
+    def test_known_composites_and_carmichaels(self, c):
+        # 561, 41041, 825265 are Carmichael numbers — Fermat pseudoprimes
+        # that Miller-Rabin must still reject.
+        assert not is_prime(c)
+
+    def test_negative(self):
+        assert not is_prime(-7)
+
+    def test_agrees_with_sieve_below_10k(self):
+        limit = 10_000
+        sieve = np.ones(limit, dtype=bool)
+        sieve[:2] = False
+        for i in range(2, int(limit**0.5) + 1):
+            if sieve[i]:
+                sieve[i * i :: i] = False
+        for v in range(limit):
+            assert is_prime(v) == bool(sieve[v]), v
+
+
+class TestNextPrime:
+    def test_from_prime_returns_itself(self):
+        assert next_prime(13) == 13
+
+    def test_from_composite(self):
+        assert next_prime(14) == 17
+        assert next_prime(90) == 97
+
+    def test_small_values(self):
+        assert next_prime(0) == 2
+        assert next_prime(1) == 2
+        assert next_prime(2) == 2
+        assert next_prime(3) == 3
+
+    @given(st.integers(min_value=2, max_value=10**7))
+    @settings(max_examples=50, deadline=None)
+    def test_result_is_prime_and_geq(self, n):
+        p = next_prime(n)
+        assert p >= n
+        assert is_prime(p)
+
+
+class TestRandomPrimeInRange:
+    def test_in_range_and_prime(self, rng=None):
+        rng = np.random.default_rng(5)
+        for _ in range(20):
+            p = random_prime_in_range(1_000, 10_000, rng)
+            assert 1_000 <= p < 10_000
+            assert is_prime(p)
+
+    def test_handles_ranges_beyond_int64(self):
+        rng = np.random.default_rng(6)
+        lo = 2**70
+        p = random_prime_in_range(lo, lo * 8, rng)
+        assert lo <= p < lo * 8
+        assert is_prime(p)
+
+    def test_empty_range_raises(self):
+        rng = np.random.default_rng(7)
+        with pytest.raises(ValueError):
+            random_prime_in_range(100, 100, rng)
+
+    def test_narrow_range_falls_back_to_scan(self):
+        rng = np.random.default_rng(8)
+        # [89, 98) contains only 89 and 97.
+        for _ in range(5):
+            assert random_prime_in_range(89, 98, rng) in (89, 97)
+
+    def test_different_rngs_give_different_primes(self):
+        draws = {
+            random_prime_in_range(10**6, 10**7, np.random.default_rng(s))
+            for s in range(10)
+        }
+        assert len(draws) > 3
+
+
+class TestPrimeForUniverse:
+    def test_exceeds_universe(self):
+        for n in (10, 1 << 16, 1 << 20, 1 << 30):
+            p = prime_for_universe(n)
+            assert p > n
+            assert is_prime(p)
+
+    def test_floor_for_tiny_universe(self):
+        # Small universes still get a >= 2^16 field for good mixing.
+        assert prime_for_universe(4) > 1 << 16

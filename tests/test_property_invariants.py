@@ -1,0 +1,187 @@
+"""Cross-cutting property tests: invariants every sketch family must hold.
+
+These hypothesis suites check structural properties that hold regardless
+of data: linearity (linear sketches commute with stream concatenation and
+negation), permutation invariance of norm estimators, determinism given a
+seed, and the α-property algebra.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketches.ams import AMSSketch
+from repro.sketches.countmin import CountMin
+from repro.sketches.countsketch import CountSketch
+from repro.sketches.sparse_recovery import SparseRecovery
+from repro.streams.alpha import l1_alpha
+from repro.streams.model import stream_from_updates
+
+update_lists = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=63),
+        st.integers(min_value=-5, max_value=5).filter(lambda d: d != 0),
+    ),
+    max_size=40,
+)
+
+
+class TestLinearity:
+    """A linear sketch of (stream ++ negated stream) is the zero sketch."""
+
+    @given(updates=update_lists, seed=st.integers(0, 2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_countsketch_cancellation(self, updates, seed):
+        cs = CountSketch(64, 16, 4, np.random.default_rng(seed))
+        for item, delta in updates:
+            cs.update(item, delta)
+        for item, delta in updates:
+            cs.update(item, -delta)
+        assert not cs.table.any()
+
+    @given(updates=update_lists, seed=st.integers(0, 2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_countmin_cancellation(self, updates, seed):
+        cm = CountMin(64, 16, 3, np.random.default_rng(seed))
+        for item, delta in updates:
+            cm.update(item, delta)
+        for item, delta in updates:
+            cm.update(item, -delta)
+        assert not cm.table.any()
+
+    @given(updates=update_lists, seed=st.integers(0, 2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_ams_cancellation(self, updates, seed):
+        ams = AMSSketch(64, 4, 2, np.random.default_rng(seed))
+        for item, delta in updates:
+            ams.update(item, delta)
+        for item, delta in updates:
+            ams.update(item, -delta)
+        assert not ams.z.any()
+
+    @given(updates=update_lists, seed=st.integers(0, 2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_sparse_recovery_cancellation(self, updates, seed):
+        sr = SparseRecovery(64, 8, np.random.default_rng(seed))
+        for item, delta in updates:
+            sr.update(item, delta)
+        for item, delta in updates:
+            sr.update(item, -delta)
+        assert sr.is_zero()
+        assert sr.recover() == {}
+
+    @given(updates=update_lists, seed=st.integers(0, 2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_countsketch_merge_equals_sequential(self, updates, seed):
+        """sketch(A) + sketch(B) == sketch(A ++ B) with shared hashes."""
+        half = len(updates) // 2
+        rng = np.random.default_rng(seed)
+        base = CountSketch(64, 16, 4, rng)
+        first = base.clone_empty()
+        second = base.clone_empty()
+        combined = base.clone_empty()
+        for item, delta in updates[:half]:
+            first.update(item, delta)
+            combined.update(item, delta)
+        for item, delta in updates[half:]:
+            second.update(item, delta)
+            combined.update(item, delta)
+        merged = first.merged_with(second)
+        assert (merged.table == combined.table).all()
+
+
+class TestDeterminism:
+    @given(updates=update_lists, seed=st.integers(0, 2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_same_seed_same_countsketch(self, updates, seed):
+        def build():
+            cs = CountSketch(64, 16, 4, np.random.default_rng(seed))
+            for item, delta in updates:
+                cs.update(item, delta)
+            return cs.table.copy()
+
+        assert (build() == build()).all()
+
+    @given(seed=st.integers(0, 2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_same_seed_same_csss(self, seed):
+        from repro.core.csss import CSSS
+
+        def build():
+            c = CSSS(64, k=4, eps=0.25, alpha=2,
+                     rng=np.random.default_rng(seed), sample_budget=64)
+            for i in range(50):
+                c.update(i % 7, 1)
+            return c.pos.copy(), c.neg.copy()
+
+        p1, n1 = build()
+        p2, n2 = build()
+        assert (p1 == p2).all() and (n1 == n2).all()
+
+
+class TestNormEstimatorSymmetries:
+    @given(updates=update_lists, seed=st.integers(0, 2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_ams_f2_sign_flip_invariant(self, updates, seed):
+        """F2 of -f equals F2 of f (estimator sees z -> -z)."""
+        a = AMSSketch(64, 8, 3, np.random.default_rng(seed))
+        b = a.clone_empty()
+        for item, delta in updates:
+            a.update(item, delta)
+            b.update(item, -delta)
+        assert a.f2_estimate() == pytest.approx(b.f2_estimate())
+
+    @given(
+        updates=update_lists,
+        shift=st.integers(min_value=1, max_value=63),
+        seed=st.integers(0, 2**31),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_exact_norms_permutation_invariant(self, updates, shift, seed):
+        """Ground-truth norms are invariant under relabeling; sketch
+        estimators are only distributionally so — we check the exact
+        layer, which every accuracy test measures against."""
+        s1 = stream_from_updates(64, updates)
+        s2 = stream_from_updates(
+            64, [((i + shift) % 64, d) for i, d in updates]
+        )
+        f1, f2 = s1.frequency_vector(), s2.frequency_vector()
+        assert f1.l1() == f2.l1()
+        assert f1.l0() == f2.l0()
+        assert f1.l2() == pytest.approx(f2.l2())
+
+
+class TestAlphaAlgebra:
+    @given(updates=update_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_concatenation_with_fresh_insertions_lowers_alpha(self, updates):
+        """Insertion mass on an *untouched* coordinate never raises the L1
+        alpha: it adds equally to gross and net mass (mediant inequality).
+        (Adding mass to a negatively-frequencied coordinate CAN raise
+        alpha — cancellation — which is why the fresh coordinate matters.)
+        """
+        s = stream_from_updates(128, updates)  # updates live in [0, 64)
+        before = l1_alpha(s)
+        if before == float("inf"):
+            return  # fully cancelled; adding mass makes alpha finite
+        bulk = stream_from_updates(
+            128, [(100, 1)] * (2 * max(1, len(updates)))
+        )
+        combined = s.concatenated_with(bulk)
+        assert l1_alpha(combined) <= before + 1e-9
+
+    @given(updates=update_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_doubling_stream_preserves_alpha(self, updates):
+        """Replaying the same updates twice preserves the L1 alpha
+        (both gross and net mass double)."""
+        s = stream_from_updates(64, updates)
+        doubled = stream_from_updates(64, updates + updates)
+        a1, a2 = l1_alpha(s), l1_alpha(doubled)
+        if a1 == float("inf"):
+            assert a2 == float("inf")
+        else:
+            assert a2 == pytest.approx(a1)

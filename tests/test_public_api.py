@@ -1,0 +1,80 @@
+"""Tests for the public API surface (repro/__init__.py)."""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+
+import numpy as np
+import pytest
+
+import repro
+
+
+class TestApiSurface:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_subpackages_importable(self):
+        for mod in (
+            "repro.core",
+            "repro.sketches",
+            "repro.streams",
+            "repro.hashing",
+            "repro.counters",
+            "repro.space",
+            "repro.lowerbounds",
+        ):
+            importlib.import_module(mod)
+
+    def test_quickstart_docstring_example_runs(self):
+        stream = repro.bounded_deletion_stream(n=1 << 10, m=2000, alpha=4, seed=7)
+        hh = repro.AlphaHeavyHitters(
+            n=stream.n, eps=1 / 16, alpha=4, rng=np.random.default_rng(0)
+        ).consume(stream)
+        assert isinstance(hh.heavy_hitters(), set)
+
+
+class TestUniformConventions:
+    """Every sketch exposes update(item, delta) and space_bits()."""
+
+    SKETCH_FACTORIES = [
+        lambda rng: repro.CountSketch(256, 16, 4, rng),
+        lambda rng: repro.CountMin(256, 16, 4, rng),
+        lambda rng: repro.AMSSketch(256, 8, 3, rng),
+        lambda rng: repro.CauchyL1Sketch(256, 0.3, rng),
+        lambda rng: repro.SparseRecovery(256, 8, rng),
+        lambda rng: repro.KNWL0Estimator(256, 0.25, rng),
+        lambda rng: repro.TurnstileL1Sampler(256, 0.3, rng),
+        lambda rng: repro.TurnstileSupportSampler(256, 4, rng),
+        lambda rng: repro.CSSS(256, 4, 0.25, 2, rng),
+        lambda rng: repro.AlphaHeavyHitters(256, 0.25, 2, rng),
+        lambda rng: repro.AlphaL0Estimator(256, 0.25, 2, rng),
+        lambda rng: repro.AlphaConstL0Estimator(256, 2, rng),
+        lambda rng: repro.AlphaL1EstimatorStrict(2, 0.25, rng),
+        lambda rng: repro.AlphaL1EstimatorGeneral(256, 0.3, 2, rng),
+        lambda rng: repro.AlphaL1Sampler(256, 0.25, 2, rng),
+        lambda rng: repro.AlphaSupportSampler(256, 4, 2, rng),
+        lambda rng: repro.AlphaL2HeavyHitters(256, 0.25, 2, rng),
+    ]
+
+    @pytest.mark.parametrize(
+        "factory", SKETCH_FACTORIES, ids=lambda f: inspect.getsource(f).strip()[:60]
+    )
+    def test_update_and_space_bits(self, factory):
+        rng = np.random.default_rng(42)
+        sketch = factory(rng)
+        sketch.update(3, 2)
+        sketch.update(3, -1)
+        bits = sketch.space_bits()
+        assert isinstance(bits, int) and bits > 0
+
+    def test_docstrings_on_public_classes(self):
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                assert obj.__doc__, f"{name} lacks a docstring"

@@ -1,0 +1,53 @@
+"""Tests for repro.space.accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.space.accounting import SpaceReport, counter_bits, format_table, space_of
+
+
+class TestCounterBits:
+    @pytest.mark.parametrize(
+        "value,unsigned_bits",
+        [(0, 1), (1, 1), (2, 2), (3, 2), (255, 8), (256, 9)],
+    )
+    def test_unsigned(self, value, unsigned_bits):
+        assert counter_bits(value, signed=False) == unsigned_bits
+
+    def test_signed_adds_one(self):
+        assert counter_bits(255) == counter_bits(255, signed=False) + 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            counter_bits(-1)
+
+
+class TestSpaceOf:
+    def test_dispatch(self):
+        class Thing:
+            def space_bits(self):
+                return 42
+
+        assert space_of(Thing()) == 42
+
+    def test_missing_method_raises(self):
+        with pytest.raises(TypeError):
+            space_of(object())
+
+
+class TestSpaceReport:
+    def test_row_format(self):
+        r = SpaceReport("L1 estimation", "alpha", n=1024, alpha=4.0, bits=300)
+        row = r.as_row()
+        assert "L1 estimation" in row and "bits=300" in row
+
+    def test_format_table_groups_by_problem(self):
+        rows = [
+            SpaceReport("p1", "a", 16, 1.0, 10),
+            SpaceReport("p1", "b", 16, 1.0, 20),
+            SpaceReport("p2", "a", 16, 1.0, 30),
+        ]
+        text = format_table(rows)
+        assert text.count("==") == 4  # two problem headers, '== x ==' each
+        assert text.index("p1") < text.index("p2")

@@ -1,0 +1,99 @@
+"""Tests for repro.streams.io (serialization, StreamRunner)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.streams.io import StreamRunner, load_stream, save_stream
+from repro.streams.model import Stream, Update, stream_from_updates
+
+
+class TestSerialization:
+    def test_round_trip(self, tmp_path):
+        s = stream_from_updates(64, [(1, 3), (2, -2), (1, -1)])
+        path = tmp_path / "stream.npz"
+        save_stream(s, path)
+        loaded = load_stream(path)
+        assert loaded.n == s.n
+        assert [(u.item, u.delta) for u in loaded] == [
+            (u.item, u.delta) for u in s
+        ]
+
+    def test_empty_stream_round_trip(self, tmp_path):
+        s = Stream(16)
+        path = tmp_path / "empty.npz"
+        save_stream(s, path)
+        loaded = load_stream(path)
+        assert loaded.n == 16 and len(loaded) == 0
+
+    def test_version_check(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, version=np.int64(99), n=np.int64(4),
+                 items=np.array([], dtype=np.int64),
+                 deltas=np.array([], dtype=np.int64))
+        with pytest.raises(ValueError, match="version"):
+            load_stream(path)
+
+    @given(
+        updates=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=31),
+                st.integers(min_value=-9, max_value=9).filter(lambda d: d != 0),
+            ),
+            max_size=50,
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_round_trip_preserves_frequencies(self, tmp_path_factory,
+                                                       updates):
+        s = stream_from_updates(32, updates)
+        path = tmp_path_factory.mktemp("io") / "s.npz"
+        save_stream(s, path)
+        loaded = load_stream(path)
+        assert (loaded.frequency_vector().f == s.frequency_vector().f).all()
+
+
+class TestStreamRunner:
+    def test_feeds_all_sketches(self):
+        from repro.streams.model import FrequencyVector
+
+        a, b = FrequencyVector(16), FrequencyVector(16)
+        runner = StreamRunner().register("a", a).register("b", b)
+        s = stream_from_updates(16, [(1, 2), (3, -1)])
+        runner.run(s)
+        assert runner.updates_processed == 2
+        assert a.f[1] == 2 and b.f[3] == -1
+        assert runner["a"] is a
+
+    def test_duplicate_name_rejected(self):
+        from repro.streams.model import FrequencyVector
+
+        runner = StreamRunner().register("x", FrequencyVector(4))
+        with pytest.raises(ValueError):
+            runner.register("x", FrequencyVector(4))
+
+    def test_non_sketch_rejected(self):
+        with pytest.raises(TypeError):
+            StreamRunner().register("bad", object())
+
+    def test_space_report_skips_spaceless(self):
+        from repro.counters.exact import ExactL1Counter
+        from repro.streams.model import FrequencyVector
+
+        runner = (
+            StreamRunner()
+            .register("counter", ExactL1Counter())
+            .register("dense", FrequencyVector(8))  # no space_bits
+        )
+        runner.run(stream_from_updates(8, [(0, 5)]))
+        report = runner.space_report()
+        assert "counter" in report and "dense" not in report
+
+    def test_results_snapshot(self):
+        from repro.counters.exact import ExactL1Counter
+
+        runner = StreamRunner().register("c", ExactL1Counter())
+        assert set(runner.results()) == {"c"}

@@ -1,0 +1,188 @@
+"""Tests for repro.streams.model (Update, Stream, FrequencyVector)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.streams.model import FrequencyVector, Stream, Update, stream_from_updates
+
+
+class TestUpdate:
+    def test_valid(self):
+        u = Update(3, -2)
+        assert u.item == 3 and u.delta == -2
+
+    def test_zero_delta_rejected(self):
+        with pytest.raises(ValueError):
+            Update(3, 0)
+
+    def test_negative_item_rejected(self):
+        with pytest.raises(ValueError):
+            Update(-1, 1)
+
+    def test_frozen(self):
+        u = Update(1, 1)
+        with pytest.raises(AttributeError):
+            u.delta = 5
+
+
+class TestStream:
+    def test_append_validates_universe(self):
+        s = Stream(4)
+        s.append(Update(3, 1))
+        with pytest.raises(ValueError):
+            s.append(Update(4, 1))
+
+    def test_len_iter_getitem(self):
+        s = stream_from_updates(8, [(1, 2), (2, -1), (1, 1)])
+        assert len(s) == 3
+        assert [u.item for u in s] == [1, 2, 1]
+        assert s[1].delta == -1
+
+    def test_total_update_weight(self):
+        s = stream_from_updates(8, [(1, 2), (2, -3)])
+        assert s.total_update_weight == 5
+
+    def test_frequency_vector_replay(self):
+        s = stream_from_updates(8, [(1, 2), (2, -3), (1, -1)])
+        fv = s.frequency_vector()
+        assert fv.f[1] == 1 and fv.f[2] == -3
+
+    def test_suffix(self):
+        s = stream_from_updates(8, [(1, 1), (2, 1), (3, 1)])
+        suf = s.suffix(1)
+        assert len(suf) == 2 and suf[0].item == 2
+
+    def test_concatenated(self):
+        a = stream_from_updates(8, [(1, 1)])
+        b = stream_from_updates(8, [(2, 1)])
+        assert len(a.concatenated_with(b)) == 2
+        c = stream_from_updates(16, [(2, 1)])
+        with pytest.raises(ValueError):
+            a.concatenated_with(c)
+
+    def test_unit_expanded(self):
+        s = stream_from_updates(8, [(1, 3), (2, -2)])
+        exp = s.unit_expanded()
+        assert len(exp) == 5
+        assert all(abs(u.delta) == 1 for u in exp)
+        assert exp.frequency_vector().f[1] == 3
+        assert exp.frequency_vector().f[2] == -2
+
+    def test_invalid_universe(self):
+        with pytest.raises(ValueError):
+            Stream(0)
+
+
+class TestFrequencyVector:
+    def test_insert_delete_split(self):
+        fv = FrequencyVector(8)
+        fv.update(1, 5)
+        fv.update(1, -2)
+        assert fv.f[1] == 3
+        assert fv.insertions[1] == 5
+        assert fv.deletions[1] == 2
+
+    def test_norms(self):
+        fv = FrequencyVector(8)
+        fv.update(0, 3)
+        fv.update(1, -4)
+        assert fv.l1() == 7
+        assert fv.l2() == pytest.approx(5.0)
+        assert fv.l0() == 2
+        assert fv.lp(1) == pytest.approx(7.0)
+
+    def test_f0_counts_cancelled_items(self):
+        fv = FrequencyVector(8)
+        fv.update(5, 1)
+        fv.update(5, -1)
+        assert fv.l0() == 0
+        assert fv.f0() == 1
+
+    def test_err_k_p(self):
+        fv = FrequencyVector(8)
+        for i, w in enumerate([10, 5, 2, 1]):
+            fv.update(i, w)
+        # Removing the top-2 leaves [2, 1]: L2 tail = sqrt(5).
+        assert fv.err_k_p(2) == pytest.approx(np.sqrt(5.0))
+        assert fv.err_k_p(0) == pytest.approx(fv.l2())
+        with pytest.raises(ValueError):
+            fv.err_k_p(-1)
+
+    def test_heavy_hitters_exact(self):
+        fv = FrequencyVector(8)
+        fv.update(0, 90)
+        fv.update(1, 9)
+        fv.update(2, 1)
+        assert fv.heavy_hitters(0.5) == {0}
+        assert fv.heavy_hitters(0.05) == {0, 1}
+
+    def test_top_k_and_support(self):
+        fv = FrequencyVector(8)
+        fv.update(3, -7)
+        fv.update(5, 2)
+        assert fv.top_k(1) == [3]
+        assert fv.support() == {3, 5}
+
+    def test_inner_product(self):
+        a, b = FrequencyVector(4), FrequencyVector(4)
+        a.update(0, 2)
+        a.update(1, 3)
+        b.update(1, 4)
+        assert a.inner_product(b) == 12
+
+    def test_update_validation(self):
+        fv = FrequencyVector(4)
+        with pytest.raises(ValueError):
+            fv.update(4, 1)
+        with pytest.raises(ValueError):
+            fv.update(1, 0)
+
+    def test_lp_zero_raises(self):
+        fv = FrequencyVector(4)
+        with pytest.raises(ValueError):
+            fv.lp(0)
+
+
+@given(
+    updates=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=31),
+            st.integers(min_value=-5, max_value=5).filter(lambda d: d != 0),
+        ),
+        max_size=60,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_property_f_equals_insertions_minus_deletions(updates):
+    """Invariant of Definition 1: f = I - D, with I, D >= 0."""
+    fv = FrequencyVector(32)
+    for item, delta in updates:
+        fv.update(item, delta)
+    assert (fv.insertions >= 0).all()
+    assert (fv.deletions >= 0).all()
+    assert (fv.f == fv.insertions - fv.deletions).all()
+    assert fv.num_updates == len(updates)
+
+
+@given(
+    updates=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=15),
+            st.integers(min_value=-4, max_value=4).filter(lambda d: d != 0),
+        ),
+        max_size=40,
+    ),
+    k=st.integers(min_value=0, max_value=16),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_err_k_is_monotone_in_k(updates, k):
+    """Err^k_2(f) decreases in k and is bounded by ||f||_2."""
+    fv = FrequencyVector(16)
+    for item, delta in updates:
+        fv.update(item, delta)
+    assert fv.err_k_p(k) <= fv.err_k_p(max(0, k - 1)) + 1e-9
+    assert fv.err_k_p(k) <= fv.l2() + 1e-9

@@ -1,0 +1,91 @@
+"""Tests for repro.core.support_sampler (Section 7, Figure 8)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.support_sampler import AlphaSupportSampler
+from repro.sketches.support_sampler_turnstile import TurnstileSupportSampler
+from repro.streams.generators import (
+    bounded_deletion_stream,
+    sensor_occupancy_stream,
+)
+
+
+class TestCorrectness:
+    def test_recovers_only_support(self, sensor_stream):
+        fv = sensor_stream.frequency_vector()
+        ss = AlphaSupportSampler(
+            4096, k=10, alpha=4, rng=np.random.default_rng(1)
+        ).consume(sensor_stream)
+        got = ss.sample()
+        assert got <= fv.support()
+
+    def test_recovers_at_least_k(self, sensor_stream):
+        fv = sensor_stream.frequency_vector()
+        successes = 0
+        for seed in range(7):
+            ss = AlphaSupportSampler(
+                4096, k=10, alpha=4, rng=np.random.default_rng(seed)
+            ).consume(sensor_stream)
+            got = ss.sample()
+            successes += len(got) >= min(10, fv.l0())
+        assert successes >= 6
+
+    def test_tiny_support_fully_recovered(self):
+        s = bounded_deletion_stream(1 << 14, 60, alpha=2, seed=92)
+        fv = s.frequency_vector()
+        ss = AlphaSupportSampler(
+            1 << 14, k=5, alpha=2, rng=np.random.default_rng(2)
+        ).consume(s)
+        got = ss.sample()
+        assert got <= fv.support()
+        assert len(got) >= min(5, fv.l0())
+
+    def test_empty_stream(self):
+        ss = AlphaSupportSampler(256, k=4, alpha=2, rng=np.random.default_rng(3))
+        assert ss.sample() == set()
+
+
+class TestWindowManagement:
+    def test_live_levels_sublinear_in_log_n(self):
+        n = 1 << 20
+        ss = AlphaSupportSampler(
+            n, k=4, alpha=2, rng=np.random.default_rng(4), window_slack=1
+        )
+        for i in range(3000):
+            ss.update(i, 1)
+        assert len(ss.live_levels()) < int(np.log2(n)) + 1
+
+    def test_window_moves_with_support(self):
+        n = 1 << 18
+        ss = AlphaSupportSampler(
+            n, k=4, alpha=2, rng=np.random.default_rng(5), window_slack=1
+        )
+        for i in range(20):
+            ss.update(i, 1)
+        early = set(ss.live_levels())
+        for i in range(20, 40_000):
+            ss.update(i, 1)
+        late = set(ss.live_levels())
+        assert early != late
+
+    def test_space_beats_turnstile_baseline_at_large_n(self):
+        n = 1 << 20
+        s = sensor_occupancy_stream(n, 300, seed=93)
+        a = AlphaSupportSampler(
+            n, k=8, alpha=4, rng=np.random.default_rng(6), window_slack=1
+        ).consume(s)
+        b = TurnstileSupportSampler(n, k=8, rng=np.random.default_rng(7)).consume(s)
+        assert a.space_bits() < b.space_bits()
+
+
+class TestValidation:
+    def test_k(self):
+        with pytest.raises(ValueError):
+            AlphaSupportSampler(64, k=0, alpha=2, rng=np.random.default_rng(8))
+
+    def test_alpha(self):
+        with pytest.raises(ValueError):
+            AlphaSupportSampler(64, k=2, alpha=0.5, rng=np.random.default_rng(9))

@@ -1,0 +1,85 @@
+"""Tests for the turnstile L1 sampler and support sampler baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sketches.l1_sampler_turnstile import TurnstileL1Sampler
+from repro.sketches.support_sampler_turnstile import TurnstileSupportSampler
+from repro.streams.generators import (
+    bounded_deletion_stream,
+    sensor_occupancy_stream,
+)
+
+
+class TestTurnstileL1Sampler:
+    def test_returned_estimates_accurate(self, small_alpha_stream):
+        fv = small_alpha_stream.frequency_vector()
+        rel_errs = []
+        for seed in range(30):
+            s = TurnstileL1Sampler(1024, eps=0.3, rng=np.random.default_rng(seed))
+            s.consume(small_alpha_stream)
+            out = s.sample()
+            if out is None:
+                continue
+            item, est = out
+            rel_errs.append(abs(est - fv.f[item]) / max(1, abs(fv.f[item])))
+        assert rel_errs, "every attempt aborted — sampler is broken"
+        assert float(np.median(rel_errs)) < 0.3
+
+    def test_sample_biased_toward_heavy_items(self, small_alpha_stream):
+        fv = small_alpha_stream.frequency_vector()
+        heavy = set(fv.top_k(max(1, fv.l0() // 10)))
+        heavy_mass = sum(abs(int(fv.f[i])) for i in heavy) / fv.l1()
+        hits = []
+        for seed in range(60):
+            s = TurnstileL1Sampler(1024, eps=0.3, rng=np.random.default_rng(seed))
+            s.consume(small_alpha_stream)
+            out = s.sample()
+            if out is not None:
+                hits.append(out[0] in heavy)
+        assert hits
+        # L1-proportional sampling should hit the heavy set at least at
+        # its mass share (within noise).
+        assert np.mean(hits) > heavy_mass / 2
+
+    def test_empty_stream_returns_none(self):
+        s = TurnstileL1Sampler(64, eps=0.3, rng=np.random.default_rng(1))
+        assert s.sample() is None
+
+    def test_eps_validation(self):
+        with pytest.raises(ValueError):
+            TurnstileL1Sampler(64, eps=0, rng=np.random.default_rng(2))
+
+
+class TestTurnstileSupportSampler:
+    def test_recovers_from_support_only(self, sensor_stream):
+        fv = sensor_stream.frequency_vector()
+        ss = TurnstileSupportSampler(4096, k=10, rng=np.random.default_rng(3))
+        ss.consume(sensor_stream)
+        got = ss.sample()
+        assert got <= fv.support()
+        assert len(got) >= min(10, fv.l0())
+
+    def test_small_support_recovered_fully(self):
+        s = bounded_deletion_stream(1 << 12, 400, alpha=2, seed=40)
+        fv = s.frequency_vector()
+        ss = TurnstileSupportSampler(1 << 12, k=5, rng=np.random.default_rng(4))
+        ss.consume(s)
+        got = ss.sample()
+        assert len(got) >= min(5, fv.l0())
+        assert got <= fv.support()
+
+    def test_empty_stream(self):
+        ss = TurnstileSupportSampler(64, k=3, rng=np.random.default_rng(5))
+        assert ss.sample() == set()
+
+    def test_space_scales_with_k(self):
+        small = TurnstileSupportSampler(1024, k=2, rng=np.random.default_rng(6))
+        big = TurnstileSupportSampler(1024, k=32, rng=np.random.default_rng(6))
+        assert big.space_bits() > small.space_bits()
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            TurnstileSupportSampler(64, k=0, rng=np.random.default_rng(7))
