@@ -3,7 +3,9 @@
 Streams are cached per-parameter so different bench functions reuse them;
 metrics captured during setup are attached to pytest-benchmark's
 ``extra_info`` so the regenerated "table rows" land in the benchmark
-report next to the timings.
+report next to the timings.  Throughput helpers wrap the chunked batch
+engine (:mod:`repro.streams.engine`) and report **updates/sec**, the
+figure ``BENCH_throughput.json`` tracks across PRs.
 """
 
 from __future__ import annotations
@@ -12,6 +14,7 @@ from functools import lru_cache
 
 import numpy as np
 
+from repro.streams.engine import ReplayStats, replay_timed
 from repro.streams.generators import (
     bounded_deletion_stream,
     sensor_occupancy_stream,
@@ -47,6 +50,28 @@ def cached_strong_stream(n: int, items: int, alpha: float, seed: int):
 def median_estimate(make_and_estimate, seeds) -> float:
     """Median of ``make_and_estimate(seed)`` over seeds."""
     return float(np.median([make_and_estimate(s) for s in seeds]))
+
+
+def measure_throughput(
+    stream,
+    make_sketch,
+    chunk_size: int = 4096,
+    force_scalar: bool = False,
+) -> ReplayStats:
+    """Replay ``stream`` into a fresh sketch; returns the timing stats
+    (``stats.updates_per_sec`` is the headline number)."""
+    _, stats = replay_timed(
+        stream, make_sketch(), chunk_size=chunk_size, force_scalar=force_scalar
+    )
+    return stats
+
+
+def record_throughput(benchmark, label: str, stats: ReplayStats) -> None:
+    """Attach an updates/sec figure to a pytest-benchmark report row."""
+    benchmark.extra_info[f"{label}_updates_per_sec"] = int(
+        round(stats.updates_per_sec)
+    )
+    benchmark.extra_info[f"{label}_chunk_size"] = stats.chunk_size
 
 
 def relative_error(estimate: float, truth: float) -> float:

@@ -1,0 +1,124 @@
+"""Experiment T — batch-pipeline throughput (``BENCH_throughput.json``).
+
+Measures scalar-loop vs ``update_batch`` replay throughput (updates/sec)
+for the hot structures of the stack and records the speedups.  The
+acceptance bar tracked across PRs: the vectorised batch path on
+CountSketch / CountMin / Cauchy / FrequencyVector is at least **10x**
+the scalar loop at chunk size 4096.
+
+Run as a script to (re)generate the JSON artifact::
+
+    PYTHONPATH=src python benchmarks/bench_throughput.py
+
+or under pytest (the test asserts the 10x bar and refreshes the JSON)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_throughput.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))  # script mode
+
+from _common import cached_bounded_stream, measure_throughput
+from repro.core.csss import CSSS
+from repro.core.l0_estimation import AlphaL0Estimator
+from repro.sketches.ams import AMSSketch
+from repro.sketches.cauchy import CauchyL1Sketch
+from repro.sketches.countmin import CountMin
+from repro.sketches.countsketch import CountSketch
+from repro.streams.model import FrequencyVector
+
+N = 1 << 12
+M = 24_000
+ALPHA = 4
+CHUNK = 4096
+# The scalar loop is measured on a prefix (its per-update cost is flat),
+# so slow baselines don't dominate wall-clock; rates are per-update.
+SCALAR_PREFIX = 2_000
+
+#: Structures with a genuinely vectorised batch path.  The first four are
+#: the acceptance-criterion set (>= 10x at chunk 4096).
+SKETCHES = {
+    "countsketch": lambda rng: CountSketch(N, width=96, depth=6, rng=rng),
+    "countmin": lambda rng: CountMin(N, width=128, depth=6, rng=rng),
+    "cauchy": lambda rng: CauchyL1Sketch(N, eps=0.25, rng=rng),
+    "frequency_vector": lambda rng: FrequencyVector(N),
+    "ams": lambda rng: AMSSketch(N, per_group=16, groups=6, rng=rng),
+    "csss": lambda rng: CSSS(N, k=16, eps=0.1, alpha=ALPHA, rng=rng, depth=6),
+    "alpha_l0": lambda rng: AlphaL0Estimator(N, eps=0.25, alpha=ALPHA, rng=rng),
+}
+
+REQUIRED_10X = ("countsketch", "countmin", "cauchy", "frequency_vector")
+
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_throughput.json"
+
+
+def _measure_all(chunk_size: int = CHUNK) -> dict:
+    stream = cached_bounded_stream(N, M, ALPHA, seed=17, strict=False)
+    scalar_stream = type(stream)(stream.n, list(stream)[:SCALAR_PREFIX])
+    results = {}
+    for name, make in SKETCHES.items():
+        scalar = measure_throughput(
+            scalar_stream,
+            lambda make=make: make(np.random.default_rng(1)),
+            chunk_size=chunk_size,
+            force_scalar=True,
+        )
+        batch = measure_throughput(
+            stream,
+            lambda make=make: make(np.random.default_rng(1)),
+            chunk_size=chunk_size,
+        )
+        results[name] = {
+            "scalar_updates_per_sec": int(round(scalar.updates_per_sec)),
+            "batch_updates_per_sec": int(round(batch.updates_per_sec)),
+            "speedup": round(batch.updates_per_sec / scalar.updates_per_sec, 1),
+        }
+    return {
+        "n": N,
+        "m": M,
+        "alpha": ALPHA,
+        "chunk_size": chunk_size,
+        "scalar_prefix": SCALAR_PREFIX,
+        "results": results,
+    }
+
+
+def write_artifact(report: dict) -> None:
+    ARTIFACT.write_text(json.dumps(report, indent=2) + "\n")
+
+
+def test_throughput_artifact():
+    """Regenerate BENCH_throughput.json; assert the 10x acceptance bar."""
+    report = _measure_all()
+    write_artifact(report)
+    for name in REQUIRED_10X:
+        speedup = report["results"][name]["speedup"]
+        assert speedup >= 10.0, (
+            f"{name}: batch path only {speedup}x the scalar loop "
+            f"(need >= 10x at chunk {CHUNK})"
+        )
+
+
+def main() -> int:
+    report = _measure_all()
+    write_artifact(report)
+    width = max(len(k) for k in report["results"])
+    for name, row in report["results"].items():
+        print(
+            f"{name:<{width}}  scalar {row['scalar_updates_per_sec']:>10,}/s"
+            f"  batch {row['batch_updates_per_sec']:>10,}/s"
+            f"  speedup {row['speedup']:>6.1f}x"
+        )
+    print(f"wrote {ARTIFACT}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,6 +20,12 @@ Quickstart::
     print(hh.heavy_hitters())
 """
 
+from repro.batch import (
+    BatchSketch,
+    ScalarLoopBatchUpdateMixin,
+    as_update_arrays,
+    supports_batch,
+)
 from repro.core import (
     CSSS,
     CSSSWithTailEstimate,
@@ -49,9 +55,15 @@ from repro.sketches import (
     TurnstileSupportSampler,
 )
 from repro.streams import (
+    DEFAULT_CHUNK_SIZE,
     FrequencyVector,
+    ReplayStats,
     Stream,
     Update,
+    iter_chunks,
+    replay,
+    replay_many,
+    replay_timed,
     adversarial_cancellation_stream,
     bounded_deletion_stream,
     l0_alpha,
@@ -68,6 +80,16 @@ from repro.streams import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchSketch",
+    "ScalarLoopBatchUpdateMixin",
+    "as_update_arrays",
+    "supports_batch",
+    "DEFAULT_CHUNK_SIZE",
+    "ReplayStats",
+    "iter_chunks",
+    "replay",
+    "replay_many",
+    "replay_timed",
     "CSSS",
     "CSSSWithTailEstimate",
     "AlphaHeavyHitters",

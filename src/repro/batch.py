@@ -1,0 +1,233 @@
+"""Batch-update protocol for the sketch stack.
+
+Every estimator in this library consumes a stream one ``(item, delta)``
+update at a time through ``update()``.  That interface is the right unit
+for the paper's analyses, but it forces a Python-level function call (and
+one k-wise hash polynomial evaluation per hash function) per update — far
+from "as fast as the hardware allows".  This module defines the package's
+*batch* contract:
+
+* :class:`BatchSketch` — a :class:`typing.Protocol` for anything exposing
+  ``update_batch(items, deltas)`` next to the scalar ``update``;
+* :func:`as_update_arrays` — the shared validator that turns arbitrary
+  ``(items, deltas)`` column inputs into checked ``int64`` arrays with the
+  same rejection rules as :class:`repro.streams.model.Update`;
+* :class:`ScalarLoopBatchUpdateMixin` — a fallback mixin whose
+  ``update_batch`` is a literal scalar loop, for structures whose update
+  path is inherently sequential (Morris-paced level schedules, samplers
+  that draw randomness per update, ...).
+
+Equivalence contract
+--------------------
+``update_batch(items, deltas)`` MUST leave the sketch in exactly the same
+state as ``for i, d in zip(items, deltas): update(i, d)`` — including any
+consumed randomness, so chunking a stream differently can never change an
+estimate.  Vectorised implementations achieve this by (a) precomputing
+hash values with the vectorised :meth:`~repro.hashing.kwise.KWiseHash.
+hash_array` (exact modular arithmetic — bit-identical to the scalar
+``__call__``), (b) exploiting associativity of integer accumulation for
+scatter-adds, and (c) using running (left-fold) accumulation for floating
+point state, which is chunk-invariant where a vectorised ``sum()`` is not.
+``tests/test_batch_equivalence.py`` enforces the contract for every
+batch-capable structure in the package.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+ArrayLike = "np.ndarray | Sequence[int]"
+
+
+@runtime_checkable
+class BatchSketch(Protocol):
+    """Anything that can absorb stream updates one at a time or in bulk."""
+
+    def update(self, item: int, delta: int) -> None:
+        """Apply a single stream update ``(item, delta)``."""
+        ...  # pragma: no cover - protocol
+
+    def update_batch(self, items: np.ndarray, deltas: np.ndarray) -> None:
+        """Apply a column batch of updates; must equal the scalar loop."""
+        ...  # pragma: no cover - protocol
+
+
+def as_update_arrays(
+    items,
+    deltas,
+    universe: int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Validate and coerce ``(items, deltas)`` columns to ``int64`` arrays.
+
+    Enforces the :class:`~repro.streams.model.Update` model vectorised:
+    equal 1-D lengths, integral dtypes, non-negative items (below
+    ``universe`` when given), and no zero deltas.  Returns arrays safe to
+    index with (a no-copy view when the input already is ``int64``).
+    """
+    items_arr = np.asarray(items)
+    deltas_arr = np.asarray(deltas)
+    if items_arr.ndim != 1 or deltas_arr.ndim != 1:
+        raise ValueError("items and deltas must be 1-D arrays")
+    if items_arr.shape[0] != deltas_arr.shape[0]:
+        raise ValueError(
+            f"items and deltas lengths differ "
+            f"({items_arr.shape[0]} != {deltas_arr.shape[0]})"
+        )
+    if items_arr.size == 0:
+        # Empty batches are valid no-ops; a bare [] arrives as float64.
+        return (
+            items_arr.astype(np.int64, copy=False),
+            deltas_arr.astype(np.int64, copy=False),
+        )
+    if not np.issubdtype(items_arr.dtype, np.integer):
+        raise TypeError("items must be integers")
+    if not np.issubdtype(deltas_arr.dtype, np.integer):
+        raise TypeError("deltas must be integers")
+    items_arr = items_arr.astype(np.int64, copy=False)
+    deltas_arr = deltas_arr.astype(np.int64, copy=False)
+    if items_arr.size:
+        if int(items_arr.min()) < 0:
+            raise ValueError("item must be non-negative")
+        if universe is not None and int(items_arr.max()) >= universe:
+            raise ValueError(
+                f"item {int(items_arr.max())} outside universe [0, {universe})"
+            )
+        if not deltas_arr.all():
+            raise ValueError("zero-delta updates are not part of the model")
+    return items_arr, deltas_arr
+
+
+class ScalarLoopBatchUpdateMixin:
+    """Default ``update_batch``: the validated scalar loop.
+
+    For structures whose update path is inherently sequential (per-update
+    randomness, data-dependent level schedules), the batch API still exists
+    — the engine and the equivalence harness treat them uniformly — but the
+    implementation is the definitionally-equivalent loop.
+    """
+
+    #: Universe attribute consulted for validation, when present.
+    _batch_universe_attr = "n"
+
+    def update_batch(self, items, deltas) -> None:
+        universe = getattr(self, self._batch_universe_attr, None)
+        items_arr, deltas_arr = as_update_arrays(items, deltas, universe)
+        for item, delta in zip(items_arr.tolist(), deltas_arr.tolist()):
+            self.update(item, delta)
+
+
+def supports_batch(sketch) -> bool:
+    """True when ``sketch`` exposes the batch half of the protocol."""
+    return callable(getattr(sketch, "update_batch", None))
+
+
+#: Default chunk size for batched replay: large enough to amortise
+#: per-chunk numpy overhead, small enough that per-chunk scratch arrays
+#: (hash values, entry matrices) stay bounded.
+DEFAULT_CHUNK_SIZE = 4096
+
+
+def consume_stream(sketch, stream, chunk_size: int | None = None):
+    """The shared ``consume`` body: chunked batch replay when possible.
+
+    The canonical batch-or-scalar dispatch (the engine's ``replay`` and
+    every sketch's ``consume`` route through it): dispatches to
+    ``update_batch`` in bounded chunks for array-backed streams
+    (identical final state to the scalar loop, by the batch contract,
+    while keeping per-chunk scratch memory O(chunk) instead of
+    O(stream)), and falls back to the scalar loop for plain iterables of
+    updates.  Returns the sketch for chaining.
+    """
+    if chunk_size is None:
+        chunk_size = DEFAULT_CHUNK_SIZE
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be positive")
+    if hasattr(stream, "as_arrays") and supports_batch(sketch):
+        items, deltas = stream.as_arrays()
+        for start in range(0, len(items), chunk_size):
+            sketch.update_batch(
+                items[start:start + chunk_size],
+                deltas[start:start + chunk_size],
+            )
+    else:
+        for u in stream:
+            sketch.update(u.item, u.delta)
+    return sketch
+
+
+#: Partial sums bounded below this are safe in int64 arithmetic (one
+#: power-of-two of headroom under 2^63 absorbs the float64 bound's
+#: rounding slack).
+_INT64_SAFE_BOUND = float(2**62)
+
+
+def exact_sum(values: np.ndarray) -> int:
+    """``sum(values)`` as an exact Python int.
+
+    The scalar update paths accumulate counters on Python integers
+    (arbitrary precision); a plain int64 ``values.sum()`` would silently
+    wrap where they do not.  The int64 fast path is used only when a
+    float64 bound proves every partial sum fits.
+    """
+    if float(np.abs(values).astype(np.float64).sum()) < _INT64_SAFE_BOUND:
+        return int(values.sum())
+    return int(values.astype(object).sum())
+
+
+def running_sum_extrema(start: int, values: np.ndarray) -> tuple[int, int]:
+    """Left-fold ``start + values`` exactly; returns ``(final, peak)``.
+
+    ``peak`` is ``max |partial sum|`` over the post-add partial sums —
+    the quantity running-peak counters track.  Falls back from the int64
+    cumsum to exact Python-int folding when the float64 magnitude bound
+    says partial sums could overflow (matching the scalar loop, which is
+    exact at any magnitude).
+    """
+    if len(values) == 0:
+        return start, 0
+    bound = abs(start) + float(np.abs(values).astype(np.float64).sum())
+    if bound < _INT64_SAFE_BOUND:
+        running = start + np.cumsum(values)
+        return int(running[-1]), int(np.abs(running).max())
+    total, peak = start, 0
+    for v in values.tolist():
+        total += v
+        peak = max(peak, abs(total))
+    return total, peak
+
+
+def mod_scatter_add(
+    target: np.ndarray, indices, values: np.ndarray, modulus: int
+) -> None:
+    """``target[idx] = (target[idx] + v) % modulus`` scatter, overflow-safe.
+
+    The obvious ``np.add.at`` followed by one ``%= modulus`` can wrap
+    int64 when many near-``modulus`` addends land in one bucket.  A
+    reduced bucket holds at most ``modulus - 1``, so after ``B`` further
+    addends it holds at most ``(B + 1)(modulus - 1)``; the reduction is
+    applied every ``B = floor((2^63 - 1) / (modulus - 1)) - 1`` addends,
+    the largest block for which even a single bucket absorbing the whole
+    block cannot overflow.  Equivalent to reducing after every single
+    add (modular addition is associative).  Moduli so large that even
+    two addends could wrap fall back to exact Python-integer scatter.
+    """
+    modulus = int(modulus)
+    block = (2**63 - 1) // max(1, modulus - 1) - 1
+    n = len(values)
+    multi = isinstance(indices, tuple)
+    if block < 1:
+        for t in range(n):
+            idx = tuple(ix[t] for ix in indices) if multi else indices[t]
+            target[idx] = (int(target[idx]) + int(values[t])) % modulus
+        return
+    for start in range(0, n, block):
+        stop = start + block
+        idx = (
+            tuple(ix[start:stop] for ix in indices)
+            if multi
+            else indices[start:stop]
+        )
+        np.add.at(target, idx, values[start:stop])
+        target %= modulus

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.batch import as_update_arrays, consume_stream
 from repro.hashing.kwise import FourWiseHash, SignHash
 from repro.space.accounting import counter_bits
 
@@ -132,10 +133,46 @@ class CSSS:
             while self._row_weight[r] > self.budget:
                 self._halve_row(r)
 
+    def update_batch(self, items, deltas) -> None:
+        """Batch update with vectorised hashing, bit-identical sampling.
+
+        The bucket and sign hashes for the whole chunk are evaluated as
+        arrays (the dominant per-update cost); the per-update binomial
+        sampling and halving schedule then run in exactly the scalar
+        order, drawing from the shared generator in the same sequence —
+        so the final state (and every future random draw) is identical to
+        the scalar loop, for any chunk size.
+        """
+        items_arr, deltas_arr = as_update_arrays(items, deltas, self.n)
+        buckets = np.empty((self.depth, len(items_arr)), dtype=np.int64)
+        signs = np.empty((self.depth, len(items_arr)), dtype=np.int64)
+        for r in range(self.depth):
+            buckets[r] = self._bucket_hashes[r].hash_array(items_arr)
+            signs[r] = self._sign_hashes[r].hash_array(items_arr)
+        rng = self._rng
+        for t, delta in enumerate(deltas_arr.tolist()):
+            mag = abs(delta)
+            sign = 1 if delta > 0 else -1
+            for r in range(self.depth):
+                p = 2.0 ** -int(self.log2_inv_p[r])
+                kept = mag if p >= 1.0 else int(rng.binomial(mag, p))
+                if kept == 0:
+                    continue
+                b = buckets[r, t]
+                if sign * signs[r, t] > 0:
+                    self.pos[r, b] += kept
+                    touched = int(self.pos[r, b])
+                else:
+                    self.neg[r, b] += kept
+                    touched = int(self.neg[r, b])
+                if touched > self._max_abs_counter:
+                    self._max_abs_counter = touched
+                self._row_weight[r] += kept
+                while self._row_weight[r] > self.budget:
+                    self._halve_row(r)
+
     def consume(self, stream) -> "CSSS":
-        for u in stream:
-            self.update(u.item, u.delta)
-        return self
+        return consume_stream(self, stream)
 
     # -- query path ----------------------------------------------------------
     def query(self, item: int) -> float:
@@ -223,17 +260,34 @@ class CSSSWithTailEstimate:
         depth: int | None = None,
         sample_budget: int | None = None,
     ) -> None:
+        # The instances draw their hash seeds from the caller's generator
+        # in sequence, but sample with *independent* child generators:
+        # with a shared generator the scalar loop (draws alternating per
+        # update) and the batch path (draws chunk-major) would interleave
+        # the shared stream differently, breaking scalar/batch state
+        # equivalence.  Independent per-instance streams make the update
+        # interleaving irrelevant — and match the analysis, which treats
+        # the two instances' sampling as independent anyway.
+        main_rng, shadow_rng = rng.spawn(2)
         self.main = CSSS(n, k, eps, alpha, rng, depth, sample_budget)
+        self.main._rng = main_rng
         self.shadow = CSSS(n, k, eps, alpha, rng, depth, sample_budget)
+        self.shadow._rng = shadow_rng
 
     def update(self, item: int, delta: int) -> None:
         self.main.update(item, delta)
         self.shadow.update(item, delta)
 
+    def update_batch(self, items, deltas) -> None:
+        """Batch update of both instances (chunk-major; equivalent to the
+        scalar loop because the instances sample from independent
+        generators)."""
+        items_arr, deltas_arr = as_update_arrays(items, deltas, self.main.n)
+        self.main.update_batch(items_arr, deltas_arr)
+        self.shadow.update_batch(items_arr, deltas_arr)
+
     def consume(self, stream) -> "CSSSWithTailEstimate":
-        for u in stream:
-            self.update(u.item, u.delta)
-        return self
+        return consume_stream(self, stream)
 
     def query(self, item: int) -> float:
         return self.main.query(item)

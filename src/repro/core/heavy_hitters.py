@@ -18,6 +18,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.batch import consume_stream
+
 from repro.core.csss import CSSS
 from repro.counters.exact import ExactL1Counter
 from repro.sketches.cauchy import CauchyL1Sketch
@@ -89,10 +91,18 @@ class AlphaHeavyHitters:
         else:
             self._l1_sketch.update(item, delta)
 
+    def update_batch(self, items, deltas) -> None:
+        """Composed batch update: the CSSS and the norm tracker are
+        independent structures, so feeding each the whole chunk leaves
+        the same state as the interleaved scalar loop."""
+        self.csss.update_batch(items, deltas)
+        if self._l1_exact is not None:
+            self._l1_exact.update_batch(items, deltas)
+        else:
+            self._l1_sketch.update_batch(items, deltas)
+
     def consume(self, stream) -> "AlphaHeavyHitters":
-        for u in stream:
-            self.update(u.item, u.delta)
-        return self
+        return consume_stream(self, stream)
 
     def l1_estimate(self) -> float:
         """R: exact in strict mode, (1 ± 1/8)-approximate otherwise."""

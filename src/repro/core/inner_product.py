@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.batch import ScalarLoopBatchUpdateMixin
 from repro.core.sampling import binomial_thin
 from repro.hashing.kwise import KWiseHash, SignHash
 from repro.hashing.modhash import StreamingModReducer
@@ -139,12 +140,20 @@ class _IntervalSketch:
         return self.ctx.k * counter_bits(max(1, self.max_abs))
 
 
-class AlphaInnerProductSketch:
+class AlphaInnerProductSketch(ScalarLoopBatchUpdateMixin):
     """One stream's side of the Theorem 2 estimator.
 
     Maintains the two live interval sketches; ``final_vector_and_rate``
     returns the longest-running one and its sampling rate.
+    ``update_batch`` is the scalar loop (mixin): the exponential-interval
+    schedule and per-update thinning draws are inherently sequential.
     """
+
+    _batch_universe_attr = "_universe_n"
+
+    @property
+    def _universe_n(self) -> int:
+        return self.ctx.n
 
     def __init__(self, ctx: AlphaInnerProduct) -> None:
         self.ctx = ctx

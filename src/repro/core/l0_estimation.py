@@ -28,8 +28,14 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.batch import (
+    ScalarLoopBatchUpdateMixin,
+    as_update_arrays,
+    consume_stream,
+    mod_scatter_add,
+)
 from repro.hashing.kwise import KWiseHash, PairwiseHash
-from repro.hashing.modhash import lsb
+from repro.hashing.modhash import capped_lsb, lsb_array
 from repro.hashing.primes import random_prime_in_range
 from repro.sketches.knw_l0 import ExactSmallL0, RoughF0Estimator
 
@@ -52,6 +58,18 @@ class AlphaRoughL0Estimate:
     def update(self, item: int, delta: int) -> None:
         self._f0.update(item, delta)
 
+    def update_batch(self, items, deltas) -> None:
+        self._f0.update_batch(items, deltas)
+
+    def hash_values(self, items) -> np.ndarray:
+        """Vectorised KMV hash pass (for consumers that interleave the
+        rough estimate with their own per-update state machine)."""
+        return self._f0._h.hash_array(items)
+
+    def observe_hash(self, hv: int) -> None:
+        """Fold one precomputed KMV hash value (see :meth:`hash_values`)."""
+        self._f0._observe(hv)
+
     def estimate(self) -> float:
         return max(self.floor, self._f0.estimate())
 
@@ -59,8 +77,13 @@ class AlphaRoughL0Estimate:
         return self._f0.space_bits()
 
 
-class AlphaConstL0Estimator:
+class AlphaConstL0Estimator(ScalarLoopBatchUpdateMixin):
     """Lemma 20: O(1)-factor L0 estimation with O(log α) live levels.
+
+    ``update_batch`` is the scalar loop (mixin): level churn *constructs*
+    fresh ``ExactSmallL0`` instances — drawing hash seeds from the shared
+    generator at data-dependent times — so the update path is inherently
+    sequential.
 
     The structure of :class:`~repro.sketches.knw_l0.RoughL0Estimator`
     (one ExactSmallL0 per lsb level), but a level is only *instantiated*
@@ -120,7 +143,7 @@ class AlphaConstL0Estimator:
     def update(self, item: int, delta: int) -> None:
         self._rough.update(item, delta)
         self._sync_levels()
-        j = min(lsb(self._h(item), zero_value=self.log_n), self.log_n)
+        j = capped_lsb(self._h(item), self.log_n)
         if j in self._levels:
             self._levels[j].update(item, delta)
 
@@ -236,7 +259,7 @@ class AlphaL0Estimator:
         self._sync_rows()
         j2 = self._h2(item)
         inc = (delta * int(self._u[self._h4(j2)])) % self.p
-        row = min(lsb(self._h1(item), zero_value=self.log_n), self.log_n)
+        row = capped_lsb(self._h1(item), self.log_n)
         if row in self._rows:
             col = self._h3(j2)
             self._rows[row][col] = (int(self._rows[row][col]) + inc) % self.p
@@ -244,10 +267,48 @@ class AlphaL0Estimator:
         self.B_small[col_s] = (int(self.B_small[col_s]) + inc) % self.p
         self._exact_small.update(item, delta)
 
+    def update_batch(self, items, deltas) -> None:
+        """Batch update with vectorised hashing and row routing.
+
+        All hash passes (KMV, h1-lsb row routing, h2/h3/h4 bucketing) run
+        as array operations.  The window schedule is inherently
+        sequential — a row exists only while the *running* rough estimate
+        keeps it in the window — so the loop walks items in order, but
+        per item it only folds one precomputed KMV value, refreshes the
+        window when the rough estimate actually moved (syncing on an
+        unchanged estimate is a state no-op, so skipping it preserves
+        scalar equivalence), and performs one bucket add.  The
+        window-independent structures (collapsed small row, exact small
+        L0) absorb the whole chunk vectorised afterwards; they share no
+        state with the rows, so the reordering is unobservable.
+        """
+        items_arr, deltas_arr = as_update_arrays(items, deltas, self.n)
+        kmv_values = self._rough.hash_values(items_arr).tolist()
+        j2 = self._h2.hash_array(items_arr)
+        scales = self._u[self._h4.hash_array(j2)]
+        incs = (
+            (deltas_arr.astype(object) * scales.astype(object)) % self.p
+        ).astype(np.int64)
+        rows = lsb_array(self._h1.hash_array(items_arr), cap=self.log_n)
+        cols = self._h3.hash_array(j2)
+        last_estimate = None
+        for t, hv in enumerate(kmv_values):
+            self._rough.observe_hash(hv)
+            estimate = self._rough.estimate()
+            if estimate != last_estimate:
+                self._sync_rows()
+                last_estimate = estimate
+            row = int(rows[t])
+            bucket_row = self._rows.get(row)
+            if bucket_row is not None:
+                col = cols[t]
+                bucket_row[col] = (int(bucket_row[col]) + int(incs[t])) % self.p
+        cols_s = self._h3_small.hash_array(j2)
+        mod_scatter_add(self.B_small, cols_s, incs, self.p)
+        self._exact_small.update_batch(items_arr, deltas_arr)
+
     def consume(self, stream) -> "AlphaL0Estimator":
-        for u in stream:
-            self.update(u.item, u.delta)
-        return self
+        return consume_stream(self, stream)
 
     # -- queries ----------------------------------------------------------------
     @staticmethod

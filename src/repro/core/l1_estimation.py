@@ -26,14 +26,18 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.batch import ScalarLoopBatchUpdateMixin, as_update_arrays, consume_stream
 from repro.core.sampling import binomial_thin
 from repro.counters.morris import MorrisCounter
 from repro.sketches.cauchy import _CauchyRow
 from repro.space.accounting import counter_bits
 
 
-class AlphaL1EstimatorStrict:
+class AlphaL1EstimatorStrict(ScalarLoopBatchUpdateMixin):
     """Figure 4: strict-turnstile (1 ± ε) L1 estimation.
+
+    ``update_batch`` is the scalar loop (mixin): the Morris-paced level
+    schedule and per-update thinning draws are inherently sequential.
 
     Parameters
     ----------
@@ -207,9 +211,13 @@ class AlphaL1EstimatorGeneral:
         # because cos(y/y_med) only sees y through a bounded function.
         return float(np.clip(a, -self._CAUCHY_CLIP, self._CAUCHY_CLIP))
 
-    def _row_update(self, row: int, item: int, delta: int) -> None:
+    def _row_update(
+        self, row: int, item: int, delta: int, entry: float | None = None
+    ) -> None:
         # Fixed-point magnitude of the scaled update (Lemma 12 precision).
-        eta = self._entry(row, item) * delta
+        if entry is None:
+            entry = self._entry(row, item)
+        eta = entry * delta
         mag = int(round(abs(eta) * self.q))
         if mag == 0:
             return
@@ -240,10 +248,29 @@ class AlphaL1EstimatorGeneral:
         for row in range(self.r + self.r_prime):
             self._row_update(row, item, delta)
 
+    def update_batch(self, items, deltas) -> None:
+        """Batch update with vectorised (clipped) Cauchy entry evaluation.
+
+        The per-row hash/tan/clip pipeline — the dominant cost — runs
+        once per row over the whole chunk; the thinning draws then run in
+        the exact scalar order (item-major, rows inner), so the sampled
+        counters and the generator state match the scalar loop bitwise.
+        """
+        items_arr, deltas_arr = as_update_arrays(items, deltas, self.n)
+        total = self.r + self.r_prime
+        entries = np.empty((total, len(items_arr)), dtype=np.float64)
+        for j, row in enumerate(self._rows):
+            entries[j] = row.entries(items_arr)
+        for j, row in enumerate(self._cal_rows):
+            entries[self.r + j] = row.entries(items_arr)
+        np.clip(entries, -self._CAUCHY_CLIP, self._CAUCHY_CLIP, out=entries)
+        for t, delta in enumerate(deltas_arr.tolist()):
+            item = int(items_arr[t])
+            for row in range(total):
+                self._row_update(row, item, delta, entry=float(entries[row, t]))
+
     def consume(self, stream) -> "AlphaL1EstimatorGeneral":
-        for u in stream:
-            self.update(u.item, u.delta)
-        return self
+        return consume_stream(self, stream)
 
     def _rescaled(self) -> tuple[np.ndarray, np.ndarray]:
         scale = (2.0 ** self.log2_inv_p.astype(np.float64)) / self.q

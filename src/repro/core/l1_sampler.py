@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.batch import as_update_arrays, exact_sum, running_sum_extrema, consume_stream
 from repro.core.csss import CSSSWithTailEstimate
 from repro.hashing.kwise import UniformScalars
 from repro.space.accounting import counter_bits
@@ -84,7 +85,7 @@ class AlphaL1Sampler:
 
     def _inv_t(self, item: int) -> int:
         """Fixed-point ``round(1/t_i)`` — keeps CSSS counters integral."""
-        return max(1, int(round(1.0 / self._t(item))))
+        return self._t.inverse_weight(item)
 
     def update(self, item: int, delta: int) -> None:
         w = self._inv_t(item)
@@ -93,10 +94,30 @@ class AlphaL1Sampler:
         self.q += delta * w
         self._max_q = max(self._max_q, abs(self.q))
 
+    def update_batch(self, items, deltas) -> None:
+        """Batch update: precision-scaling weights are evaluated
+        vectorised, the scaled chunk feeds the CSSS pair, and the exact
+        ``r``/``q`` counters fold via cumsum (the running ``|q|`` peak
+        needs every intermediate value)."""
+        items_arr, deltas_arr = as_update_arrays(items, deltas, self.n)
+        if items_arr.size == 0:
+            return
+        inv_t = self._t.inverse_weight_array(items_arr)
+        if float(np.abs(deltas_arr).max()) * float(inv_t.max()) >= 2.0**62:
+            # delta * round(1/t) would overflow int64; the scalar path
+            # (exact Python ints throughout) is the definitionally
+            # equivalent fallback.
+            for item, delta in zip(items_arr.tolist(), deltas_arr.tolist()):
+                self.update(item, delta)
+            return
+        scaled = deltas_arr * inv_t
+        self.csss.update_batch(items_arr, scaled)
+        self.r += exact_sum(deltas_arr)
+        self.q, peak = running_sum_extrema(self.q, scaled)
+        self._max_q = max(self._max_q, peak)
+
     def consume(self, stream) -> "AlphaL1Sampler":
-        for u in stream:
-            self.update(u.item, u.delta)
-        return self
+        return consume_stream(self, stream)
 
     def sample(self) -> tuple[int, float] | None:
         """Return ``(item, f_hat)`` or None (FAIL).
@@ -163,10 +184,14 @@ class AlphaL1MultiSampler:
         for s in self.samplers:
             s.update(item, delta)
 
+    def update_batch(self, items, deltas) -> None:
+        """Composed batch update: attempts sample from independent
+        generators, so chunk-major feeding equals the scalar interleave."""
+        for s in self.samplers:
+            s.update_batch(items, deltas)
+
     def consume(self, stream) -> "AlphaL1MultiSampler":
-        for u in stream:
-            self.update(u.item, u.delta)
-        return self
+        return consume_stream(self, stream)
 
     def sample(self) -> tuple[int, float] | None:
         for s in self.samplers:

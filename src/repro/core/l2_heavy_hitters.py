@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.batch import as_update_arrays, consume_stream
 from repro.sketches.countsketch import CountSketch
 
 
@@ -73,10 +74,15 @@ class AlphaL2HeavyHitters:
         self._candidate_cs.update(item, abs(delta))
         self._verify_cs.update(item, delta)
 
+    def update_batch(self, items, deltas) -> None:
+        """Composed batch update (both CountSketches are deterministic,
+        so chunk-major feeding equals the scalar interleaving)."""
+        items_arr, deltas_arr = as_update_arrays(items, deltas, self.n)
+        self._candidate_cs.update_batch(items_arr, np.abs(deltas_arr))
+        self._verify_cs.update_batch(items_arr, deltas_arr)
+
     def consume(self, stream) -> "AlphaL2HeavyHitters":
-        for u in stream:
-            self.update(u.item, u.delta)
-        return self
+        return consume_stream(self, stream)
 
     def heavy_hitters(self) -> set[int]:
         """Candidates from the insertion-only sketch, verified against the

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.batch import ScalarLoopBatchUpdateMixin
 from repro.space.accounting import counter_bits
 
 
@@ -51,8 +52,12 @@ def binomial_thin(delta: int, p: float, rng: np.random.Generator) -> int:
     return kept if delta > 0 else -kept
 
 
-class SampledFrequencies:
+class SampledFrequencies(ScalarLoopBatchUpdateMixin):
     """A uniformly sampled frequency table with rescaled point queries.
+
+    ``update_batch`` is the scalar loop (mixin): each update draws its
+    thinning coin at the *current* rate, which the halving schedule can
+    change mid-chunk.
 
     The direct object of Lemma 1: feed updates, each retained at the
     current rate; ``estimate(i)`` returns the rescaled sampled frequency

@@ -20,13 +20,19 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.batch import ScalarLoopBatchUpdateMixin
 from repro.core.l0_estimation import AlphaRoughL0Estimate
 from repro.hashing.kwise import PairwiseHash
 from repro.sketches.sparse_recovery import DenseError, SparseRecovery
 
 
-class AlphaSupportSampler:
+class AlphaSupportSampler(ScalarLoopBatchUpdateMixin):
     """Figure 8 support sampler.
+
+    ``update_batch`` is the scalar loop (mixin): level churn constructs
+    fresh ``SparseRecovery`` sketches — drawing hash seeds from the
+    shared generator at data-dependent times — so the update path is
+    inherently sequential.
 
     Parameters
     ----------

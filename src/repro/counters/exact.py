@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.batch import as_update_arrays, running_sum_extrema
 from repro.hashing.kwise import PairwiseHash
 from repro.hashing.primes import random_prime_in_range
 
@@ -25,6 +26,16 @@ class SignedCounter:
     def add(self, delta: int) -> None:
         self.value += delta
         self._max_abs = max(self._max_abs, abs(self.value))
+
+    def add_batch(self, deltas: np.ndarray) -> None:
+        """Vectorised adds: the running-peak accounting needs every
+        intermediate value, which the exact running fold provides (the
+        counter is a Python int in the scalar path, so the fold must not
+        wrap at int64 either)."""
+        if len(deltas) == 0:
+            return
+        self.value, peak = running_sum_extrema(self.value, deltas)
+        self._max_abs = max(self._max_abs, peak)
 
     def space_bits(self) -> int:
         """Sign bit + magnitude bits for the largest value ever held."""
@@ -45,6 +56,10 @@ class ExactL1Counter:
 
     def update(self, item: int, delta: int) -> None:  # item unused; uniform API
         self._c.add(delta)
+
+    def update_batch(self, items, deltas) -> None:
+        _, deltas_arr = as_update_arrays(items, deltas)
+        self._c.add_batch(deltas_arr)
 
     @property
     def value(self) -> int:

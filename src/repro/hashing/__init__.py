@@ -9,12 +9,13 @@ These are the building blocks every sketch in the paper relies on:
   random degree-(k-1) polynomials over a prime field (Carter-Wegman [13]).
 * :mod:`repro.hashing.modhash` — streaming modular reduction of a log(n)-bit
   identity in ``O(log log n + log p)`` working bits (Lemma 7) and the
-  least-significant-bit subsampling map ``lsb`` used by the L0 algorithms.
+  least-significant-bit subsampling map ``lsb`` (scalar, vectorised, and
+  level-capped forms) used by the L0 algorithms.
 """
 
 from repro.hashing.primes import is_prime, next_prime, random_prime_in_range
 from repro.hashing.kwise import KWiseHash, PairwiseHash, FourWiseHash, SignHash
-from repro.hashing.modhash import StreamingModReducer, lsb
+from repro.hashing.modhash import StreamingModReducer, capped_lsb, lsb, lsb_array
 
 __all__ = [
     "is_prime",
@@ -25,5 +26,7 @@ __all__ = [
     "FourWiseHash",
     "SignHash",
     "StreamingModReducer",
+    "capped_lsb",
     "lsb",
+    "lsb_array",
 ]

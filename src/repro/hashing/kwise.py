@@ -13,10 +13,16 @@ paper draws its hash functions from such families:
 
 Implementation notes
 ---------------------
-Evaluation is vectorised with numpy ``object`` arrays so that Horner's rule
-runs on exact Python integers (no modular overflow for primes near 2^61).
-The seed coefficients account for ``k * ceil(log2 p)`` bits of space, which
-is what :meth:`space_bits` reports — the paper's accounting.
+:meth:`KWiseHash.hash_array` evaluates the polynomial over whole item
+arrays at C speed: for field primes below ``2^32`` (every family except
+the KMV hash's ``2^61`` range) Horner's rule runs in ``uint64`` — the
+intermediate ``acc * x + c`` is bounded by ``(p-1)^2 + (p-1) < 2^64``, so
+the modular arithmetic is exact and bit-identical to the scalar
+``__call__``.  Larger primes fall back to numpy ``object`` arrays holding
+exact Python integers.  This is the foundation of every vectorised
+``update_batch`` in the package (see :mod:`repro.batch`).  The seed
+coefficients account for ``k * ceil(log2 p)`` bits of space, which is
+what :meth:`space_bits` reports — the paper's accounting.
 """
 
 from __future__ import annotations
@@ -83,6 +89,8 @@ class KWiseHash:
         if self.k > 1 and coeffs[0] == 0:
             coeffs[0] = 1 + int(rng.integers(0, self.prime - 1))
         self._coeffs: tuple[int, ...] = tuple(int(c) for c in coeffs)
+        # uint64 Horner is exact iff (p-1)^2 + (p-1) < 2^64, i.e. p < 2^32.
+        self._u64_ok = self.prime < (1 << 32)
 
     def __call__(self, x: int) -> int:
         """Hash a single item."""
@@ -92,8 +100,21 @@ class KWiseHash:
         return acc % self.range_size
 
     def hash_array(self, xs: np.ndarray | Sequence[int]) -> np.ndarray:
-        """Vectorised hashing; returns an int64 array of hashed values."""
-        arr = np.asarray(xs, dtype=object)
+        """Vectorised hashing; returns an int64 array of hashed values.
+
+        Bit-identical to mapping :meth:`__call__` over ``xs``: the uint64
+        fast path performs the same exact modular Horner recurrence, and
+        the big-prime fallback uses exact Python integers.
+        """
+        arr = np.asarray(xs)
+        if self._u64_ok and arr.dtype != object:
+            p = np.uint64(self.prime)
+            x = arr.astype(np.uint64) % p
+            acc = np.zeros(x.shape, dtype=np.uint64)
+            for c in self._coeffs:
+                acc = (acc * x + np.uint64(c)) % p
+            return (acc % np.uint64(self.range_size)).astype(np.int64)
+        arr = arr.astype(object)
         acc = np.zeros_like(arr, dtype=object)
         for c in self._coeffs:
             acc = (acc * arr + c) % self.prime
@@ -187,6 +208,19 @@ class UniformScalars:
 
     def hash_array(self, xs: np.ndarray | Sequence[int]) -> np.ndarray:
         return (self._h.hash_array(xs) + 1) / self.resolution
+
+    def inverse_weight(self, x: int) -> int:
+        """Fixed-point ``max(1, round(1/t_x))`` — the precision-sampling
+        scaling factor (keeps scaled counters integral)."""
+        return max(1, int(round(1.0 / self(x))))
+
+    def inverse_weight_array(self, xs: np.ndarray | Sequence[int]) -> np.ndarray:
+        """Vectorised :meth:`inverse_weight` (same rounding: both numpy
+        and Python round half to even, so scalar/batch stay
+        bit-identical)."""
+        return np.maximum(1.0, np.round(1.0 / self.hash_array(xs))).astype(
+            np.int64
+        )
 
     def space_bits(self) -> int:
         return self._h.space_bits()

@@ -10,9 +10,15 @@ identity or a pairwise-independent seed of ``log n`` bits.
 ``lsb`` is the (0-based) least-significant-bit map used to subsample the
 universe at geometric rates in the L0 estimator and support sampler
 (Sections 6 and 7): ``lsb(h(i)) = j`` with probability ``2^-(j+1)``.
+:func:`lsb_array` is the vectorised form used by the batch-update paths,
+and :func:`capped_lsb` is the ``min(lsb(h(i)), log n)`` level-routing rule
+that the L0 structures all share (previously re-derived inline at each
+call site).
 """
 
 from __future__ import annotations
+
+import numpy as np
 
 
 def lsb(x: int, zero_value: int | None = None) -> int:
@@ -29,6 +35,47 @@ def lsb(x: int, zero_value: int | None = None) -> int:
             raise ValueError("lsb(0) undefined without zero_value")
         return zero_value
     return (x & -x).bit_length() - 1
+
+
+def capped_lsb(x: int, cap: int) -> int:
+    """``min(lsb(x), cap)`` with ``lsb(0) = cap`` — the level-routing rule
+    shared by every geometric-subsampling structure (Figures 6-8)."""
+    return min(lsb(x, zero_value=cap), cap)
+
+
+def lsb_array(
+    xs: np.ndarray,
+    zero_value: int | None = None,
+    cap: int | None = None,
+) -> np.ndarray:
+    """Vectorised :func:`lsb` over an integer array.
+
+    Matches the scalar semantics exactly: negative inputs raise, and a
+    zero input raises unless ``zero_value`` is supplied.  ``cap`` applies
+    ``min(lsb(x), cap)`` elementwise (see :func:`capped_lsb`); passing
+    ``cap`` alone implies ``zero_value = cap``, the paper's
+    ``lsb(0) = log n`` convention.
+    """
+    arr = np.asarray(xs)
+    if arr.dtype == object:
+        arr = arr.astype(np.int64)
+    if arr.size and int(arr.min()) < 0:
+        raise ValueError("lsb is defined for non-negative integers")
+    if cap is not None and zero_value is None:
+        zero_value = cap
+    zero_mask = arr == 0
+    if zero_mask.any() and zero_value is None:
+        raise ValueError("lsb(0) undefined without zero_value")
+    # lsb(x) = popcount((x & -x) - 1) for x > 0; exact in uint64.
+    ux = arr.astype(np.uint64)
+    lowbit = ux & (~ux + np.uint64(1))
+    safe = np.where(zero_mask, np.uint64(1), lowbit)
+    out = np.bitwise_count(safe - np.uint64(1)).astype(np.int64)
+    if zero_value is not None:
+        out[zero_mask] = zero_value
+    if cap is not None:
+        np.minimum(out, cap, out=out)
+    return out
 
 
 class StreamingModReducer:

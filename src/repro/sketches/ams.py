@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.batch import as_update_arrays, consume_stream
 from repro.hashing.kwise import SignHash
 from repro.space.accounting import counter_bits
 
@@ -41,14 +42,18 @@ class AMSSketch:
         self._gross_weight += abs(delta)
         for j in range(self.r):
             self.z[j] += self._signs[j](item) * delta
-        peak = int(np.abs(self.z).max())
-        if peak > self._max_abs:
-            self._max_abs = peak
+
+    def update_batch(self, items, deltas) -> None:
+        """Vectorised batch update: per atomic estimator, one array sign
+        evaluation and one integer dot product — exactly the scalar sum."""
+        items_arr, deltas_arr = as_update_arrays(items, deltas, self.n)
+        self._gross_weight += int(np.abs(deltas_arr).sum())
+        for j in range(self.r):
+            signs = self._signs[j].hash_array(items_arr)
+            self.z[j] += int(np.dot(signs, deltas_arr))
 
     def consume(self, stream) -> "AMSSketch":
-        for u in stream:
-            self.update(u.item, u.delta)
-        return self
+        return consume_stream(self, stream)
 
     def f2_estimate(self) -> float:
         """Median of group means of ``Z^2`` — estimates ``‖f‖_2^2``."""
@@ -77,7 +82,8 @@ class AMSSketch:
         return clone
 
     def space_bits(self) -> int:
-        # Capacity accounting, as for CountSketch.
+        # Capacity accounting, as for CountSketch (|Z_j| never exceeds the
+        # gross weight, so the capacity term dominates).
         per = counter_bits(max(self._max_abs, self._gross_weight))
         seeds = sum(s.space_bits() for s in self._signs)
         return self.r * per + seeds

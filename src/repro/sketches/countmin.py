@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.batch import as_update_arrays, consume_stream
 from repro.hashing.kwise import PairwiseHash
 from repro.space.accounting import counter_bits
 
@@ -36,14 +37,18 @@ class CountMin:
         self._gross_weight += abs(delta)
         for r in range(self.depth):
             self.table[r, self._hashes[r](item)] += delta
-        peak = int(np.abs(self.table).max())
-        if peak > self._max_abs_counter:
-            self._max_abs_counter = peak
+
+    def update_batch(self, items, deltas) -> None:
+        """Vectorised batch update; the final table equals the scalar
+        update loop exactly (integer scatter-adds commute)."""
+        items_arr, deltas_arr = as_update_arrays(items, deltas, self.n)
+        self._gross_weight += int(np.abs(deltas_arr).sum())
+        for r in range(self.depth):
+            buckets = self._hashes[r].hash_array(items_arr)
+            np.add.at(self.table[r], buckets, deltas_arr)
 
     def consume(self, stream) -> "CountMin":
-        for u in stream:
-            self.update(u.item, u.delta)
-        return self
+        return consume_stream(self, stream)
 
     def query(self, item: int) -> int:
         """Min-over-rows point query (upper bound in strict turnstile)."""
@@ -70,7 +75,8 @@ class CountMin:
         return clone
 
     def space_bits(self) -> int:
-        # Capacity accounting: a bucket can absorb the whole stream.
+        # Capacity accounting: a bucket can absorb the whole stream (and
+        # no bucket magnitude can ever exceed the gross weight).
         per_counter = counter_bits(
             max(self._max_abs_counter, self._gross_weight), signed=False
         )

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.batch import as_update_arrays, consume_stream
 from repro.hashing.kwise import FourWiseHash, SignHash
 from repro.space.accounting import counter_bits
 
@@ -55,15 +56,21 @@ class CountSketch:
         for r in range(self.depth):
             b = self._bucket_hashes[r](item)
             self.table[r, b] += self._sign_hashes[r](item) * delta
-        peak = int(np.abs(self.table).max())
-        if peak > self._max_abs_counter:
-            self._max_abs_counter = peak
+
+    def update_batch(self, items, deltas) -> None:
+        """Vectorised batch update: per row, one array hash evaluation and
+        one scatter-add.  Integer adds commute, so the final table equals
+        the scalar update loop exactly."""
+        items_arr, deltas_arr = as_update_arrays(items, deltas, self.n)
+        self._gross_weight += int(np.abs(deltas_arr).sum())
+        for r in range(self.depth):
+            buckets = self._bucket_hashes[r].hash_array(items_arr)
+            signed = self._sign_hashes[r].hash_array(items_arr) * deltas_arr
+            np.add.at(self.table[r], buckets, signed)
 
     def consume(self, stream) -> "CountSketch":
         """Feed every update of a stream; returns self for chaining."""
-        for u in stream:
-            self.update(u.item, u.delta)
-        return self
+        return consume_stream(self, stream)
 
     def query(self, item: int) -> int:
         """Point query: median-of-rows estimate of ``f_item``."""
@@ -139,6 +146,8 @@ class CountSketch:
         bucket can absorb the stream's entire gross weight, so the sketch
         must allocate for it.  (This is exactly the cost the alpha-property
         structures avoid — their counters are capped by the sample budget.)
+        No bucket magnitude can exceed the gross weight, so the capacity
+        term dominates any observed peak.
         """
         per_counter = counter_bits(max(self._max_abs_counter, self._gross_weight))
         seeds = sum(h.space_bits() for h in self._bucket_hashes)

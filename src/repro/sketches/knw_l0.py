@@ -31,8 +31,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.batch import as_update_arrays, consume_stream, mod_scatter_add
 from repro.hashing.kwise import KWiseHash, PairwiseHash
-from repro.hashing.modhash import lsb
+from repro.hashing.modhash import capped_lsb, lsb_array
 from repro.hashing.primes import random_prime_in_range
 from repro.space.accounting import counter_bits
 
@@ -80,6 +81,36 @@ class ExactSmallL0:
             else:
                 tbl[b] = v
 
+    def update_batch(self, items, deltas) -> None:
+        """Batch update with vectorised bucket hashing.
+
+        The residue tables are dicts, so the accumulation is a loop — but
+        per trial it folds the *per-bucket sums* in, which is equivalent
+        to the scalar sequence because modular addition commutes.  The
+        per-bucket sums are folded on exact Python integers when the
+        chunk's gross weight could overflow int64 (the scalar path is a
+        Python-int fold, so the batch path must not wrap either).
+        """
+        items_arr, deltas_arr = as_update_arrays(items, deltas, self.n)
+        exact = (
+            float(np.abs(deltas_arr).astype(np.float64).sum()) >= 2.0**62
+        )
+        sum_deltas = deltas_arr.astype(object) if exact else deltas_arr
+        sum_dtype = object if exact else np.int64
+        for t in range(self.trials):
+            buckets = self._hashes[t].hash_array(items_arr)
+            p = self._primes[t]
+            tbl = self._tables[t]
+            uniq, inverse = np.unique(buckets, return_inverse=True)
+            sums = np.zeros(len(uniq), dtype=sum_dtype)
+            np.add.at(sums, inverse, sum_deltas)
+            for b, s in zip(uniq.tolist(), sums.tolist()):
+                v = (tbl.get(b, 0) + s) % p
+                if v == 0:
+                    tbl.pop(b, None)
+                else:
+                    tbl[b] = v
+
     def estimate(self) -> int:
         """max over trials of the number of non-zero buckets."""
         return max(len(tbl) for tbl in self._tables)
@@ -117,15 +148,23 @@ class RoughL0Estimator:
         ]
 
     def _level_of(self, item: int) -> int:
-        return min(lsb(self._h(item), zero_value=self.log_n), self.log_n)
+        return capped_lsb(self._h(item), self.log_n)
 
     def update(self, item: int, delta: int) -> None:
         self._levels[self._level_of(item)].update(item, delta)
 
+    def update_batch(self, items, deltas) -> None:
+        """Batch update: vectorised level routing, then one batch per
+        touched level (levels are independent structures, and within each
+        level the item order is preserved)."""
+        items_arr, deltas_arr = as_update_arrays(items, deltas, self.n)
+        levels = lsb_array(self._h.hash_array(items_arr), cap=self.log_n)
+        for j in np.unique(levels).tolist():
+            mask = levels == j
+            self._levels[j].update_batch(items_arr[mask], deltas_arr[mask])
+
     def consume(self, stream) -> "RoughL0Estimator":
-        for u in stream:
-            self.update(u.item, u.delta)
-        return self
+        return consume_stream(self, stream)
 
     def estimate(self) -> float:
         """Constant-factor L0 estimate.
@@ -187,7 +226,10 @@ class RoughF0Estimator:
 
     def update(self, item: int, delta: int) -> None:
         """Distinctness only depends on touches; delta is ignored."""
-        hv = self._h(item)
+        self._observe(self._h(item))
+
+    def _observe(self, hv: int) -> None:
+        """Fold one (precomputed) hash value into the k smallest."""
         smallest = self._smallest
         if len(smallest) == self.k and hv >= smallest[-1]:
             return
@@ -201,10 +243,16 @@ class RoughF0Estimator:
         if len(smallest) > self.k:
             smallest.pop()
 
+    def update_batch(self, items, deltas) -> None:
+        """Batch update: one vectorised hash pass, then the (cheap,
+        data-dependent) KMV folds in item order — state is identical to
+        the scalar loop."""
+        items_arr, _ = as_update_arrays(items, deltas, self.n)
+        for hv in self._h.hash_array(items_arr).tolist():
+            self._observe(hv)
+
     def consume(self, stream) -> "RoughF0Estimator":
-        for u in stream:
-            self.update(u.item, u.delta)
-        return self
+        return consume_stream(self, stream)
 
     def estimate(self) -> float:
         """Current (non-decreasing) F0 estimate."""
@@ -284,17 +332,44 @@ class KNWL0Estimator:
         j2 = self._h2(item)
         scale = int(self._u[self._h4(j2)])
         inc = (delta * scale) % self.p
-        row = min(lsb(self._h1(item), zero_value=self.log_n), self.rows - 1)
+        row = min(capped_lsb(self._h1(item), self.log_n), self.rows - 1)
         col = self._h3(j2)
         self.B[row, col] = (int(self.B[row, col]) + inc) % self.p
         col_s = self._h3_small(j2)
         self.B_small[col_s] = (int(self.B_small[col_s]) + inc) % self.p
         self._exact_small.update(item, delta)
 
+    def update_batch(self, items, deltas) -> None:
+        """Vectorised batch update.
+
+        All five hash passes and the row routing run as array operations;
+        the bucket accumulation is an overflow-safe modular scatter-add
+        (:func:`repro.batch.mod_scatter_add`), which yields the same
+        residues as reducing after every update.  The scaled increments
+        are computed on exact Python integers (``delta * u`` can exceed
+        63 bits) before reduction.
+        """
+        items_arr, deltas_arr = as_update_arrays(items, deltas, self.n)
+        if self._own_rough:
+            self.rough.update_batch(items_arr, deltas_arr)
+        j2 = self._h2.hash_array(items_arr)
+        scales = self._u[self._h4.hash_array(j2)]
+        incs = (
+            (deltas_arr.astype(object) * scales.astype(object)) % self.p
+        ).astype(np.int64)
+        rows = lsb_array(
+            self._h1.hash_array(items_arr),
+            zero_value=self.log_n,
+            cap=self.rows - 1,
+        )
+        cols = self._h3.hash_array(j2)
+        mod_scatter_add(self.B, (rows, cols), incs, self.p)
+        cols_s = self._h3_small.hash_array(j2)
+        mod_scatter_add(self.B_small, cols_s, incs, self.p)
+        self._exact_small.update_batch(items_arr, deltas_arr)
+
     def consume(self, stream) -> "KNWL0Estimator":
-        for u in stream:
-            self.update(u.item, u.delta)
-        return self
+        return consume_stream(self, stream)
 
     # -- queries -------------------------------------------------------------
     @staticmethod

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.batch import as_update_arrays, consume_stream, exact_sum
 from repro.hashing.kwise import UniformScalars
 from repro.sketches.countsketch import CountSketch
 from repro.space.accounting import counter_bits
@@ -68,7 +69,7 @@ class TurnstileL1Sampler:
         self._touched: set[int] = set()
 
     def _inv_t(self, item: int) -> int:
-        return max(1, int(round(1.0 / self._t(item))))
+        return self._t.inverse_weight(item)
 
     def update(self, item: int, delta: int) -> None:
         w = self._inv_t(item)
@@ -77,10 +78,26 @@ class TurnstileL1Sampler:
         self._z1 += delta * w
         self._touched.add(item)
 
+    def update_batch(self, items, deltas) -> None:
+        """Vectorised batch update (the whole path is deterministic)."""
+        items_arr, deltas_arr = as_update_arrays(items, deltas, self.n)
+        if items_arr.size == 0:
+            return
+        inv_t = self._t.inverse_weight_array(items_arr)
+        if float(np.abs(deltas_arr).max()) * float(inv_t.max()) >= 2.0**62:
+            # Scaled updates would overflow int64; the scalar path (exact
+            # Python ints) is the definitionally equivalent fallback.
+            for item, delta in zip(items_arr.tolist(), deltas_arr.tolist()):
+                self.update(item, delta)
+            return
+        scaled = deltas_arr * inv_t
+        self._cs.update_batch(items_arr, scaled)
+        self._l1 += exact_sum(deltas_arr)
+        self._z1 += exact_sum(scaled)
+        self._touched.update(items_arr.tolist())
+
     def consume(self, stream) -> "TurnstileL1Sampler":
-        for u in stream:
-            self.update(u.item, u.delta)
-        return self
+        return consume_stream(self, stream)
 
     def sample(self) -> tuple[int, float] | None:
         """Return ``(item, f_hat_item)`` or ``None`` on abort."""

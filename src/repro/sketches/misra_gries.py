@@ -14,11 +14,15 @@ tables at the regime the paper's algorithms converge to as α → 1.
 
 from __future__ import annotations
 
+from repro.batch import ScalarLoopBatchUpdateMixin
 from repro.space.accounting import counter_bits
 
 
-class MisraGries:
+class MisraGries(ScalarLoopBatchUpdateMixin):
     """Deterministic insertion-only ε-heavy hitters summary.
+
+    ``update_batch`` is the scalar loop (mixin): the shared-decrement
+    step is data-dependent per update.
 
     Parameters
     ----------

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.batch import as_update_arrays, consume_stream
 from repro.hashing.kwise import PairwiseHash
 from repro.space.accounting import counter_bits
 
@@ -69,10 +70,27 @@ class SparseRecovery:
             self.ids[r, b] += delta * item
         self._max_abs = max(self._max_abs, abs(int(delta)))
 
+    def update_batch(self, items, deltas) -> None:
+        """Vectorised batch update.
+
+        Bucket hashing is vectorised; the scatter-adds run on the exact
+        Python-integer (object dtype) tables, so the accumulated
+        measurements are identical to the scalar loop's.
+        """
+        items_arr, deltas_arr = as_update_arrays(items, deltas, self.n)
+        deltas_obj = deltas_arr.astype(object)
+        weighted_obj = deltas_obj * items_arr.astype(object)
+        for r in range(self.rows):
+            buckets = self._hashes[r].hash_array(items_arr)
+            np.add.at(self.counts[r], buckets, deltas_obj)
+            np.add.at(self.ids[r], buckets, weighted_obj)
+        if deltas_arr.size:
+            self._max_abs = max(
+                self._max_abs, int(np.abs(deltas_arr).max())
+            )
+
     def consume(self, stream) -> "SparseRecovery":
-        for u in stream:
-            self.update(u.item, u.delta)
-        return self
+        return consume_stream(self, stream)
 
     def _bucket_is_pure(self, r: int, b: int) -> int | None:
         """If bucket (r, b) contains exactly one item, return it."""

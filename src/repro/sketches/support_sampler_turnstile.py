@@ -14,8 +14,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.batch import as_update_arrays, consume_stream
 from repro.hashing.kwise import PairwiseHash
-from repro.hashing.modhash import lsb
+from repro.hashing.modhash import capped_lsb, lsb_array
 from repro.sketches.sparse_recovery import DenseError, SparseRecovery
 
 
@@ -55,7 +56,7 @@ class TurnstileSupportSampler:
         ]
 
     def _level_of(self, item: int) -> int:
-        return min(lsb(self._h(item), zero_value=self.log_n), self.log_n)
+        return capped_lsb(self._h(item), self.log_n)
 
     def update(self, item: int, delta: int) -> None:
         # Item i belongs to levels 0..lsb(h(i)): level j keeps items whose
@@ -64,10 +65,18 @@ class TurnstileSupportSampler:
         for j in range(top + 1):
             self._levels[j].update(item, delta)
 
+    def update_batch(self, items, deltas) -> None:
+        """Vectorised batch update: route once, then one sub-batch per
+        level (levels are independent, item order preserved per level)."""
+        items_arr, deltas_arr = as_update_arrays(items, deltas, self.n)
+        tops = lsb_array(self._h.hash_array(items_arr), cap=self.log_n)
+        for j in range(self.log_n + 1):
+            mask = tops >= j
+            if mask.any():
+                self._levels[j].update_batch(items_arr[mask], deltas_arr[mask])
+
     def consume(self, stream) -> "TurnstileSupportSampler":
-        for u in stream:
-            self.update(u.item, u.delta)
-        return self
+        return consume_stream(self, stream)
 
     def sample(self) -> set[int]:
         """Support coordinates from the deepest decodable level (largest

@@ -8,6 +8,8 @@
   paper's motivating applications (Section 1): network-traffic differences,
   remote differential compression, sensor occupancy, plus adversarial
   near-cancelling turnstile streams.
+* :mod:`repro.streams.engine` — the chunked batch-replay driver feeding
+  ``(items, deltas)`` column chunks into ``update_batch`` sketches.
 """
 
 from repro.streams.model import (
@@ -15,6 +17,14 @@ from repro.streams.model import (
     Stream,
     FrequencyVector,
     stream_from_updates,
+)
+from repro.streams.engine import (
+    DEFAULT_CHUNK_SIZE,
+    ReplayStats,
+    iter_chunks,
+    replay,
+    replay_many,
+    replay_timed,
 )
 from repro.streams.alpha import (
     lp_alpha,
@@ -40,6 +50,12 @@ __all__ = [
     "Stream",
     "FrequencyVector",
     "stream_from_updates",
+    "DEFAULT_CHUNK_SIZE",
+    "ReplayStats",
+    "iter_chunks",
+    "replay",
+    "replay_many",
+    "replay_timed",
     "lp_alpha",
     "l0_alpha",
     "l1_alpha",

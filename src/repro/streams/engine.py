@@ -1,0 +1,129 @@
+"""Chunked batch-replay engine: the package's high-throughput stream driver.
+
+The scalar path — ``for u in stream: sketch.update(u.item, u.delta)`` —
+costs a Python call (plus per-item hash polynomial evaluations) per
+update.  This module replays :class:`~repro.streams.model.Stream` objects
+as ``(items, deltas)`` column chunks instead, dispatching each chunk to
+``update_batch`` on sketches that implement it (see :mod:`repro.batch`)
+and falling back to the scalar loop otherwise.  The batch contract
+guarantees the final sketch state is identical to the scalar replay for
+every chunk size, so ``--chunk-size`` is purely a throughput knob.
+
+Typical use::
+
+    from repro.streams.engine import replay
+
+    sketch = replay(stream, CountSketch(n, 96, 6, rng), chunk_size=4096)
+
+``replay_many`` feeds several sketches in one pass (chunk-major, so the
+stream columns are materialised once), and ``replay_timed`` wraps a replay
+with wall-clock measurement, returning the updates/sec figure the
+benchmarks record in ``BENCH_throughput.json``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Iterator, Sequence
+
+import numpy as np
+
+from repro.batch import DEFAULT_CHUNK_SIZE, consume_stream, supports_batch
+from repro.streams.model import Stream
+
+
+def iter_chunks(
+    stream: Stream, chunk_size: int | None = None
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Yield the stream as ``(items, deltas)`` column chunks (views)."""
+    if chunk_size is None:
+        chunk_size = DEFAULT_CHUNK_SIZE
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be positive")
+    items, deltas = stream.as_arrays()
+    for start in range(0, len(items), chunk_size):
+        stop = start + chunk_size
+        yield items[start:stop], deltas[start:stop]
+
+
+def _feed(sketch: Any, items: np.ndarray, deltas: np.ndarray) -> None:
+    if supports_batch(sketch):
+        sketch.update_batch(items, deltas)
+    else:
+        update = sketch.update
+        for item, delta in zip(items.tolist(), deltas.tolist()):
+            update(item, delta)
+
+
+def replay(stream: Stream, sketch: Any, chunk_size: int | None = None):
+    """Replay ``stream`` into ``sketch`` in chunks; returns the sketch.
+
+    Uses ``update_batch`` when the sketch implements it, else the scalar
+    loop — either way the final state matches a plain ``consume``
+    (``replay`` *is* the shared :func:`repro.batch.consume_stream`
+    dispatch, argument order aside).
+    """
+    return consume_stream(sketch, stream, chunk_size)
+
+
+def replay_many(
+    stream: Stream, sketches: Sequence[Any], chunk_size: int | None = None
+) -> list[Any]:
+    """One-pass replay into several sketches (chunk-major order).
+
+    Sketches are independent structures, so interleaving their chunk
+    updates leaves each in exactly the state a dedicated replay would.
+    """
+    sketches = list(sketches)
+    for items, deltas in iter_chunks(stream, chunk_size):
+        for sketch in sketches:
+            _feed(sketch, items, deltas)
+    return sketches
+
+
+@dataclass(frozen=True)
+class ReplayStats:
+    """Wall-clock result of a timed replay."""
+
+    updates: int
+    seconds: float
+    chunk_size: int
+    batched: bool
+
+    @property
+    def updates_per_sec(self) -> float:
+        return self.updates / self.seconds if self.seconds > 0 else float("inf")
+
+
+def replay_timed(
+    stream: Stream,
+    sketch: Any,
+    chunk_size: int | None = None,
+    force_scalar: bool = False,
+) -> tuple[Any, ReplayStats]:
+    """Replay with wall-clock measurement.
+
+    ``force_scalar`` drives the per-update path even on batch-capable
+    sketches — the baseline side of every throughput comparison.
+    """
+    if chunk_size is None:
+        chunk_size = DEFAULT_CHUNK_SIZE
+    items, deltas = stream.as_arrays()
+    batched = supports_batch(sketch) and not force_scalar
+    start = time.perf_counter()
+    if batched:
+        consume_stream(sketch, stream, chunk_size)
+    else:
+        # The force_scalar baseline deliberately times the raw per-update
+        # loop (what the scalar path costs), not the dispatch helper.
+        update = sketch.update
+        for item, delta in zip(items.tolist(), deltas.tolist()):
+            update(item, delta)
+    elapsed = time.perf_counter() - start
+    return sketch, ReplayStats(
+        updates=len(items),
+        seconds=elapsed,
+        chunk_size=chunk_size,
+        batched=batched,
+    )

@@ -18,6 +18,8 @@ from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
+from repro.batch import as_update_arrays
+
 
 @dataclass(frozen=True, slots=True)
 class Update:
@@ -58,6 +60,7 @@ class Stream:
             raise ValueError("universe size must be positive")
         self.n = int(n)
         self._updates: list[Update] = []
+        self._arrays_cache: tuple[np.ndarray, np.ndarray] | None = None
         if updates is not None:
             for u in updates:
                 self.append(u)
@@ -68,6 +71,7 @@ class Stream:
             raise ValueError(
                 f"item {update.item} outside universe [0, {self.n})"
             )
+        self._arrays_cache = None
         self._updates.append(update)
 
     def extend(self, updates: Iterable[Update]) -> None:
@@ -88,11 +92,51 @@ class Stream:
         """``sum_t |Delta_t|`` — the stream's gross L1 traffic."""
         return sum(abs(u.delta) for u in self._updates)
 
+    def as_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """The stream as ``(items, deltas)`` int64 column arrays.
+
+        This is the zero-copy interface of the batch pipeline
+        (:mod:`repro.streams.engine`): the columns are built once, cached,
+        and invalidated by :meth:`append`.  Callers receive the cached
+        arrays directly and must not mutate them.
+        """
+        if self._arrays_cache is None:
+            m = len(self._updates)
+            items = np.fromiter(
+                (u.item for u in self._updates), dtype=np.int64, count=m
+            )
+            deltas = np.fromiter(
+                (u.delta for u in self._updates), dtype=np.int64, count=m
+            )
+            self._arrays_cache = (items, deltas)
+        return self._arrays_cache
+
+    @classmethod
+    def from_arrays(cls, n: int, items, deltas) -> "Stream":
+        """Build a stream from ``(items, deltas)`` columns.
+
+        Validation is vectorised but matches :class:`Update` exactly:
+        negative items, items outside ``[0, n)``, zero deltas, length
+        mismatches, and non-integral dtypes are all rejected.
+        """
+        stream = cls(n)
+        items_arr, deltas_arr = as_update_arrays(items, deltas, stream.n)
+        stream._updates = [
+            Update(item, delta)
+            for item, delta in zip(items_arr.tolist(), deltas_arr.tolist())
+        ]
+        stream._arrays_cache = (
+            items_arr.copy() if items_arr is items else items_arr,
+            deltas_arr.copy() if deltas_arr is deltas else deltas_arr,
+        )
+        return stream
+
     def frequency_vector(self) -> "FrequencyVector":
-        """Replay into an exact dense frequency vector."""
+        """Replay into an exact dense frequency vector (batch path; the
+        result is identical to the scalar update loop)."""
         fv = FrequencyVector(self.n)
-        for u in self._updates:
-            fv.update(u.item, u.delta)
+        if self._updates:
+            fv.update_batch(*self.as_arrays())
         return fv
 
     def suffix(self, start: int) -> "Stream":
@@ -159,6 +203,16 @@ class FrequencyVector:
         else:
             self.deletions[item] -= delta
         self.num_updates += 1
+
+    def update_batch(self, items, deltas) -> None:
+        """Vectorised batch update; final state equals the scalar loop
+        (integer scatter-adds are exact and order-independent)."""
+        items_arr, deltas_arr = as_update_arrays(items, deltas, self.n)
+        np.add.at(self.f, items_arr, deltas_arr)
+        pos = deltas_arr > 0
+        np.add.at(self.insertions, items_arr[pos], deltas_arr[pos])
+        np.subtract.at(self.deletions, items_arr[~pos], deltas_arr[~pos])
+        self.num_updates += int(items_arr.size)
 
     # -- norms -------------------------------------------------------------
     def l1(self) -> int:

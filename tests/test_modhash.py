@@ -7,7 +7,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.hashing.modhash import StreamingModReducer, lsb
+from repro.hashing.modhash import StreamingModReducer, capped_lsb, lsb, lsb_array
 
 
 class TestLsb:
@@ -69,3 +69,51 @@ class TestStreamingModReducer:
     def test_property_agrees_with_mod(self, x, prime):
         red = StreamingModReducer(prime=prime, n_bits=40)
         assert red.reduce(x) == x % prime
+
+
+class TestLsbArray:
+    """The vectorised lsb (consolidated here from per-sketch wrappers)."""
+
+    def test_matches_scalar_on_positive_inputs(self):
+        rng = np.random.default_rng(11)
+        xs = rng.integers(1, 1 << 61, size=2000)
+        got = lsb_array(xs)
+        assert got.dtype == np.int64
+        assert got.tolist() == [lsb(int(x)) for x in xs]
+
+    def test_zero_input_requires_zero_value(self):
+        """The 0-input edge case: lsb(0) is only defined with an explicit
+        zero_value (the paper's lsb(0) = log n convention)."""
+        with pytest.raises(ValueError, match="zero_value"):
+            lsb_array(np.array([4, 0, 2]))
+        got = lsb_array(np.array([4, 0, 2]), zero_value=12)
+        assert got.tolist() == [2, 12, 1]
+
+    def test_all_zero_input(self):
+        assert lsb_array(np.zeros(5, dtype=np.int64), zero_value=7).tolist() \
+            == [7] * 5
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            lsb_array(np.array([3, -1]))
+
+    def test_cap_applies_elementwise_and_covers_zero(self):
+        # cap alone implies zero_value = cap (lsb(0) = log n, capped).
+        got = lsb_array(np.array([0, 1, 8, 1 << 20]), cap=3)
+        assert got.tolist() == [3, 0, 3, 3]
+        # explicit zero_value with a distinct cap
+        got = lsb_array(np.array([0, 8]), zero_value=10, cap=4)
+        assert got.tolist() == [4, 3]
+
+    def test_object_dtype_inputs(self):
+        xs = np.array([2, 12, 1024], dtype=object)
+        assert lsb_array(xs).tolist() == [1, 2, 10]
+
+    def test_empty(self):
+        assert lsb_array(np.array([], dtype=np.int64)).size == 0
+
+    def test_capped_lsb_scalar_matches(self):
+        for x in (0, 1, 2, 8, 12, 1 << 20):
+            cap = 5
+            expected = min(lsb(x, zero_value=cap), cap)
+            assert capped_lsb(x, cap) == expected

@@ -1,0 +1,164 @@
+"""Round-trip tests for the column-array stream interface.
+
+``Stream.as_arrays()`` / ``Stream.from_arrays()`` are the zero-copy
+substrate of the batch pipeline; their validation must match the scalar
+``Update.__post_init__`` rules exactly (reject zero deltas, negative
+items, out-of-universe items), and the chunked engine must replay them
+identically to the scalar loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.batch import as_update_arrays
+from repro.streams.engine import iter_chunks, replay, replay_many, replay_timed
+from repro.streams.generators import bounded_deletion_stream
+from repro.streams.model import FrequencyVector, Stream, Update
+
+
+@pytest.fixture
+def stream() -> Stream:
+    return bounded_deletion_stream(n=256, m=900, alpha=4, seed=5, strict=False)
+
+
+class TestAsArrays:
+    def test_columns_match_updates(self, stream):
+        items, deltas = stream.as_arrays()
+        assert items.dtype == np.int64 and deltas.dtype == np.int64
+        assert len(items) == len(deltas) == len(stream)
+        for t, u in enumerate(stream):
+            assert items[t] == u.item and deltas[t] == u.delta
+
+    def test_cache_is_reused_and_invalidated_by_append(self, stream):
+        first = stream.as_arrays()
+        assert stream.as_arrays()[0] is first[0]  # cached
+        stream.append(Update(3, 2))
+        items, deltas = stream.as_arrays()
+        assert len(items) == len(stream)
+        assert items[-1] == 3 and deltas[-1] == 2
+
+    def test_empty_stream(self):
+        items, deltas = Stream(8).as_arrays()
+        assert len(items) == 0 and len(deltas) == 0
+
+
+class TestFromArrays:
+    def test_round_trip(self, stream):
+        items, deltas = stream.as_arrays()
+        rebuilt = Stream.from_arrays(stream.n, items, deltas)
+        assert len(rebuilt) == len(stream)
+        assert all(a == b for a, b in zip(rebuilt, stream))
+        ri, rd = rebuilt.as_arrays()
+        assert np.array_equal(ri, items) and np.array_equal(rd, deltas)
+
+    def test_accepts_plain_lists(self):
+        s = Stream.from_arrays(16, [1, 2, 3], [5, -5, 1])
+        assert [u.item for u in s] == [1, 2, 3]
+        assert [u.delta for u in s] == [5, -5, 1]
+
+    def test_rejects_zero_deltas(self):
+        """Matches Update.__post_init__: zero-delta updates are invalid."""
+        with pytest.raises(ValueError, match="zero-delta"):
+            Stream.from_arrays(16, [1, 2], [3, 0])
+
+    def test_rejects_negative_items(self):
+        """Matches Update.__post_init__: items are non-negative."""
+        with pytest.raises(ValueError, match="non-negative"):
+            Stream.from_arrays(16, [-1, 2], [3, 1])
+
+    def test_rejects_items_outside_universe(self):
+        with pytest.raises(ValueError, match="outside universe"):
+            Stream.from_arrays(16, [4, 16], [1, 1])
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError, match="lengths differ"):
+            Stream.from_arrays(16, [1, 2, 3], [1, 1])
+
+    def test_rejects_non_integral_dtypes(self):
+        with pytest.raises(TypeError):
+            Stream.from_arrays(16, np.array([1.5, 2.0]), np.array([1, 1]))
+        with pytest.raises(TypeError):
+            Stream.from_arrays(16, np.array([1, 2]), np.array([1.0, 1.0]))
+
+    def test_caller_mutation_does_not_corrupt_cache(self):
+        items = np.array([1, 2, 3], dtype=np.int64)
+        deltas = np.array([1, 1, 1], dtype=np.int64)
+        s = Stream.from_arrays(16, items, deltas)
+        items[0] = 9
+        assert s.as_arrays()[0][0] == 1
+
+
+class TestValidatorHelper:
+    def test_as_update_arrays_matches_update_rules(self):
+        items, deltas = as_update_arrays([0, 1], [1, -1], universe=4)
+        assert items.tolist() == [0, 1] and deltas.tolist() == [1, -1]
+        with pytest.raises(ValueError):
+            as_update_arrays([0], [0])
+        with pytest.raises(ValueError):
+            as_update_arrays([-1], [1])
+        with pytest.raises(ValueError):
+            as_update_arrays([5], [1], universe=4)
+        with pytest.raises(ValueError):
+            as_update_arrays([[1]], [[1]])
+
+    def test_empty_batch_is_allowed(self):
+        items, deltas = as_update_arrays([], [])
+        assert len(items) == 0 and len(deltas) == 0
+
+
+class TestEngine:
+    def test_iter_chunks_partitions_exactly(self, stream):
+        items, deltas = stream.as_arrays()
+        got_items = np.concatenate(
+            [ci for ci, _ in iter_chunks(stream, 128)])
+        got_deltas = np.concatenate(
+            [cd for _, cd in iter_chunks(stream, 128)])
+        assert np.array_equal(got_items, items)
+        assert np.array_equal(got_deltas, deltas)
+        sizes = [len(ci) for ci, _ in iter_chunks(stream, 128)]
+        assert all(s == 128 for s in sizes[:-1]) and sizes[-1] <= 128
+
+    def test_iter_chunks_rejects_bad_chunk_size(self, stream):
+        with pytest.raises(ValueError):
+            list(iter_chunks(stream, 0))
+
+    def test_replay_equals_scalar_loop(self, stream):
+        scalar = FrequencyVector(stream.n)
+        for u in stream:
+            scalar.update(u.item, u.delta)
+        for chunk in (1, 13, 4096):
+            batched = replay(stream, FrequencyVector(stream.n),
+                             chunk_size=chunk)
+            assert np.array_equal(scalar.f, batched.f)
+            assert np.array_equal(scalar.insertions, batched.insertions)
+            assert np.array_equal(scalar.deletions, batched.deletions)
+
+    def test_replay_falls_back_to_scalar_only_sketches(self, stream):
+        class ScalarOnly:
+            def __init__(self):
+                self.seen = []
+
+            def update(self, item, delta):
+                self.seen.append((item, delta))
+
+        sk = replay(stream, ScalarOnly(), chunk_size=64)
+        assert sk.seen == [(u.item, u.delta) for u in stream]
+
+    def test_replay_many_single_pass(self, stream):
+        a, b = replay_many(
+            stream, [FrequencyVector(stream.n), FrequencyVector(stream.n)],
+            chunk_size=200)
+        assert np.array_equal(a.f, b.f)
+        assert a.l1() == stream.frequency_vector().l1()
+
+    def test_replay_timed_reports_throughput(self, stream):
+        _, stats = replay_timed(stream, FrequencyVector(stream.n),
+                                chunk_size=256)
+        assert stats.updates == len(stream)
+        assert stats.batched and stats.chunk_size == 256
+        assert stats.updates_per_sec > 0
+        _, scalar_stats = replay_timed(
+            stream, FrequencyVector(stream.n), force_scalar=True)
+        assert not scalar_stats.batched
