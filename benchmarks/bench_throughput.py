@@ -3,8 +3,17 @@
 Measures scalar-loop vs ``update_batch`` replay throughput (updates/sec)
 for the hot structures of the stack and records the speedups.  The
 acceptance bar tracked across PRs: the vectorised batch path on
-CountSketch / CountMin / Cauchy / FrequencyVector is at least **10x**
-the scalar loop at chunk size 4096.
+CountSketch / CountMin / Cauchy / FrequencyVector — and, since the
+order-insensitive sampling / segmented-window work, on the paper's own
+CSSS and αL0 — is at least **10x** the scalar loop at chunk size 4096.
+
+A second section measures *sharded* replay
+(:func:`repro.streams.engine.replay_sharded`): the stream split across
+worker processes with the shard sketches merged, for the mergeable
+linear sketches.  It records the 1-worker vs 4-worker rates, the host's
+usable core count (sharding cannot beat a single worker on a 1-core
+container — the JSON says so honestly), and a hard check that the merged
+estimates are identical to the single-shard replay.
 
 Run as a script to (re)generate the JSON artifact::
 
@@ -18,6 +27,7 @@ or under pytest (the test asserts the 10x bar and refreshes the JSON)::
 from __future__ import annotations
 
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -27,11 +37,12 @@ sys.path.insert(0, str(Path(__file__).parent))  # script mode
 
 from _common import cached_bounded_stream, measure_throughput
 from repro.core.csss import CSSS
-from repro.core.l0_estimation import AlphaL0Estimator
+from repro.core.l0_estimation import AlphaConstL0Estimator, AlphaL0Estimator
 from repro.sketches.ams import AMSSketch
 from repro.sketches.cauchy import CauchyL1Sketch
 from repro.sketches.countmin import CountMin
 from repro.sketches.countsketch import CountSketch
+from repro.streams.engine import replay_sharded_timed
 from repro.streams.model import FrequencyVector
 
 N = 1 << 12
@@ -42,8 +53,7 @@ CHUNK = 4096
 # so slow baselines don't dominate wall-clock; rates are per-update.
 SCALAR_PREFIX = 2_000
 
-#: Structures with a genuinely vectorised batch path.  The first four are
-#: the acceptance-criterion set (>= 10x at chunk 4096).
+#: Structures with a genuinely vectorised batch path.
 SKETCHES = {
     "countsketch": lambda rng: CountSketch(N, width=96, depth=6, rng=rng),
     "countmin": lambda rng: CountMin(N, width=128, depth=6, rng=rng),
@@ -52,11 +62,44 @@ SKETCHES = {
     "ams": lambda rng: AMSSketch(N, per_group=16, groups=6, rng=rng),
     "csss": lambda rng: CSSS(N, k=16, eps=0.1, alpha=ALPHA, rng=rng, depth=6),
     "alpha_l0": lambda rng: AlphaL0Estimator(N, eps=0.25, alpha=ALPHA, rng=rng),
+    "alpha_const_l0": lambda rng: AlphaConstL0Estimator(N, alpha=ALPHA, rng=rng),
 }
 
-REQUIRED_10X = ("countsketch", "countmin", "cauchy", "frequency_vector")
+#: The acceptance set: baselines since PR 1, the paper's own structures
+#: since the vectorised-sampling PR.
+REQUIRED_10X = (
+    "countsketch", "countmin", "cauchy", "frequency_vector",
+    "csss", "alpha_l0",
+)
+
+# Sharded replay: a longer stream so the parallel region dominates pool
+# spawn overhead on multi-core hosts.
+SHARDED_M = 1 << 19
+SHARDED_WORKERS = 4
 
 ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_throughput.json"
+
+
+def _make_sharded_countsketch():
+    return CountSketch(N, width=96, depth=6, rng=np.random.default_rng(1))
+
+
+def _make_sharded_countmin():
+    return CountMin(N, width=128, depth=6, rng=np.random.default_rng(1))
+
+
+#: Module-level factories — process pools must be able to pickle them.
+SHARDED_FACTORIES = {
+    "countsketch": _make_sharded_countsketch,
+    "countmin": _make_sharded_countmin,
+}
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
 
 
 def _measure_all(chunk_size: int = CHUNK) -> dict:
@@ -86,6 +129,38 @@ def _measure_all(chunk_size: int = CHUNK) -> dict:
         "alpha": ALPHA,
         "chunk_size": chunk_size,
         "scalar_prefix": SCALAR_PREFIX,
+        "cores": _usable_cores(),
+        "results": results,
+        "sharded": _measure_sharded(chunk_size),
+    }
+
+
+def _measure_sharded(chunk_size: int = CHUNK) -> dict:
+    stream = cached_bounded_stream(N, SHARDED_M, ALPHA, seed=23, strict=False)
+    results = {}
+    for name, factory in SHARDED_FACTORIES.items():
+        single, t1 = replay_sharded_timed(
+            stream, factory, workers=1, chunk_size=chunk_size
+        )
+        sharded, t4 = replay_sharded_timed(
+            stream, factory, workers=SHARDED_WORKERS, chunk_size=chunk_size
+        )
+        results[name] = {
+            "workers_1_updates_per_sec": int(round(t1.updates_per_sec)),
+            f"workers_{SHARDED_WORKERS}_updates_per_sec": int(
+                round(t4.updates_per_sec)
+            ),
+            f"speedup_{SHARDED_WORKERS}_over_1": round(
+                t4.updates_per_sec / t1.updates_per_sec, 2
+            ),
+            # Table equality implies every point query is identical.
+            "identical_estimates": bool(
+                np.array_equal(single.table, sharded.table)
+            ),
+        }
+    return {
+        "m": SHARDED_M,
+        "workers": SHARDED_WORKERS,
         "results": results,
     }
 
@@ -95,7 +170,7 @@ def write_artifact(report: dict) -> None:
 
 
 def test_throughput_artifact():
-    """Regenerate BENCH_throughput.json; assert the 10x acceptance bar."""
+    """Regenerate BENCH_throughput.json; assert the acceptance bars."""
     report = _measure_all()
     write_artifact(report)
     for name in REQUIRED_10X:
@@ -104,6 +179,17 @@ def test_throughput_artifact():
             f"{name}: batch path only {speedup}x the scalar loop "
             f"(need >= 10x at chunk {CHUNK})"
         )
+    for name, row in report["sharded"]["results"].items():
+        assert row["identical_estimates"], (
+            f"{name}: sharded replay changed the estimates"
+        )
+        if report["cores"] >= 2:
+            # Parallel speedup is physically impossible on a 1-core host;
+            # assert it only where the hardware can deliver it.
+            assert row[f"speedup_{SHARDED_WORKERS}_over_1"] > 1.0, (
+                f"{name}: {SHARDED_WORKERS}-worker sharding not faster "
+                f"than 1 worker on a {report['cores']}-core host"
+            )
 
 
 def main() -> int:
@@ -116,7 +202,15 @@ def main() -> int:
             f"  batch {row['batch_updates_per_sec']:>10,}/s"
             f"  speedup {row['speedup']:>6.1f}x"
         )
-    print(f"wrote {ARTIFACT}")
+    for name, row in report["sharded"]["results"].items():
+        print(
+            f"sharded {name:<{width}}  1w "
+            f"{row['workers_1_updates_per_sec']:>10,}/s  "
+            f"{SHARDED_WORKERS}w "
+            f"{row[f'workers_{SHARDED_WORKERS}_updates_per_sec']:>10,}/s  "
+            f"identical={row['identical_estimates']}"
+        )
+    print(f"wrote {ARTIFACT} (cores={report['cores']})")
     return 0
 
 

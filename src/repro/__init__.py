@@ -18,13 +18,21 @@ Quickstart::
         n=stream.n, eps=1 / 16, alpha=4, rng=np.random.default_rng(0)
     ).consume(stream)
     print(hh.heavy_hitters())
+
+Navigation: ``docs/PAPER_MAP.md`` cross-references every theorem and
+figure of the paper to its module, test, and benchmark;
+``docs/ARCHITECTURE.md`` covers the layering, the batch pipeline, and
+the merge/shard semantics (``replay_sharded``, :class:`Mergeable`).
 """
 
 from repro.batch import (
     BatchSketch,
+    Mergeable,
     ScalarLoopBatchUpdateMixin,
     as_update_arrays,
+    consume_stream,
     supports_batch,
+    supports_merge,
 )
 from repro.core import (
     CSSS,
@@ -63,7 +71,9 @@ from repro.streams import (
     iter_chunks,
     replay,
     replay_many,
+    replay_sharded,
     replay_timed,
+    shard_bounds,
     adversarial_cancellation_stream,
     bounded_deletion_stream,
     l0_alpha,
@@ -81,15 +91,20 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BatchSketch",
+    "Mergeable",
     "ScalarLoopBatchUpdateMixin",
     "as_update_arrays",
+    "consume_stream",
     "supports_batch",
+    "supports_merge",
     "DEFAULT_CHUNK_SIZE",
     "ReplayStats",
     "iter_chunks",
     "replay",
     "replay_many",
+    "replay_sharded",
     "replay_timed",
+    "shard_bounds",
     "CSSS",
     "CSSSWithTailEstimate",
     "AlphaHeavyHitters",

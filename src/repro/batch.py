@@ -15,7 +15,10 @@ from "as fast as the hardware allows".  This module defines the package's
 * :class:`ScalarLoopBatchUpdateMixin` — a fallback mixin whose
   ``update_batch`` is a literal scalar loop, for structures whose update
   path is inherently sequential (Morris-paced level schedules, samplers
-  that draw randomness per update, ...).
+  that draw randomness per update, ...);
+* :class:`Mergeable` — a :class:`typing.Protocol` for sketches that can
+  absorb a same-seeded sibling via ``merge(other)``, the contract behind
+  :func:`repro.streams.engine.replay_sharded`.
 
 Equivalence contract
 --------------------
@@ -30,6 +33,17 @@ scatter-adds, and (c) using running (left-fold) accumulation for floating
 point state, which is chunk-invariant where a vectorised ``sum()`` is not.
 ``tests/test_batch_equivalence.py`` enforces the contract for every
 batch-capable structure in the package.
+
+Merge contract
+--------------
+``a.merge(b)`` MUST leave ``a`` holding the sketch of the *concatenated*
+input streams, provided ``a`` and ``b`` were built with identical seeds
+(same constructor arguments including the generator seed — "shared hash
+functions" in the paper's linear-sketch sense).  For linear integer
+sketches the merged state is bit-identical to a single-pass replay; for
+floating-point and sampling sketches it is the same estimator up to float
+associativity / an independent sampling realisation.
+``tests/test_merge_sharding.py`` enforces this for every mergeable sketch.
 """
 
 from __future__ import annotations
@@ -43,7 +57,13 @@ ArrayLike = "np.ndarray | Sequence[int]"
 
 @runtime_checkable
 class BatchSketch(Protocol):
-    """Anything that can absorb stream updates one at a time or in bulk."""
+    """Anything that can absorb stream updates one at a time or in bulk.
+
+    >>> import numpy as np
+    >>> from repro.streams.model import FrequencyVector
+    >>> isinstance(FrequencyVector(8), BatchSketch)
+    True
+    """
 
     def update(self, item: int, delta: int) -> None:
         """Apply a single stream update ``(item, delta)``."""
@@ -51,6 +71,31 @@ class BatchSketch(Protocol):
 
     def update_batch(self, items: np.ndarray, deltas: np.ndarray) -> None:
         """Apply a column batch of updates; must equal the scalar loop."""
+        ...  # pragma: no cover - protocol
+
+
+@runtime_checkable
+class Mergeable(Protocol):
+    """A sketch that can absorb a same-seeded sibling built elsewhere.
+
+    ``merge(other)`` folds ``other``'s state into ``self`` in place and
+    returns ``self``; afterwards ``self`` summarises the concatenation of
+    both input streams.  Implementations MUST verify compatibility (same
+    dimensions and, where applicable, equal hash functions *by value* —
+    worker processes rebuild seeds from the same factory, so object
+    identity cannot be assumed) and raise :class:`ValueError` otherwise.
+
+    >>> import numpy as np
+    >>> from repro.sketches.countmin import CountMin
+    >>> a = CountMin(64, 8, 2, np.random.default_rng(0))
+    >>> b = CountMin(64, 8, 2, np.random.default_rng(0))
+    >>> a.update(3, 5); b.update(3, 2)
+    >>> a.merge(b).query(3)
+    7
+    """
+
+    def merge(self, other: "Mergeable") -> "Mergeable":
+        """Fold ``other`` into ``self``; returns ``self``."""
         ...  # pragma: no cover - protocol
 
 
@@ -65,6 +110,14 @@ def as_update_arrays(
     equal 1-D lengths, integral dtypes, non-negative items (below
     ``universe`` when given), and no zero deltas.  Returns arrays safe to
     index with (a no-copy view when the input already is ``int64``).
+
+    >>> items, deltas = as_update_arrays([3, 1], [5, -2], universe=8)
+    >>> items.tolist(), deltas.tolist()
+    ([3, 1], [5, -2])
+    >>> as_update_arrays([9], [1], universe=8)
+    Traceback (most recent call last):
+        ...
+    ValueError: item 9 outside universe [0, 8)
     """
     items_arr = np.asarray(items)
     deltas_arr = np.asarray(deltas)
@@ -119,8 +172,23 @@ class ScalarLoopBatchUpdateMixin:
 
 
 def supports_batch(sketch) -> bool:
-    """True when ``sketch`` exposes the batch half of the protocol."""
+    """True when ``sketch`` exposes the batch half of the protocol.
+
+    >>> from repro.streams.model import FrequencyVector
+    >>> supports_batch(FrequencyVector(4)), supports_batch(object())
+    (True, False)
+    """
     return callable(getattr(sketch, "update_batch", None))
+
+
+def supports_merge(sketch) -> bool:
+    """True when ``sketch`` implements the :class:`Mergeable` protocol.
+
+    >>> from repro.streams.model import FrequencyVector
+    >>> supports_merge(FrequencyVector(4)), supports_merge(object())
+    (True, False)
+    """
+    return callable(getattr(sketch, "merge", None))
 
 
 #: Default chunk size for batched replay: large enough to amortise
@@ -139,6 +207,11 @@ def consume_stream(sketch, stream, chunk_size: int | None = None):
     while keeping per-chunk scratch memory O(chunk) instead of
     O(stream)), and falls back to the scalar loop for plain iterables of
     updates.  Returns the sketch for chaining.
+
+    >>> from repro.streams.model import FrequencyVector, stream_from_updates
+    >>> s = stream_from_updates(8, [(1, 2), (1, 3), (4, -1)])
+    >>> int(consume_stream(FrequencyVector(8), s, chunk_size=2).f[1])
+    5
     """
     if chunk_size is None:
         chunk_size = DEFAULT_CHUNK_SIZE
@@ -196,6 +269,28 @@ def running_sum_extrema(start: int, values: np.ndarray) -> tuple[int, int]:
         total += v
         peak = max(peak, abs(total))
     return total, peak
+
+
+def scaled_mod_increments(
+    deltas: np.ndarray, scales: np.ndarray, modulus: int
+) -> np.ndarray:
+    """``(deltas * scales) % modulus`` exactly, as int64.
+
+    The modular L0 tables scale each delta by a random field element
+    before reduction; the product can exceed 63 bits for large deltas, so
+    the obvious int64 multiply may wrap.  A float64 magnitude bound picks
+    the int64 fast path when every product provably fits, and falls back
+    to exact Python-integer (object) arithmetic otherwise — bit-identical
+    either way, an order of magnitude apart in cost.
+    """
+    if len(deltas) == 0:
+        return np.zeros(0, dtype=np.int64)
+    bound = float(np.abs(deltas).max()) * float(scales.max())
+    if bound < _INT64_SAFE_BOUND:
+        return ((deltas * scales) % modulus).astype(np.int64)
+    return (
+        (deltas.astype(object) * scales.astype(object)) % modulus
+    ).astype(np.int64)
 
 
 def mod_scatter_add(

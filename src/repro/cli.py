@@ -17,11 +17,19 @@ the shell.  Streams are replayed through the chunked batch engine
 (:mod:`repro.streams.engine`); ``--chunk-size`` tunes the batch size (a
 pure throughput knob — estimates are identical for every value) and the
 achieved updates/sec is printed next to each answer.
+
+``--workers N`` shards the replay across N processes and merges the
+shard sketches (``repro.streams.engine.replay_sharded``).  Sharding
+needs the ``Mergeable`` protocol, which the heavy-hitters structure
+implements; the window-steered estimators (l0, l1, support) are
+inherently sequential, so those subcommands note the fallback and
+replay single-shard.
 """
 
 from __future__ import annotations
 
 import argparse
+import functools
 import sys
 
 import numpy as np
@@ -41,7 +49,11 @@ from repro.streams.generators import (
     sensor_occupancy_stream,
     traffic_difference_stream,
 )
-from repro.streams.engine import DEFAULT_CHUNK_SIZE, replay_timed
+from repro.streams.engine import (
+    DEFAULT_CHUNK_SIZE,
+    replay_sharded_timed,
+    replay_timed,
+)
 from repro.streams.io import load_stream
 from repro.streams.model import Stream
 
@@ -93,21 +105,44 @@ def _positive_int(value: str) -> int:
 
 
 def _print_throughput(stats) -> None:
+    mode = "batched" if stats.batched else "scalar"
+    if getattr(stats, "workers", 1) > 1:
+        mode += f", {stats.workers} workers"
     print(f"throughput             : {stats.updates_per_sec:,.0f} updates/s "
-          f"(chunk={stats.chunk_size}, "
-          f"{'batched' if stats.batched else 'scalar'})")
+          f"(chunk={stats.chunk_size}, {mode})")
+
+
+def _note_workers_fallback(args: argparse.Namespace, what: str) -> None:
+    if args.workers > 1:
+        print(f"note: {what} is window-steered (inherently sequential); "
+              f"--workers ignored, replaying single-shard")
+
+
+def _make_heavy_hitters(
+    n: int, eps: float, alpha: float, strict: bool, seed: int
+) -> AlphaHeavyHitters:
+    """Deterministic shard factory (module-level so process pools can
+    pickle it): every worker rebuilds the same seeds."""
+    return AlphaHeavyHitters(
+        n, eps=eps, alpha=alpha, rng=np.random.default_rng(seed),
+        strict_turnstile=strict,
+    )
 
 
 def _cmd_heavy_hitters(args: argparse.Namespace) -> int:
     stream = _build_workload(args)
     truth = stream.frequency_vector()
     alpha = max(2.0, min(args.alpha, l1_alpha(stream)))
-    rng = np.random.default_rng(args.seed)
-    hh = AlphaHeavyHitters(
-        stream.n, eps=args.eps, alpha=alpha, rng=rng,
-        strict_turnstile=is_strict_turnstile(stream),
+    factory = functools.partial(
+        _make_heavy_hitters, stream.n, args.eps, alpha,
+        is_strict_turnstile(stream), args.seed,
     )
-    hh, stats = replay_timed(stream, hh, chunk_size=args.chunk_size)
+    if args.workers > 1:
+        hh, stats = replay_sharded_timed(
+            stream, factory, workers=args.workers, chunk_size=args.chunk_size
+        )
+    else:
+        hh, stats = replay_timed(stream, factory(), chunk_size=args.chunk_size)
     got = sorted(hh.heavy_hitters())
     want = sorted(truth.heavy_hitters(args.eps))
     print(f"true eps-heavy hitters : {want}")
@@ -120,6 +155,7 @@ def _cmd_heavy_hitters(args: argparse.Namespace) -> int:
 def _cmd_l1(args: argparse.Namespace) -> int:
     stream = _build_workload(args)
     truth = stream.frequency_vector()
+    _note_workers_fallback(args, "the L1 estimator")
     rng = np.random.default_rng(args.seed)
     alpha = max(2.0, min(args.alpha, l1_alpha(stream)))
     if is_strict_turnstile(stream):
@@ -142,6 +178,7 @@ def _cmd_l1(args: argparse.Namespace) -> int:
 def _cmd_l0(args: argparse.Namespace) -> int:
     stream = _build_workload(args)
     truth = stream.frequency_vector()
+    _note_workers_fallback(args, "the L0 estimator")
     alpha = max(2.0, min(args.alpha, l0_alpha(stream) * 2))
     rng = np.random.default_rng(args.seed)
     est = AlphaL0Estimator(stream.n, eps=max(args.eps, 0.1), alpha=alpha,
@@ -158,6 +195,7 @@ def _cmd_l0(args: argparse.Namespace) -> int:
 def _cmd_support(args: argparse.Namespace) -> int:
     stream = _build_workload(args)
     truth = stream.frequency_vector()
+    _note_workers_fallback(args, "the support sampler")
     alpha = max(2.0, min(args.alpha, l0_alpha(stream) * 2))
     rng = np.random.default_rng(args.seed)
     ss = AlphaSupportSampler(stream.n, k=args.k, alpha=alpha, rng=rng)
@@ -195,6 +233,10 @@ def build_parser() -> argparse.ArgumentParser:
                        default=DEFAULT_CHUNK_SIZE,
                        help="batch-replay chunk size (throughput knob; "
                             "estimates are identical for every value)")
+        p.add_argument("--workers", type=_positive_int, default=1,
+                       help="shard the replay across N processes and merge "
+                            "the shard sketches (mergeable structures only; "
+                            "sequential estimators note the fallback)")
 
     for name, fn in [
         ("describe", _cmd_describe),

@@ -26,6 +26,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.batch import as_update_arrays, consume_stream
+from repro.core.sampling import binomial_from_uniforms
 from repro.hashing.kwise import FourWiseHash, SignHash
 from repro.space.accounting import counter_bits
 
@@ -55,7 +56,11 @@ class CSSS:
         The stream's (assumed) L1 α-property parameter; sets the default
         sample budget.
     rng:
-        Randomness source.
+        Randomness source.  Hash seeds are drawn from it directly; the
+        per-row *sampling* randomness comes from generators spawned off
+        it (one acceptance stream and one halving stream per row), which
+        is what makes the batched sampling schedule order-insensitive —
+        see :meth:`update_batch`.
     depth:
         Number of rows (``O(log n)``; default ``max(5, ceil(log2 n))``).
     sample_budget:
@@ -90,11 +95,18 @@ class CSSS:
             if sample_budget is not None
             else default_sample_budget(alpha, eps)
         )
-        self._rng = rng
         self._bucket_hashes = [
             FourWiseHash(n, self.width, rng) for _ in range(self.depth)
         ]
         self._sign_hashes = [SignHash(n, rng, k=4) for _ in range(self.depth)]
+        # Per-row sampling streams: one uniform per (row, update) from
+        # _row_rngs, halving thins from _halve_rngs.  Keeping the two
+        # streams separate is what makes chunked replay bit-identical to
+        # the scalar loop: acceptance consumption is exactly one draw per
+        # update, and halving consumption depends only on the (chunk-
+        # invariant) acceptance outcomes.
+        self._row_rngs = list(rng.spawn(self.depth))
+        self._halve_rngs = list(rng.spawn(self.depth))
         # Separate positive / negative accumulators per cell (Figure 2).
         self.pos = np.zeros((self.depth, self.width), dtype=np.int64)
         self.neg = np.zeros((self.depth, self.width), dtype=np.int64)
@@ -105,18 +117,48 @@ class CSSS:
 
     # -- update path ---------------------------------------------------------
     def _halve_row(self, r: int) -> None:
-        self.pos[r] = self._rng.binomial(self.pos[r], 0.5)
-        self.neg[r] = self._rng.binomial(self.neg[r], 0.5)
+        rng = self._halve_rngs[r]
+        self.pos[r] = rng.binomial(self.pos[r], 0.5)
+        self.neg[r] = rng.binomial(self.neg[r], 0.5)
         self.log2_inv_p[r] += 1
         self._row_weight[r] = int(self.pos[r].sum() + self.neg[r].sum())
 
+    def _kept_counts(
+        self, u: np.ndarray, mags: np.ndarray, log2_inv_p: int
+    ) -> np.ndarray:
+        """Retained magnitudes at rate ``2^-log2_inv_p`` from per-update
+        uniforms (rate 1 keeps everything; no uniform is *interpreted*,
+        though one is always consumed per update — see :meth:`update`)."""
+        if log2_inv_p <= 0:
+            return mags.copy()  # callers may re-quantise the tail in place
+        return binomial_from_uniforms(u, mags, 2.0 ** -log2_inv_p)
+
     def update(self, item: int, delta: int) -> None:
-        """Apply stream update; each row samples it independently."""
+        """Apply stream update; each row samples it independently.
+
+        Each row consumes exactly one acceptance uniform per update
+        (regardless of the current rate), so the scalar loop and any
+        chunked batch replay consume the per-row streams identically.
+        """
         mag = abs(delta)
         sign = 1 if delta > 0 else -1
         for r in range(self.depth):
-            p = 2.0 ** -int(self.log2_inv_p[r])
-            kept = mag if p >= 1.0 else int(self._rng.binomial(mag, p))
+            # One scalar uniform — the same draw the batch path makes
+            # (``random()`` and ``random(1)[0]`` consume identically).
+            u = self._row_rngs[r].random()
+            exp = int(self.log2_inv_p[r])
+            if exp <= 0:
+                kept = mag
+            elif mag == 1:
+                # The Bernoulli fast path, scalar form of the batch
+                # ``u < p`` mapping in binomial_from_uniforms.
+                kept = 1 if u < 2.0**-exp else 0
+            else:
+                kept = int(
+                    binomial_from_uniforms(
+                        np.array([u]), np.array([mag]), 2.0**-exp
+                    )[0]
+                )
             if kept == 0:
                 continue
             b = self._bucket_hashes[r](item)
@@ -133,46 +175,127 @@ class CSSS:
             while self._row_weight[r] > self.budget:
                 self._halve_row(r)
 
-    def update_batch(self, items, deltas) -> None:
-        """Batch update with vectorised hashing, bit-identical sampling.
+    def _apply_row(
+        self,
+        r: int,
+        buckets: np.ndarray,
+        eff_signs: np.ndarray,
+        mags: np.ndarray,
+        u: np.ndarray,
+    ) -> None:
+        """Fold one chunk into row ``r`` with vectorised acceptance.
 
-        The bucket and sign hashes for the whole chunk are evaluated as
-        arrays (the dominant per-update cost); the per-update binomial
-        sampling and halving schedule then run in exactly the scalar
-        order, drawing from the shared generator in the same sequence —
-        so the final state (and every future random draw) is identical to
-        the scalar loop, for any chunk size.
+        The whole chunk's retained magnitudes are computed in one
+        inverse-CDF pass at the current rate; the running retained weight
+        (a cumsum) locates the first budget overflow, everything up to
+        and including it is scatter-added, the row is halved, and the
+        *tail* of the chunk is re-quantised from the same uniforms at the
+        new rate.  Typically one segment per chunk — halvings are
+        logarithmically rare.
         """
-        items_arr, deltas_arr = as_update_arrays(items, deltas, self.n)
-        buckets = np.empty((self.depth, len(items_arr)), dtype=np.int64)
-        signs = np.empty((self.depth, len(items_arr)), dtype=np.int64)
-        for r in range(self.depth):
-            buckets[r] = self._bucket_hashes[r].hash_array(items_arr)
-            signs[r] = self._sign_hashes[r].hash_array(items_arr)
-        rng = self._rng
-        for t, delta in enumerate(deltas_arr.tolist()):
-            mag = abs(delta)
-            sign = 1 if delta > 0 else -1
-            for r in range(self.depth):
-                p = 2.0 ** -int(self.log2_inv_p[r])
-                kept = mag if p >= 1.0 else int(rng.binomial(mag, p))
-                if kept == 0:
-                    continue
-                b = buckets[r, t]
-                if sign * signs[r, t] > 0:
-                    self.pos[r, b] += kept
-                    touched = int(self.pos[r, b])
-                else:
-                    self.neg[r, b] += kept
-                    touched = int(self.neg[r, b])
-                if touched > self._max_abs_counter:
-                    self._max_abs_counter = touched
-                self._row_weight[r] += kept
+        m = len(mags)
+        start = 0
+        kept = self._kept_counts(u, mags, int(self.log2_inv_p[r]))
+        while start < m:
+            running = self._row_weight[r] + np.cumsum(kept[start:])
+            over = np.nonzero(running > self.budget)[0]
+            stop = start + int(over[0]) + 1 if over.size else m
+            seg = slice(start, stop)
+            k_seg = kept[seg]
+            nz = k_seg > 0
+            if nz.any():
+                b = buckets[seg][nz]
+                s = eff_signs[seg][nz]
+                kv = k_seg[nz]
+                pos_m = s > 0
+                if pos_m.any():
+                    np.add.at(self.pos[r], b[pos_m], kv[pos_m])
+                    touched = int(self.pos[r][b[pos_m]].max())
+                    if touched > self._max_abs_counter:
+                        self._max_abs_counter = touched
+                neg_m = ~pos_m
+                if neg_m.any():
+                    np.add.at(self.neg[r], b[neg_m], kv[neg_m])
+                    touched = int(self.neg[r][b[neg_m]].max())
+                    if touched > self._max_abs_counter:
+                        self._max_abs_counter = touched
+                self._row_weight[r] += int(kv.sum())
+            if over.size:
                 while self._row_weight[r] > self.budget:
                     self._halve_row(r)
+                kept[stop:] = self._kept_counts(
+                    u[stop:], mags[stop:], int(self.log2_inv_p[r])
+                )
+            start = stop
+
+    def update_batch(self, items, deltas) -> None:
+        """Vectorised batch update, bit-identical to the scalar loop.
+
+        Per row: one array hash pass for buckets and signs, one block of
+        acceptance uniforms (exactly one per update — the same draws the
+        scalar loop makes), one inverse-CDF quantisation of those
+        uniforms into retained magnitudes, and one scatter-add per
+        budget segment (:meth:`_apply_row`).  Because acceptance
+        randomness is keyed to updates (not to processing order) and
+        halving randomness lives on a separate per-row stream, the final
+        state is identical for every chunking of the input.
+        """
+        items_arr, deltas_arr = as_update_arrays(items, deltas, self.n)
+        if items_arr.size == 0:
+            return
+        mags = np.abs(deltas_arr)
+        delta_signs = np.where(deltas_arr > 0, 1, -1)
+        for r in range(self.depth):
+            buckets = self._bucket_hashes[r].hash_array(items_arr)
+            eff_signs = self._sign_hashes[r].hash_array(items_arr) * delta_signs
+            u = self._row_rngs[r].random(len(items_arr))
+            self._apply_row(r, buckets, eff_signs, mags, u)
 
     def consume(self, stream) -> "CSSS":
         return consume_stream(self, stream)
+
+    def merge(self, other: "CSSS") -> "CSSS":
+        """Fold a same-seeded sibling's rows into this sketch.
+
+        Requires identical dimensions, budget, and hash functions (by
+        value — shards built by the same factory in worker processes
+        qualify).  Rows at different sampling rates are aligned first by
+        binomial thinning (subsampling composes), counters are added, and
+        the budget/halving invariant is re-established; the result is a
+        valid CSSS of the concatenated streams at the coarser rate.
+        """
+        if not isinstance(other, CSSS):
+            raise ValueError("can only merge another CSSS")
+        if (
+            other.n != self.n
+            or other.k != self.k
+            or other.depth != self.depth
+            or other.budget != self.budget
+            or other._bucket_hashes != self._bucket_hashes
+            or other._sign_hashes != self._sign_hashes
+        ):
+            raise ValueError("sketches do not share dimensions and seeds")
+        for r in range(self.depth):
+            while self.log2_inv_p[r] < other.log2_inv_p[r]:
+                self._halve_row(r)
+            opos = other.pos[r].copy()
+            oneg = other.neg[r].copy()
+            rng = self._halve_rngs[r]
+            for _ in range(int(self.log2_inv_p[r] - other.log2_inv_p[r])):
+                opos = rng.binomial(opos, 0.5)
+                oneg = rng.binomial(oneg, 0.5)
+            self.pos[r] += opos
+            self.neg[r] += oneg
+            self._row_weight[r] = int(self.pos[r].sum() + self.neg[r].sum())
+            while self._row_weight[r] > self.budget:
+                self._halve_row(r)
+        self._max_abs_counter = max(
+            self._max_abs_counter,
+            other._max_abs_counter,
+            int(self.pos.max(initial=0)),
+            int(self.neg.max(initial=0)),
+        )
+        return self
 
     # -- query path ----------------------------------------------------------
     def query(self, item: int) -> float:
@@ -260,19 +383,12 @@ class CSSSWithTailEstimate:
         depth: int | None = None,
         sample_budget: int | None = None,
     ) -> None:
-        # The instances draw their hash seeds from the caller's generator
-        # in sequence, but sample with *independent* child generators:
-        # with a shared generator the scalar loop (draws alternating per
-        # update) and the batch path (draws chunk-major) would interleave
-        # the shared stream differently, breaking scalar/batch state
-        # equivalence.  Independent per-instance streams make the update
-        # interleaving irrelevant — and match the analysis, which treats
-        # the two instances' sampling as independent anyway.
-        main_rng, shadow_rng = rng.spawn(2)
+        # Both instances draw hash seeds from the caller's generator in
+        # sequence and spawn their own per-row sampling streams off it,
+        # so their sampling is independent — matching the analysis, and
+        # making the main/shadow update interleaving irrelevant to state.
         self.main = CSSS(n, k, eps, alpha, rng, depth, sample_budget)
-        self.main._rng = main_rng
         self.shadow = CSSS(n, k, eps, alpha, rng, depth, sample_budget)
-        self.shadow._rng = shadow_rng
 
     def update(self, item: int, delta: int) -> None:
         self.main.update(item, delta)
@@ -288,6 +404,14 @@ class CSSSWithTailEstimate:
 
     def consume(self, stream) -> "CSSSWithTailEstimate":
         return consume_stream(self, stream)
+
+    def merge(self, other: "CSSSWithTailEstimate") -> "CSSSWithTailEstimate":
+        """Merge both constituent CSSS instances (same-seeded sibling)."""
+        if not isinstance(other, CSSSWithTailEstimate):
+            raise ValueError("can only merge another CSSSWithTailEstimate")
+        self.main.merge(other.main)
+        self.shadow.merge(other.shadow)
+        return self
 
     def query(self, item: int) -> float:
         return self.main.query(item)

@@ -104,6 +104,24 @@ class AlphaHeavyHitters:
     def consume(self, stream) -> "AlphaHeavyHitters":
         return consume_stream(self, stream)
 
+    def merge(self, other: "AlphaHeavyHitters") -> "AlphaHeavyHitters":
+        """Fold a same-seeded sibling in: the CSSS rows merge by rate
+        alignment and the norm tracker merges exactly (strict) or
+        linearly (Cauchy).  This is what lets the CLI's ``--workers``
+        shard heavy-hitter replay across processes."""
+        if (
+            not isinstance(other, AlphaHeavyHitters)
+            or other.n != self.n
+            or other.strict != self.strict
+        ):
+            raise ValueError("sketches are not shard-compatible")
+        self.csss.merge(other.csss)
+        if self._l1_exact is not None:
+            self._l1_exact.merge(other._l1_exact)
+        else:
+            self._l1_sketch.merge(other._l1_sketch)
+        return self
+
     def l1_estimate(self) -> float:
         """R: exact in strict mode, (1 ± 1/8)-approximate otherwise."""
         if self._l1_exact is not None:

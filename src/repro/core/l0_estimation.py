@@ -29,10 +29,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.batch import (
-    ScalarLoopBatchUpdateMixin,
     as_update_arrays,
     consume_stream,
     mod_scatter_add,
+    scaled_mod_increments,
 )
 from repro.hashing.kwise import KWiseHash, PairwiseHash
 from repro.hashing.modhash import capped_lsb, lsb_array
@@ -70,6 +70,21 @@ class AlphaRoughL0Estimate:
         """Fold one precomputed KMV hash value (see :meth:`hash_values`)."""
         self._f0._observe(hv)
 
+    def fold_candidates(self, hash_values: np.ndarray) -> np.ndarray:
+        """Indices whose fold could change the KMV state (superset).
+
+        Everything else is a provably-no-op fold, so the running estimate
+        — and therefore any estimate-steered window — is constant between
+        consecutive candidates.  This is what lets the αL0 batch paths
+        route whole inter-candidate segments as arrays.
+        """
+        return self._f0.fold_candidates(hash_values)
+
+    def would_change(self, hv: int) -> bool:
+        """Dynamic no-op check for one candidate (see
+        :meth:`~repro.sketches.knw_l0.RoughF0Estimator.would_change`)."""
+        return self._f0.would_change(hv)
+
     def estimate(self) -> float:
         return max(self.floor, self._f0.estimate())
 
@@ -77,13 +92,17 @@ class AlphaRoughL0Estimate:
         return self._f0.space_bits()
 
 
-class AlphaConstL0Estimator(ScalarLoopBatchUpdateMixin):
+class AlphaConstL0Estimator:
     """Lemma 20: O(1)-factor L0 estimation with O(log α) live levels.
 
-    ``update_batch`` is the scalar loop (mixin): level churn *constructs*
-    fresh ``ExactSmallL0`` instances — drawing hash seeds from the shared
-    generator at data-dependent times — so the update path is inherently
-    sequential.
+    ``update_batch`` uses segmented array routing: the level window can
+    only move when the rough F0 estimate moves, which can only happen at
+    KMV *fold candidates* (:meth:`AlphaRoughL0Estimate.fold_candidates`).
+    Between consecutive candidates the live-level set is constant, so
+    whole segments are routed to levels as arrays; level churn (which
+    constructs fresh ``ExactSmallL0`` instances, drawing hash seeds from
+    the shared generator) happens at exactly the same stream positions
+    as in the scalar loop, keeping the state bit-identical.
 
     The structure of :class:`~repro.sketches.knw_l0.RoughL0Estimator`
     (one ExactSmallL0 per lsb level), but a level is only *instantiated*
@@ -121,7 +140,10 @@ class AlphaConstL0Estimator(ScalarLoopBatchUpdateMixin):
         self._rough = AlphaRoughL0Estimate(n, rng)
         self._trials = trials
         self._levels: dict[int, ExactSmallL0] = {}
-        self._window_for(self._rough.estimate())
+        # Materialise the initial window now (as AlphaL0Estimator does):
+        # the batch path only re-syncs when the window *moves*, so the
+        # levels must already exist for the pre-first-move prefix.
+        self._sync_levels()
 
     def _window_for(self, r_t: float) -> range:
         center = int(np.round(np.log2(max(1.0, r_t))))
@@ -147,10 +169,70 @@ class AlphaConstL0Estimator(ScalarLoopBatchUpdateMixin):
         if j in self._levels:
             self._levels[j].update(item, delta)
 
+    def _route_segment(
+        self,
+        items_arr: np.ndarray,
+        deltas_arr: np.ndarray,
+        levels: np.ndarray,
+        start: int,
+        stop: int,
+    ) -> None:
+        """Feed updates ``[start, stop)`` to the (constant) live levels."""
+        if start >= stop:
+            return
+        seg = levels[start:stop]
+        for j, level in self._levels.items():
+            mask = seg == j
+            if mask.any():
+                level.update_batch(
+                    items_arr[start:stop][mask], deltas_arr[start:stop][mask]
+                )
+
+    def update_batch(self, items, deltas) -> None:
+        """Segmented batch update, bit-identical to the scalar loop.
+
+        One vectorised pass computes the KMV hash values and the lsb
+        level of every update.  The chunk is then walked candidate-to-
+        candidate: each inter-candidate segment is routed to the live
+        levels as arrays (level updates commute within a segment — the
+        levels' own batch paths are order-exact), and at each candidate
+        the rough estimate is folded and the level window re-synced,
+        constructing/retiring levels at exactly the scalar stream
+        positions (so shared-generator seed draws happen in the same
+        order).
+        """
+        items_arr, deltas_arr = as_update_arrays(items, deltas, self.n)
+        if items_arr.size == 0:
+            return
+        hvs = self._rough.hash_values(items_arr)
+        levels = lsb_array(self._h.hash_array(items_arr), cap=self.log_n)
+        last_estimate = self._rough.estimate()
+        window = self._window_for(last_estimate)
+        start = 0
+        for t in self._rough.fold_candidates(hvs).tolist():
+            hv = int(hvs[t])
+            if not self._rough.would_change(hv):
+                continue  # no-op fold: the segment stays open
+            self._rough.observe_hash(hv)
+            estimate = self._rough.estimate()
+            if estimate == last_estimate:
+                continue  # estimate unchanged => window unchanged
+            last_estimate = estimate
+            wanted = self._window_for(estimate)
+            if wanted != window:
+                # The live-level set moves here: flush the open segment
+                # against the old window, then sync (seed draws for new
+                # levels happen at exactly the scalar stream position).
+                self._route_segment(items_arr, deltas_arr, levels, start, t)
+                self._sync_levels()
+                window = wanted
+                start = t
+        self._route_segment(
+            items_arr, deltas_arr, levels, start, len(items_arr)
+        )
+
     def consume(self, stream) -> "AlphaConstL0Estimator":
-        for u in stream:
-            self.update(u.item, u.delta)
-        return self
+        return consume_stream(self, stream)
 
     def estimate(self) -> float:
         """Deepest live level with > 8 survivors, scaled by its rate."""
@@ -267,42 +349,75 @@ class AlphaL0Estimator:
         self.B_small[col_s] = (int(self.B_small[col_s]) + inc) % self.p
         self._exact_small.update(item, delta)
 
+    def _route_segment(
+        self,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        incs: np.ndarray,
+        start: int,
+        stop: int,
+    ) -> None:
+        """Scatter updates ``[start, stop)`` into the (constant) live
+        rows; modular adds commute, so within-segment order is free."""
+        if start >= stop:
+            return
+        seg_rows = rows[start:stop]
+        for j, bucket_row in self._rows.items():
+            mask = seg_rows == j
+            if mask.any():
+                mod_scatter_add(
+                    bucket_row,
+                    cols[start:stop][mask],
+                    incs[start:stop][mask],
+                    self.p,
+                )
+
     def update_batch(self, items, deltas) -> None:
-        """Batch update with vectorised hashing and row routing.
+        """Segmented batch update with vectorised hashing and routing.
 
         All hash passes (KMV, h1-lsb row routing, h2/h3/h4 bucketing) run
-        as array operations.  The window schedule is inherently
-        sequential — a row exists only while the *running* rough estimate
-        keeps it in the window — so the loop walks items in order, but
-        per item it only folds one precomputed KMV value, refreshes the
-        window when the rough estimate actually moved (syncing on an
-        unchanged estimate is a state no-op, so skipping it preserves
-        scalar equivalence), and performs one bucket add.  The
-        window-independent structures (collapsed small row, exact small
-        L0) absorb the whole chunk vectorised afterwards; they share no
-        state with the rows, so the reordering is unobservable.
+        as array operations.  The row window only moves when the rough
+        estimate moves, which only happens at KMV fold candidates
+        (:meth:`AlphaRoughL0Estimate.fold_candidates`) — so instead of
+        walking every update, the chunk is walked candidate-to-candidate:
+        each inter-candidate segment is scatter-added into the live rows
+        in one vectorised pass per row, and the window is re-synced at
+        exactly the scalar stream positions.  The window-independent
+        structures (collapsed small row, exact small L0) absorb the whole
+        chunk vectorised afterwards; they share no state with the rows,
+        so the reordering is unobservable.
         """
         items_arr, deltas_arr = as_update_arrays(items, deltas, self.n)
-        kmv_values = self._rough.hash_values(items_arr).tolist()
+        if items_arr.size == 0:
+            return
+        hvs = self._rough.hash_values(items_arr)
         j2 = self._h2.hash_array(items_arr)
         scales = self._u[self._h4.hash_array(j2)]
-        incs = (
-            (deltas_arr.astype(object) * scales.astype(object)) % self.p
-        ).astype(np.int64)
+        incs = scaled_mod_increments(deltas_arr, scales, self.p)
         rows = lsb_array(self._h1.hash_array(items_arr), cap=self.log_n)
         cols = self._h3.hash_array(j2)
-        last_estimate = None
-        for t, hv in enumerate(kmv_values):
+        last_estimate = self._rough.estimate()
+        window = self._window()
+        start = 0
+        for t in self._rough.fold_candidates(hvs).tolist():
+            hv = int(hvs[t])
+            if not self._rough.would_change(hv):
+                continue  # no-op fold: the segment stays open
             self._rough.observe_hash(hv)
             estimate = self._rough.estimate()
-            if estimate != last_estimate:
+            if estimate == last_estimate:
+                continue  # estimate unchanged => window unchanged
+            last_estimate = estimate
+            wanted = self._window()
+            if wanted != window:
+                # The live-row set moves here: flush the open segment
+                # against the old window, then sync (row creation happens
+                # at exactly the scalar stream position).
+                self._route_segment(rows, cols, incs, start, t)
                 self._sync_rows()
-                last_estimate = estimate
-            row = int(rows[t])
-            bucket_row = self._rows.get(row)
-            if bucket_row is not None:
-                col = cols[t]
-                bucket_row[col] = (int(bucket_row[col]) + int(incs[t])) % self.p
+                window = wanted
+                start = t
+        self._route_segment(rows, cols, incs, start, len(items_arr))
         cols_s = self._h3_small.hash_array(j2)
         mod_scatter_add(self.B_small, cols_s, incs, self.p)
         self._exact_small.update_batch(items_arr, deltas_arr)

@@ -36,6 +36,127 @@ def lemma1_sampling_probability(
     return min(1.0, alpha**2 * np.log(1.0 / delta) / (eps**3 * m))
 
 
+#: Above this expected sample count the inverse-CDF walk switches to the
+#: normal quantile (the walk is O(kept) and ``(1-p)^n`` risks underflow;
+#: at np >= 512 with p <= 1/2 the normal approximation error is far below
+#: sketch error).
+_INVCDF_WALK_LIMIT = 512.0
+
+
+def _norm_ppf(u: np.ndarray) -> np.ndarray:
+    """Standard normal quantile (Acklam's rational approximation).
+
+    Deterministic and monotone in ``u`` — all that the order-insensitive
+    sampler needs from it (|error| < 1.15e-9, far below counter
+    granularity after rounding).
+    """
+    a = (-3.969683028665376e+01, 2.209460984245205e+02,
+         -2.759285104469687e+02, 1.383577518672690e+02,
+         -3.066479806614716e+01, 2.506628277459239e+00)
+    b = (-5.447609879822406e+01, 1.615858368580409e+02,
+         -1.556989798598866e+02, 6.680131188771972e+01,
+         -1.328068155288572e+01)
+    c = (-7.784894002430293e-03, -3.223964580411365e-01,
+         -2.400758277161838e+00, -2.549732539343734e+00,
+         4.374664141464968e+00, 2.938163982698783e+00)
+    d = (7.784695709041462e-03, 3.224671290700398e-01,
+         2.445134137142996e+00, 3.754408661907416e+00)
+    u = np.clip(u, 1e-300, 1.0 - 1e-16)
+    out = np.empty_like(u)
+    lo = u < 0.02425
+    hi = u > 1.0 - 0.02425
+    mid = ~(lo | hi)
+    if lo.any():
+        q = np.sqrt(-2.0 * np.log(u[lo]))
+        out[lo] = (
+            ((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]
+        ) / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0)
+    if hi.any():
+        q = np.sqrt(-2.0 * np.log(1.0 - u[hi]))
+        out[hi] = -(
+            ((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]
+        ) / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0)
+    if mid.any():
+        q = u[mid] - 0.5
+        r = q * q
+        out[mid] = (
+            ((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]
+        ) * q / (
+            ((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0
+        )
+    return out
+
+
+def binomial_from_uniforms(
+    u: np.ndarray, mags: np.ndarray, p: float
+) -> np.ndarray:
+    """Order-insensitive binomial sampling: ``Bin(mags[t], p)`` from one
+    pre-drawn uniform ``u[t]`` per update, via the inverse CDF.
+
+    This is the engine of the vectorised CSSS sampling schedule (Figure 2
+    step 5a): because each update owns exactly one uniform, the *same*
+    ``u[t]`` can be re-quantised at a halved rate when a budget overflow
+    lands mid-chunk — no fresh randomness, so the consumed stream (and
+    hence the sketch state) is identical for every chunking of the input.
+
+    Per element: unit magnitudes map ``u < p`` (Bernoulli); small expected
+    counts walk the binomial CDF (exact); large expected counts
+    (``mags * p > 512``) use the rounded normal quantile, whose error is
+    negligible at that scale.  Monotone in ``u`` and exact-in-law in the
+    first two regimes.
+
+    >>> import numpy as np
+    >>> binomial_from_uniforms(np.array([0.1, 0.9]), np.array([1, 1]), 0.25)
+    array([1, 0])
+    >>> int(binomial_from_uniforms(np.array([0.5]), np.array([40]), 0.5)[0])
+    20
+    """
+    if not 0.0 < p <= 1.0:
+        raise ValueError("p must be in (0, 1]")
+    u = np.asarray(u, dtype=np.float64)
+    mags = np.asarray(mags, dtype=np.int64)
+    kept = np.zeros(len(mags), dtype=np.int64)
+    if p >= 1.0:
+        kept[:] = mags
+        return kept
+    unit = mags == 1
+    if unit.any():
+        kept[unit] = (u[unit] < p).astype(np.int64)
+    rest = np.nonzero(~unit & (mags > 0))[0]
+    if rest.size == 0:
+        return kept
+    n_rest = mags[rest].astype(np.float64)
+    big = n_rest * p > _INVCDF_WALK_LIMIT
+    if big.any():
+        idx = rest[big]
+        n_b = mags[idx].astype(np.float64)
+        mean = n_b * p
+        sd = np.sqrt(n_b * p * (1.0 - p))
+        approx = np.round(mean + sd * _norm_ppf(u[idx]))
+        kept[idx] = np.clip(approx, 0.0, n_b).astype(np.int64)
+        rest = rest[~big]
+    if rest.size == 0:
+        return kept
+    # Inverse-CDF walk: k[t] = min{k : CDF_{Bin(mags[t], p)}(k) > u[t]},
+    # via the pmf recurrence pmf(k+1) = pmf(k) * (n-k)/(k+1) * p/(1-p).
+    q = 1.0 - p
+    n_act = mags[rest].astype(np.float64)
+    pmf = q ** n_act
+    cdf = pmf.copy()
+    k = np.zeros(rest.size, dtype=np.int64)
+    u_act = u[rest]
+    active = np.nonzero((cdf <= u_act) & (k < mags[rest]))[0]
+    while active.size:
+        k_a = k[active].astype(np.float64)
+        pmf[active] *= (n_act[active] - k_a) / (k_a + 1.0) * (p / q)
+        cdf[active] += pmf[active]
+        k[active] += 1
+        sub = (cdf[active] <= u_act[active]) & (k[active] < mags[rest][active])
+        active = active[sub]
+    kept[rest] = k
+    return kept
+
+
 def binomial_thin(delta: int, p: float, rng: np.random.Generator) -> int:
     """Sample an update of magnitude |delta| at rate p (Remark 2).
 

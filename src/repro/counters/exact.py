@@ -37,6 +37,13 @@ class SignedCounter:
         self.value, peak = running_sum_extrema(self.value, deltas)
         self._max_abs = max(self._max_abs, peak)
 
+    def merge(self, other: "SignedCounter") -> "SignedCounter":
+        """Fold another counter in (values add; peaks take the max —
+        each shard's peak genuinely occurred on its sub-stream)."""
+        self.value += other.value
+        self._max_abs = max(self._max_abs, other._max_abs, abs(self.value))
+        return self
+
     def space_bits(self) -> int:
         """Sign bit + magnitude bits for the largest value ever held."""
         return 1 + max(1, int(self._max_abs).bit_length())
@@ -64,6 +71,13 @@ class ExactL1Counter:
     @property
     def value(self) -> int:
         return self._c.value
+
+    def merge(self, other: "ExactL1Counter") -> "ExactL1Counter":
+        """Fold another exact counter in (sums of deltas add)."""
+        if not isinstance(other, ExactL1Counter):
+            raise ValueError("can only merge another ExactL1Counter")
+        self._c.merge(other._c)
+        return self
 
     def space_bits(self) -> int:
         return self._c.space_bits()

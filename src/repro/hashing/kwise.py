@@ -124,6 +124,33 @@ class KWiseHash:
         """Seed storage: k coefficients of ceil(log2 p) bits each."""
         return self.k * max(1, int(np.ceil(np.log2(self.prime))))
 
+    def __eq__(self, other: object) -> bool:
+        """Value equality: two hashes are equal iff they compute the same
+        function (same domain, range, field, and seed coefficients).
+
+        Merging sketches across worker processes relies on this: pickling
+        breaks object identity, so the merge compatibility checks compare
+        hash *functions*, not hash objects.
+
+        >>> import numpy as np
+        >>> a = KWiseHash(64, 8, k=2, rng=np.random.default_rng(0))
+        >>> b = KWiseHash(64, 8, k=2, rng=np.random.default_rng(0))
+        >>> a == b and a is not b
+        True
+        """
+        if not isinstance(other, KWiseHash):
+            return NotImplemented
+        return (
+            self.universe == other.universe
+            and self.range_size == other.range_size
+            and self.k == other.k
+            and self.prime == other.prime
+            and self._coeffs == other._coeffs
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.universe, self.range_size, self.prime, self._coeffs))
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"KWiseHash(universe={self.universe}, range={self.range_size}, "
@@ -178,6 +205,14 @@ class SignHash:
 
     def hash_array(self, xs: np.ndarray | Sequence[int]) -> np.ndarray:
         return self._h.hash_array(xs) * 2 - 1
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SignHash):
+            return NotImplemented
+        return self._h == other._h
+
+    def __hash__(self) -> int:
+        return hash(("sign", self._h))
 
     def space_bits(self) -> int:
         return self._h.space_bits()

@@ -69,6 +69,29 @@ class AMSSketch:
         means = prod.reshape(self.groups, self.per_group).mean(axis=1)
         return float(np.median(means))
 
+    def merge(self, other: "AMSSketch") -> "AMSSketch":
+        """Fold a same-seeded sibling into this sketch, in place.
+
+        Each atomic estimator is linear in the stream, so the Z vectors
+        add; sign functions are compared by value so pickled shards from
+        worker processes qualify.  Bit-identical to a single-pass replay
+        of the concatenated streams.
+        """
+        if (
+            not isinstance(other, AMSSketch)
+            or other.n != self.n
+            or other.per_group != self.per_group
+            or other.groups != self.groups
+            or other._signs != self._signs
+        ):
+            raise ValueError("sketches do not share sign functions")
+        self.z += other.z
+        self._max_abs = max(
+            self._max_abs, other._max_abs, int(np.abs(self.z).max(initial=0))
+        )
+        self._gross_weight += other._gross_weight
+        return self
+
     def clone_empty(self) -> "AMSSketch":
         clone = object.__new__(AMSSketch)
         clone.n = self.n

@@ -50,6 +50,14 @@ class _CauchyRow:
         u = (self._h.hash_array(items) + 0.5) / _ANGLE_RESOLUTION
         return np.tan(np.pi * (u - 0.5))
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, _CauchyRow):
+            return NotImplemented
+        return self._h == other._h
+
+    def __hash__(self) -> int:
+        return hash(("cauchy", self._h))
+
     def space_bits(self) -> int:
         return self._h.space_bits()
 
@@ -132,6 +140,28 @@ class CauchyL1Sketch:
 
     def consume(self, stream) -> "CauchyL1Sketch":
         return consume_stream(self, stream)
+
+    def merge(self, other: "CauchyL1Sketch") -> "CauchyL1Sketch":
+        """Fold a same-seeded sibling into this sketch, in place.
+
+        ``y = A f`` is linear, so shard vectors add; entry generators are
+        compared by value so pickled shards qualify.  Equal to a single-
+        pass replay up to float-addition associativity (the estimator is
+        unchanged at machine precision).
+        """
+        if (
+            not isinstance(other, CauchyL1Sketch)
+            or other.n != self.n
+            or other.r != self.r
+            or other.r_prime != self.r_prime
+            or other._rows != self._rows
+            or other._cal_rows != self._cal_rows
+        ):
+            raise ValueError("sketches do not share entry generators")
+        self.y += other.y
+        self.y_prime += other.y_prime
+        self._gross_weight += other._gross_weight
+        return self
 
     def estimate(self) -> float:
         """The Figure 5 estimator ``y'_med * (-ln mean cos(y_i / y'_med))``."""

@@ -63,6 +63,30 @@ class CountMin:
         dots = (self.table.astype(object) * other.table.astype(object)).sum(axis=1)
         return int(min(dots))
 
+    def merge(self, other: "CountMin") -> "CountMin":
+        """Fold a same-seeded sibling into this sketch, in place.
+
+        Linear merge (tables add); hashes are compared by value so
+        pickled shards from worker processes qualify.  Bit-identical to
+        a single-pass replay of the concatenated streams.
+        """
+        if (
+            not isinstance(other, CountMin)
+            or other.n != self.n
+            or other.width != self.width
+            or other.depth != self.depth
+            or other._hashes != self._hashes
+        ):
+            raise ValueError("sketches do not share hash functions")
+        self.table += other.table
+        self._max_abs_counter = max(
+            self._max_abs_counter,
+            other._max_abs_counter,
+            int(np.abs(self.table).max(initial=0)),
+        )
+        self._gross_weight += other._gross_weight
+        return self
+
     def clone_empty(self) -> "CountMin":
         clone = object.__new__(CountMin)
         clone.n = self.n

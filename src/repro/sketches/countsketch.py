@@ -108,21 +108,38 @@ class CountSketch:
         estimates = self.query_all(np.arange(self.n))
         return {int(i) for i in np.nonzero(np.abs(estimates) >= threshold)[0]}
 
-    def merged_with(self, other: "CountSketch") -> "CountSketch":
-        """Linear-sketch merge (requires shared seeds — i.e. the other
-        sketch must have been constructed with identical hash functions;
-        used by tests via :meth:`clone_empty`)."""
+    def merge(self, other: "CountSketch") -> "CountSketch":
+        """Fold a same-seeded sibling into this sketch, in place.
+
+        Linear-sketch merge: tables add.  Hash functions are compared by
+        *value*, so shards built by the same factory in separate worker
+        processes (where object identity is lost to pickling) merge
+        cleanly; the merged table is bit-identical to a single-pass
+        replay of the concatenated streams.
+        """
         if (
-            other.n != self.n
+            not isinstance(other, CountSketch)
+            or other.n != self.n
             or other.width != self.width
             or other.depth != self.depth
-            or other._bucket_hashes is not self._bucket_hashes
+            or other._bucket_hashes != self._bucket_hashes
+            or other._sign_hashes != self._sign_hashes
         ):
             raise ValueError("sketches do not share hash functions")
+        self.table += other.table
+        self._max_abs_counter = max(
+            self._max_abs_counter,
+            other._max_abs_counter,
+            int(np.abs(self.table).max(initial=0)),
+        )
+        self._gross_weight += other._gross_weight
+        return self
+
+    def merged_with(self, other: "CountSketch") -> "CountSketch":
+        """Out-of-place :meth:`merge`: a new sketch holding the sum."""
         out = self.clone_empty()
-        out.table = self.table + other.table
-        out._max_abs_counter = int(np.abs(out.table).max())
-        out._gross_weight = self._gross_weight + other._gross_weight
+        out.merge(self)
+        out.merge(other)
         return out
 
     def clone_empty(self) -> "CountSketch":

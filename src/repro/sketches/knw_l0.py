@@ -31,7 +31,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.batch import as_update_arrays, consume_stream, mod_scatter_add
+from repro.batch import (
+    as_update_arrays,
+    consume_stream,
+    mod_scatter_add,
+    scaled_mod_increments,
+)
 from repro.hashing.kwise import KWiseHash, PairwiseHash
 from repro.hashing.modhash import capped_lsb, lsb_array
 from repro.hashing.primes import random_prime_in_range
@@ -194,19 +199,53 @@ class RoughL0Estimator:
         return self._h.space_bits() + sum(l.space_bits() for l in self._levels)
 
 
+class _WideKMVHash:
+    """8-wise hash into a ``2^60`` grid built from two 30-bit halves.
+
+    The KMV estimator needs a hash range far above ``F0^2`` (so distinct
+    items essentially never collide), but a single polynomial over a
+    ``> 2^32`` field forces :meth:`~repro.hashing.kwise.KWiseHash.
+    hash_array` onto the exact-Python-integer path (~20x slower).  Two
+    independent k-wise hashes into ``[2^30)`` concatenated as high/low
+    halves are jointly k-wise independent over the product grid (for
+    distinct points the pair is uniform on ``[2^30) x [2^30)``, which the
+    bit-concatenation maps bijectively onto ``[2^60)``) — and each half
+    runs the exact uint64 Horner fast path.
+    """
+
+    HALF_BITS = 30
+
+    def __init__(self, universe: int, k: int, rng: np.random.Generator) -> None:
+        self.range_size = 1 << (2 * self.HALF_BITS)
+        self._hi = KWiseHash(universe, 1 << self.HALF_BITS, k=k, rng=rng)
+        self._lo = KWiseHash(universe, 1 << self.HALF_BITS, k=k, rng=rng)
+
+    def __call__(self, x: int) -> int:
+        return (self._hi(x) << self.HALF_BITS) | self._lo(x)
+
+    def hash_array(self, xs: np.ndarray) -> np.ndarray:
+        return (self._hi.hash_array(xs) << self.HALF_BITS) | self._lo.hash_array(
+            xs
+        )
+
+    def space_bits(self) -> int:
+        return self._hi.space_bits() + self._lo.space_bits()
+
+
 class RoughF0Estimator:
     """Lemma 18 substitute: non-decreasing O(1)-factor F0 estimates.
 
-    k-minimum-values over an 8-wise hash into ``[2^61]``.  The estimate
-    ``(k - 1) * M / v_k`` (v_k = k-th smallest distinct hash value) is
-    within a constant factor of the number of distinct items seen, with
-    strong concentration for k = 64; monotonicity is structural.  The
-    returned value is biased up by ``bias_up`` so that it is >= F0^t with
-    good probability, as the consumers (Corollary 2) require estimates in
-    ``[F0^t, 8 F0^t]``.
+    k-minimum-values over an 8-wise hash into ``[2^60]`` (a two-half
+    construction on the vectorised fast path, :class:`_WideKMVHash`).
+    The estimate ``(k - 1) * M / v_k`` (v_k = k-th smallest distinct hash
+    value) is within a constant factor of the number of distinct items
+    seen, with strong concentration for k = 64; monotonicity is
+    structural.  The returned value is biased up by ``bias_up`` so that
+    it is >= F0^t with good probability, as the consumers (Corollary 2)
+    require estimates in ``[F0^t, 8 F0^t]``.
     """
 
-    _M = 1 << 61
+    _M = 1 << 60
 
     def __init__(
         self,
@@ -220,7 +259,7 @@ class RoughF0Estimator:
         self.n = int(n)
         self.k = int(k)
         self.bias_up = float(bias_up)
-        self._h = KWiseHash(n, self._M, k=8, rng=rng)
+        self._h = _WideKMVHash(n, k=8, rng=rng)
         self._smallest: list[int] = []  # sorted, at most k distinct values
         self._last_estimate = 0.0
 
@@ -243,13 +282,49 @@ class RoughF0Estimator:
         if len(smallest) > self.k:
             smallest.pop()
 
+    def would_change(self, hv: int) -> bool:
+        """True iff folding ``hv`` now would change the KMV state.
+
+        O(log k) membership test — the dynamic companion to
+        :meth:`fold_candidates` (whose chunk-start snapshot over-counts
+        while the reservoir is filling)."""
+        import bisect
+
+        smallest = self._smallest
+        if len(smallest) == self.k and hv >= smallest[-1]:
+            return False
+        pos = bisect.bisect_left(smallest, hv)
+        return not (pos < len(smallest) and smallest[pos] == hv)
+
+    def fold_candidates(self, hash_values: np.ndarray) -> np.ndarray:
+        """Indices whose fold could change the KMV state (a superset).
+
+        A fold is a provably-no-op when the value is at/above the current
+        k-th smallest (it cannot enter the reservoir — and the threshold
+        only decreases, so a chunk-start snapshot stays valid) or when it
+        is *already in* the reservoir (repeats of popular items).  Batch
+        consumers — including estimate-steered windows, which can only
+        move when a fold changes state — skip everything else.
+        """
+        if len(self._smallest) < self.k:
+            return np.arange(len(hash_values))
+        below = hash_values < self._smallest[-1]
+        if not below.any():
+            return np.zeros(0, dtype=np.int64)
+        present = np.isin(
+            hash_values, np.asarray(self._smallest, dtype=hash_values.dtype)
+        )
+        return np.nonzero(below & ~present)[0]
+
     def update_batch(self, items, deltas) -> None:
         """Batch update: one vectorised hash pass, then the (cheap,
         data-dependent) KMV folds in item order — state is identical to
-        the scalar loop."""
+        the scalar loop.  Provably-no-op folds
+        (:meth:`fold_candidates`) are skipped."""
         items_arr, _ = as_update_arrays(items, deltas, self.n)
-        for hv in self._h.hash_array(items_arr).tolist():
-            self._observe(hv)
+        hvs = self._h.hash_array(items_arr)
+        for t in self.fold_candidates(hvs).tolist():
+            self._observe(int(hvs[t]))
 
     def consume(self, stream) -> "RoughF0Estimator":
         return consume_stream(self, stream)
@@ -267,7 +342,7 @@ class RoughF0Estimator:
         return self._last_estimate
 
     def space_bits(self) -> int:
-        return self.k * 61 + self._h.space_bits()
+        return self.k * (self._M.bit_length() - 1) + self._h.space_bits()
 
 
 class KNWL0Estimator:
@@ -354,9 +429,7 @@ class KNWL0Estimator:
             self.rough.update_batch(items_arr, deltas_arr)
         j2 = self._h2.hash_array(items_arr)
         scales = self._u[self._h4.hash_array(j2)]
-        incs = (
-            (deltas_arr.astype(object) * scales.astype(object)) % self.p
-        ).astype(np.int64)
+        incs = scaled_mod_increments(deltas_arr, scales, self.p)
         rows = lsb_array(
             self._h1.hash_array(items_arr),
             zero_value=self.log_n,

@@ -24,7 +24,9 @@ from repro.streams.engine import (
     iter_chunks,
     replay,
     replay_many,
+    replay_sharded,
     replay_timed,
+    shard_bounds,
 )
 from repro.streams.alpha import (
     lp_alpha,
@@ -55,7 +57,9 @@ __all__ = [
     "iter_chunks",
     "replay",
     "replay_many",
+    "replay_sharded",
     "replay_timed",
+    "shard_bounds",
     "lp_alpha",
     "l0_alpha",
     "l1_alpha",

@@ -19,24 +19,44 @@ Typical use::
 stream columns are materialised once), and ``replay_timed`` wraps a replay
 with wall-clock measurement, returning the updates/sec figure the
 benchmarks record in ``BENCH_throughput.json``.
+
+``replay_sharded`` scales past one core: the stream's column arrays are
+split into contiguous shards, each worker builds a sketch from the same
+deterministic ``factory`` (so every shard shares hash seeds) and replays
+its shard through the chunked batch path, and the shard sketches are
+folded together with ``merge`` (see :class:`repro.batch.Mergeable`).  For
+linear integer sketches the merged result is bit-identical to a
+single-pass replay; the CLI exposes this as ``--workers``.
 """
 
 from __future__ import annotations
 
+import concurrent.futures
 import time
 from dataclasses import dataclass
-from typing import Any, Iterator, Sequence
+from typing import Any, Callable, Iterator, Sequence
 
 import numpy as np
 
-from repro.batch import DEFAULT_CHUNK_SIZE, consume_stream, supports_batch
+from repro.batch import (
+    DEFAULT_CHUNK_SIZE,
+    consume_stream,
+    supports_batch,
+    supports_merge,
+)
 from repro.streams.model import Stream
 
 
 def iter_chunks(
     stream: Stream, chunk_size: int | None = None
 ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
-    """Yield the stream as ``(items, deltas)`` column chunks (views)."""
+    """Yield the stream as ``(items, deltas)`` column chunks (views).
+
+    >>> from repro.streams.model import stream_from_updates
+    >>> s = stream_from_updates(8, [(1, 2), (3, -1), (5, 4)])
+    >>> [items.tolist() for items, _ in iter_chunks(s, chunk_size=2)]
+    [[1, 3], [5]]
+    """
     if chunk_size is None:
         chunk_size = DEFAULT_CHUNK_SIZE
     if chunk_size < 1:
@@ -63,6 +83,11 @@ def replay(stream: Stream, sketch: Any, chunk_size: int | None = None):
     loop — either way the final state matches a plain ``consume``
     (``replay`` *is* the shared :func:`repro.batch.consume_stream`
     dispatch, argument order aside).
+
+    >>> from repro.streams.model import FrequencyVector, stream_from_updates
+    >>> s = stream_from_updates(8, [(1, 2), (1, 3), (4, -1)])
+    >>> replay(s, FrequencyVector(8), chunk_size=2).f.tolist()
+    [0, 5, 0, 0, -1, 0, 0, 0]
     """
     return consume_stream(sketch, stream, chunk_size)
 
@@ -74,12 +99,132 @@ def replay_many(
 
     Sketches are independent structures, so interleaving their chunk
     updates leaves each in exactly the state a dedicated replay would.
+
+    >>> from repro.streams.model import FrequencyVector, stream_from_updates
+    >>> s = stream_from_updates(4, [(0, 1), (2, 5)])
+    >>> a, b = replay_many(s, [FrequencyVector(4), FrequencyVector(4)])
+    >>> a.f.tolist() == b.f.tolist() == [1, 0, 5, 0]
+    True
     """
     sketches = list(sketches)
     for items, deltas in iter_chunks(stream, chunk_size):
         for sketch in sketches:
             _feed(sketch, items, deltas)
     return sketches
+
+
+def _replay_shard(
+    factory: Callable[[], Any],
+    items: np.ndarray,
+    deltas: np.ndarray,
+    chunk_size: int,
+) -> Any:
+    """Worker body: build a sketch from the shared factory and replay one
+    contiguous shard through the chunked batch path.  Module-level so
+    process pools can pickle it."""
+    sketch = factory()
+    for start in range(0, len(items), chunk_size):
+        sketch.update_batch(
+            items[start:start + chunk_size], deltas[start:start + chunk_size]
+        )
+    return sketch
+
+
+def shard_bounds(m: int, workers: int) -> list[tuple[int, int]]:
+    """Contiguous ``[start, stop)`` shard bounds splitting ``m`` updates
+    as evenly as possible across ``workers`` (empty shards dropped).
+
+    >>> shard_bounds(10, 4)
+    [(0, 3), (3, 6), (6, 8), (8, 10)]
+    """
+    if workers < 1:
+        raise ValueError("workers must be positive")
+    base, extra = divmod(m, workers)
+    bounds, start = [], 0
+    for w in range(workers):
+        stop = start + base + (1 if w < extra else 0)
+        if stop > start:
+            bounds.append((start, stop))
+        start = stop
+    return bounds
+
+
+def replay_sharded(
+    stream: Stream,
+    factory: Callable[[], Any],
+    workers: int | None = None,
+    chunk_size: int | None = None,
+    executor: str = "process",
+):
+    """Replay a stream as ``workers`` parallel shards and merge the shard
+    sketches; returns the merged sketch.
+
+    ``factory`` must be a zero-argument callable building the *same*
+    sketch every time it is called (same constructor arguments including
+    a fixed generator seed) — shards must share hash seeds or the merge
+    is meaningless, and with ``executor="process"`` it must additionally
+    be picklable (a module-level function or :func:`functools.partial`,
+    not a lambda).  The sketch must implement the
+    :class:`~repro.batch.Mergeable` protocol.
+
+    For linear integer sketches (CountSketch, CountMin, AMS,
+    FrequencyVector) the merged result is bit-identical to a one-pass
+    replay; float sketches agree to machine precision; sampling sketches
+    (CSSS) merge to a valid sketch of the whole stream by rate-aligned
+    thinning.  ``workers=1`` (or a short stream) degenerates to a plain
+    in-process replay with no pool overhead.
+
+    ``executor`` selects ``"process"`` (true parallelism; fork-cheap on
+    Linux) or ``"thread"`` (no pickling requirements — useful for tests
+    and doctests; numpy releases the GIL only partially, so expect
+    modest scaling).
+
+    >>> import numpy as np
+    >>> from repro.streams.model import FrequencyVector, stream_from_updates
+    >>> s = stream_from_updates(8, [(1, 2), (1, 3), (4, -1), (5, 1)])
+    >>> fv = replay_sharded(s, lambda: FrequencyVector(8), workers=2,
+    ...                     executor="thread")
+    >>> fv.f.tolist()
+    [0, 5, 0, 0, -1, 1, 0, 0]
+    """
+    if chunk_size is None:
+        chunk_size = DEFAULT_CHUNK_SIZE
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be positive")
+    if executor not in ("process", "thread"):
+        raise ValueError("executor must be 'process' or 'thread'")
+    if workers is None:
+        workers = 1
+    if workers < 1:
+        raise ValueError("workers must be positive")
+    items, deltas = stream.as_arrays()
+    bounds = shard_bounds(len(items), workers)
+    if len(bounds) <= 1:
+        return _replay_shard(factory, items, deltas, chunk_size)
+    pool_cls = (
+        concurrent.futures.ProcessPoolExecutor
+        if executor == "process"
+        else concurrent.futures.ThreadPoolExecutor
+    )
+    with pool_cls(max_workers=len(bounds)) as pool:
+        shards = list(
+            pool.map(
+                _replay_shard,
+                (factory for _ in bounds),
+                (items[a:b] for a, b in bounds),
+                (deltas[a:b] for a, b in bounds),
+                (chunk_size for _ in bounds),
+            )
+        )
+    merged = shards[0]
+    if not supports_merge(merged):
+        raise TypeError(
+            f"{type(merged).__name__} does not implement merge(); "
+            "sharded replay needs the Mergeable protocol"
+        )
+    for shard in shards[1:]:
+        merged.merge(shard)
+    return merged
 
 
 @dataclass(frozen=True)
@@ -90,6 +235,7 @@ class ReplayStats:
     seconds: float
     chunk_size: int
     batched: bool
+    workers: int = 1
 
     @property
     def updates_per_sec(self) -> float:
@@ -106,6 +252,12 @@ def replay_timed(
 
     ``force_scalar`` drives the per-update path even on batch-capable
     sketches — the baseline side of every throughput comparison.
+
+    >>> from repro.streams.model import FrequencyVector, stream_from_updates
+    >>> s = stream_from_updates(4, [(0, 1), (2, 5)])
+    >>> fv, stats = replay_timed(s, FrequencyVector(4))
+    >>> stats.updates, stats.batched, stats.updates_per_sec > 0
+    (2, True, True)
     """
     if chunk_size is None:
         chunk_size = DEFAULT_CHUNK_SIZE
@@ -126,4 +278,31 @@ def replay_timed(
         seconds=elapsed,
         chunk_size=chunk_size,
         batched=batched,
+    )
+
+
+def replay_sharded_timed(
+    stream: Stream,
+    factory: Callable[[], Any],
+    workers: int | None = None,
+    chunk_size: int | None = None,
+    executor: str = "process",
+) -> tuple[Any, ReplayStats]:
+    """:func:`replay_sharded` with wall-clock measurement (pool spawn and
+    merge costs included — that is the honest sharding overhead)."""
+    if chunk_size is None:
+        chunk_size = DEFAULT_CHUNK_SIZE
+    items, _ = stream.as_arrays()
+    start = time.perf_counter()
+    sketch = replay_sharded(
+        stream, factory, workers=workers, chunk_size=chunk_size,
+        executor=executor,
+    )
+    elapsed = time.perf_counter() - start
+    return sketch, ReplayStats(
+        updates=len(items),
+        seconds=elapsed,
+        chunk_size=chunk_size,
+        batched=True,
+        workers=workers if workers else 1,
     )

@@ -214,6 +214,25 @@ class FrequencyVector:
         np.subtract.at(self.deletions, items_arr[~pos], deltas_arr[~pos])
         self.num_updates += int(items_arr.size)
 
+    def merge(self, other: "FrequencyVector") -> "FrequencyVector":
+        """Fold another frequency vector into this one, in place.
+
+        Exact linear merge over the same universe — bit-identical to
+        replaying the concatenated streams.
+
+        >>> a, b = FrequencyVector(4), FrequencyVector(4)
+        >>> a.update(1, 5); b.update(1, -2); b.update(3, 7)
+        >>> a.merge(b).f.tolist()
+        [0, 3, 0, 7]
+        """
+        if not isinstance(other, FrequencyVector) or other.n != self.n:
+            raise ValueError("universe sizes differ")
+        self.f += other.f
+        self.insertions += other.insertions
+        self.deletions += other.deletions
+        self.num_updates += other.num_updates
+        return self
+
     # -- norms -------------------------------------------------------------
     def l1(self) -> int:
         """``‖f‖_1``."""

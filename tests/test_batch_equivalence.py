@@ -278,6 +278,22 @@ def test_property_random_streams_and_chunkings(pairs, data):
         assert_same_state(reference, batched)
 
 
+@pytest.mark.parametrize("name", [
+    "alpha_const_l0", "alpha_l0", "alpha_rough_l0", "csss"])
+@pytest.mark.parametrize("length", [1, 5, 39])
+def test_short_stream_prefix_equivalence(name, length):
+    """Regression: a fresh estimator must not drop the pre-first-window-
+    move prefix in batch mode (the window structures must exist from
+    construction, not from the first window move)."""
+    factory, kind = CASES[name]
+    stream = Stream(N, list(STREAMS[kind])[:length])
+    reference = _feed_scalar(factory(np.random.default_rng(SEED)), stream)
+    for chunk_size in (1, 3, None):
+        batched = _feed_batch(
+            factory(np.random.default_rng(SEED)), stream, chunk_size)
+        assert_same_state(reference, batched)
+
+
 def test_python_int_counters_do_not_wrap_in_batch_paths():
     """The exact counters (SignedCounter, sampler q/z1) are Python ints
     in the scalar path; batch folds must not silently wrap at int64."""

@@ -37,6 +37,25 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "reported" in out and "bits" in out
 
+    def test_heavy_hitters_sharded_matches_single(self, capsys):
+        """--workers shards the replay and merges; the reported heavy
+        hitter set (strict path: CSSS + exact L1) must stay correct."""
+        args = ["heavy-hitters", "--n", "512", "--m", "4000",
+                "--alpha", "4", "--eps", "0.125"]
+        assert main(args) == 0
+        single = capsys.readouterr().out
+        assert main(args + ["--workers", "2"]) == 0
+        sharded = capsys.readouterr().out
+        line = next(l for l in single.splitlines() if "true eps" in l)
+        assert line in sharded
+        assert "2 workers" in sharded
+
+    def test_workers_fallback_note_on_sequential_estimators(self, capsys):
+        assert main(["l0", "--n", "512", "--m", "2000",
+                     "--workers", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "workers ignored" in out
+
     def test_l1_strict_path(self, capsys):
         assert main(["l1", "--n", "512", "--m", "3000", "--alpha", "4"]) == 0
         out = capsys.readouterr().out

@@ -1,0 +1,293 @@
+"""Merge / sharded-replay correctness harness.
+
+The merge contract (:mod:`repro.batch`): for sketches built with
+identical seeds, ``a.merge(b)`` must leave ``a`` summarising the
+concatenation of both input streams.  This harness checks, for every
+:class:`~repro.batch.Mergeable` sketch:
+
+* **linear integer sketches** (FrequencyVector, CountSketch, CountMin,
+  AMS): merged shards are *bit-identical* to a single-shard replay —
+  integer scatter-adds commute, so there is no tolerance to grant;
+* **float linear sketches** (Cauchy L1): identical up to float-addition
+  associativity (estimates agree to machine precision);
+* **sampling sketches** (CSSS): the merged sketch is a *valid* CSSS of
+  the whole stream — rate-aligned thinning preserves the sampling
+  invariants and the Theorem 1 error guarantee (bit-identity is
+  impossible: each shard consumes its own sampling randomness);
+* cross-process realism: merges still work after a pickle round-trip
+  (hash functions compare by value, not identity), and
+  :func:`repro.streams.engine.replay_sharded` with a process pool
+  produces the same tables as the in-process replay.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.batch import supports_merge
+from repro.core.csss import CSSS, CSSSWithTailEstimate
+from repro.core.heavy_hitters import AlphaHeavyHitters
+from repro.counters.exact import ExactL1Counter
+from repro.sketches.ams import AMSSketch
+from repro.sketches.cauchy import CauchyL1Sketch
+from repro.sketches.countmin import CountMin
+from repro.sketches.countsketch import CountSketch
+from repro.streams.engine import replay, replay_sharded, shard_bounds
+from repro.streams.generators import bounded_deletion_stream
+from repro.streams.model import FrequencyVector
+
+N = 1 << 10
+M = 6_000
+SEED = 0x5EED
+
+
+def _make_countsketch():
+    return CountSketch(N, 48, 4, np.random.default_rng(SEED))
+
+
+def _make_countmin():
+    return CountMin(N, 64, 4, np.random.default_rng(SEED))
+
+
+def _make_ams():
+    return AMSSketch(N, per_group=8, groups=4, rng=np.random.default_rng(SEED))
+
+
+def _make_frequency_vector():
+    return FrequencyVector(N)
+
+
+def _make_cauchy():
+    return CauchyL1Sketch(N, eps=0.3, rng=np.random.default_rng(SEED))
+
+
+def _make_csss():
+    return CSSS(N, k=8, eps=0.1, alpha=4, rng=np.random.default_rng(SEED),
+                depth=4, sample_budget=2048)
+
+
+def _make_csss_tail():
+    return CSSSWithTailEstimate(
+        N, k=8, eps=0.1, alpha=4, rng=np.random.default_rng(SEED), depth=4
+    )
+
+
+def _make_hh_strict():
+    return AlphaHeavyHitters(
+        N, eps=1 / 16, alpha=4, rng=np.random.default_rng(SEED),
+        strict_turnstile=True,
+    )
+
+
+def _make_hh_general():
+    return AlphaHeavyHitters(
+        N, eps=1 / 16, alpha=4, rng=np.random.default_rng(SEED),
+        strict_turnstile=False,
+    )
+
+
+#: name -> (factory, exact integer state extractor or None)
+EXACT_LINEAR = {
+    "frequency_vector": (
+        _make_frequency_vector,
+        lambda s: (s.f, s.insertions, s.deletions, s.num_updates),
+    ),
+    "countsketch": (_make_countsketch, lambda s: (s.table,)),
+    "countmin": (_make_countmin, lambda s: (s.table,)),
+    "ams": (_make_ams, lambda s: (s.z,)),
+}
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return bounded_deletion_stream(N, M, alpha=4, seed=71, strict=False)
+
+
+@pytest.fixture(scope="module")
+def strict_stream():
+    return bounded_deletion_stream(N, M, alpha=4, seed=72, strict=True)
+
+
+def _shard_replay(stream, factory, workers):
+    """In-process sharded replay: explicit shards + merge (the engine's
+    process pool does exactly this; here we keep it deterministic and
+    debuggable)."""
+    items, deltas = stream.as_arrays()
+    shards = []
+    for a, b in shard_bounds(len(items), workers):
+        shards.append(replay(type(stream)(stream.n, list(stream)[a:b]),
+                             factory()))
+    merged = shards[0]
+    for s in shards[1:]:
+        merged.merge(s)
+    return merged
+
+
+class TestShardBounds:
+    def test_covers_everything_contiguously(self):
+        bounds = shard_bounds(10, 4)
+        assert bounds == [(0, 3), (3, 6), (6, 8), (8, 10)]
+
+    def test_more_workers_than_updates(self):
+        assert shard_bounds(2, 5) == [(0, 1), (1, 2)]
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            shard_bounds(4, 0)
+
+
+class TestExactLinearMerges:
+    @pytest.mark.parametrize("name", sorted(EXACT_LINEAR))
+    @pytest.mark.parametrize("workers", [2, 4, 7])
+    def test_merged_shards_bit_identical(self, stream, name, workers):
+        factory, state = EXACT_LINEAR[name]
+        single = replay(stream, factory())
+        merged = _shard_replay(stream, factory, workers)
+        for a, b in zip(state(single), state(merged)):
+            if isinstance(a, np.ndarray):
+                assert np.array_equal(a, b), name
+            else:
+                assert a == b, name
+
+    @pytest.mark.parametrize("name", sorted(EXACT_LINEAR))
+    def test_merge_survives_pickle_round_trip(self, stream, name):
+        """Worker processes return shards by pickling; hash functions
+        must compare by value afterwards."""
+        factory, state = EXACT_LINEAR[name]
+        items, deltas = stream.as_arrays()
+        half = len(items) // 2
+        a, b = factory(), factory()
+        a.update_batch(items[:half], deltas[:half])
+        b.update_batch(items[half:], deltas[half:])
+        merged = a.merge(pickle.loads(pickle.dumps(b)))
+        single = replay(stream, factory())
+        for x, y in zip(state(single), state(merged)):
+            if isinstance(x, np.ndarray):
+                assert np.array_equal(x, y)
+            else:
+                assert x == y
+
+    def test_merge_rejects_foreign_seeds(self):
+        for make, other in [
+            (_make_countsketch, CountSketch(N, 48, 4, np.random.default_rng(1))),
+            (_make_countmin, CountMin(N, 64, 4, np.random.default_rng(1))),
+            (_make_ams, AMSSketch(N, 8, 4, np.random.default_rng(1))),
+            (_make_cauchy, CauchyL1Sketch(N, eps=0.3,
+                                          rng=np.random.default_rng(1))),
+            (_make_csss, CSSS(N, k=8, eps=0.1, alpha=4,
+                              rng=np.random.default_rng(1), depth=4)),
+        ]:
+            with pytest.raises(ValueError):
+                make().merge(other)
+
+    def test_merge_rejects_wrong_universe(self):
+        with pytest.raises(ValueError):
+            FrequencyVector(8).merge(FrequencyVector(16))
+
+
+class TestFloatAndSamplingMerges:
+    def test_cauchy_merge_matches_single_replay(self, stream):
+        single = replay(stream, _make_cauchy())
+        merged = _shard_replay(stream, _make_cauchy, 4)
+        assert merged.estimate() == pytest.approx(single.estimate(), rel=1e-9)
+
+    def test_csss_merge_is_valid_sketch(self, stream):
+        """Merged CSSS satisfies the Theorem 1 error band and the
+        budget/halving invariant (bit-identity is impossible: shards
+        consume independent sampling randomness)."""
+        fv = stream.frequency_vector()
+        merged = _shard_replay(stream, _make_csss, 4)
+        for r in range(merged.depth):
+            assert int(merged._row_weight[r]) <= merged.budget
+            assert int(merged._row_weight[r]) == int(
+                merged.pos[r].sum() + merged.neg[r].sum()
+            )
+        bound = 2 * (fv.err_k_p(8) / np.sqrt(8) + 0.1 * fv.l1())
+        estimates = merged.query_all(np.arange(N))
+        assert float(np.abs(estimates - fv.f).max()) <= bound
+
+    def test_csss_merge_aligns_rates(self):
+        """Shards halved a different number of times still merge: the
+        finer-rate shard is thinned down to the coarser rate."""
+        rng_stream = bounded_deletion_stream(N, 4000, alpha=4, seed=9,
+                                             strict=False)
+        items, deltas = rng_stream.as_arrays()
+
+        def make():
+            return CSSS(N, k=4, eps=0.2, alpha=4,
+                        rng=np.random.default_rng(3), depth=3,
+                        sample_budget=300)
+
+        a, b = make(), make()
+        a.update_batch(items[:3500], deltas[:3500])  # many halvings
+        b.update_batch(items[3500:], deltas[3500:])  # few halvings
+        assert int(a.log2_inv_p.max()) > int(b.log2_inv_p.max())
+        merged = a.merge(b)
+        for r in range(merged.depth):
+            assert int(merged._row_weight[r]) <= merged.budget
+
+    def test_csss_tail_merge(self, stream):
+        merged = _shard_replay(stream, _make_csss_tail, 3)
+        fv = stream.frequency_vector()
+        v = merged.tail_error_estimate(float(fv.l1()))
+        assert v >= 0  # well-formed; band checked in test_csss.py
+
+    @pytest.mark.parametrize("make,strict", [
+        (_make_hh_strict, True), (_make_hh_general, False)])
+    def test_heavy_hitters_merge_keeps_guarantee(
+        self, stream, strict_stream, make, strict
+    ):
+        s = strict_stream if strict else stream
+        fv = s.frequency_vector()
+        merged = _shard_replay(s, make, 4)
+        reported = merged.heavy_hitters()
+        eps = 1 / 16
+        assert fv.heavy_hitters(eps) <= reported
+        for i in reported:
+            assert abs(int(fv.f[i])) >= (eps / 2) * fv.l1() * 0.5
+
+    def test_exact_l1_counter_merge(self):
+        a, b = ExactL1Counter(), ExactL1Counter()
+        a.update(0, 5)
+        b.update(0, 7)
+        b.update(1, -2)
+        assert a.merge(b).value == 10
+
+
+class TestReplaySharded:
+    def test_process_pool_matches_in_process(self, stream):
+        merged = replay_sharded(stream, _make_countsketch, workers=3,
+                                executor="process")
+        single = replay(stream, _make_countsketch())
+        assert np.array_equal(merged.table, single.table)
+
+    def test_thread_pool_matches_in_process(self, stream):
+        merged = replay_sharded(stream, _make_countmin, workers=3,
+                                executor="thread")
+        single = replay(stream, _make_countmin())
+        assert np.array_equal(merged.table, single.table)
+
+    def test_single_worker_is_plain_replay(self, stream):
+        merged = replay_sharded(stream, _make_countsketch, workers=1)
+        single = replay(stream, _make_countsketch())
+        assert np.array_equal(merged.table, single.table)
+
+    def test_rejects_non_mergeable(self):
+        from repro.sketches.misra_gries import MisraGries
+        from repro.streams.generators import zipfian_insertion_stream
+
+        ins = zipfian_insertion_stream(N, 200, seed=5)
+        assert not supports_merge(MisraGries(N, eps=0.1))
+        with pytest.raises(TypeError):
+            replay_sharded(ins, lambda: MisraGries(N, eps=0.1),
+                           workers=2, executor="thread")
+
+    def test_invalid_arguments(self, stream):
+        with pytest.raises(ValueError):
+            replay_sharded(stream, _make_countsketch, workers=0)
+        with pytest.raises(ValueError):
+            replay_sharded(stream, _make_countsketch, workers=2,
+                           executor="mpi")
