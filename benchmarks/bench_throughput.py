@@ -6,6 +6,13 @@ acceptance bar tracked across PRs: the vectorised batch path on
 CountSketch / CountMin / Cauchy / FrequencyVector — and, since the
 order-insensitive sampling / segmented-window work, on the paper's own
 CSSS and αL0 — is at least **10x** the scalar loop at chunk size 4096.
+The schedule-core PR added the six formerly scalar-loop structures
+(strict L1, support sampler, inner product, sampled frequencies,
+Misra-Gries, αL1Sampler) to the acceptance set at **8x**.
+
+``--smoke`` runs a tiny-size variant (short stream, no artifact write,
+relaxed 2x bar) for CI: a vectorised-path regression fails the build
+instead of only showing up as BENCH json drift.
 
 A second section measures *sharded* replay
 (:func:`repro.streams.engine.replay_sharded`): the stream split across
@@ -37,12 +44,19 @@ sys.path.insert(0, str(Path(__file__).parent))  # script mode
 
 from _common import cached_bounded_stream, measure_throughput
 from repro.core.csss import CSSS
+from repro.core.inner_product import AlphaInnerProduct
 from repro.core.l0_estimation import AlphaConstL0Estimator, AlphaL0Estimator
+from repro.core.l1_estimation import AlphaL1EstimatorStrict
+from repro.core.l1_sampler import AlphaL1Sampler
+from repro.core.sampling import SampledFrequencies
+from repro.core.support_sampler import AlphaSupportSampler
 from repro.sketches.ams import AMSSketch
 from repro.sketches.cauchy import CauchyL1Sketch
 from repro.sketches.countmin import CountMin
 from repro.sketches.countsketch import CountSketch
+from repro.sketches.misra_gries import MisraGries
 from repro.streams.engine import replay_sharded_timed
+from repro.streams.generators import zipfian_insertion_stream
 from repro.streams.model import FrequencyVector
 
 N = 1 << 12
@@ -53,24 +67,64 @@ CHUNK = 4096
 # so slow baselines don't dominate wall-clock; rates are per-update.
 SCALAR_PREFIX = 2_000
 
-#: Structures with a genuinely vectorised batch path.
+def _inner_product_sketch(rng):
+    ctx = AlphaInnerProduct(N, eps=0.1, alpha=ALPHA, rng=rng)
+    return ctx.make_sketch()
+
+
+#: Structures with a genuinely vectorised batch path.  The stream kind
+#: selects the workload: mixed-sign bounded-deletion ("general") or
+#: insertion-only zipf ("insertion" — Misra-Gries is the alpha = 1
+#: endpoint and rejects deletions).
 SKETCHES = {
-    "countsketch": lambda rng: CountSketch(N, width=96, depth=6, rng=rng),
-    "countmin": lambda rng: CountMin(N, width=128, depth=6, rng=rng),
-    "cauchy": lambda rng: CauchyL1Sketch(N, eps=0.25, rng=rng),
-    "frequency_vector": lambda rng: FrequencyVector(N),
-    "ams": lambda rng: AMSSketch(N, per_group=16, groups=6, rng=rng),
-    "csss": lambda rng: CSSS(N, k=16, eps=0.1, alpha=ALPHA, rng=rng, depth=6),
-    "alpha_l0": lambda rng: AlphaL0Estimator(N, eps=0.25, alpha=ALPHA, rng=rng),
-    "alpha_const_l0": lambda rng: AlphaConstL0Estimator(N, alpha=ALPHA, rng=rng),
+    "countsketch": (lambda rng: CountSketch(N, width=96, depth=6, rng=rng),
+                    "general"),
+    "countmin": (lambda rng: CountMin(N, width=128, depth=6, rng=rng),
+                 "general"),
+    "cauchy": (lambda rng: CauchyL1Sketch(N, eps=0.25, rng=rng), "general"),
+    "frequency_vector": (lambda rng: FrequencyVector(N), "general"),
+    "ams": (lambda rng: AMSSketch(N, per_group=16, groups=6, rng=rng),
+            "general"),
+    "csss": (lambda rng: CSSS(N, k=16, eps=0.1, alpha=ALPHA, rng=rng, depth=6),
+             "general"),
+    "alpha_l0": (lambda rng: AlphaL0Estimator(N, eps=0.25, alpha=ALPHA,
+                                              rng=rng), "general"),
+    "alpha_const_l0": (lambda rng: AlphaConstL0Estimator(N, alpha=ALPHA,
+                                                         rng=rng), "general"),
+    # The six schedule-core ports (retired scalar-loop mixin):
+    "alpha_l1_strict": (lambda rng: AlphaL1EstimatorStrict(
+        alpha=ALPHA, eps=0.2, rng=rng, s=2000), "general"),
+    "alpha_support": (lambda rng: AlphaSupportSampler(
+        N, k=8, alpha=ALPHA, rng=rng), "general"),
+    "inner_product": (_inner_product_sketch, "general"),
+    # The two dict-backed summaries run on the skewed insertion stream:
+    # their batch cost scales with distinct keys per chunk, and skewed
+    # key distributions are the workload frequency summaries exist for
+    # (Misra-Gries additionally *requires* insertion-only input).
+    "sampled_frequencies": (lambda rng: SampledFrequencies(
+        budget=2048, rng=rng), "insertion"),
+    "misra_gries": (lambda rng: MisraGries(N, eps=1 / 256), "insertion"),
+    "alpha_l1_sampler": (lambda rng: AlphaL1Sampler(
+        N, eps=0.25, alpha=ALPHA, rng=rng, depth=4), "general"),
 }
 
-#: The acceptance set: baselines since PR 1, the paper's own structures
-#: since the vectorised-sampling PR.
-REQUIRED_10X = (
-    "countsketch", "countmin", "cauchy", "frequency_vector",
-    "csss", "alpha_l0",
-)
+#: The acceptance bars: baselines and PR-2 structures hold 10x; the six
+#: schedule-core ports hold the ISSUE's 8x floor (several clear 10x —
+#: the JSON records the measured figures).
+REQUIRED_SPEEDUP = {
+    "countsketch": 10.0,
+    "countmin": 10.0,
+    "cauchy": 10.0,
+    "frequency_vector": 10.0,
+    "csss": 10.0,
+    "alpha_l0": 10.0,
+    "alpha_l1_strict": 8.0,
+    "alpha_support": 8.0,
+    "inner_product": 8.0,
+    "sampled_frequencies": 8.0,
+    "misra_gries": 8.0,
+    "alpha_l1_sampler": 8.0,
+}
 
 # Sharded replay: a longer stream so the parallel region dominates pool
 # spawn overhead on multi-core hosts.
@@ -102,19 +156,33 @@ def _usable_cores() -> int:
         return os.cpu_count() or 1
 
 
-def _measure_all(chunk_size: int = CHUNK) -> dict:
-    stream = cached_bounded_stream(N, M, ALPHA, seed=17, strict=False)
-    scalar_stream = type(stream)(stream.n, list(stream)[:SCALAR_PREFIX])
+def _streams(m: int):
+    """The benchmark streams per kind (insertion: skew 1.5 zipf — the
+    heavy-hitter regime Misra-Gries is built for)."""
+    return {
+        "general": cached_bounded_stream(N, m, ALPHA, seed=17, strict=False),
+        "insertion": zipfian_insertion_stream(N, m, skew=1.5, seed=17),
+    }
+
+
+def _measure_all(chunk_size: int = CHUNK, m: int = M,
+                 scalar_prefix: int = SCALAR_PREFIX,
+                 with_sharded: bool = True) -> dict:
+    streams = _streams(m)
+    scalar_streams = {
+        kind: type(s)(s.n, list(s)[:scalar_prefix])
+        for kind, s in streams.items()
+    }
     results = {}
-    for name, make in SKETCHES.items():
+    for name, (make, kind) in SKETCHES.items():
         scalar = measure_throughput(
-            scalar_stream,
+            scalar_streams[kind],
             lambda make=make: make(np.random.default_rng(1)),
             chunk_size=chunk_size,
             force_scalar=True,
         )
         batch = measure_throughput(
-            stream,
+            streams[kind],
             lambda make=make: make(np.random.default_rng(1)),
             chunk_size=chunk_size,
         )
@@ -123,16 +191,18 @@ def _measure_all(chunk_size: int = CHUNK) -> dict:
             "batch_updates_per_sec": int(round(batch.updates_per_sec)),
             "speedup": round(batch.updates_per_sec / scalar.updates_per_sec, 1),
         }
-    return {
+    report = {
         "n": N,
-        "m": M,
+        "m": m,
         "alpha": ALPHA,
         "chunk_size": chunk_size,
-        "scalar_prefix": SCALAR_PREFIX,
+        "scalar_prefix": scalar_prefix,
         "cores": _usable_cores(),
         "results": results,
-        "sharded": _measure_sharded(chunk_size),
     }
+    if with_sharded:
+        report["sharded"] = _measure_sharded(chunk_size)
+    return report
 
 
 def _measure_sharded(chunk_size: int = CHUNK) -> dict:
@@ -173,11 +243,11 @@ def test_throughput_artifact():
     """Regenerate BENCH_throughput.json; assert the acceptance bars."""
     report = _measure_all()
     write_artifact(report)
-    for name in REQUIRED_10X:
+    for name, bar in REQUIRED_SPEEDUP.items():
         speedup = report["results"][name]["speedup"]
-        assert speedup >= 10.0, (
+        assert speedup >= bar, (
             f"{name}: batch path only {speedup}x the scalar loop "
-            f"(need >= 10x at chunk {CHUNK})"
+            f"(need >= {bar}x at chunk {CHUNK})"
         )
     for name, row in report["sharded"]["results"].items():
         assert row["identical_estimates"], (
@@ -192,7 +262,50 @@ def test_throughput_artifact():
             )
 
 
-def main() -> int:
+#: Smoke-mode sizing: small enough for CI latency, large enough that a
+#: vectorised path still clearly beats the scalar loop.
+SMOKE_M = 6_000
+SMOKE_PREFIX = 600
+SMOKE_BAR = 2.0
+
+
+def run_smoke() -> int:
+    """Tiny-size regression gate: every acceptance structure must still
+    beat the scalar loop by ``SMOKE_BAR``x.  No artifact is written —
+    this guards the *paths*, not the recorded figures."""
+    report = _measure_all(
+        chunk_size=1024, m=SMOKE_M, scalar_prefix=SMOKE_PREFIX,
+        with_sharded=False,
+    )
+    failures = []
+    width = max(len(k) for k in report["results"])
+    for name in REQUIRED_SPEEDUP:
+        row = report["results"][name]
+        status = "ok" if row["speedup"] >= SMOKE_BAR else "FAIL"
+        print(
+            f"{name:<{width}}  scalar {row['scalar_updates_per_sec']:>10,}/s"
+            f"  batch {row['batch_updates_per_sec']:>10,}/s"
+            f"  speedup {row['speedup']:>6.1f}x  [{status}]"
+        )
+        if row["speedup"] < SMOKE_BAR:
+            failures.append(name)
+    if failures:
+        print(f"smoke FAILED (< {SMOKE_BAR}x at m={SMOKE_M}): {failures}")
+        return 1
+    print(f"smoke ok: all {len(REQUIRED_SPEEDUP)} vectorised paths "
+          f">= {SMOKE_BAR}x at m={SMOKE_M}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny-size CI gate; no artifact write")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        return run_smoke()
     report = _measure_all()
     write_artifact(report)
     width = max(len(k) for k in report["results"])

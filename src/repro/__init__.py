@@ -37,6 +37,9 @@ from repro.batch import (
 from repro.core import (
     CSSS,
     CSSSWithTailEstimate,
+    AdaptiveSamplingSchedule,
+    PacedCounterSchedule,
+    PrecisionSamplingSchedule,
     AlphaHeavyHitters,
     AlphaInnerProduct,
     AlphaInnerProductSketch,
@@ -107,6 +110,9 @@ __all__ = [
     "shard_bounds",
     "CSSS",
     "CSSSWithTailEstimate",
+    "AdaptiveSamplingSchedule",
+    "PacedCounterSchedule",
+    "PrecisionSamplingSchedule",
     "AlphaHeavyHitters",
     "AlphaInnerProduct",
     "AlphaInnerProductSketch",

@@ -12,10 +12,12 @@ from "as fast as the hardware allows".  This module defines the package's
 * :func:`as_update_arrays` — the shared validator that turns arbitrary
   ``(items, deltas)`` column inputs into checked ``int64`` arrays with the
   same rejection rules as :class:`repro.streams.model.Update`;
-* :class:`ScalarLoopBatchUpdateMixin` — a fallback mixin whose
-  ``update_batch`` is a literal scalar loop, for structures whose update
-  path is inherently sequential (Morris-paced level schedules, samplers
-  that draw randomness per update, ...);
+* :class:`ScalarLoopBatchUpdateMixin` — a **test-only shim** whose
+  ``update_batch`` is a literal scalar loop.  No production structure
+  inherits it any more: the order-insensitive schedule core
+  (:mod:`repro.core.schedules`) vectorised every remaining estimator.
+  It survives as the definitional reference the equivalence harness and
+  ad-hoc experiments compare against;
 * :class:`Mergeable` — a :class:`typing.Protocol` for sketches that can
   absorb a same-seeded sibling via ``merge(other)``, the contract behind
   :func:`repro.streams.engine.replay_sharded`.
@@ -153,12 +155,14 @@ def as_update_arrays(
 
 
 class ScalarLoopBatchUpdateMixin:
-    """Default ``update_batch``: the validated scalar loop.
+    """Test-only shim: ``update_batch`` as the validated scalar loop.
 
-    For structures whose update path is inherently sequential (per-update
-    randomness, data-dependent level schedules), the batch API still exists
-    — the engine and the equivalence harness treat them uniformly — but the
-    implementation is the definitionally-equivalent loop.
+    Historically the fallback for sequential update paths; since the
+    schedule core (:mod:`repro.core.schedules`) landed, every production
+    structure has a genuinely vectorised ``update_batch`` and nothing in
+    ``src/`` inherits this.  It remains the *definitional reference*:
+    tests (and one-off experiments) can wrap a structure with it to
+    state "the batch contract means exactly this loop".
     """
 
     #: Universe attribute consulted for validation, when present.
@@ -291,6 +295,54 @@ def scaled_mod_increments(
     return (
         (deltas.astype(object) * scales.astype(object)) % modulus
     ).astype(np.int64)
+
+
+def signed_scatter_add_peak(
+    target: np.ndarray, indices: np.ndarray, values: np.ndarray
+) -> int:
+    """Scatter-add signed values and return the running ``max |cell|``.
+
+    Structures that charge space at the *peak* magnitude a counter ever
+    held need the maximum over every intermediate per-update state, which
+    a plain ``np.add.at`` discards (mixed-sign values can cancel within a
+    batch).  Grouping the contributions per target cell and walking each
+    group's cumulative sum reproduces the exact per-update intermediate
+    values of the scalar loop, at vectorised cost.  Falls back to an
+    exact Python-int walk when the cumulative sums could overflow int64.
+    """
+    if len(values) == 0:
+        return 0
+    start_bound = float(np.abs(target).max(initial=0))
+    if start_bound + float(
+        np.abs(values).astype(np.float64).sum()
+    ) >= _INT64_SAFE_BOUND:
+        peak = 0
+        for t in range(len(values)):
+            idx = indices[t]
+            total = int(target[idx]) + int(values[t])
+            target[idx] = total
+            peak = max(peak, abs(total))
+        return peak
+    order = np.argsort(indices, kind="stable")
+    sorted_idx = indices[order]
+    sorted_vals = values[order]
+    running = np.cumsum(sorted_vals)
+    group_start = np.empty(len(order), dtype=bool)
+    group_start[0] = True
+    group_start[1:] = sorted_idx[1:] != sorted_idx[:-1]
+    starts = np.nonzero(group_start)[0]
+    lengths = np.diff(np.append(starts, len(order)))
+    # Subtract each group's prefix offset to get per-group cumsums, then
+    # add the cell's starting value: these are the per-update cell states.
+    group_offsets = np.zeros(len(starts), dtype=np.int64)
+    group_offsets[1:] = running[starts[1:] - 1]
+    base = target[sorted_idx[starts]]
+    intermediate = (
+        running - np.repeat(group_offsets, lengths) + np.repeat(base, lengths)
+    )
+    peak = int(np.abs(intermediate).max())
+    np.add.at(target, indices, values)
+    return peak
 
 
 def mod_scatter_add(

@@ -19,11 +19,14 @@ pure throughput knob — estimates are identical for every value) and the
 achieved updates/sec is printed next to each answer.
 
 ``--workers N`` shards the replay across N processes and merges the
-shard sketches (``repro.streams.engine.replay_sharded``).  Sharding
-needs the ``Mergeable`` protocol, which the heavy-hitters structure
-implements; the window-steered estimators (l0, l1, support) are
-inherently sequential, so those subcommands note the fallback and
-replay single-shard.
+shard sketches (``repro.streams.engine.replay_sharded``).  Every
+estimator-backed subcommand shards: heavy-hitters (CSSS merge with
+per-shard sampling seeds), l1 (strict: summed interval estimates;
+general: rate-aligned sampled Cauchy counters), and l0 (component-wise
+modular merges).  The one documented holdout is ``support``: its
+suffix-positivity certificate needs every prefix of its input to be
+strict-turnstile, which contiguous shards of a strict stream are not —
+that subcommand prints an honest note and replays single-shard.
 """
 
 from __future__ import annotations
@@ -113,19 +116,57 @@ def _print_throughput(stats) -> None:
 
 
 def _note_workers_fallback(args: argparse.Namespace, what: str) -> None:
+    """The one honest holdout note: only provably order-sensitive
+    structures (whose shards would violate their model promise) keep it."""
     if args.workers > 1:
-        print(f"note: {what} is window-steered (inherently sequential); "
-              f"--workers ignored, replaying single-shard")
+        print(f"note: {what} is provably order-sensitive (its certificate "
+              f"needs strict prefixes, which shards of a strict stream are "
+              f"not); --workers ignored, replaying single-shard")
 
 
 def _make_heavy_hitters(
-    n: int, eps: float, alpha: float, strict: bool, seed: int
+    n: int, eps: float, alpha: float, strict: bool, seed: int,
+    shard_index: int,
 ) -> AlphaHeavyHitters:
     """Deterministic shard factory (module-level so process pools can
-    pickle it): every worker rebuilds the same seeds."""
+    pickle it): every worker rebuilds the same *hash* seeds, while the
+    shard index reroots each shard's CSSS sampling streams so shards
+    sample independently (shard 0 keeps the single-replay streams)."""
     return AlphaHeavyHitters(
         n, eps=eps, alpha=alpha, rng=np.random.default_rng(seed),
         strict_turnstile=strict,
+        sampling_seed=(seed, shard_index) if shard_index else None,
+    )
+
+
+def _make_l1_strict(
+    alpha: float, eps: float, seed: int, shard_index: int
+) -> AlphaL1EstimatorStrict:
+    """Strict L1 shard factory: the estimator has no shared hashes, so
+    each shard gets a fully independent sampling seed."""
+    return AlphaL1EstimatorStrict(
+        alpha=alpha, eps=eps,
+        rng=np.random.default_rng((seed, shard_index)),
+    )
+
+
+def _make_l1_general(
+    n: int, eps: float, alpha: float, seed: int
+) -> AlphaL1EstimatorGeneral:
+    """General L1 shard factory: shards must share the Cauchy rows, so
+    every worker rebuilds the same seed."""
+    return AlphaL1EstimatorGeneral(
+        n, eps=eps, alpha=alpha, rng=np.random.default_rng(seed)
+    )
+
+
+def _make_l0(
+    n: int, eps: float, alpha: float, seed: int
+) -> AlphaL0Estimator:
+    """L0 shard factory: all randomness is drawn at construction, so
+    same-seeded shards merge component-wise."""
+    return AlphaL0Estimator(
+        n, eps=eps, alpha=alpha, rng=np.random.default_rng(seed)
     )
 
 
@@ -142,7 +183,9 @@ def _cmd_heavy_hitters(args: argparse.Namespace) -> int:
             stream, factory, workers=args.workers, chunk_size=args.chunk_size
         )
     else:
-        hh, stats = replay_timed(stream, factory(), chunk_size=args.chunk_size)
+        hh, stats = replay_timed(
+            stream, factory(0), chunk_size=args.chunk_size
+        )
     got = sorted(hh.heavy_hitters())
     want = sorted(truth.heavy_hitters(args.eps))
     print(f"true eps-heavy hitters : {want}")
@@ -155,18 +198,28 @@ def _cmd_heavy_hitters(args: argparse.Namespace) -> int:
 def _cmd_l1(args: argparse.Namespace) -> int:
     stream = _build_workload(args)
     truth = stream.frequency_vector()
-    _note_workers_fallback(args, "the L1 estimator")
-    rng = np.random.default_rng(args.seed)
     alpha = max(2.0, min(args.alpha, l1_alpha(stream)))
     if is_strict_turnstile(stream):
-        est = AlphaL1EstimatorStrict(alpha=alpha, eps=args.eps, rng=rng)
+        factory = functools.partial(
+            _make_l1_strict, alpha, args.eps, args.seed
+        )
+        build_single = functools.partial(factory, 0)
         kind = "strict (Figure 4)"
     else:
-        est = AlphaL1EstimatorGeneral(
-            stream.n, eps=max(args.eps, 0.2), alpha=min(alpha, 64), rng=rng
+        factory = functools.partial(
+            _make_l1_general, stream.n, max(args.eps, 0.2),
+            min(alpha, 64), args.seed,
         )
+        build_single = factory
         kind = "general (Theorem 8)"
-    est, stats = replay_timed(stream, est, chunk_size=args.chunk_size)
+    if args.workers > 1:
+        est, stats = replay_sharded_timed(
+            stream, factory, workers=args.workers, chunk_size=args.chunk_size
+        )
+    else:
+        est, stats = replay_timed(
+            stream, build_single(), chunk_size=args.chunk_size
+        )
     print(f"estimator              : {kind}")
     print(f"L1 estimate            : {est.estimate():.1f}")
     print(f"true L1                : {truth.l1()}")
@@ -178,12 +231,18 @@ def _cmd_l1(args: argparse.Namespace) -> int:
 def _cmd_l0(args: argparse.Namespace) -> int:
     stream = _build_workload(args)
     truth = stream.frequency_vector()
-    _note_workers_fallback(args, "the L0 estimator")
     alpha = max(2.0, min(args.alpha, l0_alpha(stream) * 2))
-    rng = np.random.default_rng(args.seed)
-    est = AlphaL0Estimator(stream.n, eps=max(args.eps, 0.1), alpha=alpha,
-                           rng=rng)
-    est, stats = replay_timed(stream, est, chunk_size=args.chunk_size)
+    factory = functools.partial(
+        _make_l0, stream.n, max(args.eps, 0.1), alpha, args.seed
+    )
+    if args.workers > 1:
+        est, stats = replay_sharded_timed(
+            stream, factory, workers=args.workers, chunk_size=args.chunk_size
+        )
+    else:
+        est, stats = replay_timed(
+            stream, factory(), chunk_size=args.chunk_size
+        )
     print(f"L0 estimate            : {est.estimate():.1f}")
     print(f"true L0                : {truth.l0()}")
     print(f"live rows              : {est.live_rows()}")
@@ -235,8 +294,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "estimates are identical for every value)")
         p.add_argument("--workers", type=_positive_int, default=1,
                        help="shard the replay across N processes and merge "
-                            "the shard sketches (mergeable structures only; "
-                            "sequential estimators note the fallback)")
+                            "the shard sketches (all subcommands except "
+                            "support, the documented order-sensitive "
+                            "holdout, which notes the fallback)")
 
     for name, fn in [
         ("describe", _cmd_describe),

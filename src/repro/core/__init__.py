@@ -4,6 +4,10 @@ Each module implements one section of Jayaram-Woodruff PODS'18:
 
 * :mod:`repro.core.sampling` — the Sampling Lemma machinery (Lemma 1 / 13)
   and adaptive uniform update samplers with counter halving.
+* :mod:`repro.core.schedules` — the order-insensitive schedule core:
+  paced-counter (Morris) pacing, budgeted adaptive acceptance,
+  precision-sampling weights, and estimate-steered window segmentation —
+  the machinery behind every vectorised ``update_batch``.
 * :mod:`repro.core.csss` — CSSampSim, Countsketch simulated on per-row
   uniform samples (Figure 2, Theorem 1) plus the tail-error estimator of
   Lemma 5.
@@ -23,6 +27,12 @@ from repro.core.sampling import (
     lemma1_sampling_probability,
     binomial_thin,
 )
+from repro.core.schedules import (
+    AdaptiveSamplingSchedule,
+    PacedCounterSchedule,
+    PrecisionSamplingSchedule,
+    windowed_segments,
+)
 from repro.core.csss import CSSS, CSSSWithTailEstimate
 from repro.core.heavy_hitters import AlphaHeavyHitters
 from repro.core.inner_product import AlphaInnerProduct, AlphaInnerProductSketch
@@ -41,6 +51,10 @@ from repro.core.l2_heavy_hitters import AlphaL2HeavyHitters
 
 __all__ = [
     "AdaptiveUniformSampler",
+    "AdaptiveSamplingSchedule",
+    "PacedCounterSchedule",
+    "PrecisionSamplingSchedule",
+    "windowed_segments",
     "SampledFrequencies",
     "lemma1_sampling_probability",
     "binomial_thin",

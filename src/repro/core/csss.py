@@ -26,9 +26,29 @@ from __future__ import annotations
 import numpy as np
 
 from repro.batch import as_update_arrays, consume_stream
-from repro.core.sampling import binomial_from_uniforms
+from repro.core.schedules import AdaptiveSamplingSchedule
 from repro.hashing.kwise import FourWiseHash, SignHash
 from repro.space.accounting import counter_bits
+
+
+def derive_sampling_seed(seed, index: int):
+    """Derive a distinct child sampling seed (None stays None).
+
+    Appends ``index`` to the seed material, so composed structures
+    (main/shadow pairs, multi-sampler copies, shard-indexed factories)
+    can hand each constituent an independent sampling stream from one
+    caller-supplied seed.
+
+    >>> derive_sampling_seed(None, 3) is None
+    True
+    >>> derive_sampling_seed(7, 1), derive_sampling_seed((7, 2), 1)
+    ((7, 1), (7, 2, 1))
+    """
+    if seed is None:
+        return None
+    if isinstance(seed, (int, np.integer)):
+        return (int(seed), index)
+    return tuple(seed) + (index,)
 
 
 def default_sample_budget(alpha: float, eps: float, constant: float = 32.0) -> int:
@@ -66,6 +86,15 @@ class CSSS:
     sample_budget:
         Retained samples per row before a halving; defaults to
         :func:`default_sample_budget`.
+    sampling_seed:
+        When given, the per-row sampling streams (acceptance + halving)
+        are spawned from ``default_rng(sampling_seed)`` instead of from
+        ``rng``.  Hash seeds still come from ``rng``, so sketches built
+        with the same ``rng`` seed but different ``sampling_seed`` are
+        mergeable *and* sample independently — the shard-decorrelation
+        knob used by :func:`repro.streams.engine.replay_sharded`'s
+        shard-indexed factories.  Accepts anything
+        ``np.random.default_rng`` accepts (ints or int sequences).
     """
 
     def __init__(
@@ -77,6 +106,7 @@ class CSSS:
         rng: np.random.Generator,
         depth: int | None = None,
         sample_budget: int | None = None,
+        sampling_seed=None,
     ) -> None:
         if k < 1:
             raise ValueError("k must be positive")
@@ -99,39 +129,48 @@ class CSSS:
             FourWiseHash(n, self.width, rng) for _ in range(self.depth)
         ]
         self._sign_hashes = [SignHash(n, rng, k=4) for _ in range(self.depth)]
-        # Per-row sampling streams: one uniform per (row, update) from
-        # _row_rngs, halving thins from _halve_rngs.  Keeping the two
-        # streams separate is what makes chunked replay bit-identical to
-        # the scalar loop: acceptance consumption is exactly one draw per
-        # update, and halving consumption depends only on the (chunk-
-        # invariant) acceptance outcomes.
-        self._row_rngs = list(rng.spawn(self.depth))
-        self._halve_rngs = list(rng.spawn(self.depth))
+        # Per-row sampling streams: one uniform per (row, update) inside
+        # each row's AdaptiveSamplingSchedule, halving thins from
+        # _halve_rngs.  Keeping the two streams separate is what makes
+        # chunked replay bit-identical to the scalar loop: acceptance
+        # consumption is exactly one draw per update, and halving
+        # consumption depends only on the (chunk-invariant) acceptance
+        # outcomes.  A sampling_seed reroots both stream families off a
+        # private generator so shards can sample independently while
+        # sharing hash seeds.
+        sample_src = (
+            rng if sampling_seed is None else np.random.default_rng(sampling_seed)
+        )
+        self._schedules = [
+            AdaptiveSamplingSchedule(self.budget, child)
+            for child in sample_src.spawn(self.depth)
+        ]
+        self._halve_rngs = list(sample_src.spawn(self.depth))
         # Separate positive / negative accumulators per cell (Figure 2).
         self.pos = np.zeros((self.depth, self.width), dtype=np.int64)
         self.neg = np.zeros((self.depth, self.width), dtype=np.int64)
-        # Per-row sampling state: rows sample independently (Section 2.1).
-        self.log2_inv_p = np.zeros(self.depth, dtype=np.int64)
-        self._row_weight = np.zeros(self.depth, dtype=np.int64)
         self._max_abs_counter = 0
+
+    # -- sampling state views (per-row schedules are the source of truth) ----
+    @property
+    def log2_inv_p(self) -> np.ndarray:
+        """Per-row halved-rate exponents (rate of row r is 2^-p_r)."""
+        return np.array(
+            [s.log2_inv_p for s in self._schedules], dtype=np.int64
+        )
+
+    @property
+    def _row_weight(self) -> np.ndarray:
+        return np.array([s.weight for s in self._schedules], dtype=np.int64)
 
     # -- update path ---------------------------------------------------------
     def _halve_row(self, r: int) -> None:
         rng = self._halve_rngs[r]
         self.pos[r] = rng.binomial(self.pos[r], 0.5)
         self.neg[r] = rng.binomial(self.neg[r], 0.5)
-        self.log2_inv_p[r] += 1
-        self._row_weight[r] = int(self.pos[r].sum() + self.neg[r].sum())
-
-    def _kept_counts(
-        self, u: np.ndarray, mags: np.ndarray, log2_inv_p: int
-    ) -> np.ndarray:
-        """Retained magnitudes at rate ``2^-log2_inv_p`` from per-update
-        uniforms (rate 1 keeps everything; no uniform is *interpreted*,
-        though one is always consumed per update — see :meth:`update`)."""
-        if log2_inv_p <= 0:
-            return mags.copy()  # callers may re-quantise the tail in place
-        return binomial_from_uniforms(u, mags, 2.0 ** -log2_inv_p)
+        self._schedules[r].register_halving(
+            int(self.pos[r].sum() + self.neg[r].sum())
+        )
 
     def update(self, item: int, delta: int) -> None:
         """Apply stream update; each row samples it independently.
@@ -143,22 +182,8 @@ class CSSS:
         mag = abs(delta)
         sign = 1 if delta > 0 else -1
         for r in range(self.depth):
-            # One scalar uniform — the same draw the batch path makes
-            # (``random()`` and ``random(1)[0]`` consume identically).
-            u = self._row_rngs[r].random()
-            exp = int(self.log2_inv_p[r])
-            if exp <= 0:
-                kept = mag
-            elif mag == 1:
-                # The Bernoulli fast path, scalar form of the batch
-                # ``u < p`` mapping in binomial_from_uniforms.
-                kept = 1 if u < 2.0**-exp else 0
-            else:
-                kept = int(
-                    binomial_from_uniforms(
-                        np.array([u]), np.array([mag]), 2.0**-exp
-                    )[0]
-                )
+            sched = self._schedules[r]
+            kept = sched.offer(mag)
             if kept == 0:
                 continue
             b = self._bucket_hashes[r](item)
@@ -171,8 +196,7 @@ class CSSS:
                 touched = int(self.neg[r, b])
             if touched > self._max_abs_counter:
                 self._max_abs_counter = touched
-            self._row_weight[r] += kept
-            while self._row_weight[r] > self.budget:
+            while sched.needs_halving():
                 self._halve_row(r)
 
     def _apply_row(
@@ -181,27 +205,19 @@ class CSSS:
         buckets: np.ndarray,
         eff_signs: np.ndarray,
         mags: np.ndarray,
-        u: np.ndarray,
     ) -> None:
         """Fold one chunk into row ``r`` with vectorised acceptance.
 
-        The whole chunk's retained magnitudes are computed in one
-        inverse-CDF pass at the current rate; the running retained weight
-        (a cumsum) locates the first budget overflow, everything up to
-        and including it is scatter-added, the row is halved, and the
-        *tail* of the chunk is re-quantised from the same uniforms at the
-        new rate.  Typically one segment per chunk — halvings are
+        The row's schedule quantises the whole chunk in one inverse-CDF
+        pass and yields budget segments: everything up to and including
+        the first overflow is scatter-added, the row is halved, and the
+        schedule re-quantises the chunk *tail* from the same uniforms at
+        the new rate.  Typically one segment per chunk — halvings are
         logarithmically rare.
         """
-        m = len(mags)
-        start = 0
-        kept = self._kept_counts(u, mags, int(self.log2_inv_p[r]))
-        while start < m:
-            running = self._row_weight[r] + np.cumsum(kept[start:])
-            over = np.nonzero(running > self.budget)[0]
-            stop = start + int(over[0]) + 1 if over.size else m
+        sched = self._schedules[r]
+        for start, stop, k_seg in sched.accept_batch(mags):
             seg = slice(start, stop)
-            k_seg = kept[seg]
             nz = k_seg > 0
             if nz.any():
                 b = buckets[seg][nz]
@@ -219,14 +235,8 @@ class CSSS:
                     touched = int(self.neg[r][b[neg_m]].max())
                     if touched > self._max_abs_counter:
                         self._max_abs_counter = touched
-                self._row_weight[r] += int(kv.sum())
-            if over.size:
-                while self._row_weight[r] > self.budget:
-                    self._halve_row(r)
-                kept[stop:] = self._kept_counts(
-                    u[stop:], mags[stop:], int(self.log2_inv_p[r])
-                )
-            start = stop
+            while sched.needs_halving():
+                self._halve_row(r)
 
     def update_batch(self, items, deltas) -> None:
         """Vectorised batch update, bit-identical to the scalar loop.
@@ -248,8 +258,7 @@ class CSSS:
         for r in range(self.depth):
             buckets = self._bucket_hashes[r].hash_array(items_arr)
             eff_signs = self._sign_hashes[r].hash_array(items_arr) * delta_signs
-            u = self._row_rngs[r].random(len(items_arr))
-            self._apply_row(r, buckets, eff_signs, mags, u)
+            self._apply_row(r, buckets, eff_signs, mags)
 
     def consume(self, stream) -> "CSSS":
         return consume_stream(self, stream)
@@ -276,18 +285,19 @@ class CSSS:
         ):
             raise ValueError("sketches do not share dimensions and seeds")
         for r in range(self.depth):
-            while self.log2_inv_p[r] < other.log2_inv_p[r]:
+            sched = self._schedules[r]
+            while sched.log2_inv_p < other._schedules[r].log2_inv_p:
                 self._halve_row(r)
             opos = other.pos[r].copy()
             oneg = other.neg[r].copy()
             rng = self._halve_rngs[r]
-            for _ in range(int(self.log2_inv_p[r] - other.log2_inv_p[r])):
+            for _ in range(sched.log2_inv_p - other._schedules[r].log2_inv_p):
                 opos = rng.binomial(opos, 0.5)
                 oneg = rng.binomial(oneg, 0.5)
             self.pos[r] += opos
             self.neg[r] += oneg
-            self._row_weight[r] = int(self.pos[r].sum() + self.neg[r].sum())
-            while self._row_weight[r] > self.budget:
+            sched.weight = int(self.pos[r].sum() + self.neg[r].sum())
+            while sched.needs_halving():
                 self._halve_row(r)
         self._max_abs_counter = max(
             self._max_abs_counter,
@@ -307,7 +317,7 @@ class CSSS:
             signed = self._sign_hashes[r](item) * float(
                 self.pos[r, b] - self.neg[r, b]
             )
-            est[r] = signed * (2.0 ** int(self.log2_inv_p[r]))
+            est[r] = signed * (2.0 ** self._schedules[r].log2_inv_p)
         return float(np.median(est))
 
     def query_all(self, items: np.ndarray | list[int]) -> np.ndarray:
@@ -317,7 +327,9 @@ class CSSS:
         for r in range(self.depth):
             buckets = self._bucket_hashes[r].hash_array(items_arr)
             signs = self._sign_hashes[r].hash_array(items_arr)
-            est[r] = signs * net[r, buckets] * (2.0 ** int(self.log2_inv_p[r]))
+            est[r] = signs * net[r, buckets] * (
+                2.0 ** self._schedules[r].log2_inv_p
+            )
         return np.median(est, axis=0)
 
     def heavy_candidates(self, threshold: float) -> set[int]:
@@ -330,7 +342,9 @@ class CSSS:
         """Rescaled L2 of row r's net cells — estimates ``‖s_r‖_2`` where
         ``s_r`` is the row's rescaled sample (Lemma 4)."""
         net = (self.pos[r] - self.neg[r]).astype(np.float64)
-        return float(np.sqrt((net**2).sum())) * (2.0 ** int(self.log2_inv_p[r]))
+        return float(np.sqrt((net**2).sum())) * (
+            2.0 ** self._schedules[r].log2_inv_p
+        )
 
     def best_k_sparse(self) -> dict[int, float]:
         """The best k-sparse approximation ``ŷ`` of ``y*`` (universe scan)."""
@@ -352,7 +366,8 @@ class CSSS:
         seeds = sum(h.space_bits() for h in self._bucket_hashes)
         seeds += sum(g.space_bits() for g in self._sign_hashes)
         rate_bits = self.depth * max(
-            1, int(self.log2_inv_p.max(initial=1)).bit_length()
+            1,
+            max(1, max(s.log2_inv_p for s in self._schedules)).bit_length(),
         )
         return cells + seeds + rate_bits
 
@@ -382,13 +397,26 @@ class CSSSWithTailEstimate:
         rng: np.random.Generator,
         depth: int | None = None,
         sample_budget: int | None = None,
+        sampling_seed=None,
     ) -> None:
         # Both instances draw hash seeds from the caller's generator in
         # sequence and spawn their own per-row sampling streams off it,
         # so their sampling is independent — matching the analysis, and
         # making the main/shadow update interleaving irrelevant to state.
-        self.main = CSSS(n, k, eps, alpha, rng, depth, sample_budget)
-        self.shadow = CSSS(n, k, eps, alpha, rng, depth, sample_budget)
+        # A caller-supplied sampling_seed is split into two distinct
+        # child seeds so main and shadow stay independent.
+        seeds = (
+            derive_sampling_seed(sampling_seed, 0),
+            derive_sampling_seed(sampling_seed, 1),
+        )
+        self.main = CSSS(
+            n, k, eps, alpha, rng, depth, sample_budget,
+            sampling_seed=seeds[0],
+        )
+        self.shadow = CSSS(
+            n, k, eps, alpha, rng, depth, sample_budget,
+            sampling_seed=seeds[1],
+        )
 
     def update(self, item: int, delta: int) -> None:
         self.main.update(item, delta)

@@ -45,8 +45,10 @@ class AlphaHeavyHitters:
         Practical stand-ins for the paper's ``k = 32/ε`` and sensitivity
         ``ε/32``; defaults keep the same functional form with smaller
         constants (documented in DESIGN.md).
-    depth, sample_budget:
-        Forwarded to :class:`~repro.core.csss.CSSS`.
+    depth, sample_budget, sampling_seed:
+        Forwarded to :class:`~repro.core.csss.CSSS` (``sampling_seed``
+        decorrelates per-shard sampling streams while hash seeds stay
+        shared — the shard-indexed-factory knob).
     """
 
     def __init__(
@@ -60,6 +62,7 @@ class AlphaHeavyHitters:
         sens_constant: float = 8.0,
         depth: int | None = None,
         sample_budget: int | None = None,
+        sampling_seed=None,
     ) -> None:
         if not 0 < eps < 1:
             raise ValueError("eps must be in (0, 1)")
@@ -76,6 +79,7 @@ class AlphaHeavyHitters:
             rng=rng,
             depth=depth,
             sample_budget=sample_budget,
+            sampling_seed=sampling_seed,
         )
         self._l1_exact = ExactL1Counter() if self.strict else None
         self._l1_sketch = (

@@ -28,8 +28,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.batch import ScalarLoopBatchUpdateMixin
-from repro.core.sampling import binomial_thin
+from repro.batch import as_update_arrays, consume_stream, signed_scatter_add_peak
+from repro.core.schedules import (
+    IntervalAcceptance,
+    drive_interval_segments,
+    exponential_interval_changes,
+    exponential_interval_window,
+)
 from repro.hashing.kwise import KWiseHash, SignHash
 from repro.hashing.modhash import StreamingModReducer
 from repro.hashing.primes import random_prime_in_range
@@ -85,7 +90,17 @@ class AlphaInnerProduct:
         # samples from [D, D^3] with D = 100 s^4 for proof convenience;
         # D = 100 * min(n, s)^2 with the narrower window carries the same
         # union bound at our scales while keeping log P (counter ids) small.
+        # The window is additionally capped below 2^28 whenever the cap
+        # still exceeds n: any P > n divides no pairwise difference of
+        # ids (all < n < P), so the reduction stays *deterministically*
+        # injective, and a sub-2^31 prime keeps the bucket/sign hash
+        # fields below 2^32 — the exact uint64-Horner fast path of
+        # :meth:`repro.hashing.kwise.KWiseHash.hash_array` (~20x over the
+        # exact-Python-int fallback).  Universes above 2^28 fall back to
+        # the paper's window (and the slow field) unchanged.
         d = 100 * min(self.n, self.s) ** 2
+        if d > (1 << 28) > self.n:
+            d = 1 << 28
         self.prime = random_prime_in_range(d, 8 * d, rng)
         self._reducer = StreamingModReducer(self.prime, max(1, (n - 1).bit_length()))
         self._bucket_hash = KWiseHash(self.prime, self.k, k=4, rng=rng)
@@ -111,28 +126,48 @@ class AlphaInnerProduct:
         )
 
 
-class _IntervalSketch:
-    """CountSketch vector accumulating one sampling interval ``I_r``."""
+class _IntervalSketch(IntervalAcceptance):
+    """CountSketch vector accumulating one sampling interval ``I_r``,
+    over an :class:`~repro.core.schedules.IntervalAcceptance` stream
+    spawned at interval birth (level 0 samples at rate 1 and owns no
+    generator)."""
 
-    def __init__(self, ctx: AlphaInnerProduct, level: int, birth: int) -> None:
+    def __init__(
+        self,
+        ctx: AlphaInnerProduct,
+        level: int,
+        birth: int,
+        rng: np.random.Generator | None,
+    ) -> None:
+        super().__init__(float(ctx.s) ** (-level), rng)
         self.ctx = ctx
-        self.level = level  # sampling rate is s^-level
+        self.level = level  # sampling rate is s^-level (capped at 1)
         self.birth = birth  # stream position when this interval started
         self.vector = np.zeros(ctx.k, dtype=np.int64)
         self.max_abs = 0
 
-    @property
-    def rate(self) -> float:
-        return float(self.ctx.s) ** (-self.level)
-
-    def offer(self, item: int, delta: int, rng: np.random.Generator) -> None:
-        kept = binomial_thin(delta, min(1.0, self.rate), rng)
+    def offer(self, bucket: int, signed_unit: int, mag: int) -> None:
+        """Fold one update given its precomputed bucket and effective
+        sign (``g(reduced) * sign(delta)``)."""
+        kept = self.accept(mag)
         if kept == 0:
             return
-        reduced = self.ctx._reducer.reduce(item)
-        b = self.ctx._bucket_hash(reduced)
-        self.vector[b] += self.ctx._sign_hash(reduced) * kept
-        peak = abs(int(self.vector[b]))
+        self.vector[bucket] += signed_unit * kept
+        peak = abs(int(self.vector[bucket]))
+        if peak > self.max_abs:
+            self.max_abs = peak
+
+    def offer_batch(
+        self, buckets: np.ndarray, eff_signs: np.ndarray, mags: np.ndarray
+    ) -> None:
+        """Fold a block of updates (one uniform per update at rate < 1)."""
+        kept = self.accept_batch(mags)
+        nz = kept > 0
+        if not nz.any():
+            return
+        peak = signed_scatter_add_peak(
+            self.vector, buckets[nz], eff_signs[nz] * kept[nz]
+        )
         if peak > self.max_abs:
             self.max_abs = peak
 
@@ -140,20 +175,17 @@ class _IntervalSketch:
         return self.ctx.k * counter_bits(max(1, self.max_abs))
 
 
-class AlphaInnerProductSketch(ScalarLoopBatchUpdateMixin):
+class AlphaInnerProductSketch:
     """One stream's side of the Theorem 2 estimator.
 
     Maintains the two live interval sketches; ``final_vector_and_rate``
     returns the longest-running one and its sampling rate.
-    ``update_batch`` is the scalar loop (mixin): the exponential-interval
-    schedule and per-update thinning draws are inherently sequential.
+    ``update_batch`` segments a chunk at the (analytically located)
+    ``s^r`` interval boundaries and folds each segment vectorised — one
+    hash/reduction pass per chunk, one inverse-CDF quantisation per
+    (interval, segment) — bit-identical to the scalar loop at every
+    chunk size.
     """
-
-    _batch_universe_attr = "_universe_n"
-
-    @property
-    def _universe_n(self) -> int:
-        return self.ctx.n
 
     def __init__(self, ctx: AlphaInnerProduct) -> None:
         self.ctx = ctx
@@ -162,43 +194,139 @@ class AlphaInnerProductSketch(ScalarLoopBatchUpdateMixin):
         )  # sampling coins are private per stream, derived deterministically
         self.t = 0
         self._live: dict[int, _IntervalSketch] = {
-            0: _IntervalSketch(ctx, level=0, birth=0)
+            0: _IntervalSketch(ctx, level=0, birth=0, rng=None)
         }
+        # Rescaled vectors folded in from merged shards (see merge()).
+        self._merged_rescaled: np.ndarray | None = None
 
     def _levels_for(self, t: int) -> range:
         """Levels r with ``t ∈ I_r = [s^r, s^(r+2)]`` (level 0 covers the
         prefix before ``s``)."""
-        s = self.ctx.s
-        if t < s:
-            return range(0, 1)
-        top = int(np.floor(np.log(t) / np.log(s)))
-        lo = max(0, top - 2 + 1)
-        return range(lo, top + 1)
+        return exponential_interval_window(float(t), self.ctx.s)
+
+    def _current_window(self) -> range:
+        keys = sorted(self._live)
+        return range(keys[0], keys[-1] + 1)
+
+    def _sync_levels(self, wanted: range, birth: int) -> None:
+        for lvl in wanted:
+            if lvl not in self._live:
+                child = self._rng.spawn(1)[0] if lvl > 0 else None
+                self._live[lvl] = _IntervalSketch(self.ctx, lvl, birth, child)
+        for lvl in list(self._live):
+            if lvl not in wanted:
+                del self._live[lvl]
 
     def update(self, item: int, delta: int) -> None:
         self.t += 1
         wanted = self._levels_for(self.t)
+        self._sync_levels(wanted, self.t)
+        reduced = self.ctx._reducer.reduce(item)
+        bucket = self.ctx._bucket_hash(reduced)
+        signed_unit = self.ctx._sign_hash(reduced) * (1 if delta > 0 else -1)
+        mag = abs(delta)
         for lvl in wanted:
-            if lvl not in self._live:
-                self._live[lvl] = _IntervalSketch(self.ctx, lvl, self.t)
-        for lvl in list(self._live):
-            if lvl not in wanted:
-                del self._live[lvl]
-        for lvl in wanted:
-            self._live[lvl].offer(item, delta, self._rng)
+            self._live[lvl].offer(bucket, signed_unit, mag)
+
+    def update_batch(self, items, deltas) -> None:
+        """Segmented batch update, bit-identical to the scalar loop.
+
+        The reduction mod P and the bucket/sign hashes run once per
+        chunk as array passes; the interval window moves only at ``s^r``
+        position crossings (located analytically by
+        :func:`repro.core.schedules.exponential_interval_changes`), so
+        each constant-window segment folds into every live interval with
+        one block of acceptance uniforms — the same draws, in the same
+        order, as the scalar loop.
+        """
+        items_arr, deltas_arr = as_update_arrays(items, deltas, self.ctx.n)
+        m = len(items_arr)
+        if m == 0:
+            return
+        reduced = self.ctx._reducer.reduce_array(items_arr)
+        buckets = self.ctx._bucket_hash.hash_array(reduced)
+        eff_signs = self.ctx._sign_hash.hash_array(reduced) * np.where(
+            deltas_arr > 0, 1, -1
+        )
+        mags = np.abs(deltas_arr)
+        t0 = self.t
+        self.t = t0 + m
+        changes = exponential_interval_changes(
+            t0, m, self.ctx.s, self._current_window()
+        )
+        drive_interval_segments(
+            m,
+            changes,
+            self._current_window(),
+            lambda a, b: self._route_segment(a, b, buckets, eff_signs, mags),
+            lambda wanted, t: self._sync_levels(wanted, t0 + t + 1),
+        )
+
+    def _route_segment(
+        self,
+        a: int,
+        b: int,
+        buckets: np.ndarray,
+        eff_signs: np.ndarray,
+        mags: np.ndarray,
+    ) -> None:
+        if a >= b:
+            return
+        for lvl in sorted(self._live):
+            self._live[lvl].offer_batch(
+                buckets[a:b], eff_signs[a:b], mags[a:b]
+            )
 
     def consume(self, stream) -> "AlphaInnerProductSketch":
-        for u in stream:
-            self.update(u.item, u.delta)
+        return consume_stream(self, stream)
+
+    def merge(self, other: "AlphaInnerProductSketch") -> "AlphaInnerProductSketch":
+        """Fold a shard's sketch in via the rescaled-vector sum.
+
+        All interval sketches over one shared context are CountSketch
+        vectors under the *same* bucket/sign hashes, so their rescaled
+        forms ``A / p`` add: the dot product of summed rescaled vectors
+        expands into the pairwise shard estimates, each an unbiased
+        Lemma 8 estimator of its sub-streams' contribution.  Each
+        shard's oldest interval misses an ε-mass prefix of its own shard
+        (Lemma 6 on the shard), so the merged estimate carries the union
+        of those prefixes as its additive error — the same envelope as a
+        single pass up to the shard count.  Requires value-equal shared
+        randomness (same prime, bucket hash, and sign hash).
+        """
+        octx = other.ctx
+        if (
+            not isinstance(other, AlphaInnerProductSketch)
+            or octx.n != self.ctx.n
+            or octx.k != self.ctx.k
+            or octx.s != self.ctx.s
+            or octx.prime != self.ctx.prime
+            or octx._bucket_hash != self.ctx._bucket_hash
+            or octx._sign_hash != self.ctx._sign_hash
+        ):
+            raise ValueError("sketches do not share the Theorem 2 context")
+        vec, rate = other.final_vector_and_rate()
+        contribution = np.asarray(vec, dtype=np.float64) / rate
+        if self._merged_rescaled is None:
+            self._merged_rescaled = contribution.copy()
+        else:
+            self._merged_rescaled += contribution
         return self
 
     def final_vector_and_rate(self) -> tuple[np.ndarray, float]:
-        """The oldest live interval's vector and its sampling rate."""
+        """The oldest live interval's vector and its sampling rate; when
+        shards have been merged in, their rescaled sum rides along (the
+        returned vector is then already rescaled, rate 1)."""
         oldest = min(self._live.values(), key=lambda sk: sk.birth)
-        return oldest.vector, min(1.0, oldest.rate)
+        if self._merged_rescaled is None:
+            return oldest.vector, min(1.0, oldest.rate)
+        own = oldest.vector.astype(np.float64) / min(1.0, oldest.rate)
+        return own + self._merged_rescaled, 1.0
 
     def space_bits(self) -> int:
         vectors = sum(sk.space_bits() for sk in self._live.values())
+        if self._merged_rescaled is not None:
+            vectors += 64 * self.ctx.k  # merged rescaled accumulator
         # Position is tracked to within the interval schedule; the paper
         # stores log(n)-bit position (Figure 2) — charge it.
         return vectors + max(1, self.t.bit_length())

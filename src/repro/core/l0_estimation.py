@@ -34,6 +34,7 @@ from repro.batch import (
     mod_scatter_add,
     scaled_mod_increments,
 )
+from repro.core.schedules import windowed_segments
 from repro.hashing.kwise import KWiseHash, PairwiseHash
 from repro.hashing.modhash import capped_lsb, lsb_array
 from repro.hashing.primes import random_prime_in_range
@@ -84,6 +85,14 @@ class AlphaRoughL0Estimate:
         """Dynamic no-op check for one candidate (see
         :meth:`~repro.sketches.knw_l0.RoughF0Estimator.would_change`)."""
         return self._f0.would_change(hv)
+
+    def merge(self, other: "AlphaRoughL0Estimate") -> "AlphaRoughL0Estimate":
+        """Fold a same-seeded sibling in (delegates to the KMV merge,
+        which is bit-identical to a single-pass replay)."""
+        if not isinstance(other, AlphaRoughL0Estimate) or other.n != self.n:
+            raise ValueError("estimates are not shard-compatible")
+        self._f0.merge(other._f0)
+        return self
 
     def estimate(self) -> float:
         return max(self.floor, self._f0.estimate())
@@ -206,30 +215,12 @@ class AlphaConstL0Estimator:
             return
         hvs = self._rough.hash_values(items_arr)
         levels = lsb_array(self._h.hash_array(items_arr), cap=self.log_n)
-        last_estimate = self._rough.estimate()
-        window = self._window_for(last_estimate)
-        start = 0
-        for t in self._rough.fold_candidates(hvs).tolist():
-            hv = int(hvs[t])
-            if not self._rough.would_change(hv):
-                continue  # no-op fold: the segment stays open
-            self._rough.observe_hash(hv)
-            estimate = self._rough.estimate()
-            if estimate == last_estimate:
-                continue  # estimate unchanged => window unchanged
-            last_estimate = estimate
-            wanted = self._window_for(estimate)
-            if wanted != window:
-                # The live-level set moves here: flush the open segment
-                # against the old window, then sync (seed draws for new
-                # levels happen at exactly the scalar stream position).
-                self._route_segment(items_arr, deltas_arr, levels, start, t)
-                self._sync_levels()
-                window = wanted
-                start = t
-        self._route_segment(
-            items_arr, deltas_arr, levels, start, len(items_arr)
-        )
+        window_fn = lambda: self._window_for(self._rough.estimate())  # noqa: E731
+        for a, b in windowed_segments(self._rough, hvs, window_fn):
+            # Flush each constant-window segment, then sync (seed draws
+            # for new levels happen at exactly the scalar position).
+            self._route_segment(items_arr, deltas_arr, levels, a, b)
+            self._sync_levels()
 
     def consume(self, stream) -> "AlphaConstL0Estimator":
         return consume_stream(self, stream)
@@ -396,34 +387,56 @@ class AlphaL0Estimator:
         incs = scaled_mod_increments(deltas_arr, scales, self.p)
         rows = lsb_array(self._h1.hash_array(items_arr), cap=self.log_n)
         cols = self._h3.hash_array(j2)
-        last_estimate = self._rough.estimate()
-        window = self._window()
-        start = 0
-        for t in self._rough.fold_candidates(hvs).tolist():
-            hv = int(hvs[t])
-            if not self._rough.would_change(hv):
-                continue  # no-op fold: the segment stays open
-            self._rough.observe_hash(hv)
-            estimate = self._rough.estimate()
-            if estimate == last_estimate:
-                continue  # estimate unchanged => window unchanged
-            last_estimate = estimate
-            wanted = self._window()
-            if wanted != window:
-                # The live-row set moves here: flush the open segment
-                # against the old window, then sync (row creation happens
-                # at exactly the scalar stream position).
-                self._route_segment(rows, cols, incs, start, t)
-                self._sync_rows()
-                window = wanted
-                start = t
-        self._route_segment(rows, cols, incs, start, len(items_arr))
+        for a, b in windowed_segments(self._rough, hvs, self._window):
+            # Flush each constant-window segment, then sync (row creation
+            # happens at exactly the scalar stream position).
+            self._route_segment(rows, cols, incs, a, b)
+            self._sync_rows()
         cols_s = self._h3_small.hash_array(j2)
         mod_scatter_add(self.B_small, cols_s, incs, self.p)
         self._exact_small.update_batch(items_arr, deltas_arr)
 
     def consume(self, stream) -> "AlphaL0Estimator":
         return consume_stream(self, stream)
+
+    def merge(self, other: "AlphaL0Estimator") -> "AlphaL0Estimator":
+        """Fold a same-seeded sibling's state in.
+
+        All randomness in this estimator is drawn at construction (the
+        hash family, the scaling vector ``u``, the small-L0 machinery),
+        so same-factory shards are exactly mergeable component-wise: the
+        KMV rough estimate merges bit-identically, modular row/bucket
+        tables add mod p (rows live in only one shard keep their
+        suffix), and the row window re-syncs to the merged estimate.
+        Each shard's rows miss their shard-local creation prefix; the
+        Theorem 10 argument bounds every such prefix's L0 contribution,
+        so the merged decoder carries the same error envelope with the
+        shard count as the constant.
+        """
+        if (
+            not isinstance(other, AlphaL0Estimator)
+            or other.n != self.n
+            or other.K != self.K
+            or other.p != self.p
+            or other.half_window != self.half_window
+            or not np.array_equal(other._u, self._u)
+            or other._h1 != self._h1
+            or other._h2 != self._h2
+            or other._h3 != self._h3
+            or other._h4 != self._h4
+            or other._h3_small != self._h3_small
+        ):
+            raise ValueError("sketches do not share dimensions and seeds")
+        self._rough.merge(other._rough)
+        for j, row in other._rows.items():
+            if j in self._rows:
+                self._rows[j] = (self._rows[j] + row) % self.p
+            else:
+                self._rows[j] = row.copy()
+        self._sync_rows()
+        self.B_small = (self.B_small + other.B_small) % self.p
+        self._exact_small.merge(other._exact_small)
+        return self
 
     # -- queries ----------------------------------------------------------------
     @staticmethod

@@ -26,18 +26,44 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.batch import ScalarLoopBatchUpdateMixin, as_update_arrays, consume_stream
+from repro.batch import as_update_arrays, consume_stream, exact_sum
 from repro.core.sampling import binomial_thin
-from repro.counters.morris import MorrisCounter
+from repro.core.schedules import (
+    IntervalAcceptance,
+    PacedCounterSchedule,
+    drive_interval_segments,
+    exponential_interval_changes,
+    exponential_interval_window,
+)
 from repro.sketches.cauchy import _CauchyRow
 from repro.space.accounting import counter_bits
 
 
-class AlphaL1EstimatorStrict(ScalarLoopBatchUpdateMixin):
+class _SampledIntervalLevel(IntervalAcceptance):
+    """One live interval ``I_j``: sampled signed counters at rate s^-j
+    over an :class:`~repro.core.schedules.IntervalAcceptance` stream
+    (level 0 samples at rate 1 and owns no generator)."""
+
+    def __init__(
+        self, j: int, rate: float, birth: int,
+        rng: np.random.Generator | None,
+    ) -> None:
+        super().__init__(rate, rng)
+        self.j = j
+        self.birth = birth
+        self.c_plus = 0
+        self.c_minus = 0
+
+
+class AlphaL1EstimatorStrict:
     """Figure 4: strict-turnstile (1 ± ε) L1 estimation.
 
-    ``update_batch`` is the scalar loop (mixin): the Morris-paced level
-    schedule and per-update thinning draws are inherently sequential.
+    The Morris-paced interval schedule runs on
+    :class:`~repro.core.schedules.PacedCounterSchedule` (one pacing
+    uniform per update) and each live interval samples from its own
+    spawned stream, so ``update_batch`` segments a chunk at the (rare)
+    pacing bumps and folds each segment vectorised — bit-identical to
+    the scalar loop at every chunk size.
 
     Parameters
     ----------
@@ -79,64 +105,173 @@ class AlphaL1EstimatorStrict(ScalarLoopBatchUpdateMixin):
             else max(16, int(np.ceil(s_constant * alpha * alpha / (eps * eps))))
         )
         self.use_morris = bool(use_morris)
-        self._morris = MorrisCounter(rng) if use_morris else None
+        self._pace = (
+            PacedCounterSchedule(rng.spawn(1)[0]) if use_morris else None
+        )
+        self._morris = self._pace.counter if self._pace is not None else None
         self._t_exact = 0
-        # level -> [c_plus, c_minus, birth_position]
-        self._levels: dict[int, list[int]] = {0: [0, 0, 0]}
+        self._levels: dict[int, _SampledIntervalLevel] = {
+            0: _SampledIntervalLevel(0, 1.0, 0, None)
+        }
         self._max_counter = 0
+        # Sum of merged shards' interval estimates (see merge()).
+        self._merged_estimate = 0.0
+        self._merged_shards = 0
 
     def _position_estimate(self) -> float:
-        if self._morris is not None:
-            return max(1.0, self._morris.estimate)
+        if self._pace is not None:
+            return max(1.0, self._pace.estimate)
         return float(max(1, self._t_exact))
 
     def _levels_for(self, v: float) -> range:
         """Levels j with ``v ∈ I_j = [s^j, s^(j+2)]``."""
-        if v < self.s:
-            return range(0, 1)
-        top = int(np.floor(np.log(v) / np.log(self.s)))
-        return range(max(0, top - 1), top + 1)
+        return exponential_interval_window(v, self.s)
 
-    def update(self, item: int, delta: int) -> None:
-        self._t_exact += 1
-        if self._morris is not None:
-            self._morris.increment()
-        v = self._position_estimate()
-        wanted = self._levels_for(v)
+    def _current_window(self) -> range:
+        keys = sorted(self._levels)
+        return range(keys[0], keys[-1] + 1)
+
+    def _sync_levels(self, wanted: range, birth: int) -> None:
+        """Create/retire levels; new levels spawn their sampling stream
+        from the shared generator at this exact stream position."""
         for j in wanted:
             if j not in self._levels:
-                self._levels[j] = [0, 0, self._t_exact]
+                rate = min(1.0, float(self.s) ** (-j))
+                child = self._rng.spawn(1)[0] if rate < 1.0 else None
+                self._levels[j] = _SampledIntervalLevel(j, rate, birth, child)
         for j in list(self._levels):
             if j not in wanted:
                 del self._levels[j]
+
+    def update(self, item: int, delta: int) -> None:
+        self._t_exact += 1
+        if self._pace is not None:
+            self._pace.advance()
+        wanted = self._levels_for(self._position_estimate())
+        self._sync_levels(wanted, self._t_exact)
+        mag = abs(delta)
         for j in wanted:
-            rate = min(1.0, float(self.s) ** (-j))
-            kept = binomial_thin(delta, rate, self._rng)
-            if kept > 0:
-                self._levels[j][0] += kept
-            elif kept < 0:
-                self._levels[j][1] -= kept
-            peak = max(self._levels[j][0], self._levels[j][1])
+            lvl = self._levels[j]
+            kept = lvl.accept(mag)
+            if kept:
+                if delta > 0:
+                    lvl.c_plus += kept
+                else:
+                    lvl.c_minus += kept
+            peak = max(lvl.c_plus, lvl.c_minus)
             if peak > self._max_counter:
                 self._max_counter = peak
 
+    def _route_segment(
+        self, a: int, b: int, mags: np.ndarray, positive: np.ndarray
+    ) -> None:
+        """Fold updates ``[a, b)`` (constant window) into every live
+        level vectorised; exact Python-int folds keep the counters from
+        wrapping where the scalar loop would not."""
+        if a >= b:
+            return
+        seg_mags = mags[a:b]
+        seg_pos = positive[a:b]
+        for j in sorted(self._levels):
+            lvl = self._levels[j]
+            kept = lvl.accept_batch(seg_mags)
+            cp = exact_sum(kept[seg_pos])
+            cm = exact_sum(kept[~seg_pos])
+            if cp:
+                lvl.c_plus += cp
+            if cm:
+                lvl.c_minus += cm
+            peak = max(lvl.c_plus, lvl.c_minus)
+            if peak > self._max_counter:
+                self._max_counter = peak
+
+    def update_batch(self, items, deltas) -> None:
+        """Segmented batch update, bit-identical to the scalar loop.
+
+        The interval window can only move when the position estimate
+        moves: at Morris pacing bumps (``advance_batch`` locates them
+        from the chunk's block of pacing uniforms) or, under exact
+        pacing, at analytically computed ``s^j`` crossings.  Between
+        moves the live-level set is constant, so each segment folds into
+        every level in one inverse-CDF pass over the level's own
+        acceptance uniforms; counter sums within a segment commute, and
+        level churn (including spawning a fresh level's sampling stream)
+        happens at exactly the scalar stream positions.
+        """
+        items_arr, deltas_arr = as_update_arrays(items, deltas)
+        m = len(items_arr)
+        if m == 0:
+            return
+        mags = np.abs(deltas_arr)
+        positive = deltas_arr > 0
+        t0 = self._t_exact
+        self._t_exact = t0 + m
+        if self._pace is not None:
+            v0 = self._pace.v
+            bumps = self._pace.advance_batch(m)
+            changes = []
+            for i, t in enumerate(bumps.tolist()):
+                est = max(1.0, self._pace.estimate_at(v0 + i + 1))
+                changes.append((t, self._levels_for(est)))
+        else:
+            changes = exponential_interval_changes(
+                t0, m, self.s, self._current_window()
+            )
+        drive_interval_segments(
+            m,
+            changes,
+            self._current_window(),
+            lambda a, b: self._route_segment(a, b, mags, positive),
+            lambda wanted, t: self._sync_levels(wanted, t0 + t + 1),
+        )
+
     def consume(self, stream) -> "AlphaL1EstimatorStrict":
-        for u in stream:
-            self.update(u.item, u.delta)
-        return self
+        return consume_stream(self, stream)
 
     def estimate(self) -> float:
-        """``s^{-j*} (c+_{j*} - c-_{j*})`` for the oldest live level."""
-        j_star, (cp, cm, _birth) = min(
-            self._levels.items(), key=lambda kv: kv[1][2]
+        """``s^{j*} (c+_{j*} - c-_{j*})`` for the oldest live level, plus
+        any merged shards' interval estimates."""
+        j_star, lvl = min(
+            self._levels.items(), key=lambda kv: kv[1].birth
         )
-        return (float(self.s) ** j_star) * (cp - cm)
+        own = (float(self.s) ** j_star) * (lvl.c_plus - lvl.c_minus)
+        return own + self._merged_estimate
+
+    def merge(self, other: "AlphaL1EstimatorStrict") -> "AlphaL1EstimatorStrict":
+        """Fold a shard's estimator in by summing interval estimates.
+
+        In the strict turnstile model ``‖f‖₁ = Σ_t Δ_t`` decomposes over
+        contiguous shards of the stream, and each shard's longest-running
+        interval estimates its shard's net delta sum to within
+        ``ε``-mass (Sampling Lemma on the shard's gross weight, plus the
+        α-property bound on the skipped prefix).  The merged estimate is
+        therefore the sum of per-shard interval estimates — a different
+        decomposition of the same quantity a single-pass estimator
+        targets, with per-shard additive errors summing to the usual
+        envelope.  Counters cannot be combined across shards (their
+        rates are pinned to shard-local positions), so merging is an
+        estimate-level fold; the merged object remains updatable on its
+        own schedule.
+        """
+        if (
+            not isinstance(other, AlphaL1EstimatorStrict)
+            or other.s != self.s
+            or other.eps != self.eps
+            or other.alpha != self.alpha
+            or other.use_morris != self.use_morris
+        ):
+            raise ValueError("estimators are not shard-compatible")
+        self._merged_estimate += other.estimate()
+        self._merged_shards += other._merged_shards + 1
+        self._max_counter = max(self._max_counter, other._max_counter)
+        return self
 
     def space_bits(self) -> int:
         counters = 2 * 2 * counter_bits(max(1, self._max_counter), signed=False)
         morris = self._morris.space_bits() if self._morris is not None else 0
         level_idx = 2 * max(1, max(self._levels).bit_length() if self._levels else 1)
-        return counters + morris + level_idx
+        merged = 64 if self._merged_shards else 0
+        return counters + morris + level_idx + merged
 
 
 class AlphaL1EstimatorGeneral:
@@ -232,17 +367,20 @@ class AlphaL1EstimatorGeneral:
         if peak > self._max_abs:
             self._max_abs = peak
         while self._weights[row] > self.budget * self.q:
-            # Halve by binomial thinning of the counter's magnitude; the
-            # counter is a signed sum of sampled grains, so thinning each
-            # grain at 1/2 is equivalent to Bin on the absolute value
-            # only when grains share a sign — we instead rethin the
-            # *net* conservatively by halving (controlled bias << eps at
-            # our budgets; grains of both signs cancel first).
-            self.counters[row] = int(
-                np.sign(self.counters[row])
-            ) * int(self._rng.binomial(abs(int(self.counters[row])), 0.5))
-            self.log2_inv_p[row] += 1
-            self._weights[row] //= 2
+            self._halve_counter(row)
+
+    def _halve_counter(self, row: int) -> None:
+        # Halve by binomial thinning of the counter's magnitude; the
+        # counter is a signed sum of sampled grains, so thinning each
+        # grain at 1/2 is equivalent to Bin on the absolute value
+        # only when grains share a sign — we instead rethin the
+        # *net* conservatively by halving (controlled bias << eps at
+        # our budgets; grains of both signs cancel first).
+        self.counters[row] = int(
+            np.sign(self.counters[row])
+        ) * int(self._rng.binomial(abs(int(self.counters[row])), 0.5))
+        self.log2_inv_p[row] += 1
+        self._weights[row] //= 2
 
     def update(self, item: int, delta: int) -> None:
         for row in range(self.r + self.r_prime):
@@ -271,6 +409,48 @@ class AlphaL1EstimatorGeneral:
 
     def consume(self, stream) -> "AlphaL1EstimatorGeneral":
         return consume_stream(self, stream)
+
+    def merge(self, other: "AlphaL1EstimatorGeneral") -> "AlphaL1EstimatorGeneral":
+        """Fold a same-seeded sibling in (CSSS-style rate alignment).
+
+        Requires identical dimensions and Cauchy rows (by value — shards
+        built by the same factory qualify).  Per row, the finer-rate
+        counter is thinned down to the coarser rate (subsampling
+        composes: ``diff`` halvings are one ``Bin(|c|, 2^-diff)``),
+        counters and retained weights add, and the budget invariant is
+        re-established — a valid sampled-Cauchy sketch of the
+        concatenated streams at the coarser rate.
+        """
+        if (
+            not isinstance(other, AlphaL1EstimatorGeneral)
+            or other.n != self.n
+            or other.r != self.r
+            or other.r_prime != self.r_prime
+            or other.q != self.q
+            or other.budget != self.budget
+            or other._rows != self._rows
+            or other._cal_rows != self._cal_rows
+        ):
+            raise ValueError("sketches do not share dimensions and seeds")
+        for row in range(self.r + self.r_prime):
+            while self.log2_inv_p[row] < other.log2_inv_p[row]:
+                self._halve_counter(row)
+            diff = int(self.log2_inv_p[row] - other.log2_inv_p[row])
+            c = int(other.counters[row])
+            w = int(other._weights[row])
+            if diff:
+                c = int(np.sign(c)) * int(self._rng.binomial(abs(c), 0.5**diff))
+                w >>= diff
+            self.counters[row] += c
+            self._weights[row] += w
+            while self._weights[row] > self.budget * self.q:
+                self._halve_counter(row)
+        self._max_abs = max(
+            self._max_abs,
+            other._max_abs,
+            int(np.abs(self.counters).max(initial=0)),
+        )
+        return self
 
     def _rescaled(self) -> tuple[np.ndarray, np.ndarray]:
         scale = (2.0 ** self.log2_inv_p.astype(np.float64)) / self.q

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.batch import as_update_arrays, exact_sum, running_sum_extrema, consume_stream
 from repro.core.csss import CSSSWithTailEstimate
+from repro.core.schedules import PrecisionSamplingSchedule
 from repro.hashing.kwise import UniformScalars
 from repro.space.accounting import counter_bits
 
@@ -60,6 +61,7 @@ class AlphaL1Sampler:
         sample_budget: int | None = None,
         depth: int | None = None,
         abort_factor: float = 4.0,
+        sampling_seed=None,
     ) -> None:
         if not 0 < eps < 1:
             raise ValueError("eps must be in (0, 1)")
@@ -76,8 +78,10 @@ class AlphaL1Sampler:
             rng=rng,
             depth=depth,
             sample_budget=sample_budget,
+            sampling_seed=sampling_seed,
         )
         self._t = UniformScalars(n, rng, k=max(4, self.k))
+        self._schedule = PrecisionSamplingSchedule(self._t)
         self.abort_factor = float(abort_factor)
         self.r = 0  # exact ||f||_1 (strict turnstile)
         self.q = 0  # exact ||z||_1 on the fixed-point grid
@@ -85,7 +89,7 @@ class AlphaL1Sampler:
 
     def _inv_t(self, item: int) -> int:
         """Fixed-point ``round(1/t_i)`` — keeps CSSS counters integral."""
-        return self._t.inverse_weight(item)
+        return self._schedule.weight(item)
 
     def update(self, item: int, delta: int) -> None:
         w = self._inv_t(item)
@@ -95,26 +99,58 @@ class AlphaL1Sampler:
         self._max_q = max(self._max_q, abs(self.q))
 
     def update_batch(self, items, deltas) -> None:
-        """Batch update: precision-scaling weights are evaluated
-        vectorised, the scaled chunk feeds the CSSS pair, and the exact
-        ``r``/``q`` counters fold via cumsum (the running ``|q|`` peak
-        needs every intermediate value)."""
+        """Batch update through the precision-sampling schedule.
+
+        The per-key scaling weights are evaluated vectorised and the
+        chunk is split into int64-safe spans
+        (:meth:`repro.core.schedules.PrecisionSamplingSchedule.
+        scaled_spans`): each safe span feeds the CSSS pair as one batch
+        with exact ``r``/``q`` cumsum folds (the running ``|q|`` peak
+        needs every intermediate value), while the rare updates whose
+        scaled magnitude would overflow int64 take the per-update path
+        so the ``r``/``q`` accounting stays exact on Python ints.  Both
+        sub-paths are bit-identical to the scalar loop, so any mix of
+        them is too.  Note the span split protects the *bookkeeping*,
+        not the sketch: a single scaled update beyond int64 still
+        exceeds what CSSS's int64 cells can absorb (true of every update
+        path, scalar included) — the structure's counters are budgeted
+        far below that by construction.
+        """
         items_arr, deltas_arr = as_update_arrays(items, deltas, self.n)
         if items_arr.size == 0:
             return
-        inv_t = self._t.inverse_weight_array(items_arr)
-        if float(np.abs(deltas_arr).max()) * float(inv_t.max()) >= 2.0**62:
-            # delta * round(1/t) would overflow int64; the scalar path
-            # (exact Python ints throughout) is the definitionally
-            # equivalent fallback.
-            for item, delta in zip(items_arr.tolist(), deltas_arr.tolist()):
-                self.update(item, delta)
-            return
-        scaled = deltas_arr * inv_t
-        self.csss.update_batch(items_arr, scaled)
-        self.r += exact_sum(deltas_arr)
-        self.q, peak = running_sum_extrema(self.q, scaled)
-        self._max_q = max(self._max_q, peak)
+        for kind, a, b, payload in self._schedule.scaled_spans(
+            items_arr, deltas_arr
+        ):
+            if kind == "scalar":
+                item = int(items_arr[a])
+                self.csss.update(item, payload)
+                self.r += int(deltas_arr[a])
+                self.q += payload
+                self._max_q = max(self._max_q, abs(self.q))
+            else:
+                self.csss.update_batch(items_arr[a:b], payload)
+                self.r += exact_sum(deltas_arr[a:b])
+                self.q, peak = running_sum_extrema(self.q, payload)
+                self._max_q = max(self._max_q, peak)
+
+    def merge(self, other: "AlphaL1Sampler") -> "AlphaL1Sampler":
+        """Fold a same-seeded sibling in: the CSSS pair merges by rate
+        alignment, the exact ``r``/``q`` counters add, and the running
+        ``|q|`` peaks take the max (each shard's peak genuinely occurred
+        on its sub-stream).  Requires value-equal precision scalars —
+        every shard must scale item ``i`` by the same ``1/t_i``."""
+        if (
+            not isinstance(other, AlphaL1Sampler)
+            or other.n != self.n
+            or other._t != self._t
+        ):
+            raise ValueError("samplers do not share precision scalars")
+        self.csss.merge(other.csss)
+        self.r += other.r
+        self.q += other.q
+        self._max_q = max(self._max_q, other._max_q, abs(self.q))
+        return self
 
     def consume(self, stream) -> "AlphaL1Sampler":
         return consume_stream(self, stream)
@@ -189,6 +225,16 @@ class AlphaL1MultiSampler:
         generators, so chunk-major feeding equals the scalar interleave."""
         for s in self.samplers:
             s.update_batch(items, deltas)
+
+    def merge(self, other: "AlphaL1MultiSampler") -> "AlphaL1MultiSampler":
+        """Merge attempt-wise (same-seeded siblings pair up in order)."""
+        if not isinstance(other, AlphaL1MultiSampler) or len(
+            other.samplers
+        ) != len(self.samplers):
+            raise ValueError("multi-samplers are not shard-compatible")
+        for mine, theirs in zip(self.samplers, other.samplers):
+            mine.merge(theirs)
+        return self
 
     def consume(self, stream) -> "AlphaL1MultiSampler":
         return consume_stream(self, stream)

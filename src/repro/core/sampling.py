@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.batch import ScalarLoopBatchUpdateMixin
+from repro.batch import as_update_arrays, consume_stream
 from repro.space.accounting import counter_bits
 
 
@@ -157,6 +157,29 @@ def binomial_from_uniforms(
     return kept
 
 
+def binomial_from_uniform(u: float, mag: int, p: float) -> int:
+    """Scalar companion of :func:`binomial_from_uniforms`.
+
+    Quantises one pre-drawn uniform into ``Bin(mag, p)`` through the same
+    inverse CDF, with the allocation-free Bernoulli fast path for unit
+    magnitudes — bit-identical to the one-element array call, which is
+    what keeps scalar `update` and vectorised `update_batch` consuming
+    per-update uniforms interchangeably.
+
+    >>> binomial_from_uniform(0.1, 1, 0.25), binomial_from_uniform(0.9, 1, 0.25)
+    (1, 0)
+    """
+    if p >= 1.0:
+        return mag
+    if mag == 1:
+        return 1 if u < p else 0
+    return int(
+        binomial_from_uniforms(
+            np.array([u]), np.array([mag], dtype=np.int64), p
+        )[0]
+    )
+
+
 def binomial_thin(delta: int, p: float, rng: np.random.Generator) -> int:
     """Sample an update of magnitude |delta| at rate p (Remark 2).
 
@@ -173,12 +196,15 @@ def binomial_thin(delta: int, p: float, rng: np.random.Generator) -> int:
     return kept if delta > 0 else -kept
 
 
-class SampledFrequencies(ScalarLoopBatchUpdateMixin):
+class SampledFrequencies:
     """A uniformly sampled frequency table with rescaled point queries.
 
-    ``update_batch`` is the scalar loop (mixin): each update draws its
-    thinning coin at the *current* rate, which the halving schedule can
-    change mid-chunk.
+    The adaptive rate-and-halving schedule runs on
+    :class:`~repro.core.schedules.AdaptiveSamplingSchedule`: every
+    update owns one acceptance uniform (quantised to ``Bin(|Δ|, rate)``
+    through the binomial inverse CDF) and halving thins draw from a
+    separate stream, so ``update_batch`` folds whole budget segments as
+    arrays — bit-identical to the scalar loop at every chunk size.
 
     The direct object of Lemma 1: feed updates, each retained at the
     current rate; ``estimate(i)`` returns the rescaled sampled frequency
@@ -192,41 +218,140 @@ class SampledFrequencies(ScalarLoopBatchUpdateMixin):
         if budget < 1:
             raise ValueError("budget must be positive")
         self.budget = int(budget)
-        self._rng = rng
-        self.log2_inv_p = 0  # current rate is 2^-log2_inv_p
+        # Local import: schedules.py imports the quantisers from this
+        # module, so the schedule class is resolved lazily.
+        from repro.core.schedules import AdaptiveSamplingSchedule
+
+        accept_rng, self._halve_rng = rng.spawn(2)
+        self._sched = AdaptiveSamplingSchedule(budget, accept_rng)
         self._pos: dict[int, int] = {}
         self._neg: dict[int, int] = {}
-        self._retained = 0
+
+    @property
+    def log2_inv_p(self) -> int:
+        return self._sched.log2_inv_p
 
     @property
     def rate(self) -> float:
-        return 2.0**-self.log2_inv_p
+        return self._sched.rate
+
+    @property
+    def _retained(self) -> int:
+        return self._sched.weight
 
     def _halve(self) -> None:
+        """Thin every counter at 1/2 (sorted-key order, so the halving
+        stream is consumed identically however the table was built)."""
         for table in (self._pos, self._neg):
-            for key in list(table):
-                kept = int(self._rng.binomial(table[key], 0.5))
-                if kept:
-                    table[key] = kept
+            keys = sorted(table)
+            if not keys:
+                continue
+            counts = np.fromiter(
+                (table[k] for k in keys), dtype=np.int64, count=len(keys)
+            )
+            kept = self._halve_rng.binomial(counts, 0.5)
+            for key, c in zip(keys, kept.tolist()):
+                if c:
+                    table[key] = c
                 else:
                     del table[key]
-        self._retained = sum(self._pos.values()) + sum(self._neg.values())
-        self.log2_inv_p += 1
+        self._sched.register_halving(
+            sum(self._pos.values()) + sum(self._neg.values())
+        )
 
     def update(self, item: int, delta: int) -> None:
-        kept = binomial_thin(delta, self.rate, self._rng)
-        if kept > 0:
-            self._pos[item] = self._pos.get(item, 0) + kept
-        elif kept < 0:
-            self._neg[item] = self._neg.get(item, 0) - kept
-        self._retained += abs(kept)
-        while self._retained > self.budget:
+        kept = self._sched.offer(abs(delta))
+        if kept:
+            if delta > 0:
+                self._pos[item] = self._pos.get(item, 0) + kept
+            else:
+                self._neg[item] = self._neg.get(item, 0) + kept
+        while self._sched.needs_halving():
             self._halve()
 
-    def consume(self, stream) -> "SampledFrequencies":
-        for u in stream:
-            self.update(u.item, u.delta)
+    def update_batch(self, items, deltas) -> None:
+        """Segmented batch update, bit-identical to the scalar loop.
+
+        The schedule quantises the chunk in one pass and yields budget
+        segments; within a segment the retained magnitudes scatter into
+        the tables by sign (integer adds commute), and an overflow
+        closes the segment at exactly the scalar halving position before
+        the tail is re-quantised at the new rate.
+        """
+        items_arr, deltas_arr = as_update_arrays(items, deltas)
+        if items_arr.size == 0:
+            return
+        mags = np.abs(deltas_arr)
+        positive = deltas_arr > 0
+        for a, b, kept in self._sched.accept_batch(mags):
+            nz = kept > 0
+            if nz.any():
+                seg_items = items_arr[a:b][nz]
+                seg_pos = positive[a:b][nz]
+                seg_kept = kept[nz]
+                uniq, inverse = np.unique(seg_items, return_inverse=True)
+                if float(seg_kept.astype(np.float64).sum()) < 2.0**52:
+                    # bincount's float64 sums are exact below 2^53; the
+                    # retained weight is budget-bounded anyway, so this
+                    # is the always-taken fast path in practice.
+                    pos_sums = np.bincount(
+                        inverse[seg_pos],
+                        weights=seg_kept[seg_pos],
+                        minlength=len(uniq),
+                    ).astype(np.int64)
+                    neg_sums = np.bincount(
+                        inverse[~seg_pos],
+                        weights=seg_kept[~seg_pos],
+                        minlength=len(uniq),
+                    ).astype(np.int64)
+                else:
+                    pos_sums = np.zeros(len(uniq), dtype=object)
+                    neg_sums = np.zeros(len(uniq), dtype=object)
+                    np.add.at(
+                        pos_sums, inverse[seg_pos],
+                        seg_kept[seg_pos].astype(object),
+                    )
+                    np.add.at(
+                        neg_sums, inverse[~seg_pos],
+                        seg_kept[~seg_pos].astype(object),
+                    )
+                for key, p, q in zip(
+                    uniq.tolist(), pos_sums.tolist(), neg_sums.tolist()
+                ):
+                    if p:
+                        self._pos[key] = self._pos.get(key, 0) + p
+                    if q:
+                        self._neg[key] = self._neg.get(key, 0) + q
+            while self._sched.needs_halving():
+                self._halve()
+
+    def merge(self, other: "SampledFrequencies") -> "SampledFrequencies":
+        """Fold a shard's table in by rate alignment (Figure 2 style).
+
+        The finer-rate shard's counters are thinned down to the coarser
+        rate (``diff`` halvings compose into one ``Bin(c, 2^-diff)``),
+        tables add, and the budget invariant is re-established — a valid
+        Lemma 1 sample of the concatenated streams at the coarser rate.
+        """
+        if not isinstance(other, SampledFrequencies) or other.budget != self.budget:
+            raise ValueError("samplers are not shard-compatible")
+        while self._sched.log2_inv_p < other._sched.log2_inv_p:
+            self._halve()
+        diff = self._sched.log2_inv_p - other._sched.log2_inv_p
+        for table, otable in ((self._pos, other._pos), (self._neg, other._neg)):
+            for key in sorted(otable):
+                c = otable[key]
+                if diff:
+                    c = int(self._halve_rng.binomial(c, 0.5**diff))
+                if c:
+                    table[key] = table.get(key, 0) + c
+        self._sched.weight = sum(self._pos.values()) + sum(self._neg.values())
+        while self._sched.needs_halving():
+            self._halve()
         return self
+
+    def consume(self, stream) -> "SampledFrequencies":
+        return consume_stream(self, stream)
 
     def estimate(self, item: int) -> float:
         """Rescaled ``f*_i`` (Lemma 1)."""

@@ -20,19 +20,33 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.batch import ScalarLoopBatchUpdateMixin
+from repro.batch import as_update_arrays, consume_stream
 from repro.core.l0_estimation import AlphaRoughL0Estimate
+from repro.core.schedules import windowed_segments
 from repro.hashing.kwise import PairwiseHash
 from repro.sketches.sparse_recovery import DenseError, SparseRecovery
 
 
-class AlphaSupportSampler(ScalarLoopBatchUpdateMixin):
+class AlphaSupportSampler:
     """Figure 8 support sampler.
 
-    ``update_batch`` is the scalar loop (mixin): level churn constructs
-    fresh ``SparseRecovery`` sketches — drawing hash seeds from the
-    shared generator at data-dependent times — so the update path is
-    inherently sequential.
+    ``update_batch`` uses segmented window routing
+    (:func:`repro.core.schedules.windowed_segments`): the level window
+    can only move when the rough F0 estimate moves, which can only
+    happen at KMV fold candidates, so whole inter-candidate segments are
+    routed to the live ``SparseRecovery`` levels as arrays; level churn
+    (which draws hash seeds from the shared generator) happens at
+    exactly the scalar stream positions, keeping the state bit-identical
+    to the scalar loop at every chunk size.
+
+    This structure is the package's documented **order-sensitive
+    holdout** for sharded replay: its output certificate — strictly
+    positive coordinates of a *suffix* belong to the final support —
+    leans on every prefix of the stream being strict-turnstile.  A
+    contiguous shard of a strict stream is not itself strict (it may
+    delete mass inserted in an earlier shard), so per-shard suffix
+    sketches cannot be soundly recombined; there is deliberately no
+    ``merge()``, and the CLI replays this estimator single-shard.
 
     Parameters
     ----------
@@ -139,16 +153,53 @@ class AlphaSupportSampler(ScalarLoopBatchUpdateMixin):
             min_j += 1
         return [j for j in self._levels if j >= min_j]
 
+    def _min_levels_array(self, items_arr: np.ndarray) -> np.ndarray:
+        """Vectorised smallest member level: ``min{j : h(i) <= 2^j}``.
+
+        ``ceil(log2(hv)) = bit_length(hv - 1)``, computed exactly via
+        ``np.frexp`` (float64 represents the hash values exactly — the
+        pairwise hash range is the universe size, far below 2^53).
+        """
+        hv = self._h.hash_array(items_arr)
+        _, exponent = np.frexp(np.maximum(hv - 1, 0).astype(np.float64))
+        return exponent.astype(np.int64)
+
     def update(self, item: int, delta: int) -> None:
         self._rough.update(item, delta)
         self._sync_levels()
         for j in self._member_levels(item):
             self._levels[j].update(item, delta)
 
+    def update_batch(self, items, deltas) -> None:
+        """Segmented batch update, bit-identical to the scalar loop.
+
+        One vectorised pass computes the KMV hash values and each
+        update's smallest member level.  The chunk is then walked fold-
+        candidate to fold-candidate (`windowed_segments`): each segment
+        of constant window routes to every live level as arrays (a level
+        ``j`` receives the updates with ``min_level <= j``; the levels'
+        own batch paths are order-exact), and the window re-syncs —
+        constructing/retiring ``SparseRecovery`` sketches and drawing
+        their seeds — at exactly the scalar stream positions.
+        """
+        items_arr, deltas_arr = as_update_arrays(items, deltas, self.n)
+        if items_arr.size == 0:
+            return
+        hvs = self._rough.hash_values(items_arr)
+        min_levels = self._min_levels_array(items_arr)
+        for a, b in windowed_segments(self._rough, hvs, self._window):
+            if a < b:
+                seg_levels = min_levels[a:b]
+                for j in sorted(self._levels):
+                    mask = seg_levels <= j
+                    if mask.any():
+                        self._levels[j].update_batch(
+                            items_arr[a:b][mask], deltas_arr[a:b][mask]
+                        )
+            self._sync_levels()
+
     def consume(self, stream) -> "AlphaSupportSampler":
-        for u in stream:
-            self.update(u.item, u.delta)
-        return self
+        return consume_stream(self, stream)
 
     # -- recovery -------------------------------------------------------------------
     def sample(self) -> set[int]:

@@ -65,6 +65,58 @@ class MorrisCounter:
             remaining -= gap
             self.v += 1
 
+    # -- order-insensitive pacing (the batch schedule API) --------------------
+    #
+    # `increment` consumes a *data-dependent* number of geometric draws, so
+    # replaying a stream in chunks would consume the generator differently
+    # than the scalar loop.  The two methods below are the order-insensitive
+    # form: each event owns exactly one caller-supplied uniform, and the
+    # counter bumps iff ``u < a^-v`` (the classic Morris law).  Feeding the
+    # same uniforms in any chunking yields the same counter trajectory,
+    # which is what `repro.core.schedules.PacedCounterSchedule` builds on.
+
+    def increment_from_uniform(self, u: float) -> bool:
+        """Register one event from one caller-supplied uniform.
+
+        Returns True iff the counter bumped (``u < a^-v``) — the
+        order-insensitive scalar form of :meth:`increment`.
+        """
+        self._count_exact += 1
+        if u < self.a ** (-self.v):
+            self.v += 1
+            return True
+        return False
+
+    def bump_positions(self, u: np.ndarray) -> np.ndarray:
+        """Vectorised pacing over a block of per-event uniforms.
+
+        Returns the indices (within ``u``) at which the counter bumped,
+        advancing ``v`` past the whole block — bit-identical to calling
+        :meth:`increment_from_uniform` once per element.  Implemented by
+        geometric-gap skipping: at exponent ``v`` the next bump is the
+        first uniform below ``a^-v``, found with one vectorised scan, so
+        the cost is O(bumps) scans instead of O(events) Python steps.
+        """
+        bumps: list[int] = []
+        pos = 0
+        m = len(u)
+        while pos < m:
+            p = self.a ** (-self.v)
+            if p >= 1.0:
+                # Certain bump (v = 0): every uniform is below 1.
+                self.v += 1
+                bumps.append(pos)
+                pos += 1
+                continue
+            hits = np.nonzero(u[pos:] < p)[0]
+            if hits.size == 0:
+                break
+            pos += int(hits[0]) + 1
+            self.v += 1
+            bumps.append(pos - 1)
+        self._count_exact += m
+        return np.array(bumps, dtype=np.int64)
+
     @property
     def estimate(self) -> float:
         """Current estimate of the number of events counted."""

@@ -257,5 +257,16 @@ class UniformScalars:
             np.int64
         )
 
+    def __eq__(self, other: object) -> bool:
+        """Value equality (same grid and underlying hash) — the merge
+        compatibility check for precision-sampling structures, which
+        must agree on every ``t_i`` across worker processes."""
+        if not isinstance(other, UniformScalars):
+            return NotImplemented
+        return self.resolution == other.resolution and self._h == other._h
+
+    def __hash__(self) -> int:
+        return hash(("uniform-scalars", self.resolution, self._h))
+
     def space_bits(self) -> int:
         return self._h.space_bits()

@@ -112,6 +112,24 @@ class StreamingModReducer:
             y = (y * 2) % self.prime
         return c
 
+    def reduce_array(self, xs: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`reduce` for the batch paths.
+
+        The streaming bit-scan computes exactly ``x mod p`` (it exists
+        for the Lemma 7 space accounting, not for a different value), so
+        the array form is one modular reduction — bit-identical to
+        mapping :meth:`reduce`.  Uses exact Python-int arithmetic when
+        the inputs exceed the int64-safe range.
+        """
+        arr = np.asarray(xs)
+        if arr.size and int(arr.min()) < 0:
+            raise ValueError("identities are non-negative")
+        if arr.size and int(arr.max()) >= (1 << self.n_bits):
+            raise ValueError(f"x needs more than {self.n_bits} bits")
+        if self.prime < (1 << 62) and arr.dtype != object:
+            return (arr.astype(np.int64) % self.prime).astype(np.int64)
+        return (arr.astype(object) % self.prime).astype(np.int64)
+
     def space_bits(self) -> int:
         """Working space: two residues mod p + bit-position counter."""
         p_bits = max(1, self.prime.bit_length())

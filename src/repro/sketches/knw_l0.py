@@ -116,6 +116,28 @@ class ExactSmallL0:
                 else:
                     tbl[b] = v
 
+    def merge(self, other: "ExactSmallL0") -> "ExactSmallL0":
+        """Fold a same-seeded sibling's residue tables in (mod-p adds
+        commute, so the merged tables are bit-identical to a single-pass
+        replay of the concatenated streams)."""
+        if (
+            not isinstance(other, ExactSmallL0)
+            or other.trials != self.trials
+            or other._hashes != self._hashes
+            or other._primes != self._primes
+        ):
+            raise ValueError("structures do not share hash seeds")
+        for t in range(self.trials):
+            p = self._primes[t]
+            tbl = self._tables[t]
+            for b, v in other._tables[t].items():
+                merged = (tbl.get(b, 0) + v) % p
+                if merged == 0:
+                    tbl.pop(b, None)
+                else:
+                    tbl[b] = merged
+        return self
+
     def estimate(self) -> int:
         """max over trials of the number of non-zero buckets."""
         return max(len(tbl) for tbl in self._tables)
@@ -228,6 +250,16 @@ class _WideKMVHash:
             xs
         )
 
+    def __eq__(self, other: object) -> bool:
+        """Value equality (both halves) — merge compatibility across
+        worker processes, where pickling destroys identity."""
+        if not isinstance(other, _WideKMVHash):
+            return NotImplemented
+        return self._hi == other._hi and self._lo == other._lo
+
+    def __hash__(self) -> int:
+        return hash(("wide-kmv", self._hi, self._lo))
+
     def space_bits(self) -> int:
         return self._hi.space_bits() + self._lo.space_bits()
 
@@ -328,6 +360,26 @@ class RoughF0Estimator:
 
     def consume(self, stream) -> "RoughF0Estimator":
         return consume_stream(self, stream)
+
+    def merge(self, other: "RoughF0Estimator") -> "RoughF0Estimator":
+        """Fold a same-seeded sibling's reservoir in.
+
+        KMV state is a pure set function of the hash values seen: the k
+        smallest distinct values of a union equal the k smallest of the
+        merged reservoirs, so (unusually for a sampling structure) the
+        merged state is *bit-identical* to a single-pass replay.  The
+        monotone clamp takes the max of both sides' last estimates.
+        """
+        if (
+            not isinstance(other, RoughF0Estimator)
+            or other.k != self.k
+            or other._h != self._h
+        ):
+            raise ValueError("estimators do not share the KMV hash")
+        for hv in other._smallest:
+            self._observe(hv)
+        self._last_estimate = max(self._last_estimate, other._last_estimate)
+        return self
 
     def estimate(self) -> float:
         """Current (non-decreasing) F0 estimate."""

@@ -32,6 +32,7 @@ single-pass replay; the CLI exposes this as ``--workers``.
 from __future__ import annotations
 
 import concurrent.futures
+import inspect
 import time
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator, Sequence
@@ -113,8 +114,38 @@ def replay_many(
     return sketches
 
 
+def _build_shard_sketch(factory: Callable, shard_index: int) -> Any:
+    """Instantiate a shard's sketch, passing the shard index when the
+    factory accepts one.
+
+    Factories callable with no arguments keep working unchanged —
+    including ones with optional/defaulted parameters, whose defaults
+    are respected.  Only a factory that *requires* one positional
+    argument (e.g. ``functools.partial`` leaving a trailing
+    ``shard_index`` parameter unbound) receives the shard's index — the
+    explicit opt-in hook for per-shard *sampling* seeds while hash
+    seeds stay shared (see :class:`repro.core.csss.CSSS`'s
+    ``sampling_seed``)."""
+    try:
+        signature = inspect.signature(factory)
+    except (TypeError, ValueError):  # builtins/objects without signatures
+        return factory()
+    try:
+        signature.bind()
+    except TypeError:
+        pass  # cannot be called bare: fall through to the indexed form
+    else:
+        return factory()
+    try:
+        signature.bind(shard_index)
+    except TypeError:
+        return factory()  # surfaces the original signature error
+    return factory(shard_index)
+
+
 def _replay_shard(
-    factory: Callable[[], Any],
+    factory: Callable,
+    shard_index: int,
     items: np.ndarray,
     deltas: np.ndarray,
     chunk_size: int,
@@ -122,7 +153,7 @@ def _replay_shard(
     """Worker body: build a sketch from the shared factory and replay one
     contiguous shard through the chunked batch path.  Module-level so
     process pools can pickle it."""
-    sketch = factory()
+    sketch = _build_shard_sketch(factory, shard_index)
     for start in range(0, len(items), chunk_size):
         sketch.update_batch(
             items[start:start + chunk_size], deltas[start:start + chunk_size]
@@ -159,13 +190,20 @@ def replay_sharded(
     """Replay a stream as ``workers`` parallel shards and merge the shard
     sketches; returns the merged sketch.
 
-    ``factory`` must be a zero-argument callable building the *same*
+    ``factory`` is usually a zero-argument callable building the *same*
     sketch every time it is called (same constructor arguments including
     a fixed generator seed) — shards must share hash seeds or the merge
     is meaningless, and with ``executor="process"`` it must additionally
     be picklable (a module-level function or :func:`functools.partial`,
     not a lambda).  The sketch must implement the
     :class:`~repro.batch.Mergeable` protocol.
+
+    A factory that accepts one positional argument is called as
+    ``factory(shard_index)`` instead: shard indices let sampling sketches
+    decorrelate their per-shard sampling streams (e.g. CSSS's
+    ``sampling_seed``) while still deriving hash seeds from the shared
+    base seed — removing the cross-shard sampling correlation that a
+    purely deterministic factory induces.
 
     For linear integer sketches (CountSketch, CountMin, AMS,
     FrequencyVector) the merged result is bit-identical to a one-pass
@@ -200,7 +238,7 @@ def replay_sharded(
     items, deltas = stream.as_arrays()
     bounds = shard_bounds(len(items), workers)
     if len(bounds) <= 1:
-        return _replay_shard(factory, items, deltas, chunk_size)
+        return _replay_shard(factory, 0, items, deltas, chunk_size)
     pool_cls = (
         concurrent.futures.ProcessPoolExecutor
         if executor == "process"
@@ -211,6 +249,7 @@ def replay_sharded(
             pool.map(
                 _replay_shard,
                 (factory for _ in bounds),
+                range(len(bounds)),
                 (items[a:b] for a, b in bounds),
                 (deltas[a:b] for a, b in bounds),
                 (chunk_size for _ in bounds),

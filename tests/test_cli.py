@@ -50,11 +50,39 @@ class TestCommands:
         assert line in sharded
         assert "2 workers" in sharded
 
-    def test_workers_fallback_note_on_sequential_estimators(self, capsys):
-        assert main(["l0", "--n", "512", "--m", "2000",
+    def test_workers_fallback_note_only_on_support(self, capsys):
+        """The support sampler is the one documented order-sensitive
+        holdout; every other estimator subcommand shards."""
+        assert main(["support", "--n", "512", "--m", "2000",
                      "--workers", "3"]) == 0
         out = capsys.readouterr().out
-        assert "workers ignored" in out
+        assert "workers ignored" in out and "order-sensitive" in out
+
+    @pytest.mark.parametrize("command", ["l0", "l1", "heavy-hitters"])
+    def test_workers_accepted_without_fallback(self, capsys, command):
+        assert main([command, "--n", "512", "--m", "2000",
+                     "--workers", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "workers ignored" not in out
+        assert "3 workers" in out
+
+    def test_l0_sharded_estimate_stays_in_band(self, capsys):
+        """Sharded L0 merges component-wise; the decoded estimate must
+        stay in the same ballpark as the single-shard answer."""
+        args = ["l0", "--workload", "sensor", "--n", "4096", "--m", "20000"]
+        assert main(args) == 0
+        single = capsys.readouterr().out
+        assert main(args + ["--workers", "4"]) == 0
+        sharded = capsys.readouterr().out
+
+        def grab(out, key):
+            line = next(l for l in out.splitlines() if key in l)
+            return float(line.split(":")[1].strip())
+
+        truth = grab(single, "true L0")
+        assert abs(grab(sharded, "L0 estimate") - truth) <= max(
+            0.75 * truth, 2 * abs(grab(single, "L0 estimate") - truth) + 8
+        )
 
     def test_l1_strict_path(self, capsys):
         assert main(["l1", "--n", "512", "--m", "3000", "--alpha", "4"]) == 0

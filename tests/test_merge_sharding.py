@@ -30,13 +30,25 @@ import pytest
 from repro.batch import supports_merge
 from repro.core.csss import CSSS, CSSSWithTailEstimate
 from repro.core.heavy_hitters import AlphaHeavyHitters
+from repro.core.inner_product import AlphaInnerProduct
+from repro.core.l0_estimation import AlphaL0Estimator
+from repro.core.l1_estimation import (
+    AlphaL1EstimatorGeneral,
+    AlphaL1EstimatorStrict,
+)
+from repro.core.l1_sampler import AlphaL1Sampler
+from repro.core.sampling import SampledFrequencies
 from repro.counters.exact import ExactL1Counter
 from repro.sketches.ams import AMSSketch
 from repro.sketches.cauchy import CauchyL1Sketch
 from repro.sketches.countmin import CountMin
 from repro.sketches.countsketch import CountSketch
+from repro.sketches.misra_gries import MisraGries
 from repro.streams.engine import replay, replay_sharded, shard_bounds
-from repro.streams.generators import bounded_deletion_stream
+from repro.streams.generators import (
+    bounded_deletion_stream,
+    zipfian_insertion_stream,
+)
 from repro.streams.model import FrequencyVector
 
 N = 1 << 10
@@ -276,14 +288,54 @@ class TestReplaySharded:
         assert np.array_equal(merged.table, single.table)
 
     def test_rejects_non_mergeable(self):
-        from repro.sketches.misra_gries import MisraGries
-        from repro.streams.generators import zipfian_insertion_stream
+        """The support sampler is the documented order-sensitive holdout:
+        it deliberately implements no merge()."""
+        from repro.core.support_sampler import AlphaSupportSampler
 
-        ins = zipfian_insertion_stream(N, 200, seed=5)
-        assert not supports_merge(MisraGries(N, eps=0.1))
+        def make():
+            return AlphaSupportSampler(N, k=4, alpha=2,
+                                       rng=np.random.default_rng(5))
+
+        assert not supports_merge(make())
+        strict = bounded_deletion_stream(N, 200, alpha=2, seed=5, strict=True)
         with pytest.raises(TypeError):
-            replay_sharded(ins, lambda: MisraGries(N, eps=0.1),
-                           workers=2, executor="thread")
+            replay_sharded(strict, make, workers=2, executor="thread")
+
+    def test_shard_indexed_factory_receives_index(self, stream):
+        """A factory accepting one positional argument gets the shard
+        index; per-shard CSSS sampling seeds decorrelate the shards while
+        hash seeds stay shared, so the merge still validates."""
+        seen = []
+
+        def factory(shard_index):
+            seen.append(shard_index)
+            return CSSS(N, k=8, eps=0.1, alpha=4,
+                        rng=np.random.default_rng(SEED), depth=4,
+                        sampling_seed=(SEED, shard_index))
+
+        merged = replay_sharded(stream, factory, workers=3,
+                                executor="thread")
+        assert sorted(seen) == [0, 1, 2]
+        for r in range(merged.depth):
+            assert int(merged._row_weight[r]) <= merged.budget
+
+    def test_shard_indexed_seeds_decorrelate_sampling(self):
+        """Same hash seeds, different sampling seeds: the tables differ
+        (independent sampling realisations) but merges stay valid."""
+        a = CSSS(N, k=4, eps=0.2, alpha=4, rng=np.random.default_rng(3),
+                 depth=3, sample_budget=300, sampling_seed=(3, 0))
+        b = CSSS(N, k=4, eps=0.2, alpha=4, rng=np.random.default_rng(3),
+                 depth=3, sample_budget=300, sampling_seed=(3, 1))
+        s = bounded_deletion_stream(N, 4000, alpha=4, seed=11, strict=False)
+        items, deltas = s.as_arrays()
+        a.update_batch(items, deltas)
+        b.update_batch(items, deltas)
+        assert not (
+            np.array_equal(a.pos, b.pos) and np.array_equal(a.neg, b.neg)
+        )
+        merged = a.merge(b)  # same hash seeds => compatible
+        for r in range(merged.depth):
+            assert int(merged._row_weight[r]) <= merged.budget
 
     def test_invalid_arguments(self, stream):
         with pytest.raises(ValueError):
@@ -291,3 +343,225 @@ class TestReplaySharded:
         with pytest.raises(ValueError):
             replay_sharded(stream, _make_countsketch, workers=2,
                            executor="mpi")
+
+
+# -- the schedule-core ports: merge + pickle round-trips ----------------------
+
+
+def _make_l1_strict():
+    return AlphaL1EstimatorStrict(alpha=4, eps=0.2,
+                                  rng=np.random.default_rng(SEED), s=500)
+
+
+def _make_l1_general():
+    return AlphaL1EstimatorGeneral(N, eps=0.3, alpha=4,
+                                   rng=np.random.default_rng(SEED))
+
+
+def _make_sampled_frequencies():
+    return SampledFrequencies(budget=1500, rng=np.random.default_rng(SEED))
+
+
+def _make_misra_gries():
+    return MisraGries(N, eps=1 / 16)
+
+
+def _make_alpha_l0():
+    return AlphaL0Estimator(N, eps=0.3, alpha=4,
+                            rng=np.random.default_rng(SEED))
+
+
+def _make_l1_sampler():
+    return AlphaL1Sampler(N, eps=0.3, alpha=4,
+                          rng=np.random.default_rng(SEED), depth=3)
+
+
+class TestPortedStructureMerges:
+    """Merge + pickle round-trips for every structure the schedule-core
+    refactor made mergeable (satellite: tests/test_merge_sharding.py)."""
+
+    def test_strict_l1_merge_sums_shard_estimates(self, strict_stream):
+        single = replay(strict_stream, _make_l1_strict())
+        merged = _shard_replay(strict_stream, _make_l1_strict, 3)
+        fv = strict_stream.frequency_vector()
+        # Strict model: ||f||_1 = sum of deltas decomposes over shards.
+        assert merged.estimate() == pytest.approx(fv.l1(), rel=0.3)
+        assert single.estimate() == pytest.approx(fv.l1(), rel=0.3)
+
+    def test_strict_l1_merge_survives_pickle(self, strict_stream):
+        items, deltas = strict_stream.as_arrays()
+        half = len(items) // 2
+        a, b = _make_l1_strict(), _make_l1_strict()
+        a.update_batch(items[:half], deltas[:half])
+        b.update_batch(items[half:], deltas[half:])
+        expect = a.estimate() + b.estimate()
+        merged = a.merge(pickle.loads(pickle.dumps(b)))
+        assert merged.estimate() == pytest.approx(expect)
+
+    def test_strict_l1_merge_rejects_mismatch(self):
+        other = AlphaL1EstimatorStrict(alpha=4, eps=0.2,
+                                       rng=np.random.default_rng(1), s=999)
+        with pytest.raises(ValueError):
+            _make_l1_strict().merge(other)
+
+    def test_general_l1_merge_tracks_truth(self, stream):
+        merged = _shard_replay(stream, _make_l1_general, 3)
+        fv = stream.frequency_vector()
+        assert merged.estimate() == pytest.approx(fv.l1(), rel=0.6)
+        # Budget invariant re-established after merge.
+        assert int(merged._weights.max()) <= merged.budget * merged.q
+
+    def test_general_l1_merge_rejects_foreign_seeds(self):
+        other = AlphaL1EstimatorGeneral(N, eps=0.3, alpha=4,
+                                        rng=np.random.default_rng(1))
+        with pytest.raises(ValueError):
+            _make_l1_general().merge(other)
+
+    def test_sampled_frequencies_merge_is_valid_sample(self, stream):
+        single = replay(stream, _make_sampled_frequencies())
+        merged = _shard_replay(stream, _make_sampled_frequencies, 4)
+        fv = stream.frequency_vector()
+        assert merged._retained <= merged.budget
+        assert merged.sum_estimate() == pytest.approx(
+            float(fv.f.sum()), abs=max(0.35 * fv.l1(), 1.0)
+        )
+        assert single.sum_estimate() == pytest.approx(
+            float(fv.f.sum()), abs=max(0.35 * fv.l1(), 1.0)
+        )
+
+    def test_sampled_frequencies_merge_survives_pickle(self, stream):
+        items, deltas = stream.as_arrays()
+        half = len(items) // 2
+        a, b = _make_sampled_frequencies(), _make_sampled_frequencies()
+        a.update_batch(items[:half], deltas[:half])
+        b.update_batch(items[half:], deltas[half:])
+        merged = a.merge(pickle.loads(pickle.dumps(b)))
+        assert merged._retained <= merged.budget
+
+    def test_misra_gries_merge_keeps_guarantee(self):
+        """Mergeable-summaries: merged undercount <= eps * total m."""
+        s = zipfian_insertion_stream(N, 4000, seed=9)
+        fv = s.frequency_vector()
+        single = replay(s, _make_misra_gries())
+        merged = _shard_replay(s, _make_misra_gries, 4)
+        eps = 1 / 16
+        assert merged.stream_length == single.stream_length == 4000
+        for i in range(N):
+            true = int(fv.f[i])
+            assert merged.query(i) <= true
+            assert merged.query(i) >= true - eps * merged.stream_length
+        assert fv.heavy_hitters(eps) <= merged.heavy_hitters()
+
+    def test_misra_gries_merge_survives_pickle(self):
+        s = zipfian_insertion_stream(N, 2000, seed=10)
+        items, deltas = s.as_arrays()
+        a, b = _make_misra_gries(), _make_misra_gries()
+        a.update_batch(items[:1000], deltas[:1000])
+        b.update_batch(items[1000:], deltas[1000:])
+        merged = a.merge(pickle.loads(pickle.dumps(b)))
+        assert len(merged._counters) <= merged.capacity
+        assert merged.stream_length == 2000
+
+    def test_alpha_l0_merge_stays_in_band(self, stream):
+        single = replay(stream, _make_alpha_l0())
+        merged = _shard_replay(stream, _make_alpha_l0, 3)
+        truth = float(stream.frequency_vector().l0())
+        # Rough KMV state merges bit-identically; the decoded estimate
+        # carries the per-shard missed-prefix slack on top of the
+        # single-pass error.
+        assert merged._rough._f0._smallest == single._rough._f0._smallest
+        assert merged.estimate() == pytest.approx(truth, rel=0.75)
+
+    def test_alpha_l0_merge_survives_pickle(self, stream):
+        items, deltas = stream.as_arrays()
+        half = len(items) // 2
+        a, b = _make_alpha_l0(), _make_alpha_l0()
+        a.update_batch(items[:half], deltas[:half])
+        b.update_batch(items[half:], deltas[half:])
+        merged = a.merge(pickle.loads(pickle.dumps(b)))
+        assert merged.estimate() > 0
+
+    def test_alpha_l0_merge_rejects_foreign_seeds(self):
+        other = AlphaL0Estimator(N, eps=0.3, alpha=4,
+                                 rng=np.random.default_rng(1))
+        with pytest.raises(ValueError):
+            _make_alpha_l0().merge(other)
+
+    def test_l1_sampler_merge_folds_exact_counters(self, strict_stream):
+        items, deltas = strict_stream.as_arrays()
+        half = len(items) // 2
+        a, b = _make_l1_sampler(), _make_l1_sampler()
+        a.update_batch(items[:half], deltas[:half])
+        b.update_batch(items[half:], deltas[half:])
+        r_a, r_b, q_a, q_b = a.r, b.r, a.q, b.q
+        merged = a.merge(pickle.loads(pickle.dumps(b)))
+        assert merged.r == r_a + r_b
+        assert merged.q == q_a + q_b
+        single = replay(strict_stream, _make_l1_sampler())
+        assert merged.r == single.r and merged.q == single.q
+
+    def test_l1_sampler_merge_rejects_foreign_scalars(self):
+        other = AlphaL1Sampler(N, eps=0.3, alpha=4,
+                               rng=np.random.default_rng(1), depth=3)
+        with pytest.raises(ValueError):
+            _make_l1_sampler().merge(other)
+
+    def test_inner_product_merge_tracks_truth(self, stream):
+        ctx = AlphaInnerProduct(N, eps=0.2, alpha=4,
+                                rng=np.random.default_rng(SEED))
+        other = bounded_deletion_stream(N, M, alpha=4, seed=99, strict=False)
+        items_f, deltas_f = stream.as_arrays()
+        items_g, deltas_g = other.as_arrays()
+        # f sharded into 3, g single-pass: the rescaled-union merge must
+        # still estimate <f, g> within the Theorem 2 envelope.
+        half = len(items_f) // 3
+        shards = []
+        for lo, hi in ((0, half), (half, 2 * half), (2 * half, len(items_f))):
+            sk = ctx.make_sketch()
+            sk.update_batch(items_f[lo:hi], deltas_f[lo:hi])
+            shards.append(sk)
+        merged_f = shards[0]
+        merged_f.merge(shards[1]).merge(shards[2])
+        sg = ctx.make_sketch()
+        sg.update_batch(items_g, deltas_g)
+        truth = float(
+            np.dot(stream.frequency_vector().f.astype(np.float64),
+                   other.frequency_vector().f.astype(np.float64))
+        )
+        envelope = 4 * ctx.eps * stream.frequency_vector().l1() * \
+            other.frequency_vector().l1()
+        assert abs(ctx.estimate(merged_f, sg) - truth) <= envelope
+
+    def test_inner_product_merge_rejects_foreign_context(self):
+        ctx_a = AlphaInnerProduct(N, eps=0.2, alpha=4,
+                                  rng=np.random.default_rng(SEED))
+        ctx_b = AlphaInnerProduct(N, eps=0.2, alpha=4,
+                                  rng=np.random.default_rng(1))
+        with pytest.raises(ValueError):
+            ctx_a.make_sketch().merge(ctx_b.make_sketch())
+
+    def test_rough_f0_merge_is_bit_identical(self, stream):
+        from repro.sketches.knw_l0 import RoughF0Estimator
+
+        def make():
+            return RoughF0Estimator(N, np.random.default_rng(SEED))
+
+        single = replay(stream, make())
+        merged = _shard_replay(stream, make, 4)
+        assert merged._smallest == single._smallest
+
+
+class TestShardFactoryContract:
+    def test_factory_with_optional_param_keeps_defaults(self, stream):
+        """Zero-arg-callable factories — including ones with defaulted
+        parameters — must NOT receive the shard index (regression: the
+        signature sniffing once bound shard_index to any optional
+        first parameter)."""
+        def factory(width=48):
+            return CountSketch(N, width, 4, np.random.default_rng(SEED))
+
+        merged = replay_sharded(stream, factory, workers=3,
+                                executor="thread")
+        single = replay(stream, factory())
+        assert merged.table.shape == (4, 48)
+        assert np.array_equal(merged.table, single.table)

@@ -100,3 +100,24 @@ def test_property_mg_undercount_invariant(items):
     for i in range(16):
         est = mg.query(i)
         assert 0 <= truth[i] - est <= eps * m + 1e-9
+
+
+def test_batch_bails_to_scalar_on_eviction_heavy_chunks():
+    """Adversarial eviction-heavy input: the batch path may fall back to
+    the scalar loop mid-chunk (bounded rescans) but must stay
+    bit-identical to the pure scalar replay."""
+    import numpy as np
+
+    rng = np.random.default_rng(42)
+    n = 1 << 12
+    # Tiny capacity + near-uniform items => constant decrements/evictions.
+    items = rng.integers(0, n, size=3000)
+    deltas = np.ones(3000, dtype=np.int64)
+    a = MisraGries(n, eps=1 / 3)  # capacity 2
+    b = MisraGries(n, eps=1 / 3)
+    for i, d in zip(items.tolist(), deltas.tolist()):
+        a.update(i, d)
+    for start in range(0, len(items), 512):
+        b.update_batch(items[start:start + 512], deltas[start:start + 512])
+    assert a._counters == b._counters
+    assert a._m == b._m and a._max_counter == b._max_counter

@@ -1,0 +1,268 @@
+"""Tests for repro.core.schedules — the order-insensitive schedule core.
+
+The module's contract is chunking-invariance: feeding a schedule its
+events one at a time or in arbitrary blocks must consume the generators
+identically and land in the same state.  These tests pin that directly
+on each primitive (the end-to-end guarantee, through every consuming
+structure, lives in test_batch_equivalence.py).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sampling import binomial_from_uniform, binomial_from_uniforms
+from repro.core.schedules import (
+    AdaptiveSamplingSchedule,
+    PacedCounterSchedule,
+    PrecisionSamplingSchedule,
+    exponential_interval_changes,
+    exponential_interval_window,
+    windowed_segments,
+)
+from repro.counters.morris import MorrisCounter
+from repro.hashing.kwise import UniformScalars
+
+
+def _chunks_from_sizes(total: int, sizes: list[int]):
+    out, used = [], 0
+    for size in sizes:
+        if used >= total:
+            break
+        out.append(min(size, total - used))
+        used += out[-1]
+    if used < total:
+        out.append(total - used)
+    return out
+
+
+class TestPacedCounterSchedule:
+    def test_batch_matches_scalar(self):
+        a = PacedCounterSchedule(np.random.default_rng(1))
+        b = PacedCounterSchedule(np.random.default_rng(1))
+        bumps = a.advance_batch(500).tolist()
+        scalar_bumps = [t for t in range(500) if b.advance()]
+        assert bumps == scalar_bumps
+        assert a.v == b.v
+        assert a.estimate == b.estimate
+
+    @given(
+        sizes=st.lists(st.integers(min_value=1, max_value=97),
+                       min_size=1, max_size=20),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_chunking_invariance(self, sizes, seed):
+        total = 400
+        whole = PacedCounterSchedule(np.random.default_rng(seed))
+        chunked = PacedCounterSchedule(np.random.default_rng(seed))
+        all_bumps = whole.advance_batch(total).tolist()
+        got, offset = [], 0
+        for size in _chunks_from_sizes(total, sizes):
+            got.extend((offset + t) for t in chunked.advance_batch(size))
+            offset += size
+        assert got == all_bumps
+        assert chunked.v == whole.v
+        # Generator states equal => the next draw is also identical.
+        assert (
+            chunked._rng.bit_generator.state == whole._rng.bit_generator.state
+        )
+
+    def test_estimate_at_matches_counter_formula(self):
+        sched = PacedCounterSchedule(np.random.default_rng(2), a=1.5)
+        sched.advance_batch(1000)
+        assert sched.estimate == pytest.approx(sched.estimate_at(sched.v))
+
+    def test_morris_counter_uniform_api_is_classic_law(self):
+        """increment_from_uniform bumps iff u < a^-v (classic Morris)."""
+        mc = MorrisCounter(np.random.default_rng(3))
+        assert mc.increment_from_uniform(0.0)  # v: 0 -> 1 (p = 1)
+        assert mc.v == 1
+        assert not mc.increment_from_uniform(0.9)  # p = 1/2
+        assert mc.increment_from_uniform(0.1)
+        assert mc.v == 2
+
+
+class TestAdaptiveSamplingSchedule:
+    @staticmethod
+    def _drive_scalar(sched, mags):
+        kept = []
+        for mag in mags:
+            kept.append(sched.offer(int(mag)))
+            while sched.needs_halving():
+                sched.register_halving(sched.weight // 2)
+        return kept
+
+    @staticmethod
+    def _drive_batch(sched, mags, chunk_sizes):
+        kept, start = [], 0
+        for size in chunk_sizes:
+            block = mags[start:start + size]
+            for _a, _b, seg in sched.accept_batch(block):
+                kept.extend(seg.tolist())
+                while sched.needs_halving():
+                    sched.register_halving(sched.weight // 2)
+            start += size
+        return kept
+
+    @given(
+        mags=st.lists(st.integers(min_value=1, max_value=30),
+                      min_size=1, max_size=200),
+        sizes=st.lists(st.integers(min_value=1, max_value=64),
+                       min_size=1, max_size=12),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_chunking_invariance(self, mags, sizes, seed):
+        """Scalar offers and arbitrarily chunked accept_batch keep the
+        same retained magnitudes, rate trajectory, and generator state
+        (halving modelled as exact weight halving on both sides)."""
+        mags_arr = np.array(mags, dtype=np.int64)
+        scalar = AdaptiveSamplingSchedule(50, np.random.default_rng(seed))
+        batch = AdaptiveSamplingSchedule(50, np.random.default_rng(seed))
+        kept_scalar = self._drive_scalar(scalar, mags)
+        kept_batch = self._drive_batch(
+            batch, mags_arr, _chunks_from_sizes(len(mags), sizes)
+        )
+        assert kept_scalar == kept_batch
+        assert scalar.log2_inv_p == batch.log2_inv_p
+        assert scalar.weight == batch.weight
+        assert (
+            scalar._rng.bit_generator.state == batch._rng.bit_generator.state
+        )
+
+    def test_segments_close_exactly_at_overflow(self):
+        sched = AdaptiveSamplingSchedule(10, np.random.default_rng(4))
+        mags = np.full(8, 4, dtype=np.int64)  # rate 1: kept == mags
+        segments = []
+        for a, b, seg in sched.accept_batch(mags):
+            segments.append((a, b, seg.sum()))
+            while sched.needs_halving():
+                sched.register_halving(0)  # pretend the structure emptied
+        # 4 + 4 + 4 = 12 > 10 closes the first segment after 3 updates.
+        assert segments[0][:2] == (0, 3)
+        assert sched.log2_inv_p >= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveSamplingSchedule(0, np.random.default_rng(5))
+
+
+class TestBinomialFromUniform:
+    @given(
+        u=st.floats(min_value=0.0, max_value=1.0, exclude_max=True),
+        mag=st.integers(min_value=1, max_value=1000),
+        p_exp=st.integers(min_value=0, max_value=6),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_scalar_matches_array_form(self, u, mag, p_exp):
+        p = 2.0**-p_exp
+        scalar = binomial_from_uniform(u, mag, p)
+        array = int(
+            binomial_from_uniforms(
+                np.array([u]), np.array([mag], dtype=np.int64), p
+            )[0]
+        )
+        assert scalar == array
+        assert 0 <= scalar <= mag
+
+
+class TestPrecisionSamplingSchedule:
+    def test_weights_match_uniform_scalars(self):
+        scalars = UniformScalars(256, np.random.default_rng(6), k=4)
+        sched = PrecisionSamplingSchedule(scalars)
+        items = np.arange(32, dtype=np.int64)
+        assert np.array_equal(
+            sched.weight_array(items),
+            np.array([scalars.inverse_weight(int(i)) for i in items]),
+        )
+        assert sched.weight(7) == scalars.inverse_weight(7)
+
+    def test_spans_cover_chunk_in_order(self):
+        scalars = UniformScalars(256, np.random.default_rng(7), k=4)
+        sched = PrecisionSamplingSchedule(scalars)
+        items = np.arange(16, dtype=np.int64)
+        deltas = np.ones(16, dtype=np.int64)
+        spans = list(sched.scaled_spans(items, deltas))
+        covered = []
+        for kind, a, b, payload in spans:
+            covered.extend(range(a, b))
+            if kind == "batch":
+                assert np.array_equal(
+                    payload, deltas[a:b] * sched.weight_array(items[a:b])
+                )
+        assert covered == list(range(16))
+
+    def test_overflowing_updates_become_scalar_spans(self):
+        scalars = UniformScalars(256, np.random.default_rng(8), k=4)
+        sched = PrecisionSamplingSchedule(scalars)
+        items = np.array([1, 2, 3], dtype=np.int64)
+        big = (1 << 62) + 5
+        deltas = np.array([1, big, 1], dtype=np.int64)
+        spans = list(sched.scaled_spans(items, deltas))
+        kinds = [kind for kind, *_ in spans]
+        assert kinds == ["batch", "scalar", "batch"]
+        _, a, b, exact = spans[1]
+        assert (a, b) == (1, 2)
+        assert exact == big * scalars.inverse_weight(2)  # exact Python int
+
+
+class TestIntervalWindows:
+    def test_window_rule(self):
+        assert exponential_interval_window(1.0, 10) == range(0, 1)
+        assert exponential_interval_window(9.99, 10) == range(0, 1)
+        assert exponential_interval_window(10.0, 10) == range(0, 2)
+        assert exponential_interval_window(100.0, 10) == range(1, 3)
+
+    def test_changes_match_pointwise_evaluation(self):
+        t0, m, s = 90, 40, 10
+        current = exponential_interval_window(float(t0), s)
+        changes = dict(exponential_interval_changes(t0, m, s, current))
+        expected = {}
+        window = current
+        for t in range(m):
+            wanted = exponential_interval_window(float(t0 + t + 1), s)
+            if wanted != window:
+                expected[t] = wanted
+                window = wanted
+        assert changes == expected
+
+
+class _FakeRough:
+    """Minimal rough-estimate stub driving windowed_segments."""
+
+    def __init__(self, estimates_by_position):
+        self._by_pos = estimates_by_position
+        self._estimate = estimates_by_position.get(-1, 1.0)
+
+    def fold_candidates(self, hvs):
+        return np.arange(len(hvs))
+
+    def would_change(self, hv):
+        return hv in self._by_pos
+
+    def observe_hash(self, hv):
+        self._estimate = self._by_pos[hv]
+
+    def estimate(self):
+        return self._estimate
+
+
+class TestWindowedSegments:
+    def test_segments_split_at_window_moves(self):
+        # Positions are their own hash values; the estimate jumps at
+        # position 3 (window moves) and at position 7 (window constant).
+        rough = _FakeRough({3: 10.0, 7: 11.0})
+        hvs = np.arange(10)
+        window_fn = lambda: range(int(rough.estimate()) // 10, 2)  # noqa: E731
+        segments = list(windowed_segments(rough, hvs, window_fn))
+        assert segments == [(0, 3), (3, 10)]
+
+    def test_single_segment_when_window_never_moves(self):
+        rough = _FakeRough({})
+        hvs = np.arange(5)
+        segments = list(windowed_segments(rough, hvs, lambda: range(0, 1)))
+        assert segments == [(0, 5)]
