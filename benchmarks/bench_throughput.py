@@ -10,9 +10,20 @@ The schedule-core PR added the six formerly scalar-loop structures
 (strict L1, support sampler, inner product, sampled frequencies,
 Misra-Gries, αL1Sampler) to the acceptance set at **8x**.
 
+Since the chunk-planning engine landed, the default batch path runs
+*planned* (duplicate coalescing + cross-sketch hash reuse,
+:mod:`repro.streams.plan`); each plan-capable structure also records
+its planless rate and the resulting ``coalesce_speedup``, and a **skew
+sweep** (uniform vs zipf 1.1/1.5/2.0 insertion streams) records both
+rates next to the distinct-items-per-chunk figure that explains them.
+Acceptance: at zipf(1.5), >= 4 structures gain >= 2x from planning.
+
 ``--smoke`` runs a tiny-size variant (short stream, no artifact write,
-relaxed 2x bar) for CI: a vectorised-path regression fails the build
-instead of only showing up as BENCH json drift.
+relaxed 2x bar, planned and planless paths both gated) for CI: a
+vectorised-path regression fails the build instead of only showing up
+as BENCH json drift.  ``--check-floors`` re-measures every recorded
+structure and fails below 0.5x its recorded rate (CI runs it
+non-blocking — wall-clock checks warn, they don't break builds).
 
 A second section measures *sharded* replay
 (:func:`repro.streams.engine.replay_sharded`): the stream split across
@@ -43,6 +54,7 @@ import numpy as np
 sys.path.insert(0, str(Path(__file__).parent))  # script mode
 
 from _common import cached_bounded_stream, measure_throughput
+from repro.batch import supports_plan
 from repro.core.csss import CSSS
 from repro.core.inner_product import AlphaInnerProduct
 from repro.core.l0_estimation import AlphaConstL0Estimator, AlphaL0Estimator
@@ -103,6 +115,10 @@ SKETCHES = {
     # (Misra-Gries additionally *requires* insertion-only input).
     "sampled_frequencies": (lambda rng: SampledFrequencies(
         budget=2048, rng=rng), "insertion"),
+    # ROADMAP lever (d): the known-universe dense fast path — the dict
+    # fold replaced by preallocated scatter-adds.
+    "sampled_frequencies_dense": (lambda rng: SampledFrequencies(
+        budget=2048, rng=rng, universe=N), "insertion"),
     "misra_gries": (lambda rng: MisraGries(N, eps=1 / 256), "insertion"),
     "alpha_l1_sampler": (lambda rng: AlphaL1Sampler(
         N, eps=0.25, alpha=ALPHA, rng=rng, depth=4), "general"),
@@ -122,6 +138,7 @@ REQUIRED_SPEEDUP = {
     "alpha_support": 8.0,
     "inner_product": 8.0,
     "sampled_frequencies": 8.0,
+    "sampled_frequencies_dense": 8.0,
     "misra_gries": 8.0,
     "alpha_l1_sampler": 8.0,
 }
@@ -167,7 +184,8 @@ def _streams(m: int):
 
 def _measure_all(chunk_size: int = CHUNK, m: int = M,
                  scalar_prefix: int = SCALAR_PREFIX,
-                 with_sharded: bool = True) -> dict:
+                 with_sharded: bool = True,
+                 with_skew: bool = True) -> dict:
     streams = _streams(m)
     scalar_streams = {
         kind: type(s)(s.n, list(s)[:scalar_prefix])
@@ -180,17 +198,38 @@ def _measure_all(chunk_size: int = CHUNK, m: int = M,
             lambda make=make: make(np.random.default_rng(1)),
             chunk_size=chunk_size,
             force_scalar=True,
+            repeats=3,
         )
         batch = measure_throughput(
             streams[kind],
             lambda make=make: make(np.random.default_rng(1)),
             chunk_size=chunk_size,
+            repeats=3,
         )
-        results[name] = {
+        row = {
             "scalar_updates_per_sec": int(round(scalar.updates_per_sec)),
             "batch_updates_per_sec": int(round(batch.updates_per_sec)),
             "speedup": round(batch.updates_per_sec / scalar.updates_per_sec, 1),
         }
+        probe = make(np.random.default_rng(1))
+        if supports_plan(probe):
+            # The batch figure above is the default engine path (plans
+            # on); record the planless path next to it so the plan
+            # layer's contribution stays visible across PRs.
+            uncoalesced = measure_throughput(
+                streams[kind],
+                lambda make=make: make(np.random.default_rng(1)),
+                chunk_size=chunk_size,
+                coalesce=False,
+                repeats=3,
+            )
+            row["uncoalesced_updates_per_sec"] = int(
+                round(uncoalesced.updates_per_sec)
+            )
+            row["coalesce_speedup"] = round(
+                batch.updates_per_sec / uncoalesced.updates_per_sec, 2
+            )
+        results[name] = row
     report = {
         "n": N,
         "m": m,
@@ -200,9 +239,81 @@ def _measure_all(chunk_size: int = CHUNK, m: int = M,
         "cores": _usable_cores(),
         "results": results,
     }
+    if with_skew:
+        report["skew_sweep"] = _measure_skew(chunk_size, m)
     if with_sharded:
         report["sharded"] = _measure_sharded(chunk_size)
     return report
+
+
+#: The skew sweep measures the chunk-planning layer where it matters:
+#: structures that coalesce duplicates (CountSketch/CountMin/AMS) or
+#: reuse unique-item hash evaluations (Cauchy, CSSS), across duplicate
+#: densities from uniform (few dups per chunk) to zipf 2.0 (a handful
+#: of distinct items per chunk).  FrequencyVector is deliberately
+#: absent: solo replays skip planning for it by design
+#: (`plan_shared_only` — its batch path already is a dense per-item
+#: sum), so a sweep row would only record that the escape worked.
+SKEW_STRUCTURES = (
+    "countsketch", "countmin", "ams", "cauchy", "csss",
+)
+SKEW_LEVELS = (0.0, 1.1, 1.5, 2.0)  # 0.0 = uniform
+
+#: Acceptance: on the zipf(1.5) insertion stream at chunk 4096, at
+#: least this many planned structures must gain >= 2x over the planless
+#: batch path (the coalescing/hash-reuse headline).
+SKEW_ACCEPT_LEVEL = 1.5
+SKEW_ACCEPT_MIN_STRUCTURES = 4
+SKEW_ACCEPT_SPEEDUP = 2.0
+
+
+def _distinct_per_chunk(stream, chunk_size: int) -> float:
+    items, _ = stream.as_arrays()
+    counts = [
+        len(np.unique(items[start:start + chunk_size]))
+        for start in range(0, len(items), chunk_size)
+    ]
+    return float(np.mean(counts))
+
+
+def _measure_skew(chunk_size: int = CHUNK, m: int = M) -> dict:
+    """Coalesced vs uncoalesced updates/sec per structure across the
+    skew ladder, with the distinct-items-per-chunk figure that makes
+    the coalescing win interpretable."""
+    sweep = {}
+    for skew in SKEW_LEVELS:
+        stream = zipfian_insertion_stream(N, m, skew=skew, seed=17)
+        rows = {}
+        for name in SKEW_STRUCTURES:
+            make, _ = SKETCHES[name]
+            coalesced = measure_throughput(
+                stream, lambda make=make: make(np.random.default_rng(1)),
+                chunk_size=chunk_size, repeats=3,
+            )
+            uncoalesced = measure_throughput(
+                stream, lambda make=make: make(np.random.default_rng(1)),
+                chunk_size=chunk_size, coalesce=False, repeats=3,
+            )
+            rows[name] = {
+                "coalesced_updates_per_sec": int(
+                    round(coalesced.updates_per_sec)
+                ),
+                "uncoalesced_updates_per_sec": int(
+                    round(uncoalesced.updates_per_sec)
+                ),
+                "coalesce_speedup": round(
+                    coalesced.updates_per_sec / uncoalesced.updates_per_sec,
+                    2,
+                ),
+            }
+        sweep[f"skew_{skew}"] = {
+            "skew": skew,
+            "distinct_per_chunk": round(
+                _distinct_per_chunk(stream, chunk_size), 1
+            ),
+            "results": rows,
+        }
+    return sweep
 
 
 def _measure_sharded(chunk_size: int = CHUNK) -> dict:
@@ -249,6 +360,16 @@ def test_throughput_artifact():
             f"{name}: batch path only {speedup}x the scalar loop "
             f"(need >= {bar}x at chunk {CHUNK})"
         )
+    skew_rows = report["skew_sweep"][f"skew_{SKEW_ACCEPT_LEVEL}"]["results"]
+    winners = [
+        name for name, row in skew_rows.items()
+        if row["coalesce_speedup"] >= SKEW_ACCEPT_SPEEDUP
+    ]
+    assert len(winners) >= SKEW_ACCEPT_MIN_STRUCTURES, (
+        f"chunk planning gained >= {SKEW_ACCEPT_SPEEDUP}x on only "
+        f"{winners} at zipf({SKEW_ACCEPT_LEVEL}) "
+        f"(need {SKEW_ACCEPT_MIN_STRUCTURES} structures)"
+    )
     for name, row in report["sharded"]["results"].items():
         assert row["identical_estimates"], (
             f"{name}: sharded replay changed the estimates"
@@ -271,29 +392,82 @@ SMOKE_BAR = 2.0
 
 def run_smoke() -> int:
     """Tiny-size regression gate: every acceptance structure must still
-    beat the scalar loop by ``SMOKE_BAR``x.  No artifact is written —
-    this guards the *paths*, not the recorded figures."""
+    beat the scalar loop by ``SMOKE_BAR``x — on the default (planned /
+    coalesced) path AND, where a plan path exists, on the planless
+    batch path, so a regression in either layer fails the build.  No
+    artifact is written — this guards the *paths*, not the recorded
+    figures."""
     report = _measure_all(
         chunk_size=1024, m=SMOKE_M, scalar_prefix=SMOKE_PREFIX,
-        with_sharded=False,
+        with_sharded=False, with_skew=False,
     )
     failures = []
     width = max(len(k) for k in report["results"])
     for name in REQUIRED_SPEEDUP:
         row = report["results"][name]
-        status = "ok" if row["speedup"] >= SMOKE_BAR else "FAIL"
+        ok = row["speedup"] >= SMOKE_BAR
+        planless = ""
+        if "uncoalesced_updates_per_sec" in row:
+            raw_speedup = (
+                row["uncoalesced_updates_per_sec"]
+                / max(1, row["scalar_updates_per_sec"])
+            )
+            ok = ok and raw_speedup >= SMOKE_BAR
+            planless = (
+                f"  planless {row['uncoalesced_updates_per_sec']:>10,}/s"
+            )
+        status = "ok" if ok else "FAIL"
         print(
             f"{name:<{width}}  scalar {row['scalar_updates_per_sec']:>10,}/s"
             f"  batch {row['batch_updates_per_sec']:>10,}/s"
-            f"  speedup {row['speedup']:>6.1f}x  [{status}]"
+            f"  speedup {row['speedup']:>6.1f}x{planless}  [{status}]"
         )
-        if row["speedup"] < SMOKE_BAR:
+        if not ok:
             failures.append(name)
     if failures:
         print(f"smoke FAILED (< {SMOKE_BAR}x at m={SMOKE_M}): {failures}")
         return 1
     print(f"smoke ok: all {len(REQUIRED_SPEEDUP)} vectorised paths "
-          f">= {SMOKE_BAR}x at m={SMOKE_M}")
+          f">= {SMOKE_BAR}x at m={SMOKE_M} (planned + planless)")
+    return 0
+
+
+#: --check-floors: fail when a structure's measured batch rate falls
+#: below this fraction of its recorded BENCH_throughput.json figure.
+FLOOR_FRACTION = 0.5
+
+
+def run_floor_check() -> int:
+    """Throughput floor gate: re-measure every recorded structure's
+    batch rate (same sizes as the artifact, scalar baselines skipped)
+    and fail if any falls below ``FLOOR_FRACTION`` of the recorded
+    updates/sec.  Wall-clock sensitive by nature — CI runs it as a
+    non-blocking job, so a noisy host warns instead of breaking."""
+    recorded = json.loads(ARTIFACT.read_text())["results"]
+    streams = _streams(M)
+    failures = []
+    width = max(len(k) for k in recorded)
+    for name, row in recorded.items():
+        make, kind = SKETCHES[name]
+        measured = measure_throughput(
+            streams[kind], lambda make=make: make(np.random.default_rng(1)),
+            chunk_size=CHUNK, repeats=3,
+        ).updates_per_sec
+        floor = FLOOR_FRACTION * row["batch_updates_per_sec"]
+        status = "ok" if measured >= floor else "FAIL"
+        print(
+            f"{name:<{width}}  recorded "
+            f"{row['batch_updates_per_sec']:>10,}/s  measured "
+            f"{measured:>12,.0f}/s  floor {floor:>12,.0f}/s  [{status}]"
+        )
+        if measured < floor:
+            failures.append(name)
+    if failures:
+        print(f"floor check FAILED (< {FLOOR_FRACTION}x recorded): "
+              f"{failures}")
+        return 1
+    print(f"floor check ok: all {len(recorded)} structures >= "
+          f"{FLOOR_FRACTION}x their recorded rates")
     return 0
 
 
@@ -303,18 +477,36 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true",
                         help="tiny-size CI gate; no artifact write")
+    parser.add_argument("--check-floors", action="store_true",
+                        help="fail if any structure regresses below "
+                             f"{FLOOR_FRACTION}x its recorded "
+                             "BENCH_throughput.json rate (no artifact "
+                             "write)")
     args = parser.parse_args(argv)
     if args.smoke:
         return run_smoke()
+    if args.check_floors:
+        return run_floor_check()
     report = _measure_all()
     write_artifact(report)
     width = max(len(k) for k in report["results"])
     for name, row in report["results"].items():
+        extra = ""
+        if "coalesce_speedup" in row:
+            extra = f"  coalesce x{row['coalesce_speedup']:.2f}"
         print(
             f"{name:<{width}}  scalar {row['scalar_updates_per_sec']:>10,}/s"
             f"  batch {row['batch_updates_per_sec']:>10,}/s"
-            f"  speedup {row['speedup']:>6.1f}x"
+            f"  speedup {row['speedup']:>6.1f}x{extra}"
         )
+    for key, block in report["skew_sweep"].items():
+        rows = block["results"]
+        gains = ", ".join(
+            f"{name} x{rows[name]['coalesce_speedup']:.2f}"
+            for name in SKEW_STRUCTURES
+        )
+        print(f"{key:<12} distinct/chunk {block['distinct_per_chunk']:>7,.1f}"
+              f"  {gains}")
     for name, row in report["sharded"]["results"].items():
         print(
             f"sharded {name:<{width}}  1w "

@@ -20,7 +20,12 @@ from "as fast as the hardware allows".  This module defines the package's
   ad-hoc experiments compare against;
 * :class:`Mergeable` — a :class:`typing.Protocol` for sketches that can
   absorb a same-seeded sibling via ``merge(other)``, the contract behind
-  :func:`repro.streams.engine.replay_sharded`.
+  :func:`repro.streams.engine.replay_sharded`;
+* :class:`PlanConsumer` / :class:`Coalescable` — the chunk-planning
+  contracts (see :mod:`repro.streams.plan`): ``update_plan(plan)``
+  absorbs a pre-planned chunk (shared hash evaluations, and — for
+  structures declaring ℤ-linearity via ``coalescable_updates`` —
+  per-item coalesced deltas), bit-identical to ``update_batch``.
 
 Equivalence contract
 --------------------
@@ -74,6 +79,53 @@ class BatchSketch(Protocol):
     def update_batch(self, items: np.ndarray, deltas: np.ndarray) -> None:
         """Apply a column batch of updates; must equal the scalar loop."""
         ...  # pragma: no cover - protocol
+
+
+@runtime_checkable
+class PlanConsumer(Protocol):
+    """A sketch that can absorb a pre-planned chunk.
+
+    ``update_plan(plan)`` receives a :class:`repro.streams.plan.ChunkPlan`
+    and MUST leave the sketch bit-identical to
+    ``update_batch(plan.items, plan.deltas)``.  The plan carries shared
+    per-chunk precomputation — unique items, per-item summed deltas, a
+    value-keyed hash-evaluation cache — so consumers fed from one plan
+    (``replay_many``, composed structures) never repeat work.
+
+    >>> from repro.sketches.countmin import CountMin
+    >>> import numpy as np
+    >>> isinstance(CountMin(8, 4, 2, np.random.default_rng(0)), PlanConsumer)
+    True
+    """
+
+    def update_plan(self, plan) -> None:
+        """Apply a planned chunk; must equal ``update_batch`` bitwise."""
+        ...  # pragma: no cover - protocol
+
+
+@runtime_checkable
+class Coalescable(Protocol):
+    """Marker protocol: state is linear over the integers, so duplicate
+    updates within a chunk may be summed per item before folding.
+
+    The criterion is **ℤ-linearity of the whole state**: the structure's
+    state after a chunk must equal the state after the per-item-summed
+    chunk *bitwise*.  True for integer linear sketches (frequency
+    vectors, CountSketch/CountMin tables, AMS sign sums).  False for:
+
+    * sampling structures (CSSS, schedules-backed estimators) — their
+      RNG consumption is per *update*, so coalescing would change which
+      uniforms exist;
+    * float-state linear sketches (Cauchy) — float addition commutes
+      only to machine precision, and the batch contract is bitwise;
+    * running-peak counters (``SignedCounter``) — the peak of the
+      partial sums is multiplicity-sensitive.
+
+    Declared via the ``coalescable_updates`` class attribute; consumers
+    check :func:`supports_coalescing`.
+    """
+
+    coalescable_updates: bool
 
 
 @runtime_checkable
@@ -185,6 +237,46 @@ def supports_batch(sketch) -> bool:
     return callable(getattr(sketch, "update_batch", None))
 
 
+def supports_plan(sketch) -> bool:
+    """True when ``sketch`` can absorb pre-planned chunks.
+
+    >>> from repro.streams.model import FrequencyVector
+    >>> supports_plan(FrequencyVector(4)), supports_plan(object())
+    (True, False)
+    """
+    return callable(getattr(sketch, "update_plan", None))
+
+
+def supports_plan_solo(sketch) -> bool:
+    """True when ``sketch`` should be planned even as a replay's *only*
+    consumer.  Structures marked ``plan_shared_only`` (FrequencyVector:
+    already a dense per-item sum) profit from plans only when another
+    consumer shares the cost, so single-sketch drivers skip planning
+    for them — a plan must never cost more than it saves.
+
+    >>> from repro.streams.model import FrequencyVector
+    >>> from repro.sketches.countmin import CountMin
+    >>> import numpy as np
+    >>> supports_plan_solo(FrequencyVector(4))
+    False
+    >>> supports_plan_solo(CountMin(8, 4, 2, np.random.default_rng(0)))
+    True
+    """
+    return supports_plan(sketch) and not getattr(
+        sketch, "plan_shared_only", False
+    )
+
+
+def supports_coalescing(sketch) -> bool:
+    """True when ``sketch`` declares the :class:`Coalescable` flag.
+
+    >>> from repro.streams.model import FrequencyVector
+    >>> supports_coalescing(FrequencyVector(4)), supports_coalescing(object())
+    (True, False)
+    """
+    return bool(getattr(sketch, "coalescable_updates", False))
+
+
 def supports_merge(sketch) -> bool:
     """True when ``sketch`` implements the :class:`Mergeable` protocol.
 
@@ -201,16 +293,20 @@ def supports_merge(sketch) -> bool:
 DEFAULT_CHUNK_SIZE = 4096
 
 
-def consume_stream(sketch, stream, chunk_size: int | None = None):
+def consume_stream(sketch, stream, chunk_size: int | None = None,
+                   coalesce: bool = True):
     """The shared ``consume`` body: chunked batch replay when possible.
 
-    The canonical batch-or-scalar dispatch (the engine's ``replay`` and
-    every sketch's ``consume`` route through it): dispatches to
-    ``update_batch`` in bounded chunks for array-backed streams
-    (identical final state to the scalar loop, by the batch contract,
-    while keeping per-chunk scratch memory O(chunk) instead of
-    O(stream)), and falls back to the scalar loop for plain iterables of
-    updates.  Returns the sketch for chaining.
+    The canonical dispatch (the engine's ``replay`` and every sketch's
+    ``consume`` route through it): for array-backed streams, chunks are
+    pre-planned (:class:`repro.streams.plan.ChunkPlan` — duplicate
+    coalescing for ℤ-linear structures, shared hash evaluations) and fed
+    to ``update_plan`` where implemented, falling back to
+    ``update_batch`` and then to the scalar loop.  Identical final state
+    on every path, by the batch/plan contracts, while keeping per-chunk
+    scratch memory O(chunk) instead of O(stream).  ``coalesce=False``
+    disables the planning layer entirely (the CLI's ``--no-coalesce``
+    escape hatch).  Returns the sketch for chaining.
 
     >>> from repro.streams.model import FrequencyVector, stream_from_updates
     >>> s = stream_from_updates(8, [(1, 2), (1, 3), (4, -1)])
@@ -223,11 +319,19 @@ def consume_stream(sketch, stream, chunk_size: int | None = None):
         raise ValueError("chunk_size must be positive")
     if hasattr(stream, "as_arrays") and supports_batch(sketch):
         items, deltas = stream.as_arrays()
+        planner = None
+        if coalesce and supports_plan_solo(sketch):
+            # Imported here: the plan module sits above this substrate.
+            from repro.streams.plan import ChunkPlanner
+
+            planner = ChunkPlanner(getattr(stream, "n", None))
         for start in range(0, len(items), chunk_size):
-            sketch.update_batch(
-                items[start:start + chunk_size],
-                deltas[start:start + chunk_size],
-            )
+            chunk_items = items[start:start + chunk_size]
+            chunk_deltas = deltas[start:start + chunk_size]
+            if planner is not None:
+                sketch.update_plan(planner.plan(chunk_items, chunk_deltas))
+            else:
+                sketch.update_batch(chunk_items, chunk_deltas)
     else:
         for u in stream:
             sketch.update(u.item, u.delta)

@@ -151,12 +151,16 @@ def _make_l1_strict(
 
 
 def _make_l1_general(
-    n: int, eps: float, alpha: float, seed: int
+    n: int, eps: float, alpha: float, seed: int, shard_index: int
 ) -> AlphaL1EstimatorGeneral:
-    """General L1 shard factory: shards must share the Cauchy rows, so
-    every worker rebuilds the same seed."""
+    """General L1 shard factory: every worker rebuilds the same seed so
+    shards share value-equal Cauchy rows (required for the rate-aligned
+    merge), while the shard index reroots each shard's *thinning*
+    stream (``sampling_seed``) so shards sample independently — shard 0
+    keeps the single-replay stream."""
     return AlphaL1EstimatorGeneral(
-        n, eps=eps, alpha=alpha, rng=np.random.default_rng(seed)
+        n, eps=eps, alpha=alpha, rng=np.random.default_rng(seed),
+        sampling_seed=(seed, shard_index) if shard_index else None,
     )
 
 
@@ -180,11 +184,13 @@ def _cmd_heavy_hitters(args: argparse.Namespace) -> int:
     )
     if args.workers > 1:
         hh, stats = replay_sharded_timed(
-            stream, factory, workers=args.workers, chunk_size=args.chunk_size
+            stream, factory, workers=args.workers,
+            chunk_size=args.chunk_size, coalesce=args.coalesce,
         )
     else:
         hh, stats = replay_timed(
-            stream, factory(0), chunk_size=args.chunk_size
+            stream, factory(0), chunk_size=args.chunk_size,
+            coalesce=args.coalesce,
         )
     got = sorted(hh.heavy_hitters())
     want = sorted(truth.heavy_hitters(args.eps))
@@ -210,15 +216,17 @@ def _cmd_l1(args: argparse.Namespace) -> int:
             _make_l1_general, stream.n, max(args.eps, 0.2),
             min(alpha, 64), args.seed,
         )
-        build_single = factory
+        build_single = functools.partial(factory, 0)
         kind = "general (Theorem 8)"
     if args.workers > 1:
         est, stats = replay_sharded_timed(
-            stream, factory, workers=args.workers, chunk_size=args.chunk_size
+            stream, factory, workers=args.workers,
+            chunk_size=args.chunk_size, coalesce=args.coalesce,
         )
     else:
         est, stats = replay_timed(
-            stream, build_single(), chunk_size=args.chunk_size
+            stream, build_single(), chunk_size=args.chunk_size,
+            coalesce=args.coalesce,
         )
     print(f"estimator              : {kind}")
     print(f"L1 estimate            : {est.estimate():.1f}")
@@ -237,11 +245,13 @@ def _cmd_l0(args: argparse.Namespace) -> int:
     )
     if args.workers > 1:
         est, stats = replay_sharded_timed(
-            stream, factory, workers=args.workers, chunk_size=args.chunk_size
+            stream, factory, workers=args.workers,
+            chunk_size=args.chunk_size, coalesce=args.coalesce,
         )
     else:
         est, stats = replay_timed(
-            stream, factory(), chunk_size=args.chunk_size
+            stream, factory(), chunk_size=args.chunk_size,
+            coalesce=args.coalesce,
         )
     print(f"L0 estimate            : {est.estimate():.1f}")
     print(f"true L0                : {truth.l0()}")
@@ -258,7 +268,8 @@ def _cmd_support(args: argparse.Namespace) -> int:
     alpha = max(2.0, min(args.alpha, l0_alpha(stream) * 2))
     rng = np.random.default_rng(args.seed)
     ss = AlphaSupportSampler(stream.n, k=args.k, alpha=alpha, rng=rng)
-    ss, stats = replay_timed(stream, ss, chunk_size=args.chunk_size)
+    ss, stats = replay_timed(stream, ss, chunk_size=args.chunk_size,
+                             coalesce=args.coalesce)
     got = ss.sample()
     valid = got <= truth.support()
     print(f"requested k            : {args.k}")
@@ -292,6 +303,13 @@ def build_parser() -> argparse.ArgumentParser:
                        default=DEFAULT_CHUNK_SIZE,
                        help="batch-replay chunk size (throughput knob; "
                             "estimates are identical for every value)")
+        p.add_argument("--no-coalesce", dest="coalesce",
+                       action="store_false",
+                       help="bypass the chunk-planning layer (duplicate "
+                            "coalescing + cross-sketch hash reuse) and "
+                            "replay through the plain batch path; "
+                            "estimates are identical either way — this "
+                            "is a throughput escape hatch")
         p.add_argument("--workers", type=_positive_int, default=1,
                        help="shard the replay across N processes and merge "
                             "the shard sketches (all subcommands except "

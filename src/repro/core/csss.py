@@ -260,6 +260,30 @@ class CSSS:
             eff_signs = self._sign_hashes[r].hash_array(items_arr) * delta_signs
             self._apply_row(r, buckets, eff_signs, mags)
 
+    # NOT coalescable: every row consumes exactly one acceptance uniform
+    # per *update*, so summing duplicates would change which uniforms
+    # exist and desynchronise the sampling streams from the scalar loop.
+    # The plan still pays off through cached unique-item hashing.
+    coalescable_updates = False
+
+    def update_plan(self, plan) -> None:
+        """Planned batch update: bucket/sign hashes are evaluated once
+        over the chunk's *unique* items (cached on the plan — shared
+        with the shadow instance of :class:`CSSSWithTailEstimate`, other
+        same-seeded CSSS copies, and any value-equal consumer) and
+        gathered back to per-update order; the sampling schedule then
+        consumes the full chunk exactly as :meth:`update_batch` does, so
+        the state — including every generator — is bit-identical."""
+        plan.check_universe(self.n)
+        if plan.size == 0:
+            return
+        mags = plan.abs_deltas
+        delta_signs = plan.delta_signs
+        for r in range(self.depth):
+            buckets = plan.values(self._bucket_hashes[r])
+            eff_signs = plan.values(self._sign_hashes[r]) * delta_signs
+            self._apply_row(r, buckets, eff_signs, mags)
+
     def consume(self, stream) -> "CSSS":
         return consume_stream(self, stream)
 
@@ -429,6 +453,14 @@ class CSSSWithTailEstimate:
         items_arr, deltas_arr = as_update_arrays(items, deltas, self.main.n)
         self.main.update_batch(items_arr, deltas_arr)
         self.shadow.update_batch(items_arr, deltas_arr)
+
+    def update_plan(self, plan) -> None:
+        """Planned batch update of both instances from one shared plan
+        (the chunk's unique items are computed once; the two instances'
+        hash functions differ by seed, so each still evaluates its own —
+        over unique items instead of the full chunk)."""
+        self.main.update_plan(plan)
+        self.shadow.update_plan(plan)
 
     def consume(self, stream) -> "CSSSWithTailEstimate":
         return consume_stream(self, stream)

@@ -105,6 +105,17 @@ class AlphaHeavyHitters:
         else:
             self._l1_sketch.update_batch(items, deltas)
 
+    def update_plan(self, plan) -> None:
+        """Composed plan update: the CSSS reuses the plan's cached
+        unique-item hash evaluations; the norm tracker takes the full
+        per-update columns (its running-peak accounting is
+        multiplicity-sensitive, so it is never coalesced)."""
+        self.csss.update_plan(plan)
+        if self._l1_exact is not None:
+            self._l1_exact.update_batch(plan.items, plan.deltas)
+        else:
+            self._l1_sketch.update_plan(plan)
+
     def consume(self, stream) -> "AlphaHeavyHitters":
         return consume_stream(self, stream)
 

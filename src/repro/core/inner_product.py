@@ -240,15 +240,53 @@ class AlphaInnerProductSketch:
         order, as the scalar loop.
         """
         items_arr, deltas_arr = as_update_arrays(items, deltas, self.ctx.n)
-        m = len(items_arr)
-        if m == 0:
+        if len(items_arr) == 0:
             return
         reduced = self.ctx._reducer.reduce_array(items_arr)
         buckets = self.ctx._bucket_hash.hash_array(reduced)
         eff_signs = self.ctx._sign_hash.hash_array(reduced) * np.where(
             deltas_arr > 0, 1, -1
         )
-        mags = np.abs(deltas_arr)
+        self._drive_chunk(buckets, eff_signs, np.abs(deltas_arr))
+
+    # NOT coalescable: each live interval consumes one acceptance
+    # uniform per update; coalescing would change the draw sequence.
+    coalescable_updates = False
+
+    def update_plan(self, plan) -> None:
+        """Planned batch update: the mod-``P`` reduction and bucket/sign
+        hashes are evaluated once over the chunk's *unique* items and
+        cached on the plan keyed by the shared context's value-equal
+        reducer and hashes — so the **pair** of Theorem 2 sketches (f
+        and g share one :class:`AlphaInnerProduct` context) hashes each
+        chunk once, not once per stream.  The interval-segmented
+        sampling then consumes the full chunk exactly as
+        :meth:`update_batch` does (bit-identical state)."""
+        plan.check_universe(self.ctx.n)
+        if plan.size == 0:
+            return
+        ctx = self.ctx
+        reducer, bucket_hash, sign_hash = (
+            ctx._reducer, ctx._bucket_hash, ctx._sign_hash
+        )
+        reduced_u = plan.unique_values(
+            ("mod", reducer), lambda u: reducer.reduce_array(u)
+        )
+        buckets = plan.values(
+            ("mod", reducer, bucket_hash),
+            lambda u: bucket_hash.hash_array(reduced_u),
+        )
+        eff_signs = plan.values(
+            ("mod", reducer, sign_hash),
+            lambda u: sign_hash.hash_array(reduced_u),
+        ) * plan.delta_signs
+        self._drive_chunk(buckets, eff_signs, plan.abs_deltas)
+
+    def _drive_chunk(
+        self, buckets: np.ndarray, eff_signs: np.ndarray, mags: np.ndarray
+    ) -> None:
+        """Shared interval-segmented chunk driver (batch and plan paths)."""
+        m = len(buckets)
         t0 = self.t
         self.t = t0 + m
         changes = exponential_interval_changes(

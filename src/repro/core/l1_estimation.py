@@ -295,6 +295,16 @@ class AlphaL1EstimatorGeneral:
         Retained absolute fixed-point mass per row before halving;
         default ``ceil(64 α²/ε²)`` — Lemma 13's poly(α/ε) with practical
         constants.
+    sampling_seed:
+        When given, the *thinning* stream (acceptance draws of
+        :func:`~repro.core.sampling.binomial_thin`, counter halvings,
+        and merge-time rate alignment) runs off
+        ``default_rng(sampling_seed)`` instead of the constructor
+        ``rng``.  Cauchy rows still come from ``rng``, so estimators
+        built with the same ``rng`` seed but different ``sampling_seed``
+        are mergeable *and* thin independently — the ROADMAP lever (c)
+        shard-decorrelation knob, same pattern as
+        :class:`repro.core.csss.CSSS`.
     """
 
     _CAUCHY_CLIP = 1e4  # tail clip: contributes O(1/clip) mass, see note
@@ -309,6 +319,7 @@ class AlphaL1EstimatorGeneral:
         calibration_rows: int = 16,
         fixed_point_bits: int = 12,
         sample_budget: int | None = None,
+        sampling_seed=None,
     ) -> None:
         if not 0 < eps < 1:
             raise ValueError("eps must be in (0, 1)")
@@ -325,10 +336,16 @@ class AlphaL1EstimatorGeneral:
             if sample_budget is not None
             else max(256, int(np.ceil(64.0 * alpha * alpha / (eps * eps))))
         )
-        self._rng = rng
         k_ind = max(4, int(np.ceil(np.log2(1 / eps))))
+        # Rows are drawn from the caller's generator *before* the
+        # thinning stream is rerooted, so same-`rng` estimators share
+        # value-equal rows (mergeable) whatever their sampling_seed.
         self._rows = [_CauchyRow(n, k_ind, rng) for _ in range(self.r)]
         self._cal_rows = [_CauchyRow(n, k_ind, rng) for _ in range(self.r_prime)]
+        self._rng = (
+            rng if sampling_seed is None
+            else np.random.default_rng(sampling_seed)
+        )
         total = self.r + self.r_prime
         self.counters = np.zeros(total, dtype=np.int64)
         self.log2_inv_p = np.zeros(total, dtype=np.int64)
@@ -401,6 +418,36 @@ class AlphaL1EstimatorGeneral:
             entries[j] = row.entries(items_arr)
         for j, row in enumerate(self._cal_rows):
             entries[self.r + j] = row.entries(items_arr)
+        self._thin_chunk(items_arr, deltas_arr, entries)
+
+    # NOT coalescable: the thinning stream draws once per (row, update).
+    coalescable_updates = False
+
+    def update_plan(self, plan) -> None:
+        """Planned batch update: each Cauchy row's hash/tan entry pass —
+        the dominant vectorised cost — runs over the chunk's *unique*
+        items (cached on the plan, shared with value-equal rows of a
+        same-seeded sibling or a :class:`~repro.sketches.cauchy.
+        CauchyL1Sketch` sharing the generator) and is gathered back; the
+        thinning draws then run in the exact scalar order, so the state
+        matches :meth:`update_batch` bitwise."""
+        plan.check_universe(self.n)
+        total = self.r + self.r_prime
+        entries = np.empty((total, plan.size), dtype=np.float64)
+        for j, row in enumerate(self._rows):
+            entries[j] = plan.values(row, row.entries)
+        for j, row in enumerate(self._cal_rows):
+            entries[self.r + j] = plan.values(row, row.entries)
+        self._thin_chunk(plan.items, plan.deltas, entries)
+
+    def _thin_chunk(
+        self, items_arr: np.ndarray, deltas_arr: np.ndarray,
+        entries: np.ndarray,
+    ) -> None:
+        """Shared chunk tail: clip entries, then thin in scalar order
+        (item-major, rows inner) so the generator state stays bitwise
+        equal to the scalar loop."""
+        total = self.r + self.r_prime
         np.clip(entries, -self._CAUCHY_CLIP, self._CAUCHY_CLIP, out=entries)
         for t, delta in enumerate(deltas_arr.tolist()):
             item = int(items_arr[t])

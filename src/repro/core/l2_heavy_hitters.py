@@ -74,12 +74,26 @@ class AlphaL2HeavyHitters:
         self._candidate_cs.update(item, abs(delta))
         self._verify_cs.update(item, delta)
 
+    #: Both constituent CountSketch tables are ℤ-linear, so in-chunk
+    #: duplicates coalesce bit-identically (the candidate sketch sums
+    #: |Δ| per item, the verify sketch sums Δ per item).
+    coalescable_updates = True
+
     def update_batch(self, items, deltas) -> None:
         """Composed batch update (both CountSketches are deterministic,
         so chunk-major feeding equals the scalar interleaving)."""
         items_arr, deltas_arr = as_update_arrays(items, deltas, self.n)
         self._candidate_cs.update_batch(items_arr, np.abs(deltas_arr))
         self._verify_cs.update_batch(items_arr, deltas_arr)
+
+    def update_plan(self, plan) -> None:
+        """Composed plan update: one unique-item pass serves both
+        sketches — the candidate folds per-item summed magnitudes (the
+        insertion-only image), the verify sketch per-item summed
+        deltas."""
+        plan.check_universe(self.n)
+        self._candidate_cs._apply_plan(plan, signed=False)
+        self._verify_cs._apply_plan(plan, signed=True)
 
     def consume(self, stream) -> "AlphaL2HeavyHitters":
         return consume_stream(self, stream)

@@ -130,6 +130,19 @@ class StreamingModReducer:
             return (arr.astype(np.int64) % self.prime).astype(np.int64)
         return (arr.astype(object) % self.prime).astype(np.int64)
 
+    def __eq__(self, other: object) -> bool:
+        """Value equality (same modulus and input width): two reducers
+        compute the same function.  Keys the engine's per-chunk
+        reduction memoization (:meth:`repro.streams.plan.ChunkPlan.
+        unique_values`) so value-equal Theorem 2 contexts share one
+        reduction pass per chunk."""
+        if not isinstance(other, StreamingModReducer):
+            return NotImplemented
+        return self.prime == other.prime and self.n_bits == other.n_bits
+
+    def __hash__(self) -> int:
+        return hash(("mod-reducer", self.prime, self.n_bits))
+
     def space_bits(self) -> int:
         """Working space: two residues mod p + bit-position counter."""
         p_bits = max(1, self.prime.bit_length())

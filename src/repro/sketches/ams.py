@@ -12,13 +12,17 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.batch import as_update_arrays, consume_stream
+from repro.batch import as_update_arrays, consume_stream, exact_sum
 from repro.hashing.kwise import SignHash
 from repro.space.accounting import counter_bits
 
 
 class AMSSketch:
     """AMS sketch: ``groups`` means of ``per_group`` atomic estimators."""
+
+    #: Each Z_j is a ℤ-linear functional of the stream, so in-chunk
+    #: duplicates coalesce bit-identically.
+    coalescable_updates = True
 
     def __init__(
         self,
@@ -51,6 +55,22 @@ class AMSSketch:
         for j in range(self.r):
             signs = self._signs[j].hash_array(items_arr)
             self.z[j] += int(np.dot(signs, deltas_arr))
+
+    def update_plan(self, plan) -> None:
+        """Planned batch update: per atomic estimator, one cached sign
+        evaluation over the chunk's *unique* items and one dot product
+        against the per-item summed deltas — the same integer sum as
+        :meth:`update_batch`, an order of magnitude fewer hash
+        evaluations on skewed chunks."""
+        plan.check_universe(self.n)
+        if not plan.coalesce_safe:
+            self.update_batch(plan.items, plan.deltas)
+            return
+        self._gross_weight += plan.gross_weight
+        sums = plan.summed_deltas
+        for j in range(self.r):
+            signs = plan.unique_values(self._signs[j])
+            self.z[j] += exact_sum(signs * sums)
 
     def consume(self, stream) -> "AMSSketch":
         return consume_stream(self, stream)

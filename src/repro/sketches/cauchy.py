@@ -116,27 +116,52 @@ class CauchyL1Sketch:
         self._gross_weight += abs(delta)
 
     def _accumulate_batch(
-        self, acc: np.ndarray, rows, items: np.ndarray, deltas: np.ndarray
+        self, acc: np.ndarray, rows, deltas: np.ndarray, entries_of
     ) -> None:
         # Floating-point addition is not associative, so a vectorised
         # sum() would depend on the chunking.  A running (left-fold)
         # accumulation via cumsum performs exactly the scalar loop's
         # ((y + c_0) + c_1) + ... at C speed — bit-identical for every
-        # chunk size.
-        buf = np.empty(len(items) + 1, dtype=np.float64)
+        # chunk size.  ``entries_of(row)`` supplies the per-update entry
+        # array (direct evaluation, or the plan's cached gather) — one
+        # fold implementation for both paths, so the bit-identity-
+        # critical sequence cannot drift between them.
+        buf = np.empty(len(deltas) + 1, dtype=np.float64)
         for j, row in enumerate(rows):
             buf[0] = acc[j]
-            np.multiply(row.entries(items), deltas, out=buf[1:])
+            np.multiply(entries_of(row), deltas, out=buf[1:])
             acc[j] = np.cumsum(buf)[-1]
 
     def update_batch(self, items, deltas) -> None:
         """Vectorised batch update, bit-identical to the scalar loop."""
         items_arr, deltas_arr = as_update_arrays(items, deltas, self.n)
-        self._accumulate_batch(self.y, self._rows, items_arr, deltas_arr)
+        entries_of = lambda row: row.entries(items_arr)  # noqa: E731
+        self._accumulate_batch(self.y, self._rows, deltas_arr, entries_of)
         self._accumulate_batch(
-            self.y_prime, self._cal_rows, items_arr, deltas_arr
+            self.y_prime, self._cal_rows, deltas_arr, entries_of
         )
         self._gross_weight += int(np.abs(deltas_arr).sum())
+
+    # Deliberately NOT coalescable: the y accumulators are float and the
+    # batch contract is *bitwise* — regrouping e(i)·(Δ₁+Δ₂) differs from
+    # e(i)·Δ₁ + e(i)·Δ₂ in the last ulp, so duplicates must stay
+    # separate.  The plan still pays off through entry-evaluation reuse.
+    coalescable_updates = False
+
+    def update_plan(self, plan) -> None:
+        """Planned batch update: the per-row hash/tan entry pipeline —
+        the dominant cost — runs once over the chunk's *unique* items
+        (cached on the plan, shared with value-equal rows of any other
+        consumer) and is gathered back to per-update order; the shared
+        cumsum fold then sees exactly the arrays :meth:`update_batch`
+        builds, so the state is bit-identical."""
+        plan.check_universe(self.n)
+        entries_of = lambda row: plan.values(row, row.entries)  # noqa: E731
+        self._accumulate_batch(self.y, self._rows, plan.deltas, entries_of)
+        self._accumulate_batch(
+            self.y_prime, self._cal_rows, plan.deltas, entries_of
+        )
+        self._gross_weight += int(plan.abs_deltas.sum())
 
     def consume(self, stream) -> "CauchyL1Sketch":
         return consume_stream(self, stream)

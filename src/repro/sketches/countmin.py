@@ -20,6 +20,9 @@ from repro.space.accounting import counter_bits
 class CountMin:
     """CountMin over ``[n]`` with ``depth`` rows of ``width`` buckets."""
 
+    #: ℤ-linear table: in-chunk duplicates coalesce bit-identically.
+    coalescable_updates = True
+
     def __init__(
         self, n: int, width: int, depth: int, rng: np.random.Generator
     ) -> None:
@@ -46,6 +49,24 @@ class CountMin:
         for r in range(self.depth):
             buckets = self._hashes[r].hash_array(items_arr)
             np.add.at(self.table[r], buckets, deltas_arr)
+
+    def update_plan(self, plan) -> None:
+        """Planned batch update: one cached hash evaluation over the
+        chunk's unique items per row, one coalesced scatter-add —
+        bit-identical to :meth:`update_batch` by linearity."""
+        plan.check_universe(self.n)
+        if not plan.coalesce_safe:
+            self.update_batch(plan.items, plan.deltas)
+            return
+        self._gross_weight += plan.gross_weight
+        sums = plan.summed_deltas
+        nz = plan.nonzero_sums
+        for r in range(self.depth):
+            buckets = plan.unique_values(self._hashes[r])
+            if nz is None:
+                np.add.at(self.table[r], buckets, sums)
+            else:
+                np.add.at(self.table[r], buckets[nz], sums[nz])
 
     def consume(self, stream) -> "CountMin":
         return consume_stream(self, stream)

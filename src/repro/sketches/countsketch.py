@@ -36,6 +36,10 @@ class CountSketch:
         Randomness source for the hash seeds.
     """
 
+    #: The table is ℤ-linear in the updates: duplicate items within a
+    #: chunk coalesce to one (item, summed-delta) pair bit-identically.
+    coalescable_updates = True
+
     def __init__(
         self, n: int, width: int, depth: int, rng: np.random.Generator
     ) -> None:
@@ -67,6 +71,37 @@ class CountSketch:
             buckets = self._bucket_hashes[r].hash_array(items_arr)
             signed = self._sign_hashes[r].hash_array(items_arr) * deltas_arr
             np.add.at(self.table[r], buckets, signed)
+
+    def update_plan(self, plan) -> None:
+        """Planned batch update: hash the chunk's *unique* items (one
+        cached evaluation per hash function, shared with any value-equal
+        consumer of the same plan) and scatter-add per-item summed
+        deltas — bit-identical to :meth:`update_batch` by linearity."""
+        self._apply_plan(plan, signed=True)
+
+    def _apply_plan(self, plan, signed: bool) -> None:
+        """Shared plan fold; ``signed=False`` feeds the insertion-only
+        image ``|Δ|`` instead (the L2 heavy hitters candidate sketch)."""
+        plan.check_universe(self.n)
+        if not plan.coalesce_safe:
+            deltas = plan.deltas if signed else np.abs(plan.deltas)
+            self.update_batch(plan.items, deltas)
+            return
+        self._gross_weight += plan.gross_weight
+        if signed:
+            sums = plan.summed_deltas
+            nz = plan.nonzero_sums
+        else:
+            sums = plan.summed_magnitudes  # > 0: nothing cancels
+            nz = None
+        for r in range(self.depth):
+            buckets = plan.unique_values(self._bucket_hashes[r])
+            signs = plan.unique_values(self._sign_hashes[r])
+            signed_sums = signs * sums
+            if nz is None:
+                np.add.at(self.table[r], buckets, signed_sums)
+            else:
+                np.add.at(self.table[r], buckets[nz], signed_sums[nz])
 
     def consume(self, stream) -> "CountSketch":
         """Feed every update of a stream; returns self for chaining."""

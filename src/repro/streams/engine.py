@@ -20,6 +20,15 @@ stream columns are materialised once), and ``replay_timed`` wraps a replay
 with wall-clock measurement, returning the updates/sec figure the
 benchmarks record in ``BENCH_throughput.json``.
 
+Chunks are *pre-planned* before dispatch (:mod:`repro.streams.plan`):
+one :class:`~repro.streams.plan.ChunkPlan` per chunk carries the unique
+items, per-item summed deltas, and a value-keyed hash-evaluation cache,
+shared across every consumer fed in that chunk.  Structures implementing
+``update_plan`` coalesce duplicates (ℤ-linear sketches) and reuse hash
+evaluations; everything else takes ``update_batch`` unchanged.  The
+``coalesce=False`` escape hatch (CLI ``--no-coalesce``) bypasses
+planning entirely.
+
 ``replay_sharded`` scales past one core: the stream's column arrays are
 split into contiguous shards, each worker builds a sketch from the same
 deterministic ``factory`` (so every shard shares hash seeds) and replays
@@ -44,7 +53,10 @@ from repro.batch import (
     consume_stream,
     supports_batch,
     supports_merge,
+    supports_plan,
+    supports_plan_solo,
 )
+from repro.streams.plan import ChunkPlanner
 from repro.streams.model import Stream
 
 
@@ -68,8 +80,12 @@ def iter_chunks(
         yield items[start:stop], deltas[start:stop]
 
 
-def _feed(sketch: Any, items: np.ndarray, deltas: np.ndarray) -> None:
-    if supports_batch(sketch):
+def _feed(
+    sketch: Any, items: np.ndarray, deltas: np.ndarray, plan=None
+) -> None:
+    if plan is not None and supports_plan(sketch):
+        sketch.update_plan(plan)
+    elif supports_batch(sketch):
         sketch.update_batch(items, deltas)
     else:
         update = sketch.update
@@ -77,29 +93,40 @@ def _feed(sketch: Any, items: np.ndarray, deltas: np.ndarray) -> None:
             update(item, delta)
 
 
-def replay(stream: Stream, sketch: Any, chunk_size: int | None = None):
+def replay(stream: Stream, sketch: Any, chunk_size: int | None = None,
+           coalesce: bool = True):
     """Replay ``stream`` into ``sketch`` in chunks; returns the sketch.
 
-    Uses ``update_batch`` when the sketch implements it, else the scalar
-    loop — either way the final state matches a plain ``consume``
+    Uses ``update_plan`` (pre-planned chunks: duplicate coalescing and
+    shared hash evaluations, see :mod:`repro.streams.plan`) when the
+    sketch implements it, else ``update_batch``, else the scalar loop —
+    every path leaves the same final state as a plain ``consume``
     (``replay`` *is* the shared :func:`repro.batch.consume_stream`
-    dispatch, argument order aside).
+    dispatch, argument order aside).  ``coalesce=False`` bypasses the
+    planning layer (the ``--no-coalesce`` escape hatch).
 
     >>> from repro.streams.model import FrequencyVector, stream_from_updates
     >>> s = stream_from_updates(8, [(1, 2), (1, 3), (4, -1)])
     >>> replay(s, FrequencyVector(8), chunk_size=2).f.tolist()
     [0, 5, 0, 0, -1, 0, 0, 0]
     """
-    return consume_stream(sketch, stream, chunk_size)
+    return consume_stream(sketch, stream, chunk_size, coalesce=coalesce)
 
 
 def replay_many(
-    stream: Stream, sketches: Sequence[Any], chunk_size: int | None = None
+    stream: Stream,
+    sketches: Sequence[Any],
+    chunk_size: int | None = None,
+    coalesce: bool = True,
 ) -> list[Any]:
     """One-pass replay into several sketches (chunk-major order).
 
     Sketches are independent structures, so interleaving their chunk
     updates leaves each in exactly the state a dedicated replay would.
+    All sketches are fed from *one* :class:`~repro.streams.plan.ChunkPlan`
+    per chunk, so the chunk's unique items are computed once and
+    value-equal hash functions (same-seeded sketches, shared contexts)
+    are evaluated once per chunk instead of once per consumer.
 
     >>> from repro.streams.model import FrequencyVector, stream_from_updates
     >>> s = stream_from_updates(4, [(0, 1), (2, 5)])
@@ -108,9 +135,15 @@ def replay_many(
     True
     """
     sketches = list(sketches)
+    planner = (
+        ChunkPlanner(stream.n)
+        if coalesce and any(supports_plan(s) for s in sketches)
+        else None
+    )
     for items, deltas in iter_chunks(stream, chunk_size):
+        plan = planner.plan(items, deltas) if planner is not None else None
         for sketch in sketches:
-            _feed(sketch, items, deltas)
+            _feed(sketch, items, deltas, plan)
     return sketches
 
 
@@ -149,15 +182,25 @@ def _replay_shard(
     items: np.ndarray,
     deltas: np.ndarray,
     chunk_size: int,
+    universe: int | None = None,
+    coalesce: bool = True,
 ) -> Any:
     """Worker body: build a sketch from the shared factory and replay one
-    contiguous shard through the chunked batch path.  Module-level so
-    process pools can pickle it."""
+    contiguous shard through the chunked plan/batch path.  Module-level
+    so process pools can pickle it."""
     sketch = _build_shard_sketch(factory, shard_index)
+    planner = (
+        ChunkPlanner(universe)
+        if coalesce and supports_plan_solo(sketch)
+        else None
+    )
     for start in range(0, len(items), chunk_size):
-        sketch.update_batch(
-            items[start:start + chunk_size], deltas[start:start + chunk_size]
-        )
+        chunk_items = items[start:start + chunk_size]
+        chunk_deltas = deltas[start:start + chunk_size]
+        if planner is not None:
+            sketch.update_plan(planner.plan(chunk_items, chunk_deltas))
+        else:
+            sketch.update_batch(chunk_items, chunk_deltas)
     return sketch
 
 
@@ -186,6 +229,7 @@ def replay_sharded(
     workers: int | None = None,
     chunk_size: int | None = None,
     executor: str = "process",
+    coalesce: bool = True,
 ):
     """Replay a stream as ``workers`` parallel shards and merge the shard
     sketches; returns the merged sketch.
@@ -238,7 +282,9 @@ def replay_sharded(
     items, deltas = stream.as_arrays()
     bounds = shard_bounds(len(items), workers)
     if len(bounds) <= 1:
-        return _replay_shard(factory, 0, items, deltas, chunk_size)
+        return _replay_shard(
+            factory, 0, items, deltas, chunk_size, stream.n, coalesce
+        )
     pool_cls = (
         concurrent.futures.ProcessPoolExecutor
         if executor == "process"
@@ -253,6 +299,8 @@ def replay_sharded(
                 (items[a:b] for a, b in bounds),
                 (deltas[a:b] for a, b in bounds),
                 (chunk_size for _ in bounds),
+                (stream.n for _ in bounds),
+                (coalesce for _ in bounds),
             )
         )
     merged = shards[0]
@@ -286,11 +334,14 @@ def replay_timed(
     sketch: Any,
     chunk_size: int | None = None,
     force_scalar: bool = False,
+    coalesce: bool = True,
 ) -> tuple[Any, ReplayStats]:
     """Replay with wall-clock measurement.
 
     ``force_scalar`` drives the per-update path even on batch-capable
     sketches — the baseline side of every throughput comparison.
+    ``coalesce=False`` measures the un-planned batch path (the other
+    side of the coalescing comparisons in ``bench_throughput.py``).
 
     >>> from repro.streams.model import FrequencyVector, stream_from_updates
     >>> s = stream_from_updates(4, [(0, 1), (2, 5)])
@@ -304,7 +355,7 @@ def replay_timed(
     batched = supports_batch(sketch) and not force_scalar
     start = time.perf_counter()
     if batched:
-        consume_stream(sketch, stream, chunk_size)
+        consume_stream(sketch, stream, chunk_size, coalesce=coalesce)
     else:
         # The force_scalar baseline deliberately times the raw per-update
         # loop (what the scalar path costs), not the dispatch helper.
@@ -326,6 +377,7 @@ def replay_sharded_timed(
     workers: int | None = None,
     chunk_size: int | None = None,
     executor: str = "process",
+    coalesce: bool = True,
 ) -> tuple[Any, ReplayStats]:
     """:func:`replay_sharded` with wall-clock measurement (pool spawn and
     merge costs included — that is the honest sharding overhead)."""
@@ -335,7 +387,7 @@ def replay_sharded_timed(
     start = time.perf_counter()
     sketch = replay_sharded(
         stream, factory, workers=workers, chunk_size=chunk_size,
-        executor=executor,
+        executor=executor, coalesce=coalesce,
     )
     elapsed = time.perf_counter() - start
     return sketch, ReplayStats(

@@ -98,6 +98,32 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Theorem 8" in out
 
+    def test_no_coalesce_is_estimate_invariant(self, capsys):
+        """--no-coalesce is a pure throughput escape hatch: every
+        reported line except the updates/sec figure must match the
+        planned replay exactly."""
+        args = ["heavy-hitters", "--n", "512", "--m", "4000",
+                "--alpha", "4", "--eps", "0.125"]
+        assert main(args) == 0
+        planned = capsys.readouterr().out
+        assert main(args + ["--no-coalesce"]) == 0
+        planless = capsys.readouterr().out
+
+        def answers(out):
+            return [l for l in out.splitlines() if "throughput" not in l]
+
+        assert answers(planned) == answers(planless)
+
+    def test_l1_general_sharded(self, capsys):
+        """The general (Theorem 8) estimator shards with per-shard
+        thinning seeds (ROADMAP lever c) and still answers."""
+        assert main([
+            "l1", "--workload", "traffic", "--n", "2048", "--m", "8000",
+            "--eps", "0.3", "--workers", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 8" in out and "2 workers" in out
+
     def test_l0(self, capsys):
         assert main(["l0", "--workload", "sensor", "--n", "4096",
                      "--m", "20000"]) == 0
