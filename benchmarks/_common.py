@@ -10,17 +10,29 @@ figure ``BENCH_throughput.json`` tracks across PRs.
 
 from __future__ import annotations
 
+import functools
+import time
 from functools import lru_cache
 
 import numpy as np
 
-from repro.streams.engine import ReplayStats, replay_timed
+from repro.api import Params, build
+from repro.api.session import StreamSession
+from repro.streams.engine import ReplayStats, replay_many, replay_timed
 from repro.streams.generators import (
     bounded_deletion_stream,
     sensor_occupancy_stream,
     strong_alpha_stream,
     traffic_difference_stream,
 )
+
+
+def spec_factory(name: str, params: Params, **overrides):
+    """A zero-argument sketch factory from the spec registry — the
+    benchmark-side of the facade: benchmarks name specs instead of
+    hand-rolling constructor lambdas, so they build exactly what the
+    CLI and sessions build."""
+    return functools.partial(build, name, params, 0, **overrides)
 
 
 @lru_cache(maxsize=32)
@@ -76,6 +88,53 @@ def measure_throughput(
         if best is None or stats.seconds < best.seconds:
             best = stats
     return best
+
+
+def measure_offline_many(stream, factories, chunk_size: int = 4096,
+                         repeats: int = 1) -> ReplayStats:
+    """One-pass ``replay_many`` over a battery of sketches, timed —
+    the offline side of the push-mode comparison."""
+    items, _ = stream.as_arrays()
+    best = None
+    for _ in range(max(1, repeats)):
+        sketches = [make() for make in factories]
+        start = time.perf_counter()
+        replay_many(stream, sketches, chunk_size=chunk_size)
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return ReplayStats(updates=len(items), seconds=best,
+                       chunk_size=chunk_size, batched=True)
+
+
+def measure_session_throughput(
+    stream,
+    factories,
+    chunk_size: int = 4096,
+    push_size: int = 1000,
+    repeats: int = 1,
+) -> ReplayStats:
+    """Push the stream through a :class:`~repro.api.StreamSession` in
+    ``push_size`` slices, timed — the live-ingestion side of the
+    comparison.  ``push_size`` deliberately straddles chunk boundaries
+    (it is not a divisor of ``chunk_size``), so the buffering path is
+    actually exercised."""
+    items, deltas = stream.as_arrays()
+    best = None
+    for _ in range(max(1, repeats)):
+        session = StreamSession(stream.n, chunk_size=chunk_size)
+        for i, make in enumerate(factories):
+            session.add(f"sketch_{i}", make())
+        start = time.perf_counter()
+        for pos in range(0, len(items), push_size):
+            session.push(items[pos:pos + push_size],
+                         deltas[pos:pos + push_size])
+        session.flush()
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return ReplayStats(updates=len(items), seconds=best,
+                       chunk_size=chunk_size, batched=True)
 
 
 def record_throughput(benchmark, label: str, stats: ReplayStats) -> None:

@@ -25,6 +25,15 @@ as BENCH json drift.  ``--check-floors`` re-measures every recorded
 structure and fails below 0.5x its recorded rate (CI runs it
 non-blocking — wall-clock checks warn, they don't break builds).
 
+A **session** section measures the facade's push path: the same
+battery replayed by offline :func:`repro.streams.engine.replay_many`
+and pushed through :class:`repro.api.StreamSession` at a granularity
+that straddles chunk boundaries.  Acceptance: push-mode is
+bit-identical to offline and within 10% of its rate at chunk 4096.
+An **fv_solo_plan** section re-measures the three FrequencyVector solo
+fold paths (batch scatter / fused plan fold / coalesced plan fold), the
+data behind the ROADMAP lever (f) ``plan_shared_only`` verdict.
+
 A second section measures *sharded* replay
 (:func:`repro.streams.engine.replay_sharded`): the stream split across
 worker processes with the shard sketches merged, for the mergeable
@@ -47,29 +56,26 @@ from __future__ import annotations
 import json
 import os
 import sys
+import time
 from pathlib import Path
 
 import numpy as np
 
 sys.path.insert(0, str(Path(__file__).parent))  # script mode
 
-from _common import cached_bounded_stream, measure_throughput
+from _common import (
+    cached_bounded_stream,
+    measure_offline_many,
+    measure_session_throughput,
+    measure_throughput,
+    spec_factory,
+)
+from repro.api import Params
 from repro.batch import supports_plan
-from repro.core.csss import CSSS
-from repro.core.inner_product import AlphaInnerProduct
-from repro.core.l0_estimation import AlphaConstL0Estimator, AlphaL0Estimator
-from repro.core.l1_estimation import AlphaL1EstimatorStrict
-from repro.core.l1_sampler import AlphaL1Sampler
-from repro.core.sampling import SampledFrequencies
-from repro.core.support_sampler import AlphaSupportSampler
-from repro.sketches.ams import AMSSketch
-from repro.sketches.cauchy import CauchyL1Sketch
-from repro.sketches.countmin import CountMin
-from repro.sketches.countsketch import CountSketch
-from repro.sketches.misra_gries import MisraGries
-from repro.streams.engine import replay_sharded_timed
+from repro.streams.engine import iter_chunks, replay_sharded_timed
 from repro.streams.generators import zipfian_insertion_stream
 from repro.streams.model import FrequencyVector
+from repro.streams.plan import ChunkPlanner
 
 N = 1 << 12
 M = 24_000
@@ -79,50 +85,48 @@ CHUNK = 4096
 # so slow baselines don't dominate wall-clock; rates are per-update.
 SCALAR_PREFIX = 2_000
 
-def _inner_product_sketch(rng):
-    ctx = AlphaInnerProduct(N, eps=0.1, alpha=ALPHA, rng=rng)
-    return ctx.make_sketch()
+#: All benchmark sketches build through the spec registry (the facade's
+#: one source of truth) from this param record; per-row widths/depths
+#: are pinned as constructor overrides so recorded figures stay
+#: comparable across PRs.
+BENCH_PARAMS = Params(n=N, alpha=ALPHA, seed=1)
 
-
-#: Structures with a genuinely vectorised batch path.  The stream kind
-#: selects the workload: mixed-sign bounded-deletion ("general") or
-#: insertion-only zipf ("insertion" — Misra-Gries is the alpha = 1
+#: Structures with a genuinely vectorised batch path, as
+#: ``(spec_name, constructor overrides, stream kind)``.  The stream
+#: kind selects the workload: mixed-sign bounded-deletion ("general")
+#: or insertion-only zipf ("insertion" — Misra-Gries is the alpha = 1
 #: endpoint and rejects deletions).
 SKETCHES = {
-    "countsketch": (lambda rng: CountSketch(N, width=96, depth=6, rng=rng),
-                    "general"),
-    "countmin": (lambda rng: CountMin(N, width=128, depth=6, rng=rng),
-                 "general"),
-    "cauchy": (lambda rng: CauchyL1Sketch(N, eps=0.25, rng=rng), "general"),
-    "frequency_vector": (lambda rng: FrequencyVector(N), "general"),
-    "ams": (lambda rng: AMSSketch(N, per_group=16, groups=6, rng=rng),
-            "general"),
-    "csss": (lambda rng: CSSS(N, k=16, eps=0.1, alpha=ALPHA, rng=rng, depth=6),
-             "general"),
-    "alpha_l0": (lambda rng: AlphaL0Estimator(N, eps=0.25, alpha=ALPHA,
-                                              rng=rng), "general"),
-    "alpha_const_l0": (lambda rng: AlphaConstL0Estimator(N, alpha=ALPHA,
-                                                         rng=rng), "general"),
+    "countsketch": ("countsketch", {"width": 96, "depth": 6}, "general"),
+    "countmin": ("countmin", {"width": 128, "depth": 6}, "general"),
+    "cauchy": ("cauchy", {"eps": 0.25}, "general"),
+    "frequency_vector": ("frequency_vector", {}, "general"),
+    "ams": ("ams", {"per_group": 16, "groups": 6}, "general"),
+    "csss": ("csss", {"k": 16, "eps": 0.1, "depth": 6}, "general"),
+    "alpha_l0": ("alpha_l0", {"eps": 0.25}, "general"),
+    "alpha_const_l0": ("alpha_const_l0", {}, "general"),
     # The six schedule-core ports (retired scalar-loop mixin):
-    "alpha_l1_strict": (lambda rng: AlphaL1EstimatorStrict(
-        alpha=ALPHA, eps=0.2, rng=rng, s=2000), "general"),
-    "alpha_support": (lambda rng: AlphaSupportSampler(
-        N, k=8, alpha=ALPHA, rng=rng), "general"),
-    "inner_product": (_inner_product_sketch, "general"),
+    "alpha_l1_strict": ("l1_strict", {"eps": 0.2, "s": 2000}, "general"),
+    "alpha_support": ("support_sampler", {"k": 8}, "general"),
+    "inner_product": ("inner_product", {"eps": 0.1}, "general"),
     # The two dict-backed summaries run on the skewed insertion stream:
     # their batch cost scales with distinct keys per chunk, and skewed
     # key distributions are the workload frequency summaries exist for
     # (Misra-Gries additionally *requires* insertion-only input).
-    "sampled_frequencies": (lambda rng: SampledFrequencies(
-        budget=2048, rng=rng), "insertion"),
+    "sampled_frequencies": (
+        "sampled_frequencies", {"budget": 2048}, "insertion"),
     # ROADMAP lever (d): the known-universe dense fast path — the dict
     # fold replaced by preallocated scatter-adds.
-    "sampled_frequencies_dense": (lambda rng: SampledFrequencies(
-        budget=2048, rng=rng, universe=N), "insertion"),
-    "misra_gries": (lambda rng: MisraGries(N, eps=1 / 256), "insertion"),
-    "alpha_l1_sampler": (lambda rng: AlphaL1Sampler(
-        N, eps=0.25, alpha=ALPHA, rng=rng, depth=4), "general"),
+    "sampled_frequencies_dense": (
+        "sampled_frequencies", {"budget": 2048, "universe": N}, "insertion"),
+    "misra_gries": ("misra_gries", {"eps": 1 / 256}, "insertion"),
+    "alpha_l1_sampler": ("l1_sampler", {"eps": 0.25, "depth": 4}, "general"),
 }
+
+
+def _factory(name: str):
+    spec_name, overrides, _ = SKETCHES[name]
+    return spec_factory(spec_name, BENCH_PARAMS, **overrides)
 
 #: The acceptance bars: baselines and PR-2 structures hold 10x; the six
 #: schedule-core ports hold the ISSUE's 8x floor (several clear 10x —
@@ -150,19 +154,13 @@ SHARDED_WORKERS = 4
 
 ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_throughput.json"
 
-
-def _make_sharded_countsketch():
-    return CountSketch(N, width=96, depth=6, rng=np.random.default_rng(1))
-
-
-def _make_sharded_countmin():
-    return CountMin(N, width=128, depth=6, rng=np.random.default_rng(1))
-
-
-#: Module-level factories — process pools must be able to pickle them.
+#: Sharded factories come straight from the registry — spec partials
+#: are picklable, so process pools rebuild identical hash seeds.
 SHARDED_FACTORIES = {
-    "countsketch": _make_sharded_countsketch,
-    "countmin": _make_sharded_countmin,
+    "countsketch": spec_factory("countsketch", BENCH_PARAMS,
+                                width=96, depth=6),
+    "countmin": spec_factory("countmin", BENCH_PARAMS,
+                             width=128, depth=6),
 }
 
 
@@ -185,24 +183,26 @@ def _streams(m: int):
 def _measure_all(chunk_size: int = CHUNK, m: int = M,
                  scalar_prefix: int = SCALAR_PREFIX,
                  with_sharded: bool = True,
-                 with_skew: bool = True) -> dict:
+                 with_skew: bool = True,
+                 with_session: bool = True) -> dict:
     streams = _streams(m)
     scalar_streams = {
         kind: type(s)(s.n, list(s)[:scalar_prefix])
         for kind, s in streams.items()
     }
     results = {}
-    for name, (make, kind) in SKETCHES.items():
+    for name, (_, _, kind) in SKETCHES.items():
+        make = _factory(name)
         scalar = measure_throughput(
             scalar_streams[kind],
-            lambda make=make: make(np.random.default_rng(1)),
+            make,
             chunk_size=chunk_size,
             force_scalar=True,
             repeats=3,
         )
         batch = measure_throughput(
             streams[kind],
-            lambda make=make: make(np.random.default_rng(1)),
+            make,
             chunk_size=chunk_size,
             repeats=3,
         )
@@ -211,14 +211,13 @@ def _measure_all(chunk_size: int = CHUNK, m: int = M,
             "batch_updates_per_sec": int(round(batch.updates_per_sec)),
             "speedup": round(batch.updates_per_sec / scalar.updates_per_sec, 1),
         }
-        probe = make(np.random.default_rng(1))
-        if supports_plan(probe):
+        if supports_plan(make()):
             # The batch figure above is the default engine path (plans
             # on); record the planless path next to it so the plan
             # layer's contribution stays visible across PRs.
             uncoalesced = measure_throughput(
                 streams[kind],
-                lambda make=make: make(np.random.default_rng(1)),
+                make,
                 chunk_size=chunk_size,
                 coalesce=False,
                 repeats=3,
@@ -239,11 +238,113 @@ def _measure_all(chunk_size: int = CHUNK, m: int = M,
         "cores": _usable_cores(),
         "results": results,
     }
+    if with_session:
+        report["session"] = _measure_session(chunk_size, m)
+        report["fv_solo_plan"] = _measure_fv_solo(chunk_size, m)
     if with_skew:
         report["skew_sweep"] = _measure_skew(chunk_size, m)
     if with_sharded:
         report["sharded"] = _measure_sharded(chunk_size)
     return report
+
+
+#: The push-mode battery: a representative mixed battery (two
+#: coalescing linear sketches + the paper's own sampler) pushed at a
+#: granularity that straddles chunk boundaries.
+SESSION_BATTERY = ("countsketch", "countmin", "csss")
+SESSION_PUSH_SIZE = 1000
+
+#: Acceptance: push-mode ingestion must stay within 10% of the
+#: offline ``replay_many`` rate at chunk 4096 (the facade's price tag).
+SESSION_MIN_RATIO = 0.9
+
+
+def _measure_session(chunk_size: int = CHUNK, m: int = M) -> dict:
+    """Offline ``replay_many`` vs ``StreamSession.push`` on the same
+    battery — the facade acceptance figure, plus a hard bit-identity
+    check between the two paths."""
+    stream = _streams(m)["general"]
+    factories = [_factory(name) for name in SESSION_BATTERY]
+    offline = measure_offline_many(
+        stream, factories, chunk_size=chunk_size, repeats=3
+    )
+    pushed = measure_session_throughput(
+        stream, factories, chunk_size=chunk_size,
+        push_size=SESSION_PUSH_SIZE, repeats=3,
+    )
+    # Bit-identity of the two paths (the session contract).
+    from repro.api.session import StreamSession
+    from repro.streams.engine import replay_many
+
+    offline_sketches = [make() for make in factories]
+    replay_many(stream, offline_sketches, chunk_size=chunk_size)
+    session = StreamSession(stream.n, chunk_size=chunk_size)
+    for i, make in enumerate(factories):
+        session.add(f"sketch_{i}", make())
+    items, deltas = stream.as_arrays()
+    for pos in range(0, len(items), SESSION_PUSH_SIZE):
+        session.push(items[pos:pos + SESSION_PUSH_SIZE],
+                     deltas[pos:pos + SESSION_PUSH_SIZE])
+    session.flush()
+    identical = all(
+        np.array_equal(getattr(off, attr), getattr(session[f"sketch_{i}"], attr))
+        for i, off in enumerate(offline_sketches)
+        for attr in ("table",) if hasattr(off, "table")
+    ) and np.array_equal(offline_sketches[2].pos, session["sketch_2"].pos) \
+      and np.array_equal(offline_sketches[2].neg, session["sketch_2"].neg)
+    return {
+        "battery": list(SESSION_BATTERY),
+        "m": m,
+        "push_size": SESSION_PUSH_SIZE,
+        "offline_updates_per_sec": int(round(offline.updates_per_sec)),
+        "session_updates_per_sec": int(round(pushed.updates_per_sec)),
+        "session_over_offline": round(
+            pushed.updates_per_sec / offline.updates_per_sec, 3
+        ),
+        "identical_states": bool(identical),
+    }
+
+
+def _measure_fv_solo(chunk_size: int = CHUNK, m: int = M) -> dict:
+    """ROADMAP lever (f) verdict data: FrequencyVector's three solo
+    fold paths — the default batch scatter, the fused plan fold
+    (``update_plan_fused``), and the coalesced plan fold — re-measured
+    so the ``plan_shared_only`` decision stays visible across PRs."""
+    stream = _streams(m)["general"]
+    items, deltas = stream.as_arrays()
+
+    def _run(path: str) -> float:
+        best = None
+        for _ in range(3):
+            fv = FrequencyVector(N)
+            planner = ChunkPlanner(N)
+            start = time.perf_counter()
+            for chunk_items, chunk_deltas in iter_chunks(stream, chunk_size):
+                if path == "batch":
+                    fv.update_batch(chunk_items, chunk_deltas)
+                elif path == "fused":
+                    fv.update_plan_fused(
+                        planner.plan(chunk_items, chunk_deltas)
+                    )
+                else:  # coalesced
+                    plan = planner.plan(chunk_items, chunk_deltas)
+                    plan.unique_items  # solo: force the unique view
+                    fv.update_plan(plan)
+            elapsed = time.perf_counter() - start
+            if best is None or elapsed < best:
+                best = elapsed
+        return len(items) / best
+
+    rates = {path: _run(path) for path in ("batch", "fused", "coalesced")}
+    return {
+        "m": m,
+        "batch_updates_per_sec": int(round(rates["batch"])),
+        "fused_plan_updates_per_sec": int(round(rates["fused"])),
+        "coalesced_plan_updates_per_sec": int(round(rates["coalesced"])),
+        "fused_over_batch": round(rates["fused"] / rates["batch"], 3),
+        "verdict": "plan_shared_only stays: solo plans do not pay for "
+                   "themselves on the frequency vector",
+    }
 
 
 #: The skew sweep measures the chunk-planning layer where it matters:
@@ -285,14 +386,13 @@ def _measure_skew(chunk_size: int = CHUNK, m: int = M) -> dict:
         stream = zipfian_insertion_stream(N, m, skew=skew, seed=17)
         rows = {}
         for name in SKEW_STRUCTURES:
-            make, _ = SKETCHES[name]
+            make = _factory(name)
             coalesced = measure_throughput(
-                stream, lambda make=make: make(np.random.default_rng(1)),
-                chunk_size=chunk_size, repeats=3,
+                stream, make, chunk_size=chunk_size, repeats=3,
             )
             uncoalesced = measure_throughput(
-                stream, lambda make=make: make(np.random.default_rng(1)),
-                chunk_size=chunk_size, coalesce=False, repeats=3,
+                stream, make, chunk_size=chunk_size, coalesce=False,
+                repeats=3,
             )
             rows[name] = {
                 "coalesced_updates_per_sec": int(
@@ -360,6 +460,15 @@ def test_throughput_artifact():
             f"{name}: batch path only {speedup}x the scalar loop "
             f"(need >= {bar}x at chunk {CHUNK})"
         )
+    session = report["session"]
+    assert session["identical_states"], (
+        "push-mode session states diverged from offline replay_many"
+    )
+    assert session["session_over_offline"] >= SESSION_MIN_RATIO, (
+        f"push-mode ingestion only {session['session_over_offline']}x the "
+        f"offline replay_many rate (need >= {SESSION_MIN_RATIO}x at chunk "
+        f"{CHUNK})"
+    )
     skew_rows = report["skew_sweep"][f"skew_{SKEW_ACCEPT_LEVEL}"]["results"]
     winners = [
         name for name, row in skew_rows.items()
@@ -402,6 +511,12 @@ def run_smoke() -> int:
         with_sharded=False, with_skew=False,
     )
     failures = []
+    # The facade gate: push-mode must be bit-identical to replay_many
+    # (its ratio is asserted only in the full artifact run — smoke
+    # sizes are too small for a wall-clock bar).
+    if not report["session"]["identical_states"]:
+        print("session FAIL: push-mode states diverged from replay_many")
+        failures.append("session")
     width = max(len(k) for k in report["results"])
     for name in REQUIRED_SPEEDUP:
         row = report["results"][name]
@@ -448,10 +563,9 @@ def run_floor_check() -> int:
     failures = []
     width = max(len(k) for k in recorded)
     for name, row in recorded.items():
-        make, kind = SKETCHES[name]
+        kind = SKETCHES[name][2]
         measured = measure_throughput(
-            streams[kind], lambda make=make: make(np.random.default_rng(1)),
-            chunk_size=CHUNK, repeats=3,
+            streams[kind], _factory(name), chunk_size=CHUNK, repeats=3,
         ).updates_per_sec
         floor = FLOOR_FRACTION * row["batch_updates_per_sec"]
         status = "ok" if measured >= floor else "FAIL"
@@ -499,6 +613,22 @@ def main(argv: list[str] | None = None) -> int:
             f"  batch {row['batch_updates_per_sec']:>10,}/s"
             f"  speedup {row['speedup']:>6.1f}x{extra}"
         )
+    session = report["session"]
+    print(
+        f"session push-mode ({'+'.join(session['battery'])}, push "
+        f"{session['push_size']}): offline "
+        f"{session['offline_updates_per_sec']:,}/s  pushed "
+        f"{session['session_updates_per_sec']:,}/s  ratio "
+        f"x{session['session_over_offline']:.3f}  "
+        f"identical={session['identical_states']}"
+    )
+    fv = report["fv_solo_plan"]
+    print(
+        f"fv solo folds: batch {fv['batch_updates_per_sec']:,}/s  fused "
+        f"{fv['fused_plan_updates_per_sec']:,}/s  coalesced "
+        f"{fv['coalesced_plan_updates_per_sec']:,}/s  "
+        f"(fused/batch x{fv['fused_over_batch']:.3f})"
+    )
     for key, block in report["skew_sweep"].items():
         rows = block["results"]
         gains = ", ".join(

@@ -7,11 +7,11 @@ server's, so the surviving frequency vector is supported exactly on the
 *dirty* blocks.  Even when half the file differs, alpha stays around 2 —
 the regime where the paper's algorithms shine.
 
-This example uses:
+One StreamSession answers all three sync questions in a single pass:
 
-* AlphaSupportSampler (Figure 8) to enumerate dirty blocks for resync,
-* AlphaL0Estimator (Figure 7) to size the resync up front,
-* AlphaL1EstimatorStrict (Figure 4) to bound the total block-difference
+* AlphaSupportSampler (Figure 8) enumerates dirty blocks for resync,
+* AlphaL0Estimator (Figure 7) sizes the resync up front,
+* AlphaL1EstimatorStrict (Figure 4) bounds the total block-difference
   mass with a few dozen bits of state.
 
 Run:  python examples/database_sync_rdc.py
@@ -21,18 +21,10 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import (
-    AlphaL0Estimator,
-    AlphaL1EstimatorStrict,
-    AlphaSupportSampler,
-    l0_alpha,
-    l1_alpha,
-    rdc_sync_stream,
-)
+from repro import StreamSession, l0_alpha, l1_alpha, rdc_sync_stream
 
 
 def main() -> None:
-    rng = np.random.default_rng(23)
     n = 1 << 16  # block-hash universe
     blocks = 3000
     dirty_fraction = 0.2
@@ -46,28 +38,34 @@ def main() -> None:
     print(f"L1 alpha = {l1_alpha(sync):.1f}, L0 alpha = {a_l0:.1f}")
     print(f"dirty blocks (support) = {truth.l0()}")
 
+    want = 25
+    session = (
+        StreamSession(n=n, seed=23)
+        .track("resync_size", "alpha_l0", eps=0.15, alpha=a_l0)
+        .track("dirty_blocks", "support_sampler", k=want, alpha=a_l0)
+        .track("difference_mass", "l1_strict", eps=0.1,
+               alpha=max(2.0, l1_alpha(sync)))
+    )
+    session.push_stream(sync)
+
     print("\n=== size the resync before moving bytes (L0 estimation) ===")
-    l0_est = AlphaL0Estimator(n=n, eps=0.15, alpha=a_l0, rng=rng).consume(sync)
-    print(f"estimated dirty blocks: {l0_est.estimate():.0f} "
+    print(f"estimated dirty blocks: {session.query('resync_size'):.0f} "
           f"(true {truth.l0()})")
-    print(f"estimator keeps only rows {l0_est.live_rows()} "
+    print(f"estimator keeps only rows {session['resync_size'].live_rows()} "
           f"of the {int(np.log2(n))}-row turnstile baseline")
 
     print("\n=== enumerate dirty blocks to ship (support sampling) ===")
-    want = 25
-    ss = AlphaSupportSampler(n=n, k=want, alpha=a_l0, rng=rng).consume(sync)
-    dirty = ss.sample()
+    dirty = session.query("dirty_blocks")
     valid = dirty <= truth.support()
     print(f"requested {want}, recovered {len(dirty)} dirty block ids "
           f"(all genuinely dirty: {valid})")
     print(f"first few: {sorted(dirty)[:8]}")
 
     print("\n=== total difference mass (strict-turnstile L1) ===")
-    l1_est = AlphaL1EstimatorStrict(
-        alpha=max(2.0, l1_alpha(sync)), eps=0.1, rng=rng
-    ).consume(sync)
-    print(f"||f||_1 estimate = {l1_est.estimate():.0f} (true {truth.l1()}) "
-          f"using {l1_est.space_bits()} bits of state")
+    est = session.query("difference_mass")
+    bits = session.space_report()["difference_mass"]
+    print(f"||f||_1 estimate = {est:.0f} (true {truth.l1()}) "
+          f"using {bits} bits of state")
 
     print("\nWith alpha ~= 2 the client can verify a resync with sketches "
           "a log(n)/log(alpha) factor smaller than turnstile ones.")

@@ -6,14 +6,18 @@ monitored stream is the *difference* between the current and baseline
 connection histograms, so the benign traffic largely cancels while the
 attack mass survives — precisely the bounded-deletion regime.
 
-Pipeline demonstrated:
+Pipeline demonstrated (all through the push-based facade a live
+monitor would use):
 
 1. build a baseline-vs-attack connection delta stream,
 2. confirm the α-property the detection budget relies on,
-3. flag attack victims with AlphaL2HeavyHitters (volumetric anomalies —
-   the L2 threshold reacts faster to concentrated spikes than L1),
-4. count distinct attacking sources with AlphaL0Estimator, and
-5. run the whole battery in one pass with StreamRunner, comparing space.
+3. ingest it *incrementally* through a StreamSession — the monitor
+   sees packets arrive, not a finished stream,
+4. snapshot the session mid-stream (pickle-free state dict), restore
+   it, and continue — the failover path of a production monitor —
+   verifying the answers are unaffected,
+5. flag attack victims with AlphaL2HeavyHitters, count distinct
+   attacking sources with AlphaL0Estimator, and compare space.
 
 Run:  python examples/ddos_detection.py
 """
@@ -22,16 +26,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import (
-    AlphaHeavyHitters,
-    AlphaL0Estimator,
-    AlphaL2HeavyHitters,
-    Stream,
-    Update,
-    l0_alpha,
-    l1_alpha,
-)
-from repro.streams.io import StreamRunner
+from repro import Stream, StreamSession, Update, l0_alpha, l1_alpha
 
 
 def build_attack_stream(
@@ -57,7 +52,6 @@ def build_attack_stream(
 
 
 def main() -> None:
-    rng = np.random.default_rng(99)
     n = 1 << 14
     stream = build_attack_stream(
         n, benign_flows=900, victims=4, attack_volume=400, seed=5
@@ -70,36 +64,47 @@ def main() -> None:
     print("(bounded because the attack volume is not arbitrarily small "
           "relative to baseline churn)")
 
-    print("\n=== one-pass battery via StreamRunner ===")
+    print("\n=== push-based monitoring session ===")
     alpha = min(64.0, max(2.0, a1))
-    runner = (
-        StreamRunner()
-        .register("l2_heavy", AlphaL2HeavyHitters(
-            n, eps=0.3, alpha=2.0, rng=rng))
-        .register("l1_heavy", AlphaHeavyHitters(
-            n, eps=0.1, alpha=alpha, rng=rng, strict_turnstile=False))
-        .register("distinct", AlphaL0Estimator(
-            n, eps=0.15, alpha=max(2.0, l0_alpha(stream)), rng=rng))
-        .run(stream)
+    session = (
+        StreamSession(n=n, seed=99)
+        .track("l2_heavy", "l2_heavy_hitters", eps=0.3, alpha=2.0)
+        .track("l1_heavy", "heavy_hitters_general", eps=0.1, alpha=alpha)
+        .track("distinct", "alpha_l0", eps=0.15,
+               alpha=max(2.0, l0_alpha(stream)))
     )
+    items, deltas = stream.as_arrays()
+    half = len(items) // 2
+    # The monitor ingests whatever the wire delivers...
+    for pos in range(0, half, 257):
+        session.push(items[pos:pos + 257], deltas[pos:pos + 257])
+    print(f"ingested {session.updates_processed} updates "
+          f"({session.pending} buffered)")
+
+    print("\n=== mid-stream failover: snapshot -> restore -> continue ===")
+    payload = session.snapshot()  # versioned dict of arrays, no pickle
+    session = StreamSession.restore(payload)
+    print(f"restored session with consumers {session.names()}")
+    for pos in range(half, len(items), 257):
+        session.push(items[pos:pos + 257], deltas[pos:pos + 257])
 
     victims_true = truth.heavy_hitters(0.3, p=2)
-    flagged = runner["l2_heavy"].heavy_hitters()
-    print(f"true attack victims (L2-heavy): {sorted(victims_true)}")
+    flagged = session.query("l2_heavy")
+    print(f"\ntrue attack victims (L2-heavy): {sorted(victims_true)}")
     print(f"flagged by sketch:              {sorted(flagged)}")
     print(f"victims caught: {len(victims_true & flagged)}"
           f"/{len(victims_true)}")
 
-    l1_flags = runner["l1_heavy"].heavy_hitters()
+    l1_flags = session.query("l1_heavy")
     print(f"\nL1-heavy deltas flagged: {len(l1_flags)} "
           "(coarser; includes large benign drift)")
 
-    distinct = runner["distinct"].estimate()
+    distinct = session.query("distinct")
     print(f"\ndistinct changed flows estimate: {distinct:.0f} "
           f"(true {truth.l0()})")
 
     print("\n=== space report (bits) ===")
-    for name, bits in runner.space_report().items():
+    for name, bits in session.space_report().items():
         print(f"  {name:<10} {bits}")
 
 

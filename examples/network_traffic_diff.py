@@ -9,8 +9,11 @@ tiny.  This example:
 
 1. synthesizes two correlated traffic snapshots and streams f1 - f2,
 2. measures the achieved alpha,
-3. finds the changed flows with AlphaHeavyHitters,
-4. sizes the change with the general-turnstile L1 estimator, and
+3. runs heavy hitters + the general-turnstile L1 estimator in one
+   push-based StreamSession,
+4. shows *distributed* monitoring: two vantage points each run their
+   own session over half the traffic and the sessions MERGE (the
+   Mergeable ladder — exactly what ``replay_sharded`` does per shard),
 5. estimates the similarity of the two snapshots via the inner-product
    sketch of Theorem 2 (a self-join-size style query).
 
@@ -22,16 +25,28 @@ from __future__ import annotations
 import numpy as np
 
 from repro import (
-    AlphaHeavyHitters,
     AlphaInnerProduct,
-    AlphaL1EstimatorGeneral,
+    Params,
+    StreamSession,
     l1_alpha,
     traffic_difference_stream,
 )
 
 
+def make_session(n: int, params: Params, node: int) -> StreamSession:
+    """Both vantage points build THE SAME specs and params (one root
+    seed = value-equal hash functions, the precondition for merging)
+    but a DISTINCT node index, so their sampling structures draw
+    independent sampling streams and the merged estimate's sampling
+    errors cancel instead of correlating."""
+    return (
+        StreamSession(n=n, params=params, node=node)
+        .track("changed_flows", "heavy_hitters_general")
+        .track("change_mass", "l1_general")
+    )
+
+
 def main() -> None:
-    rng = np.random.default_rng(11)
     n = 1 << 14  # universe of flow identifiers
     flows = 800
     change_fraction = 0.06
@@ -47,28 +62,36 @@ def main() -> None:
           "(small because changes are not arbitrarily tiny — Section 1)")
     print(f"changed flows (support of f): {truth.l0()}")
 
-    print("\n=== which flows changed the most? (heavy hitters) ===")
+    print("\n=== two vantage points, merged sessions ===")
     eps = 1 / 8
-    hh = AlphaHeavyHitters(
-        n=n, eps=eps, alpha=min(alpha, 64), rng=rng, strict_turnstile=False
-    ).consume(diff)
-    reported = hh.heavy_hitters()
+    params = Params(n=n, eps=eps, alpha=min(alpha, 64), seed=11)
+    east, west = make_session(n, params, 0), make_session(n, params, 1)
+    items, deltas = diff.as_arrays()
+    half = len(items) // 2
+    east.push(items[:half], deltas[:half])
+    west.push(items[half:], deltas[half:])
+    print(f"east saw {east.updates_processed} updates, "
+          f"west {west.updates_processed}")
+    merged = east.merge(west)
+    print(f"merged session covers {merged.updates_processed} updates")
+
+    print("\n=== which flows changed the most? (heavy hitters) ===")
+    reported = merged.query("changed_flows")
     true_heavy = truth.heavy_hitters(eps)
     print(f"true eps-heavy changed flows: {len(true_heavy)}")
     print(f"reported: {len(reported)}  "
           f"(recall: {len(true_heavy & reported)}/{len(true_heavy)})")
+    hh = merged["changed_flows"]
     for flow in sorted(true_heavy)[:5]:
         print(f"  flow {flow}: true change {int(truth.f[flow]):+d}, "
               f"estimated {hh.query(flow):+.0f}")
 
     print("\n=== total traffic change (general-turnstile L1) ===")
-    l1_est = AlphaL1EstimatorGeneral(
-        n=n, eps=0.3, alpha=min(alpha, 64), rng=rng
-    ).consume(diff)
-    print(f"||f1 - f2||_1 estimate = {l1_est.estimate():.0f} "
+    print(f"||f1 - f2||_1 estimate = {merged.query('change_mass'):.0f} "
           f"(true {truth.l1()})")
 
     print("\n=== cross-interval correlation (inner product, Theorem 2) ===")
+    rng = np.random.default_rng(11)
     day1 = traffic_difference_stream(n=n, flows=400, change_fraction=0.3, seed=5)
     day2 = traffic_difference_stream(n=n, flows=400, change_fraction=0.3, seed=6)
     t1, t2 = day1.frequency_vector(), day2.frequency_vector()

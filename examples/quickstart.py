@@ -2,28 +2,21 @@
 """Quickstart: the bounded-deletion model in five minutes.
 
 Builds an alpha-property stream, measures its alpha, and runs the three
-headline algorithms (heavy hitters, L1 estimation, L0 estimation) side by
-side with exact ground truth.
+headline algorithms (heavy hitters, L1 estimation, L0 estimation) in
+ONE pass through the public facade: a :class:`repro.api.StreamSession`
+with three registry-built sketches, pushed updates the way a live
+pipeline would deliver them, queried uniformly, compared against exact
+ground truth.
 
 Run:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro import (
-    AlphaHeavyHitters,
-    AlphaL0Estimator,
-    AlphaL1EstimatorStrict,
-    bounded_deletion_stream,
-    l0_alpha,
-    l1_alpha,
-)
+from repro import StreamSession, bounded_deletion_stream, l0_alpha, l1_alpha
 
 
 def main() -> None:
-    rng = np.random.default_rng(7)
     n = 1 << 12
     alpha = 4
 
@@ -35,32 +28,39 @@ def main() -> None:
     print(f"measured L0 alpha = {l0_alpha(stream):.2f}")
     print(f"ground truth: ||f||_1 = {truth.l1()}, ||f||_0 = {truth.l0()}")
 
-    print("\n=== L1 heavy hitters (Section 3) ===")
+    print("\n=== one session, three sketches, one pass ===")
     eps = 1 / 16
-    hh = AlphaHeavyHitters(n=n, eps=eps, alpha=alpha, rng=rng)
-    hh.consume(stream)
-    got = sorted(hh.heavy_hitters())
+    session = (
+        StreamSession(n=n, seed=7)
+        .track("heavy_hitters", eps=eps, alpha=float(alpha))
+        .track("l1_strict", eps=0.1, alpha=float(alpha))
+        .track("l0", "alpha_l0", eps=0.1, alpha=float(alpha))
+    )
+    # A live pipeline pushes whatever the wire delivers; estimates are
+    # identical for every push granularity (the batch contract).
+    items, deltas = stream.as_arrays()
+    for pos in range(0, len(items), 3_000):
+        session.push(items[pos:pos + 3_000], deltas[pos:pos + 3_000])
+    print(f"pushed {session.updates_processed} updates in slices of 3000")
+
+    print("\n=== L1 heavy hitters (Section 3) ===")
+    got = sorted(session.query("heavy_hitters"))
     want = sorted(truth.heavy_hitters(eps))
     print(f"eps = {eps}: true heavy hitters   {want}")
     print(f"          reported (>= eps/2)  {got}")
-    print(f"          sketch size: {hh.space_bits()} bits")
 
     print("\n=== strict-turnstile L1 estimation (Figure 4) ===")
-    l1_est = AlphaL1EstimatorStrict(alpha=alpha, eps=0.1, rng=rng)
-    l1_est.consume(stream)
-    print(f"estimate = {l1_est.estimate():.0f} (true {truth.l1()})")
-    print(f"sketch size: {l1_est.space_bits()} bits "
-          "(yes, bits — this is the O(log(alpha/eps) + loglog n) result)")
+    print(f"estimate = {session.query('l1_strict'):.0f} (true {truth.l1()})")
 
     print("\n=== L0 estimation (Figure 7) ===")
-    l0_est = AlphaL0Estimator(n=n, eps=0.1, alpha=alpha, rng=rng)
-    l0_est.consume(stream)
-    print(f"estimate = {l0_est.estimate():.0f} (true {truth.l0()})")
-    print(f"live KNW rows: {l0_est.live_rows()}")
-    print("(the row window is O(log(alpha/eps)); at this small log n it "
-          "covers everything — see examples/sensor_fleet_l0.py and the "
-          "benchmarks for the regime where it wins)")
-    print(f"sketch size: {l0_est.space_bits()} bits")
+    print(f"estimate = {session.query('l0'):.0f} (true {truth.l0()})")
+    print(f"live KNW rows: {session['l0'].live_rows()}")
+
+    print("\n=== space report (bits) ===")
+    for name, bits in session.space_report().items():
+        print(f"  {name:<14} {bits}")
+    print("(the alpha-property counters are capped by the sample budget "
+          "— this is the log(n) -> log(alpha/eps) saving of the paper)")
 
 
 if __name__ == "__main__":

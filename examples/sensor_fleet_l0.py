@@ -6,13 +6,14 @@ tracking, water-flow monitoring) cluster in a bounded set of regions, so
 the ratio F0/L0 — cells ever visited vs cells currently occupied — stays
 small even as sensors move.  That is exactly the L0 alpha-property.
 
-This example simulates churn rounds, then answers with sketches:
+This example simulates churn rounds, pushing each round into one
+StreamSession the way a fleet gateway would, then answers:
 
 * how many cells are occupied right now (AlphaL0Estimator),
 * a constant-factor occupancy reading with O(log alpha) live levels
   (AlphaConstL0Estimator, Lemma 20),
 * which cells are occupied (AlphaSupportSampler),
-* an L1 sample of per-cell population mass (AlphaL1Sampler) on a
+* an L1 sample of per-cell population mass (AlphaL1MultiSampler) on a
   strong-alpha population stream.
 
 Run:  python examples/sensor_fleet_l0.py
@@ -23,10 +24,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro import (
-    AlphaConstL0Estimator,
-    AlphaL0Estimator,
-    AlphaL1MultiSampler,
-    AlphaSupportSampler,
+    StreamSession,
     l0_alpha,
     sensor_occupancy_stream,
     strong_alpha,
@@ -35,7 +33,6 @@ from repro import (
 
 
 def main() -> None:
-    rng = np.random.default_rng(31)
     n = 1 << 16  # grid cells
     sensors = 600
 
@@ -50,20 +47,31 @@ def main() -> None:
     print(f"cells occupied now (L0) = {truth.l0()}")
     print(f"measured L0 alpha = F0/L0 = {alpha:.2f}")
 
-    print("\n=== precise occupancy count (Figure 7) ===")
-    l0_est = AlphaL0Estimator(n=n, eps=0.12, alpha=alpha, rng=rng).consume(fleet)
-    print(f"estimate = {l0_est.estimate():.0f} (true {truth.l0()})")
-    print(f"live rows: {l0_est.live_rows()} out of log(n) = {int(np.log2(n))}")
+    print("\n=== gateway session: three occupancy answers, one pass ===")
+    session = (
+        StreamSession(n=n, seed=31)
+        .track("occupancy", "alpha_l0", eps=0.12, alpha=alpha)
+        .track("occupancy_rough", "alpha_const_l0", alpha=alpha)
+        .track("occupied_cells", "support_sampler", k=15, alpha=alpha)
+    )
+    items, deltas = fleet.as_arrays()
+    # Rounds arrive as they happen; push granularity is the wire's.
+    for pos in range(0, len(items), 500):
+        session.push(items[pos:pos + 500], deltas[pos:pos + 500])
 
-    print("\n=== cheap constant-factor occupancy (Lemma 20) ===")
-    const_est = AlphaConstL0Estimator(n=n, alpha=alpha, rng=rng).consume(fleet)
-    print(f"rough estimate = {const_est.estimate():.0f} "
-          f"in {const_est.space_bits()} bits")
+    print("precise occupancy count (Figure 7):")
+    print(f"  estimate = {session.query('occupancy'):.0f} "
+          f"(true {truth.l0()})")
+    print(f"  live rows: {session['occupancy'].live_rows()} out of "
+          f"log(n) = {int(np.log2(n))}")
 
-    print("\n=== which cells are occupied? (Figure 8) ===")
-    ss = AlphaSupportSampler(n=n, k=15, alpha=alpha, rng=rng).consume(fleet)
-    cells = ss.sample()
-    print(f"sampled {len(cells)} occupied cells, "
+    print("cheap constant-factor occupancy (Lemma 20):")
+    print(f"  rough estimate = {session.query('occupancy_rough'):.0f} "
+          f"in {session['occupancy_rough'].space_bits()} bits")
+
+    print("which cells are occupied? (Figure 8):")
+    cells = session.query("occupied_cells")
+    print(f"  sampled {len(cells)} occupied cells, "
           f"all valid: {cells <= truth.support()}")
 
     print("\n=== population-mass sampling (Figure 3, strong alpha) ===")
@@ -73,10 +81,13 @@ def main() -> None:
                               seed=19)
     pop_truth = pop.frequency_vector()
     print(f"population stream strong alpha = {strong_alpha(pop):.2f}")
-    sampler = AlphaL1MultiSampler(
-        n=1 << 10, eps=0.25, alpha=3, rng=rng, copies=24
-    ).consume(pop)
-    out = sampler.sample()
+    pop_session = (
+        StreamSession(n=1 << 10, seed=31)
+        .track("mass_sample", "l1_multi_sampler", eps=0.25, alpha=3.0,
+               copies=24)
+    )
+    pop_session.push_stream(pop)
+    out = pop_session.query("mass_sample")
     if out is None:
         print("sampler returned FAIL on every attempt (probability < delta)")
     else:

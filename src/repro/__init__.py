@@ -8,22 +8,43 @@ The package implements the paper's α-property streaming algorithms
 :mod:`repro.space`), and executable versions of the Section 8 lower-bound
 reductions (:mod:`repro.lowerbounds`).
 
-Quickstart::
+Quickstart — the push-based facade (:mod:`repro.api`) is the public
+surface: build sketches by name from the spec registry, push updates at
+whatever granularity they arrive, query uniformly, snapshot anywhere::
 
-    import numpy as np
-    from repro import AlphaHeavyHitters, bounded_deletion_stream
+    from repro import StreamSession, bounded_deletion_stream
 
     stream = bounded_deletion_stream(n=1 << 14, m=100_000, alpha=4, seed=7)
-    hh = AlphaHeavyHitters(
-        n=stream.n, eps=1 / 16, alpha=4, rng=np.random.default_rng(0)
-    ).consume(stream)
-    print(hh.heavy_hitters())
+    session = (
+        StreamSession(n=stream.n, seed=0)
+        .track("heavy_hitters", eps=1 / 16, alpha=4.0)
+        .track("l1_strict", alpha=4.0)
+    )
+    session.push_stream(stream)          # or push(items, deltas) live
+    print(session.query("heavy_hitters"), session.query("l1_strict"))
+
+Direct constructors (``AlphaHeavyHitters(...).consume(stream)``) keep
+working — the facade builds on them, it does not replace them.
 
 Navigation: ``docs/PAPER_MAP.md`` cross-references every theorem and
 figure of the paper to its module, test, and benchmark;
-``docs/ARCHITECTURE.md`` covers the layering, the batch pipeline, and
-the merge/shard semantics (``replay_sharded``, :class:`Mergeable`).
+``docs/ARCHITECTURE.md`` covers the layering, the public facade, the
+batch pipeline, and the merge/shard semantics (``replay_sharded``,
+:class:`Mergeable`).
 """
+
+from repro.api import (
+    Capabilities,
+    Params,
+    SketchSpec,
+    StreamSession,
+    get_spec,
+    restore,
+    rng_for,
+    shard_factory,
+    snapshot,
+    specs,
+)
 
 from repro.batch import (
     BatchSketch,
@@ -93,6 +114,16 @@ from repro.streams import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "Capabilities",
+    "Params",
+    "SketchSpec",
+    "StreamSession",
+    "get_spec",
+    "restore",
+    "rng_for",
+    "shard_factory",
+    "snapshot",
+    "specs",
     "BatchSketch",
     "Mergeable",
     "ScalarLoopBatchUpdateMixin",

@@ -1,0 +1,49 @@
+"""repro.api — the public facade: registry, sessions, snapshots.
+
+One import point for driving the whole stack without touching
+individual constructors:
+
+* :mod:`repro.api.registry` — :class:`Params`, :class:`SketchSpec`,
+  the ``name -> factory`` registry (:func:`get_spec` / :func:`specs` /
+  :func:`build`), the root-seed RNG policy (:func:`rng_for`), and
+  picklable :func:`shard_factory` builders for sharded replay;
+* :mod:`repro.api.session` — :class:`StreamSession`: push-based
+  ingestion, shared chunk plans across consumers, uniform ``query``,
+  ``merge`` across sessions, and whole-session snapshots;
+* :mod:`repro.api.serialize` — pickle-free, versioned state-dict
+  :func:`snapshot` / :func:`restore` for every structure.
+
+>>> from repro.api import Params, StreamSession
+>>> session = StreamSession(n=128, seed=5).track("l1_strict", alpha=2.0)
+>>> _ = session.push([1, 2, 1], [1, 1, 1])
+>>> session.query("l1_strict") >= 0
+True
+"""
+
+from repro.api.registry import (
+    Capabilities,
+    Params,
+    SketchSpec,
+    build,
+    get_spec,
+    rng_for,
+    shard_factory,
+    specs,
+)
+from repro.api.serialize import FORMAT_VERSION, restore, snapshot
+from repro.api.session import StreamSession
+
+__all__ = [
+    "Capabilities",
+    "Params",
+    "SketchSpec",
+    "StreamSession",
+    "FORMAT_VERSION",
+    "build",
+    "get_spec",
+    "restore",
+    "rng_for",
+    "shard_factory",
+    "snapshot",
+    "specs",
+]

@@ -1,0 +1,462 @@
+"""Push-based ingestion: the ``StreamSession`` facade.
+
+The replay engine (:mod:`repro.streams.engine`) assumes the whole
+:class:`~repro.streams.model.Stream` exists up front.  Live systems —
+the DDoS monitors and 802.11 measurement pipelines the paper cites —
+see updates *arrive*: a session must accept pushes of whatever size the
+wire delivers, keep every registered sketch current, and still hit the
+batch pipeline's throughput.  :class:`StreamSession` is that surface:
+
+* ``push(items, deltas)`` buffers partial chunks and dispatches full
+  ones through one shared :class:`~repro.streams.plan.ChunkPlan` per
+  chunk, exactly like ``replay_many`` — every registered consumer
+  shares the chunk's unique items and cached hash evaluations;
+* by the batch/plan contracts (state equals the scalar loop for every
+  chunking, randomness included) the sketches are **bit-identical to
+  an offline ``replay_many``** of the concatenated pushes, at every
+  push granularity — queries mid-stream flush the partial buffer and
+  never change any future estimate;
+* ``merge(other)`` folds a sibling session (same specs, same root
+  seed) through each sketch's :class:`~repro.batch.Mergeable` ladder —
+  distributed sessions aggregate exactly like ``replay_sharded``
+  shards;
+* ``query(name)`` answers through the registry's uniform query hooks;
+* ``snapshot()`` / :meth:`StreamSession.restore` round-trip the whole
+  session through the pickle-free state dicts of
+  :mod:`repro.api.serialize`, and ingestion *continues* bit-identically
+  after a restore.
+
+>>> import numpy as np
+>>> session = StreamSession(n=256, seed=7).track("countmin")
+>>> _ = session.push([3, 9, 3], [2, 1, 5]).flush()
+>>> session["countmin"].query(3)
+7
+>>> restored = StreamSession.restore(session.snapshot())
+>>> restored["countmin"].query(3)
+7
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+import numpy as np
+
+from repro.api.registry import (
+    PARAM_FIELDS,
+    Params,
+    SketchSpec,
+    get_spec,
+)
+from repro.api.serialize import FORMAT_VERSION, restore as _restore_state
+from repro.api.serialize import snapshot as _snapshot_state
+from repro.batch import (
+    DEFAULT_CHUNK_SIZE,
+    as_update_arrays,
+    supports_merge,
+    supports_plan,
+)
+from repro.streams.engine import _feed
+from repro.streams.plan import ChunkPlanner
+
+
+def _query_for_type(cls: type) -> Callable[[Any], Any] | None:
+    """The registry query hook for a sketch class, when one spec
+    declares it (prebuilt sketches added via ``add`` get the same
+    uniform answer surface as tracked ones)."""
+    from repro.api.registry import specs
+
+    for spec in specs():
+        if spec.cls is cls and spec.query is not None:
+            return spec.query
+    return None
+
+
+class QueryNotSupported(TypeError):
+    """A consumer has no no-argument headline answer (point-query
+    structures); ``query_all`` skips these, real hook failures raise."""
+
+
+def _default_query(sketch: Any):
+    """The fallback answer surface for spec-less consumers: the common
+    estimator verbs, in order of specificity (verbs whose signatures
+    need arguments are skipped; a verb that *accepts* a bare call but
+    then fails raises loudly — that is a real error, not a skip)."""
+    import inspect
+
+    for verb in ("estimate", "heavy_hitters", "sample"):
+        fn = getattr(sketch, verb, None)
+        if not callable(fn):
+            continue
+        try:
+            inspect.signature(fn).bind()
+        except TypeError:
+            continue  # needs arguments: not a headline answer
+        except ValueError:
+            pass  # no retrievable signature: attempt the call
+        return fn()
+    raise QueryNotSupported(
+        f"{type(sketch).__name__} has no no-argument answer surface; "
+        "access the structure via session[name] and use its query methods"
+    )
+
+
+class StreamSession:
+    """One push-based ingestion surface for many sketches.
+
+    Parameters
+    ----------
+    n:
+        Universe size (every pushed item must lie in ``[0, n)``).
+    seed:
+        Root seed for registry-built consumers (ignored when an
+        explicit ``params`` is given).
+    params:
+        Base :class:`~repro.api.registry.Params` for ``track``; its
+        ``n`` must match the session universe.
+    chunk_size:
+        Dispatch granularity — a pure throughput knob: estimates are
+        identical for every value, by the batch contract.
+    coalesce:
+        ``False`` bypasses the chunk-planning layer (the engine's
+        ``--no-coalesce`` escape hatch).
+    node:
+        This session's index among merging siblings — the session
+        analogue of ``replay_sharded``'s shard index.  Node 0 keeps the
+        single-replay sampling streams; every other node reroots its
+        sampling-seeded structures (CSSS, heavy hitters, general L1)
+        so sibling sessions sample *independently* while still sharing
+        hash seeds — without distinct nodes, same-params siblings
+        consume identical sampling streams and their sampling errors
+        are correlated instead of cancelling in the merge.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        *,
+        seed: int = 0,
+        params: Params | None = None,
+        chunk_size: int | None = None,
+        coalesce: bool = True,
+        node: int = 0,
+    ) -> None:
+        if chunk_size is None:
+            chunk_size = DEFAULT_CHUNK_SIZE
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be positive")
+        if params is None:
+            params = Params(n=int(n), seed=seed)
+        elif params.n != int(n):
+            raise ValueError(
+                f"params.n ({params.n}) does not match the session "
+                f"universe ({int(n)})"
+            )
+        if node < 0:
+            raise ValueError("node must be non-negative")
+        self.n = int(n)
+        self.params = params
+        self.node = int(node)
+        self.chunk_size = int(chunk_size)
+        self.coalesce = bool(coalesce)
+        self.updates_processed = 0
+        self._sketches: dict[str, Any] = {}
+        self._queries: dict[str, Callable[[Any], Any] | None] = {}
+        self._spec_names: dict[str, str | None] = {}
+        self._planner: ChunkPlanner | None = None
+        self._plan_dirty = True
+        self._buf_items = np.empty(self.chunk_size, dtype=np.int64)
+        self._buf_deltas = np.empty(self.chunk_size, dtype=np.int64)
+        self._fill = 0
+
+    # -- consumer registration ----------------------------------------------
+    def add(self, name: str, sketch: Any,
+            query: Callable[[Any], Any] | None = None) -> "StreamSession":
+        """Register an already-built sketch under ``name``.
+
+        >>> from repro.streams.model import FrequencyVector
+        >>> StreamSession(n=8).add("truth", FrequencyVector(8)).names()
+        ['truth']
+        """
+        if name in self._sketches:
+            raise ValueError(f"duplicate consumer name {name!r}")
+        if not callable(getattr(sketch, "update", None)):
+            raise TypeError(f"{type(sketch).__name__} has no update method")
+        self._sketches[name] = sketch
+        self._queries[name] = query or _query_for_type(type(sketch))
+        self._spec_names[name] = None
+        self._plan_dirty = True
+        return self
+
+    def track(self, name: str, spec: str | SketchSpec | None = None,
+              **overrides) -> "StreamSession":
+        """Build a registry sketch and register it under ``name``.
+
+        ``spec`` defaults to ``name``.  Keyword overrides that are
+        :class:`~repro.api.registry.Params` fields (``eps``, ``delta``,
+        ``alpha``, ``seed``) refine the session's base params; anything
+        else passes through to the structure's constructor.
+
+        >>> s = StreamSession(n=64, seed=1).track("heavy_hitters",
+        ...                                       eps=0.25, alpha=2.0)
+        >>> type(s["heavy_hitters"]).__name__
+        'AlphaHeavyHitters'
+        """
+        resolved = (
+            spec if isinstance(spec, SketchSpec)
+            else get_spec(spec if spec is not None else name)
+        )
+        param_changes = {
+            k: overrides.pop(k) for k in list(overrides)
+            if k in PARAM_FIELDS
+        }
+        if "n" in param_changes and param_changes["n"] != self.n:
+            raise ValueError("cannot override n away from the session "
+                             "universe")
+        params = self.params.replace(**param_changes)
+        self.add(name,
+                 resolved.build(params, shard_index=self.node, **overrides),
+                 query=resolved.query)
+        self._spec_names[name] = resolved.name
+        return self
+
+    def names(self) -> list[str]:
+        """Registered consumer names, in registration order."""
+        return list(self._sketches)
+
+    def __getitem__(self, name: str) -> Any:
+        return self._sketches[name]
+
+    def results(self) -> dict[str, Any]:
+        """Name -> sketch mapping (the live objects, not copies)."""
+        return dict(self._sketches)
+
+    def space_report(self) -> dict[str, int]:
+        """``space_bits`` per consumer (skips structures without)."""
+        out = {}
+        for name, sketch in self._sketches.items():
+            fn = getattr(sketch, "space_bits", None)
+            if callable(fn):
+                out[name] = int(fn())
+        return out
+
+    # -- ingestion -----------------------------------------------------------
+    def _refresh_planner(self) -> None:
+        if self._plan_dirty:
+            wants_plan = self.coalesce and any(
+                supports_plan(s) for s in self._sketches.values()
+            )
+            if wants_plan and self._planner is None:
+                self._planner = ChunkPlanner(self.n)
+            elif not wants_plan:
+                self._planner = None
+            self._plan_dirty = False
+
+    def _dispatch(self, items: np.ndarray, deltas: np.ndarray) -> None:
+        plan = (
+            self._planner.plan(items, deltas)
+            if self._planner is not None
+            else None
+        )
+        for sketch in self._sketches.values():
+            _feed(sketch, items, deltas, plan)
+
+    def push(self, items, deltas) -> "StreamSession":
+        """Ingest a batch of updates of any size.
+
+        Updates accumulate in a partial-chunk buffer; every full
+        ``chunk_size`` worth dispatches through one shared plan to all
+        registered consumers.  The resulting sketch states are
+        bit-identical to an offline ``replay_many`` over the
+        concatenation of every push, whatever the push sizes — the
+        batch contract makes chunk boundaries unobservable.
+
+        >>> s = StreamSession(n=16, chunk_size=4).track("frequency_vector")
+        >>> _ = s.push([1, 2], [3, -1]).push([1], [4])
+        >>> s.query("frequency_vector")  # flushes the partial chunk
+        8
+        """
+        if not self._sketches:
+            raise RuntimeError(
+                "no consumers registered; track() or add() before push()"
+            )
+        items_arr, deltas_arr = as_update_arrays(items, deltas, self.n)
+        self._refresh_planner()
+        m = len(items_arr)
+        self.updates_processed += m
+        chunk = self.chunk_size
+        pos = 0
+        if self._fill:
+            take = min(chunk - self._fill, m)
+            self._buf_items[self._fill:self._fill + take] = items_arr[:take]
+            self._buf_deltas[self._fill:self._fill + take] = deltas_arr[:take]
+            self._fill += take
+            pos = take
+            if self._fill == chunk:
+                self._dispatch(self._buf_items, self._buf_deltas)
+                self._fill = 0
+        while pos + chunk <= m:
+            self._dispatch(items_arr[pos:pos + chunk],
+                           deltas_arr[pos:pos + chunk])
+            pos += chunk
+        if pos < m:
+            tail = m - pos
+            self._buf_items[:tail] = items_arr[pos:]
+            self._buf_deltas[:tail] = deltas_arr[pos:]
+            self._fill = tail
+        return self
+
+    def push_stream(self, stream: Iterable) -> "StreamSession":
+        """Push a whole :class:`~repro.streams.model.Stream` (or any
+        object with ``as_arrays``); falls back to per-update pushes for
+        plain update iterables."""
+        as_arrays = getattr(stream, "as_arrays", None)
+        if callable(as_arrays):
+            return self.push(*as_arrays())
+        for u in stream:
+            self.push([u.item], [u.delta])
+        return self
+
+    def flush(self) -> "StreamSession":
+        """Dispatch the buffered partial chunk (if any).
+
+        Flushing early never changes any estimate — a flush only moves
+        a chunk boundary, and the batch contract makes boundaries
+        unobservable — it just costs one smaller dispatch.
+        """
+        if self._fill:
+            self._refresh_planner()
+            items = self._buf_items[:self._fill].copy()
+            deltas = self._buf_deltas[:self._fill].copy()
+            self._fill = 0
+            self._dispatch(items, deltas)
+        return self
+
+    @property
+    def pending(self) -> int:
+        """Updates buffered but not yet dispatched."""
+        return self._fill
+
+    # -- answers -------------------------------------------------------------
+    def query(self, name: str):
+        """The headline estimate of consumer ``name`` (buffer flushed
+        first, so the answer reflects every pushed update)."""
+        if name not in self._sketches:
+            raise KeyError(
+                f"unknown consumer {name!r}; registered: {self.names()}"
+            )
+        self.flush()
+        sketch = self._sketches[name]
+        query = self._queries.get(name)
+        if query is not None:
+            return query(sketch)
+        return _default_query(sketch)
+
+    def query_all(self) -> dict[str, Any]:
+        """Every queryable consumer's headline estimate (point-query
+        structures are skipped; a failing query hook raises)."""
+        self.flush()
+        out = {}
+        for name in self._sketches:
+            try:
+                out[name] = self.query(name)
+            except QueryNotSupported:
+                pass  # point-query structures have no no-arg answer
+        return out
+
+    # -- distributed aggregation --------------------------------------------
+    def merge(self, other: "StreamSession") -> "StreamSession":
+        """Fold a sibling session in, consumer by consumer.
+
+        Both sessions are flushed; each pair of same-named sketches
+        merges through the :class:`~repro.batch.Mergeable` ladder
+        (sketches must have been built with the same root seed — use
+        one spec + params on every node, the way ``replay_sharded``
+        builds shard sketches from one factory, and give each sibling
+        a distinct ``node`` index so sampling structures draw
+        independent sampling streams while sharing hash seeds).
+        """
+        if not isinstance(other, StreamSession) or other.n != self.n:
+            raise ValueError("sessions cover different universes")
+        if set(other._sketches) != set(self._sketches):
+            raise ValueError(
+                f"consumer sets differ: {sorted(self._sketches)} vs "
+                f"{sorted(other._sketches)}"
+            )
+        # Validate *before* mutating: a merge that raises halfway would
+        # leave this session holding a mix of merged and unmerged
+        # consumers.
+        for name, sketch in self._sketches.items():
+            if not supports_merge(sketch):
+                raise TypeError(
+                    f"consumer {name!r} ({type(sketch).__name__}) does "
+                    "not implement merge()"
+                )
+        self.flush()
+        other.flush()
+        for name, sketch in self._sketches.items():
+            sketch.merge(other._sketches[name])
+        self.updates_processed += other.updates_processed
+        return self
+
+    # -- persistence ---------------------------------------------------------
+    def snapshot(self) -> dict:
+        """The whole session as a versioned, pickle-free state dict.
+
+        The partial buffer is flushed first (harmless — boundaries are
+        unobservable), so the payload is consumer state only; shared
+        objects (hash functions, contexts) are snapshotted once and
+        stay shared after restore.
+        """
+        self.flush()
+        return {
+            "format": FORMAT_VERSION,
+            "session": {
+                "n": self.n,
+                "node": self.node,
+                "chunk_size": self.chunk_size,
+                "coalesce": self.coalesce,
+                "updates_processed": self.updates_processed,
+                "params": {
+                    "n": self.params.n,
+                    "eps": self.params.eps,
+                    "delta": self.params.delta,
+                    "alpha": self.params.alpha,
+                    "seed": self.params.seed,
+                },
+                "specs": dict(self._spec_names),
+            },
+            "consumers": _snapshot_state(self._sketches),
+        }
+
+    @classmethod
+    def restore(cls, payload: dict) -> "StreamSession":
+        """Rebuild a session from :meth:`snapshot`; ingestion continues
+        bit-identically to a session that never snapshotted."""
+        version = payload.get("format")
+        if version != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported session snapshot format {version!r}"
+            )
+        meta = payload["session"]
+        session = cls(
+            meta["n"],
+            params=Params(**meta["params"]),
+            chunk_size=meta["chunk_size"],
+            coalesce=meta["coalesce"],
+            node=meta.get("node", 0),
+        )
+        sketches = _restore_state(payload["consumers"])
+        for name, sketch in sketches.items():
+            spec_name = meta["specs"].get(name)
+            query = get_spec(spec_name).query if spec_name else None
+            session.add(name, sketch, query=query)
+            session._spec_names[name] = spec_name
+        session.updates_processed = int(meta["updates_processed"])
+        return session
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"StreamSession(n={self.n}, consumers={self.names()}, "
+            f"processed={self.updates_processed}, pending={self.pending})"
+        )

@@ -11,39 +11,32 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli generate --workload traffic --out /tmp/stream.npz
     python -m repro.cli l1 --stream /tmp/stream.npz --alpha 8
 
-Every subcommand prints ground truth next to the sketch answer and the
-sketch's ``space_bits`` so the bounded-deletion savings are visible at
-the shell.  Streams are replayed through the chunked batch engine
-(:mod:`repro.streams.engine`); ``--chunk-size`` tunes the batch size (a
-pure throughput knob — estimates are identical for every value) and the
-achieved updates/sec is printed next to each answer.
+Every estimator subcommand is generated from the sketch-spec registry
+(:mod:`repro.api.registry`): the spec supplies the factory (root-seed →
+per-structure RNG policy, per-shard sampling seeds for ``--workers``)
+and the uniform query hook; the subcommand table below only picks the
+spec for the workload (e.g. strict vs general turnstile) and formats
+the report.  The shared engine flags — ``--chunk-size`` (pure
+throughput knob), ``--no-coalesce`` (bypass the chunk-planning layer),
+``--workers N`` (sharded replay + merge) — are registry-level: every
+estimator subcommand gets the same set from one helper.
 
 ``--workers N`` shards the replay across N processes and merges the
-shard sketches (``repro.streams.engine.replay_sharded``).  Every
-estimator-backed subcommand shards: heavy-hitters (CSSS merge with
-per-shard sampling seeds), l1 (strict: summed interval estimates;
-general: rate-aligned sampled Cauchy counters), and l0 (component-wise
-modular merges).  The one documented holdout is ``support``: its
-suffix-positivity certificate needs every prefix of its input to be
-strict-turnstile, which contiguous shards of a strict stream are not —
-that subcommand prints an honest note and replays single-shard.
+shard sketches (``repro.streams.engine.replay_sharded``).  The one
+documented holdout is ``support``: its suffix-positivity certificate
+needs every prefix of its input to be strict-turnstile, which
+contiguous shards of a strict stream are not — that subcommand prints
+an honest note and replays single-shard.
 """
 
 from __future__ import annotations
 
 import argparse
-import functools
 import sys
+from dataclasses import dataclass
+from typing import Callable
 
-import numpy as np
-
-from repro.core.heavy_hitters import AlphaHeavyHitters
-from repro.core.l0_estimation import AlphaL0Estimator
-from repro.core.l1_estimation import (
-    AlphaL1EstimatorGeneral,
-    AlphaL1EstimatorStrict,
-)
-from repro.core.support_sampler import AlphaSupportSampler
+from repro.api.registry import Params, build, get_spec, shard_factory
 from repro.streams.alpha import is_strict_turnstile, l0_alpha, l1_alpha
 from repro.streams.generators import (
     bounded_deletion_stream,
@@ -107,6 +100,41 @@ def _positive_int(value: str) -> int:
     return parsed
 
 
+def add_engine_args(parser: argparse.ArgumentParser) -> None:
+    """The registry-level engine flags every replaying subcommand
+    shares (chunk size, plan bypass, sharded workers)."""
+    parser.add_argument("--chunk-size", type=_positive_int,
+                        default=DEFAULT_CHUNK_SIZE,
+                        help="batch-replay chunk size (throughput knob; "
+                             "estimates are identical for every value)")
+    parser.add_argument("--no-coalesce", dest="coalesce",
+                        action="store_false",
+                        help="bypass the chunk-planning layer (duplicate "
+                             "coalescing + cross-sketch hash reuse) and "
+                             "replay through the plain batch path; "
+                             "estimates are identical either way — this "
+                             "is a throughput escape hatch")
+    parser.add_argument("--workers", type=_positive_int, default=1,
+                        help="shard the replay across N processes and merge "
+                             "the shard sketches (all subcommands except "
+                             "support, the documented order-sensitive "
+                             "holdout, which notes the fallback)")
+
+
+def add_workload_args(parser: argparse.ArgumentParser) -> None:
+    """Workload + parameter flags shared by every subcommand."""
+    parser.add_argument("--workload", default="zipf",
+                        choices=["zipf", "traffic", "rdc", "sensor"])
+    parser.add_argument("--stream", default=None,
+                        help="path to a saved .npz stream (overrides "
+                             "--workload)")
+    parser.add_argument("--n", type=int, default=1 << 12)
+    parser.add_argument("--m", type=int, default=20_000)
+    parser.add_argument("--alpha", type=float, default=4.0)
+    parser.add_argument("--eps", type=float, default=1 / 16)
+    parser.add_argument("--seed", type=int, default=0)
+
+
 def _print_throughput(stats) -> None:
     mode = "batched" if stats.batched else "scalar"
     if getattr(stats, "workers", 1) > 1:
@@ -115,169 +143,141 @@ def _print_throughput(stats) -> None:
           f"(chunk={stats.chunk_size}, {mode})")
 
 
-def _note_workers_fallback(args: argparse.Namespace, what: str) -> None:
-    """The one honest holdout note: only provably order-sensitive
-    structures (whose shards would violate their model promise) keep it."""
-    if args.workers > 1:
-        print(f"note: {what} is provably order-sensitive (its certificate "
-              f"needs strict prefixes, which shards of a strict stream are "
-              f"not); --workers ignored, replaying single-shard")
+@dataclass(frozen=True)
+class _EstimatorCommand:
+    """One registry-backed estimator subcommand.
+
+    ``select(stream, args) -> (spec_name, params, overrides, note)``
+    picks the spec and clamps parameters to the workload; ``report``
+    formats the answer next to ground truth.  ``sharded`` gates
+    ``--workers`` (the support sampler is the honest holdout).
+    """
+
+    name: str
+    help: str
+    select: Callable
+    report: Callable
+    sharded: bool = True
+    extra_args: Callable[[argparse.ArgumentParser], None] | None = None
 
 
-def _make_heavy_hitters(
-    n: int, eps: float, alpha: float, strict: bool, seed: int,
-    shard_index: int,
-) -> AlphaHeavyHitters:
-    """Deterministic shard factory (module-level so process pools can
-    pickle it): every worker rebuilds the same *hash* seeds, while the
-    shard index reroots each shard's CSSS sampling streams so shards
-    sample independently (shard 0 keeps the single-replay streams)."""
-    return AlphaHeavyHitters(
-        n, eps=eps, alpha=alpha, rng=np.random.default_rng(seed),
-        strict_turnstile=strict,
-        sampling_seed=(seed, shard_index) if shard_index else None,
-    )
-
-
-def _make_l1_strict(
-    alpha: float, eps: float, seed: int, shard_index: int
-) -> AlphaL1EstimatorStrict:
-    """Strict L1 shard factory: the estimator has no shared hashes, so
-    each shard gets a fully independent sampling seed."""
-    return AlphaL1EstimatorStrict(
-        alpha=alpha, eps=eps,
-        rng=np.random.default_rng((seed, shard_index)),
-    )
-
-
-def _make_l1_general(
-    n: int, eps: float, alpha: float, seed: int, shard_index: int
-) -> AlphaL1EstimatorGeneral:
-    """General L1 shard factory: every worker rebuilds the same seed so
-    shards share value-equal Cauchy rows (required for the rate-aligned
-    merge), while the shard index reroots each shard's *thinning*
-    stream (``sampling_seed``) so shards sample independently — shard 0
-    keeps the single-replay stream."""
-    return AlphaL1EstimatorGeneral(
-        n, eps=eps, alpha=alpha, rng=np.random.default_rng(seed),
-        sampling_seed=(seed, shard_index) if shard_index else None,
-    )
-
-
-def _make_l0(
-    n: int, eps: float, alpha: float, seed: int
-) -> AlphaL0Estimator:
-    """L0 shard factory: all randomness is drawn at construction, so
-    same-seeded shards merge component-wise."""
-    return AlphaL0Estimator(
-        n, eps=eps, alpha=alpha, rng=np.random.default_rng(seed)
-    )
-
-
-def _cmd_heavy_hitters(args: argparse.Namespace) -> int:
+def _run_estimator(cmd: _EstimatorCommand, args: argparse.Namespace) -> int:
     stream = _build_workload(args)
     truth = stream.frequency_vector()
-    alpha = max(2.0, min(args.alpha, l1_alpha(stream)))
-    factory = functools.partial(
-        _make_heavy_hitters, stream.n, args.eps, alpha,
-        is_strict_turnstile(stream), args.seed,
-    )
-    if args.workers > 1:
-        hh, stats = replay_sharded_timed(
-            stream, factory, workers=args.workers,
-            chunk_size=args.chunk_size, coalesce=args.coalesce,
-        )
-    else:
-        hh, stats = replay_timed(
-            stream, factory(0), chunk_size=args.chunk_size,
+    spec_name, params, overrides, note = cmd.select(stream, args)
+    if not cmd.sharded and args.workers > 1:
+        print(f"note: {note} is provably order-sensitive (its certificate "
+              f"needs strict prefixes, which shards of a strict stream are "
+              f"not); --workers ignored, replaying single-shard")
+    if cmd.sharded and args.workers > 1:
+        sketch, stats = replay_sharded_timed(
+            stream, shard_factory(spec_name, params, **overrides),
+            workers=args.workers, chunk_size=args.chunk_size,
             coalesce=args.coalesce,
         )
-    got = sorted(hh.heavy_hitters())
+    else:
+        sketch, stats = replay_timed(
+            stream, build(spec_name, params, **overrides),
+            chunk_size=args.chunk_size, coalesce=args.coalesce,
+        )
+    cmd.report(sketch, truth, args, spec_name)
+    print(f"sketch space           : {sketch.space_bits()} bits")
+    _print_throughput(stats)
+    return 0
+
+
+# -- the estimator subcommand table (specs + clamps + report lines) ----------
+
+
+def _select_heavy_hitters(stream, args):
+    alpha = max(2.0, min(args.alpha, l1_alpha(stream)))
+    strict = is_strict_turnstile(stream)
+    spec = "heavy_hitters" if strict else "heavy_hitters_general"
+    params = Params(n=stream.n, eps=args.eps, alpha=alpha, seed=args.seed)
+    return spec, params, {}, None
+
+
+def _report_heavy_hitters(sketch, truth, args, spec_name):
+    got = sorted(get_spec(spec_name).query(sketch))
     want = sorted(truth.heavy_hitters(args.eps))
     print(f"true eps-heavy hitters : {want}")
     print(f"reported (>= eps/2)    : {got}")
-    print(f"sketch space           : {hh.space_bits()} bits")
-    _print_throughput(stats)
-    return 0
 
 
-def _cmd_l1(args: argparse.Namespace) -> int:
-    stream = _build_workload(args)
-    truth = stream.frequency_vector()
+def _select_l1(stream, args):
     alpha = max(2.0, min(args.alpha, l1_alpha(stream)))
     if is_strict_turnstile(stream):
-        factory = functools.partial(
-            _make_l1_strict, alpha, args.eps, args.seed
-        )
-        build_single = functools.partial(factory, 0)
-        kind = "strict (Figure 4)"
-    else:
-        factory = functools.partial(
-            _make_l1_general, stream.n, max(args.eps, 0.2),
-            min(alpha, 64), args.seed,
-        )
-        build_single = functools.partial(factory, 0)
-        kind = "general (Theorem 8)"
-    if args.workers > 1:
-        est, stats = replay_sharded_timed(
-            stream, factory, workers=args.workers,
-            chunk_size=args.chunk_size, coalesce=args.coalesce,
-        )
-    else:
-        est, stats = replay_timed(
-            stream, build_single(), chunk_size=args.chunk_size,
-            coalesce=args.coalesce,
-        )
+        params = Params(n=stream.n, eps=args.eps, alpha=alpha,
+                        seed=args.seed)
+        return "l1_strict", params, {}, None
+    params = Params(n=stream.n, eps=max(args.eps, 0.2),
+                    alpha=min(alpha, 64), seed=args.seed)
+    return "l1_general", params, {}, None
+
+
+def _report_l1(sketch, truth, args, spec_name):
+    kind = ("strict (Figure 4)" if spec_name == "l1_strict"
+            else "general (Theorem 8)")
     print(f"estimator              : {kind}")
-    print(f"L1 estimate            : {est.estimate():.1f}")
+    print(f"L1 estimate            : {get_spec(spec_name).query(sketch):.1f}")
     print(f"true L1                : {truth.l1()}")
-    print(f"sketch space           : {est.space_bits()} bits")
-    _print_throughput(stats)
-    return 0
 
 
-def _cmd_l0(args: argparse.Namespace) -> int:
-    stream = _build_workload(args)
-    truth = stream.frequency_vector()
+def _select_l0(stream, args):
     alpha = max(2.0, min(args.alpha, l0_alpha(stream) * 2))
-    factory = functools.partial(
-        _make_l0, stream.n, max(args.eps, 0.1), alpha, args.seed
-    )
-    if args.workers > 1:
-        est, stats = replay_sharded_timed(
-            stream, factory, workers=args.workers,
-            chunk_size=args.chunk_size, coalesce=args.coalesce,
-        )
-    else:
-        est, stats = replay_timed(
-            stream, factory(), chunk_size=args.chunk_size,
-            coalesce=args.coalesce,
-        )
-    print(f"L0 estimate            : {est.estimate():.1f}")
+    params = Params(n=stream.n, eps=max(args.eps, 0.1), alpha=alpha,
+                    seed=args.seed)
+    return "alpha_l0", params, {}, None
+
+
+def _report_l0(sketch, truth, args, spec_name):
+    print(f"L0 estimate            : {get_spec(spec_name).query(sketch):.1f}")
     print(f"true L0                : {truth.l0()}")
-    print(f"live rows              : {est.live_rows()}")
-    print(f"sketch space           : {est.space_bits()} bits")
-    _print_throughput(stats)
-    return 0
+    print(f"live rows              : {sketch.live_rows()}")
 
 
-def _cmd_support(args: argparse.Namespace) -> int:
-    stream = _build_workload(args)
-    truth = stream.frequency_vector()
-    _note_workers_fallback(args, "the support sampler")
+def _select_support(stream, args):
     alpha = max(2.0, min(args.alpha, l0_alpha(stream) * 2))
-    rng = np.random.default_rng(args.seed)
-    ss = AlphaSupportSampler(stream.n, k=args.k, alpha=alpha, rng=rng)
-    ss, stats = replay_timed(stream, ss, chunk_size=args.chunk_size,
-                             coalesce=args.coalesce)
-    got = ss.sample()
+    params = Params(n=stream.n, eps=args.eps, alpha=alpha, seed=args.seed)
+    return "support_sampler", params, {"k": args.k}, "the support sampler"
+
+
+def _report_support(sketch, truth, args, spec_name):
+    got = get_spec(spec_name).query(sketch)
     valid = got <= truth.support()
     print(f"requested k            : {args.k}")
     print(f"recovered              : {len(got)} (all valid: {valid})")
     print(f"sample                 : {sorted(got)[:20]}")
-    print(f"sketch space           : {ss.space_bits()} bits")
-    _print_throughput(stats)
-    return 0
+
+
+ESTIMATOR_COMMANDS = [
+    _EstimatorCommand(
+        name="heavy-hitters",
+        help="L1 eps-heavy hitters (Theorems 3/4)",
+        select=_select_heavy_hitters,
+        report=_report_heavy_hitters,
+    ),
+    _EstimatorCommand(
+        name="l1",
+        help="L1 norm estimation (Figure 4 / Theorem 8)",
+        select=_select_l1,
+        report=_report_l1,
+    ),
+    _EstimatorCommand(
+        name="l0",
+        help="(1 +/- eps) L0 estimation (Figure 7)",
+        select=_select_l0,
+        report=_report_l0,
+    ),
+    _EstimatorCommand(
+        name="support",
+        help="k-support sampling (Figure 8)",
+        select=_select_support,
+        report=_report_support,
+        sharded=False,
+        extra_args=lambda p: p.add_argument("--k", type=int, default=10),
+    ),
+]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -288,49 +288,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def add_common(p: argparse.ArgumentParser) -> None:
-        p.add_argument("--workload", default="zipf",
-                       choices=["zipf", "traffic", "rdc", "sensor"])
-        p.add_argument("--stream", default=None,
-                       help="path to a saved .npz stream (overrides "
-                            "--workload)")
-        p.add_argument("--n", type=int, default=1 << 12)
-        p.add_argument("--m", type=int, default=20_000)
-        p.add_argument("--alpha", type=float, default=4.0)
-        p.add_argument("--eps", type=float, default=1 / 16)
-        p.add_argument("--seed", type=int, default=0)
-        p.add_argument("--chunk-size", type=_positive_int,
-                       default=DEFAULT_CHUNK_SIZE,
-                       help="batch-replay chunk size (throughput knob; "
-                            "estimates are identical for every value)")
-        p.add_argument("--no-coalesce", dest="coalesce",
-                       action="store_false",
-                       help="bypass the chunk-planning layer (duplicate "
-                            "coalescing + cross-sketch hash reuse) and "
-                            "replay through the plain batch path; "
-                            "estimates are identical either way — this "
-                            "is a throughput escape hatch")
-        p.add_argument("--workers", type=_positive_int, default=1,
-                       help="shard the replay across N processes and merge "
-                            "the shard sketches (all subcommands except "
-                            "support, the documented order-sensitive "
-                            "holdout, which notes the fallback)")
-
-    for name, fn in [
-        ("describe", _cmd_describe),
-        ("heavy-hitters", _cmd_heavy_hitters),
-        ("l1", _cmd_l1),
-        ("l0", _cmd_l0),
-        ("support", _cmd_support),
-        ("generate", _cmd_generate),
-    ]:
+    for name, fn in [("describe", _cmd_describe), ("generate", _cmd_generate)]:
         p = sub.add_parser(name)
-        add_common(p)
-        if name == "support":
-            p.add_argument("--k", type=int, default=10)
+        add_workload_args(p)
+        add_engine_args(p)
         if name == "generate":
             p.add_argument("--out", required=True)
         p.set_defaults(func=fn)
+
+    for cmd in ESTIMATOR_COMMANDS:
+        p = sub.add_parser(cmd.name, help=cmd.help)
+        add_workload_args(p)
+        add_engine_args(p)
+        if cmd.extra_args is not None:
+            cmd.extra_args(p)
+        p.set_defaults(func=lambda args, cmd=cmd: _run_estimator(cmd, args))
     return parser
 
 

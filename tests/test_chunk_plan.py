@@ -459,3 +459,78 @@ def test_l1_general_sampling_seed_decorrelates_but_merges():
     assert np.array_equal(baseline.counters, legacy.counters)
     merged = a.merge(b)
     assert np.isfinite(merged.estimate())
+
+
+# -- plan-aware Misra-Gries fill-phase upsert (ROADMAP lever e) ---------------
+
+class TestMisraGriesPlanUpsert:
+    """MG is not Coalescable (the shared decrement is
+    multiplicity-sensitive) but consumes shared unique/sum views in its
+    two provably order-free regimes.  Shared-plan batteries must stay
+    bit-identical to the planless replay at every chunk size and
+    capacity, including eviction-heavy streams where every chunk falls
+    back to the segmented walk."""
+
+    @pytest.mark.parametrize("eps", [1 / 8, 1 / 64, 1 / 256])
+    @pytest.mark.parametrize("chunk", [1, 7, 256, 1024])
+    def test_shared_plan_battery_bit_identical(self, eps, chunk):
+        from repro.sketches.misra_gries import MisraGries
+
+        def battery():
+            # A coalescing co-consumer pays for the unique view; MG
+            # rides it (plan_shared_only).
+            return [
+                CountSketch(N, 24, 2, np.random.default_rng(1)),
+                MisraGries(N, eps=eps),
+            ]
+
+        planned = battery()
+        planless = battery()
+        replay_many(SKEWED, planned, chunk_size=chunk, coalesce=True)
+        replay_many(SKEWED, planless, chunk_size=chunk, coalesce=False)
+        assert planned[1]._counters == planless[1]._counters
+        assert planned[1]._m == planless[1]._m
+        assert planned[1]._max_counter == planless[1]._max_counter
+
+    def test_solo_replays_skip_planning(self):
+        from repro.batch import supports_plan, supports_plan_solo
+        from repro.sketches.misra_gries import MisraGries
+
+        mg = MisraGries(N, eps=1 / 16)
+        assert supports_plan(mg) and not supports_plan_solo(mg)
+
+    def test_rejects_deletions_via_plan(self):
+        from repro.sketches.misra_gries import MisraGries
+
+        plan = ChunkPlanner(N).plan(np.array([1, 2]), np.array([3, -1]))
+        with pytest.raises(ValueError, match="insertion-only"):
+            MisraGries(N, eps=1 / 16).update_plan(plan)
+
+
+# -- FrequencyVector fused fold (ROADMAP lever f verdict) ---------------------
+
+class TestFrequencyVectorFusedFold:
+    """The lever (f) experiment path must stay bit-identical to
+    update_batch (the bench re-measures its rates; equivalence lives
+    here)."""
+
+    @pytest.mark.parametrize("chunk", [1, 7, 1024])
+    def test_fused_fold_bit_identical(self, chunk):
+        planner = ChunkPlanner(N)
+        items, deltas = STREAM.as_arrays()
+        reference = FrequencyVector(N)
+        fused = FrequencyVector(N)
+        for start in range(0, len(items), chunk):
+            chunk_items = items[start:start + chunk]
+            chunk_deltas = deltas[start:start + chunk]
+            reference.update_batch(chunk_items, chunk_deltas)
+            fused.update_plan_fused(planner.plan(chunk_items, chunk_deltas))
+        assert np.array_equal(reference.f, fused.f)
+        assert np.array_equal(reference.insertions, fused.insertions)
+        assert np.array_equal(reference.deletions, fused.deletions)
+        assert reference.num_updates == fused.num_updates
+
+    def test_frequency_vector_stays_shared_only(self):
+        from repro.batch import supports_plan_solo
+
+        assert not supports_plan_solo(FrequencyVector(N))

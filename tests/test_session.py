@@ -1,0 +1,387 @@
+"""Session-vs-replay bit-identity harness (the facade's core promise).
+
+``StreamSession.push`` at arbitrary granularities must leave every
+registered sketch bit-identical to an offline ``replay_many`` over the
+same updates — randomness included — because the batch/plan contracts
+make chunk boundaries unobservable.  This harness drives random push
+schedules (including pushes that straddle chunk boundaries, single-item
+pushes, and pushes much larger than a chunk), interleaves queries
+mid-stream (flushes must not perturb anything), and compares final
+states structurally via the snapshot encoder.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import Params, StreamSession, build
+from repro.streams.engine import replay_many
+from repro.streams.generators import (
+    bounded_deletion_stream,
+    zipfian_insertion_stream,
+)
+from repro.streams.model import FrequencyVector
+
+N = 512
+M = 4_000
+PARAMS = Params(n=N, eps=0.2, delta=0.25, alpha=4.0, seed=0xAB)
+
+#: The mixed-sign battery: coalescing linear sketches, float linear,
+#: RNG-consuming samplers, composed structures — every plan regime.
+GENERAL_BATTERY = (
+    "frequency_vector", "countsketch", "countmin", "ams", "cauchy",
+    "csss", "heavy_hitters_general", "l1_general", "l1_strict",
+    "alpha_l0",
+)
+
+#: Insertion-only battery (Misra-Gries is the alpha = 1 endpoint and
+#: rejects deletions; satellite (e)'s shared-plan path rides here).
+INSERTION_BATTERY = ("misra_gries", "countsketch", "frequency_vector",
+                     "sampled_frequencies")
+
+
+def _state_diff(a, b, path="", seen=None):
+    """Recursive bitwise state equality over live object graphs.
+
+    Arrays compare bitwise (dtype included), generators by bit-generator
+    state, repro objects attribute-by-attribute.  Dicts compare as
+    *mappings* (insertion order is bookkeeping, not state — exactly the
+    batch-equivalence harness's semantics: different chunkings may
+    insert the same keys in a different order)."""
+    if seen is None:
+        seen = set()
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        same = (
+            isinstance(a, np.ndarray) and isinstance(b, np.ndarray)
+            and a.dtype == b.dtype and np.array_equal(a, b)
+        )
+        return None if same else f"{path}: arrays differ"
+    if isinstance(a, np.random.Generator) and isinstance(
+        b, np.random.Generator
+    ):
+        return _state_diff(a.bit_generator.state, b.bit_generator.state,
+                           f"{path}.<rng>", seen)
+    if type(a) is not type(b):
+        return f"{path}: types {type(a).__name__} != {type(b).__name__}"
+    if a is None or isinstance(a, (bool, int, float, str)):
+        return None if a == b else f"{path}: {a!r} != {b!r}"
+    if isinstance(a, dict):
+        if a.keys() != b.keys():
+            return f"{path}: dict keys differ"
+        for k in a:
+            found = _state_diff(a[k], b[k], f"{path}[{k!r}]", seen)
+            if found:
+                return found
+        return None
+    if isinstance(a, (list, tuple)):
+        if len(a) != len(b):
+            return f"{path}: lengths differ"
+        for i, (x, y) in enumerate(zip(a, b)):
+            found = _state_diff(x, y, f"{path}[{i}]", seen)
+            if found:
+                return found
+        return None
+    if isinstance(a, (set, frozenset)):
+        return None if a == b else f"{path}: sets differ"
+    if (type(a).__module__ or "").startswith("repro."):
+        key = (id(a), id(b))
+        if key in seen:  # cycle / shared subobject already compared
+            return None
+        seen.add(key)
+        from repro.api.serialize import _object_state
+
+        state_a, state_b = _object_state(a), _object_state(b)
+        if state_a.keys() != state_b.keys():
+            return f"{path}: attribute sets differ"
+        for attr in state_a:
+            found = _state_diff(state_a[attr], state_b[attr],
+                                f"{path}.{attr}", seen)
+            if found:
+                return found
+        return None
+    return None if a == b else f"{path}: {a!r} != {b!r}"
+
+
+def assert_bit_identical(sketch_a, sketch_b, label=""):
+    diff = _state_diff(sketch_a, sketch_b)
+    assert diff is None, f"{label}: {diff}"
+
+
+def _offline(stream, names, chunk_size):
+    sketches = [build(name, PARAMS) for name in names]
+    replay_many(stream, sketches, chunk_size=chunk_size)
+    return dict(zip(names, sketches))
+
+
+def _session(stream, names, chunk_size, push_sizes, query_at=()):
+    session = StreamSession(stream.n, params=PARAMS, chunk_size=chunk_size)
+    for name in names:
+        session.track(name)
+    items, deltas = stream.as_arrays()
+    pos, i = 0, 0
+    while pos < len(items):
+        step = push_sizes[i % len(push_sizes)]
+        i += 1
+        session.push(items[pos:pos + step], deltas[pos:pos + step])
+        pos += step
+        if i in query_at:
+            # Mid-stream queries flush the partial buffer; the batch
+            # contract says nothing downstream may change.
+            session.query(names[0])
+    session.flush()
+    return session
+
+
+@pytest.fixture(scope="module")
+def general_stream():
+    return bounded_deletion_stream(N, M, alpha=4, seed=91, strict=False)
+
+
+@pytest.fixture(scope="module")
+def insertion_stream():
+    return zipfian_insertion_stream(N, M, skew=1.5, seed=92)
+
+
+class TestPushEqualsReplayMany:
+    #: Push schedules that straddle chunk boundaries in every way:
+    #: divisors, non-divisors, singles, larger-than-chunk, mixes.
+    PUSH_SCHEDULES = [
+        (1,),
+        (7,),
+        (256,),
+        (1000,),
+        (1024,),
+        (5000,),          # larger than the chunk: direct dispatch path
+        (3, 1000, 1, 511, 4096, 17),
+    ]
+
+    @pytest.mark.parametrize("push_sizes", PUSH_SCHEDULES)
+    def test_general_battery(self, general_stream, push_sizes):
+        chunk = 1024
+        offline = _offline(general_stream, GENERAL_BATTERY, chunk)
+        session = _session(general_stream, GENERAL_BATTERY, chunk,
+                           push_sizes)
+        for name in GENERAL_BATTERY:
+            assert_bit_identical(offline[name], session[name],
+                                 f"{name} @push{push_sizes}")
+
+    @pytest.mark.parametrize("push_sizes", [(1,), (777,), (4096,)])
+    def test_insertion_battery(self, insertion_stream, push_sizes):
+        chunk = 512
+        offline = _offline(insertion_stream, INSERTION_BATTERY, chunk)
+        session = _session(insertion_stream, INSERTION_BATTERY, chunk,
+                           push_sizes)
+        for name in INSERTION_BATTERY:
+            assert_bit_identical(offline[name], session[name],
+                                 f"{name} @push{push_sizes}")
+
+    def test_mid_stream_queries_do_not_perturb(self, general_stream):
+        """Interleaved queries flush partial chunks, which moves chunk
+        boundaries — and must still end bit-identical."""
+        chunk = 1024
+        offline = _offline(general_stream, GENERAL_BATTERY, chunk)
+        session = _session(general_stream, GENERAL_BATTERY, chunk,
+                           (313,), query_at={2, 5, 9})
+        for name in GENERAL_BATTERY:
+            assert_bit_identical(offline[name], session[name], name)
+
+    @settings(max_examples=15, deadline=None)
+    @given(data=st.data())
+    def test_property_random_push_schedules(self, data):
+        """Hypothesis-driven: random streams, random chunk size, random
+        push schedule — always bit-identical to replay_many."""
+        m = data.draw(st.integers(min_value=1, max_value=600), label="m")
+        rng = np.random.default_rng(data.draw(
+            st.integers(min_value=0, max_value=2**16), label="seed"))
+        items = rng.integers(0, N, size=m)
+        deltas = rng.integers(1, 20, size=m) * rng.choice([-1, 1], size=m)
+        from repro.streams.model import Stream
+        stream = Stream.from_arrays(N, items, deltas)
+        chunk = data.draw(st.integers(min_value=1, max_value=300),
+                          label="chunk")
+        names = ("countsketch", "csss", "frequency_vector")
+        offline = _offline(stream, names, chunk)
+        session = StreamSession(N, params=PARAMS, chunk_size=chunk)
+        for name in names:
+            session.track(name)
+        pos = 0
+        while pos < m:
+            step = data.draw(st.integers(min_value=1, max_value=200),
+                             label="push")
+            session.push(items[pos:pos + step], deltas[pos:pos + step])
+            pos += step
+        session.flush()
+        for name in names:
+            assert_bit_identical(offline[name], session[name], name)
+
+
+class TestSessionSurface:
+    def test_push_validates_the_update_model(self):
+        session = StreamSession(N, params=PARAMS).track("countmin")
+        with pytest.raises(ValueError):
+            session.push([N + 5], [1])  # outside the universe
+        with pytest.raises(ValueError):
+            session.push([1], [0])  # zero delta
+        with pytest.raises(RuntimeError):
+            StreamSession(N).push([1], [1])  # no consumers
+
+    def test_duplicate_and_unknown_names(self):
+        session = StreamSession(N, params=PARAMS).track("countmin")
+        with pytest.raises(ValueError):
+            session.track("countmin")
+        with pytest.raises(KeyError):
+            session.query("nope")
+
+    def test_query_uses_registry_hooks(self, general_stream):
+        session = StreamSession(N, params=PARAMS).track("l1_strict")
+        session.push_stream(general_stream)
+        truth = general_stream.frequency_vector().l1()
+        assert session.query("l1_strict") == pytest.approx(truth, rel=0.5)
+
+    def test_query_point_structures_raise_helpfully(self):
+        session = StreamSession(N, params=PARAMS).track("countmin")
+        session.push([1], [1])
+        with pytest.raises(TypeError, match="session\\[name\\]"):
+            session.query("countmin")
+
+    def test_add_accepts_prebuilt_sketches(self, general_stream):
+        fv = FrequencyVector(N)
+        session = StreamSession(N).add("truth", fv)
+        session.push_stream(general_stream).flush()
+        assert fv.num_updates == len(general_stream)
+        assert session.query("truth") == general_stream.frequency_vector().l1()
+
+    def test_pending_and_flush(self):
+        session = StreamSession(N, chunk_size=10).track("frequency_vector")
+        session.push([1, 2, 3], [1, 1, 1])
+        assert session.pending == 3
+        session.flush()
+        assert session.pending == 0
+        assert session["frequency_vector"].num_updates == 3
+
+    def test_track_rejects_foreign_universe_override(self):
+        with pytest.raises(ValueError):
+            StreamSession(N).track("countmin", n=N * 2)
+
+
+class TestSessionMerge:
+    #: Semantic state extractors for the linear sketches (merges update
+    #: space-accounting fields like the observed-peak counter, which are
+    #: bookkeeping, not sketch state).
+    LINEAR_STATE = {
+        "frequency_vector": lambda s: (s.f, s.insertions, s.deletions,
+                                       s.num_updates),
+        "countsketch": lambda s: (s.table,),
+        "countmin": lambda s: (s.table,),
+        "ams": lambda s: (s.z,),
+    }
+
+    def test_merge_equals_single_session(self, general_stream):
+        """Split the stream across two same-seeded sessions and merge:
+        linear sketches end bit-identical to one session over the
+        whole stream."""
+        names = tuple(self.LINEAR_STATE)
+        items, deltas = general_stream.as_arrays()
+        half = len(items) // 2
+
+        def make():
+            session = StreamSession(N, params=PARAMS, chunk_size=256)
+            for name in names:
+                session.track(name)
+            return session
+
+        whole = make()
+        whole.push(items, deltas).flush()
+        east, west = make(), make()
+        east.push(items[:half], deltas[:half])
+        west.push(items[half:], deltas[half:])
+        merged = east.merge(west)
+        assert merged.updates_processed == len(items)
+        for name, state in self.LINEAR_STATE.items():
+            for a, b in zip(state(whole[name]), state(merged[name])):
+                if isinstance(a, np.ndarray):
+                    assert np.array_equal(a, b), name
+                else:
+                    assert a == b, name
+
+    def test_merge_rejects_mismatches(self):
+        a = StreamSession(N, params=PARAMS).track("countmin")
+        b = StreamSession(N, params=PARAMS).track("countsketch")
+        with pytest.raises(ValueError, match="consumer sets"):
+            a.merge(b)
+        c = StreamSession(2 * N).track("countmin")
+        with pytest.raises(ValueError, match="universes"):
+            a.merge(c)
+
+    def test_merge_rejects_non_mergeable_consumers(self):
+        a = StreamSession(N, params=PARAMS).track("support_sampler")
+        b = StreamSession(N, params=PARAMS).track("support_sampler")
+        with pytest.raises(TypeError, match="merge"):
+            a.merge(b)
+
+
+class TestReviewHardening:
+    """Regression pins for the review findings on the facade."""
+
+    def test_merge_validates_before_mutating(self, general_stream):
+        """A session mixing mergeable and non-mergeable consumers must
+        refuse the merge WITHOUT folding any consumer first."""
+        def make():
+            return (
+                StreamSession(N, params=PARAMS)
+                .track("fv", "frequency_vector")
+                .track("ss", "support_sampler")
+            )
+
+        a, b = make(), make()
+        items, deltas = general_stream.as_arrays()
+        a.push(items[:500], deltas[:500]).flush()
+        b.push(items[500:1000], deltas[500:1000]).flush()
+        before = a["fv"].f.copy()
+        with pytest.raises(TypeError, match="merge"):
+            a.merge(b)
+        assert np.array_equal(a["fv"].f, before)  # untouched
+
+    def test_node_index_decorrelates_sampling_but_merges(self,
+                                                         general_stream):
+        """Sibling sessions with distinct node indices share hash seeds
+        (merge validates) but draw independent sampling streams."""
+        items, deltas = general_stream.as_arrays()
+
+        def make(node):
+            # Small budget: the sampler must actually thin, or nodes are
+            # indistinguishable (acceptance at rate 1 ignores uniforms).
+            return StreamSession(N, params=PARAMS, node=node).track(
+                "csss", depth=4, sample_budget=300
+            )
+
+        a, b = make(0), make(1)
+        a.push(items, deltas).flush()
+        b.push(items, deltas).flush()
+        assert not (
+            np.array_equal(a["csss"].pos, b["csss"].pos)
+            and np.array_equal(a["csss"].neg, b["csss"].neg)
+        )
+        merged = a.merge(b)  # same hash seeds: compatible
+        csss = merged["csss"]
+        for r in range(csss.depth):
+            assert int(csss._row_weight[r]) <= csss.budget
+
+    def test_query_all_propagates_hook_failures(self):
+        """query_all skips point-query structures but must NOT swallow
+        a genuinely failing query hook."""
+        session = StreamSession(N, params=PARAMS).track("countmin")
+        session.push([1], [1])
+        assert session.query_all() == {}  # point-query: skipped
+
+        def broken(sketch):
+            raise TypeError("boom")
+
+        session2 = StreamSession(N, params=PARAMS)
+        session2.add("fv", FrequencyVector(N), query=broken)
+        session2.push([1], [1])
+        with pytest.raises(TypeError, match="boom"):
+            session2.query_all()
