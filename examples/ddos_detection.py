@@ -1,5 +1,6 @@
 #!/usr/bin/env python
-"""DDoS / anomaly detection on connection-delta streams.
+"""DDoS / anomaly detection on connection-delta streams, with a real
+kill-and-recover failover.
 
 Section 1 cites DDoS detection and worm spread as applications: the
 monitored stream is the *difference* between the current and baseline
@@ -11,22 +12,43 @@ monitor would use):
 
 1. build a baseline-vs-attack connection delta stream,
 2. confirm the α-property the detection budget relies on,
-3. ingest it *incrementally* through a StreamSession — the monitor
-   sees packets arrive, not a finished stream,
-4. snapshot the session mid-stream (pickle-free state dict), restore
-   it, and continue — the failover path of a production monitor —
-   verifying the answers are unaffected,
-5. flag attack victims with AlphaL2HeavyHitters, count distinct
-   attacking sources with AlphaL0Estimator, and compare space.
+3. start the monitor in a *separate process* that ingests the stream
+   incrementally and checkpoints to disk every few hundred updates
+   (``repro.api.checkpoint``),
+4. SIGKILL that process mid-stream — no cleanup, no atexit — then
+   recover the newest checkpoint and feed only the remaining updates,
+5. verify the recovered monitor's answers are **identical** to an
+   uninterrupted run (the batch contract makes checkpoint boundaries
+   unobservable), then flag attack victims with AlphaL2HeavyHitters,
+   count distinct attacking sources with AlphaL0Estimator, and compare
+   space.
 
 Run:  python examples/ddos_detection.py
 """
 
 from __future__ import annotations
 
+import os
+import subprocess
+import sys
+import tempfile
+import time
+
 import numpy as np
 
 from repro import Stream, StreamSession, Update, l0_alpha, l1_alpha
+from repro.api.checkpoint import Checkpointer, CheckpointStore, recover
+
+#: One deterministic workload shared by the parent, the killed worker,
+#: and the uninterrupted reference run (all rebuild it from the seed).
+UNIVERSE = 1 << 14
+BENIGN_FLOWS = 900
+VICTIMS = 4
+ATTACK_VOLUME = 400
+STREAM_SEED = 5
+SESSION_SEED = 99
+PUSH_SIZE = 257           # whatever the wire delivers
+CHECKPOINT_EVERY = 400    # updates between durable checkpoints
 
 
 def build_attack_stream(
@@ -51,10 +73,45 @@ def build_attack_stream(
     return out
 
 
-def main() -> None:
-    n = 1 << 14
+def build_monitor(stream: Stream) -> StreamSession:
+    """The monitoring session — every process builds the identical one
+    from the shared seeds."""
+    alpha = min(64.0, max(2.0, l1_alpha(stream)))
+    return (
+        StreamSession(n=stream.n, seed=SESSION_SEED)
+        .track("l2_heavy", "l2_heavy_hitters", eps=0.3, alpha=2.0)
+        .track("l1_heavy", "heavy_hitters_general", eps=0.1, alpha=alpha)
+        .track("distinct", "alpha_l0", eps=0.15,
+               alpha=max(2.0, l0_alpha(stream)))
+    )
+
+
+def worker(checkpoint_dir: str) -> None:
+    """The monitor process: ingest slowly, checkpoint periodically.
+
+    It never finishes on purpose in this demo — the parent SIGKILLs it
+    mid-stream, which is exactly the failure the checkpoint store must
+    survive.
+    """
     stream = build_attack_stream(
-        n, benign_flows=900, victims=4, attack_volume=400, seed=5
+        UNIVERSE, BENIGN_FLOWS, VICTIMS, ATTACK_VOLUME, STREAM_SEED
+    )
+    session = build_monitor(stream)
+    checkpointer = Checkpointer(
+        session, CheckpointStore(checkpoint_dir, keep_last=3),
+        every_updates=CHECKPOINT_EVERY,
+    )
+    items, deltas = stream.as_arrays()
+    for pos in range(0, len(items), PUSH_SIZE):
+        checkpointer.push(items[pos:pos + PUSH_SIZE],
+                          deltas[pos:pos + PUSH_SIZE])
+        time.sleep(0.05)  # a live monitor paces with the wire
+    checkpointer.checkpoint()
+
+
+def main() -> None:
+    stream = build_attack_stream(
+        UNIVERSE, BENIGN_FLOWS, VICTIMS, ATTACK_VOLUME, STREAM_SEED
     )
     truth = stream.frequency_vector()
     a1 = l1_alpha(stream)
@@ -64,29 +121,55 @@ def main() -> None:
     print("(bounded because the attack volume is not arbitrarily small "
           "relative to baseline churn)")
 
-    print("\n=== push-based monitoring session ===")
-    alpha = min(64.0, max(2.0, a1))
-    session = (
-        StreamSession(n=n, seed=99)
-        .track("l2_heavy", "l2_heavy_hitters", eps=0.3, alpha=2.0)
-        .track("l1_heavy", "heavy_hitters_general", eps=0.1, alpha=alpha)
-        .track("distinct", "alpha_l0", eps=0.15,
-               alpha=max(2.0, l0_alpha(stream)))
-    )
-    items, deltas = stream.as_arrays()
-    half = len(items) // 2
-    # The monitor ingests whatever the wire delivers...
-    for pos in range(0, half, 257):
-        session.push(items[pos:pos + 257], deltas[pos:pos + 257])
-    print(f"ingested {session.updates_processed} updates "
-          f"({session.pending} buffered)")
+    print("\n=== monitor process with periodic checkpoints ===")
+    with tempfile.TemporaryDirectory() as checkpoint_dir:
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))), "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, os.path.abspath(__file__),
+             "--worker", checkpoint_dir],
+            env=env,
+        )
+        # Wait for a durable mid-stream checkpoint, then kill -9.
+        store = CheckpointStore(checkpoint_dir, keep_last=3)
+        deadline = time.monotonic() + 120.0
+        while time.monotonic() < deadline:
+            paths = store.checkpoint_paths()
+            if paths and store.updates_watermark(paths[-1]) < len(stream):
+                break
+            if proc.poll() is not None:
+                raise SystemExit("worker exited before it could be killed")
+            time.sleep(0.01)
+        proc.kill()  # SIGKILL: no cleanup, no atexit, no flush
+        proc.wait(timeout=60)
+        print(f"worker SIGKILLed; store holds "
+              f"{[p.name for p in store.checkpoint_paths()]}")
 
-    print("\n=== mid-stream failover: snapshot -> restore -> continue ===")
-    payload = session.snapshot()  # versioned dict of arrays, no pickle
-    session = StreamSession.restore(payload)
-    print(f"restored session with consumers {session.names()}")
-    for pos in range(half, len(items), 257):
-        session.push(items[pos:pos + 257], deltas[pos:pos + 257])
+        print("\n=== recover and resume ===")
+        session = recover(store)
+        if session is None:
+            raise SystemExit("no recoverable checkpoint found")
+        done = session.updates_processed
+        print(f"recovered at watermark {done}/{len(stream)} updates; "
+              f"consumers {session.names()}")
+        items, deltas = stream.as_arrays()
+        for pos in range(done, len(items), PUSH_SIZE):
+            session.push(items[pos:pos + PUSH_SIZE],
+                         deltas[pos:pos + PUSH_SIZE])
+
+    # The reference monitor that was never killed.
+    reference = build_monitor(stream)
+    reference.push(*stream.as_arrays())
+    assert session.updates_processed == reference.updates_processed
+    recovered_answers = session.query_all()
+    reference_answers = reference.query_all()
+    assert recovered_answers == reference_answers, (
+        "recovered monitor diverged from the uninterrupted run"
+    )
+    print("recovered estimates are identical to an uninterrupted run "
+          f"({len(recovered_answers)} consumers checked)")
 
     victims_true = truth.heavy_hitters(0.3, p=2)
     flagged = session.query("l2_heavy")
@@ -109,4 +192,7 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    if len(sys.argv) == 3 and sys.argv[1] == "--worker":
+        worker(sys.argv[2])
+    else:
+        main()

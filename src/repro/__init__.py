@@ -35,10 +35,16 @@ batch pipeline, and the merge/shard semantics (``replay_sharded``,
 
 from repro.api import (
     Capabilities,
+    Checkpointer,
+    CheckpointStore,
     Params,
     SketchSpec,
     StreamSession,
+    export_snapshot,
     get_spec,
+    import_and_merge,
+    import_session,
+    recover,
     restore,
     rng_for,
     shard_factory,
@@ -115,10 +121,16 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Capabilities",
+    "Checkpointer",
+    "CheckpointStore",
     "Params",
     "SketchSpec",
     "StreamSession",
+    "export_snapshot",
     "get_spec",
+    "import_and_merge",
+    "import_session",
+    "recover",
     "restore",
     "rng_for",
     "shard_factory",

@@ -11,7 +11,11 @@ individual constructors:
   ingestion, shared chunk plans across consumers, uniform ``query``,
   ``merge`` across sessions, and whole-session snapshots;
 * :mod:`repro.api.serialize` — pickle-free, versioned state-dict
-  :func:`snapshot` / :func:`restore` for every structure.
+  :func:`snapshot` / :func:`restore` for every structure;
+* :mod:`repro.api.checkpoint` — durable sessions: the ``.npz``
+  checkpoint store with retention, the periodic :class:`Checkpointer`,
+  crash :func:`recover`, and snapshot shipping
+  (:func:`export_snapshot` / :func:`import_and_merge`).
 
 >>> from repro.api import Params, StreamSession
 >>> session = StreamSession(n=128, seed=5).track("l1_strict", alpha=2.0)
@@ -30,17 +34,37 @@ from repro.api.registry import (
     shard_factory,
     specs,
 )
-from repro.api.serialize import FORMAT_VERSION, restore, snapshot
+from repro.api.serialize import (
+    FORMAT_VERSION,
+    payload_equal,
+    restore,
+    snapshot,
+)
 from repro.api.session import StreamSession
+from repro.api.checkpoint import (
+    Checkpointer,
+    CheckpointStore,
+    export_snapshot,
+    import_and_merge,
+    import_session,
+    recover,
+)
 
 __all__ = [
     "Capabilities",
+    "Checkpointer",
+    "CheckpointStore",
     "Params",
     "SketchSpec",
     "StreamSession",
     "FORMAT_VERSION",
     "build",
+    "export_snapshot",
     "get_spec",
+    "import_and_merge",
+    "import_session",
+    "payload_equal",
+    "recover",
     "restore",
     "rng_for",
     "shard_factory",

@@ -215,6 +215,19 @@ class SketchSpec:
         instance (cached per spec)."""
         return _capabilities(self.name)
 
+    def node_sensitive(self) -> bool:
+        """Whether building at different shard/node indices yields
+        different initial state (cached per spec).
+
+        True marks sampling-seeded structures (CSSS, heavy hitters,
+        general L1, ...): same-params siblings at the *same* node index
+        draw identical sampling streams, so their sampling errors are
+        correlated and do not cancel under merge.  Derived empirically
+        — two probe builds at shard 0 and 1, compared via their
+        snapshots — so specs never have to declare the flag by hand.
+        """
+        return _node_sensitive(self.name)
+
 
 REGISTRY: dict[str, SketchSpec] = {}
 
@@ -250,6 +263,19 @@ def specs() -> list[SketchSpec]:
 @functools.lru_cache(maxsize=None)
 def _capabilities(name: str) -> Capabilities:
     return Capabilities.of(REGISTRY[name].build(_PROBE_PARAMS))
+
+
+@functools.lru_cache(maxsize=None)
+def _node_sensitive(name: str) -> bool:
+    # Imported here: serialize does not import the registry, so the
+    # probe cannot create a cycle.
+    from repro.api.serialize import payload_equal, snapshot
+
+    spec = REGISTRY[name]
+    return not payload_equal(
+        snapshot(spec.build(_PROBE_PARAMS, shard_index=0)),
+        snapshot(spec.build(_PROBE_PARAMS, shard_index=1)),
+    )
 
 
 def build(name: str, params: Params | None = None, shard_index: int = 0,

@@ -292,6 +292,53 @@ def snapshot(obj: Any) -> dict:
     return {"format": FORMAT_VERSION, "root": _Encoder().encode(obj)}
 
 
+def payload_equal(a: Any, b: Any) -> bool:
+    """Structural equality of two snapshot payloads.
+
+    Arrays compare bitwise (dtype and shape included), everything else
+    by value; dicts compare as mappings.  The encoder's walk is
+    deterministic, so two snapshots of the *same lineage* (e.g. a
+    payload before and after an npz round trip, or two clones restored
+    from equal payloads and fed identical updates) compare equal
+    exactly when the states match bit-for-bit.  Payloads of
+    independently built sessions may order dict entries differently and
+    are outside this predicate's contract — compare the live objects
+    instead.
+
+    >>> payload_equal(snapshot({"x": 1}), snapshot({"x": 1}))
+    True
+    >>> payload_equal(snapshot({"x": 1.0}), snapshot({"x": 1}))
+    False
+    """
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        if not (
+            isinstance(a, np.ndarray)
+            and isinstance(b, np.ndarray)
+            and a.dtype == b.dtype
+            and a.shape == b.shape
+        ):
+            return False
+        if a.dtype.hasobject:
+            # Object arrays hold arbitrary-precision ints: value
+            # equality IS bit equality (tobytes would compare
+            # pointers).
+            return bool(np.array_equal(a, b))
+        # tobytes, not array_equal: NaNs that round-trip bit-exactly
+        # must compare equal, and -0.0 vs 0.0 must not.
+        return a.tobytes() == b.tobytes()
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, dict):
+        return set(a) == set(b) and all(
+            payload_equal(v, b[k]) for k, v in a.items()
+        )
+    if isinstance(a, (list, tuple)):
+        return len(a) == len(b) and all(
+            payload_equal(x, y) for x, y in zip(a, b)
+        )
+    return bool(a == b)
+
+
 def restore(payload: dict) -> Any:
     """Rebuild the object graph encoded by :func:`snapshot`.
 

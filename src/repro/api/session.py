@@ -24,7 +24,9 @@ batch pipeline's throughput.  :class:`StreamSession` is that surface:
 * ``snapshot()`` / :meth:`StreamSession.restore` round-trip the whole
   session through the pickle-free state dicts of
   :mod:`repro.api.serialize`, and ingestion *continues* bit-identically
-  after a restore.
+  after a restore — :mod:`repro.api.checkpoint` builds on this to make
+  a live session durable on disk (periodic checkpoints, crash
+  recovery, snapshot shipping).
 
 >>> import numpy as np
 >>> session = StreamSession(n=256, seed=7).track("countmin")
@@ -38,6 +40,7 @@ batch pipeline's throughput.  :class:`StreamSession` is that surface:
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, Callable, Iterable
 
 import numpy as np
@@ -163,6 +166,9 @@ class StreamSession:
         self._sketches: dict[str, Any] = {}
         self._queries: dict[str, Callable[[Any], Any] | None] = {}
         self._spec_names: dict[str, str | None] = {}
+        #: Which consumers carry a user-supplied query hook (functions
+        #: cannot travel in a pickle-free snapshot; restore() warns).
+        self._custom_query: dict[str, bool] = {}
         self._planner: ChunkPlanner | None = None
         self._plan_dirty = True
         self._buf_items = np.empty(self.chunk_size, dtype=np.int64)
@@ -185,6 +191,7 @@ class StreamSession:
         self._sketches[name] = sketch
         self._queries[name] = query or _query_for_type(type(sketch))
         self._spec_names[name] = None
+        self._custom_query[name] = query is not None
         self._plan_dirty = True
         return self
 
@@ -218,6 +225,9 @@ class StreamSession:
                  resolved.build(params, shard_index=self.node, **overrides),
                  query=resolved.query)
         self._spec_names[name] = resolved.name
+        # The hook came from the registry, not the user: a restored
+        # session can re-resolve it from the spec name.
+        self._custom_query[name] = False
         return self
 
     def names(self) -> list[str]:
@@ -328,8 +338,13 @@ class StreamSession:
             self._refresh_planner()
             items = self._buf_items[:self._fill].copy()
             deltas = self._buf_deltas[:self._fill].copy()
-            self._fill = 0
+            # Dispatch *then* clear: if a consumer raises mid-dispatch
+            # the buffer survives and a retried flush re-delivers it.
+            # Consumers ordered before the raiser will then see the
+            # chunk twice — delivery is at-least-once on failure, never
+            # a silent drop.
             self._dispatch(items, deltas)
+            self._fill = 0
         return self
 
     @property
@@ -387,10 +402,39 @@ class StreamSession:
         # leave this session holding a mix of merged and unmerged
         # consumers.
         for name, sketch in self._sketches.items():
+            theirs = other._sketches[name]
+            if type(sketch) is not type(theirs):
+                raise TypeError(
+                    f"consumer {name!r} is a {type(sketch).__name__} "
+                    f"here but a {type(theirs).__name__} in the other "
+                    "session"
+                )
+            if self._spec_names[name] != other._spec_names[name]:
+                raise ValueError(
+                    f"consumer {name!r} was built from spec "
+                    f"{self._spec_names[name]!r} here but "
+                    f"{other._spec_names[name]!r} in the other session"
+                )
             if not supports_merge(sketch):
                 raise TypeError(
                     f"consumer {name!r} ({type(sketch).__name__}) does "
                     "not implement merge()"
+                )
+        if other.node == self.node:
+            sensitive = [
+                name for name, spec in self._spec_names.items()
+                if spec is not None and get_spec(spec).node_sensitive()
+            ]
+            if sensitive:
+                warnings.warn(
+                    f"merging two sessions with the same node index "
+                    f"({self.node}): sampling consumers {sensitive} "
+                    "drew identical sampling streams on both siblings, "
+                    "so their sampling errors are correlated instead "
+                    "of cancelling — give each sibling session a "
+                    "distinct node=",
+                    UserWarning,
+                    stacklevel=2,
                 )
         self.flush()
         other.flush()
@@ -425,20 +469,46 @@ class StreamSession:
                     "seed": self.params.seed,
                 },
                 "specs": dict(self._spec_names),
+                "custom_queries": [
+                    name for name, custom in self._custom_query.items()
+                    if custom
+                ],
             },
             "consumers": _snapshot_state(self._sketches),
         }
 
     @classmethod
-    def restore(cls, payload: dict) -> "StreamSession":
+    def restore(
+        cls,
+        payload: dict,
+        queries: dict[str, Callable[[Any], Any]] | None = None,
+    ) -> "StreamSession":
         """Rebuild a session from :meth:`snapshot`; ingestion continues
-        bit-identically to a session that never snapshotted."""
+        bit-identically to a session that never snapshotted.
+
+        Query-hook contract: hooks for tracked specs are re-resolved
+        from the registry.  Custom hooks passed to :meth:`add` are
+        functions and cannot travel in a pickle-free payload — the
+        snapshot records *which* consumers had one, and restoring such
+        a consumer without a replacement emits a ``UserWarning`` and
+        falls back to the inferred hook (sketch state is untouched
+        either way).  Pass ``queries={name: hook}`` to re-attach custom
+        hooks; names not present in the snapshot raise ``KeyError``.
+        """
         version = payload.get("format")
         if version != FORMAT_VERSION:
             raise ValueError(
                 f"unsupported session snapshot format {version!r}"
             )
         meta = payload["session"]
+        queries = dict(queries or {})
+        unknown = set(queries) - set(meta["specs"])
+        if unknown:
+            raise KeyError(
+                f"queries supplied for consumers not in the snapshot: "
+                f"{sorted(unknown)}"
+            )
+        had_custom = set(meta.get("custom_queries", ()))
         session = cls(
             meta["n"],
             params=Params(**meta["params"]),
@@ -449,8 +519,21 @@ class StreamSession:
         sketches = _restore_state(payload["consumers"])
         for name, sketch in sketches.items():
             spec_name = meta["specs"].get(name)
-            query = get_spec(spec_name).query if spec_name else None
-            session.add(name, sketch, query=query)
+            if name in queries:
+                session.add(name, sketch, query=queries[name])
+            else:
+                if name in had_custom:
+                    warnings.warn(
+                        f"consumer {name!r} had a custom query hook "
+                        "that cannot be serialized; restored with the "
+                        "inferred hook — pass queries={name: hook} to "
+                        "StreamSession.restore to re-attach it",
+                        UserWarning,
+                        stacklevel=2,
+                    )
+                query = get_spec(spec_name).query if spec_name else None
+                session.add(name, sketch, query=query)
+                session._custom_query[name] = False
             session._spec_names[name] = spec_name
         session.updates_processed = int(meta["updates_processed"])
         return session

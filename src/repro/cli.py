@@ -27,12 +27,21 @@ documented holdout is ``support``: its suffix-positivity certificate
 needs every prefix of its input to be strict-turnstile, which
 contiguous shards of a strict stream are not — that subcommand prints
 an honest note and replays single-shard.
+
+``--checkpoint-dir DIR`` makes an estimator run durable: the replay
+goes through a :class:`~repro.api.session.StreamSession` checkpointed
+every ``--checkpoint-every`` updates (keep-last ``--checkpoint-keep``),
+and a rerun of the *same* command against the same directory recovers
+the newest checkpoint and resumes from its watermark instead of
+starting over — with final estimates identical to an uninterrupted run
+(the batch contract makes checkpoint boundaries unobservable).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from dataclasses import dataclass
 from typing import Callable
 
@@ -47,6 +56,7 @@ from repro.streams.generators import (
 )
 from repro.streams.engine import (
     DEFAULT_CHUNK_SIZE,
+    ReplayStats,
     replay_sharded_timed,
     replay_timed,
 )
@@ -121,6 +131,22 @@ def add_engine_args(parser: argparse.ArgumentParser) -> None:
                              "holdout, which notes the fallback)")
 
 
+def add_checkpoint_args(parser: argparse.ArgumentParser) -> None:
+    """Durability flags for estimator subcommands."""
+    parser.add_argument("--checkpoint-dir", default=None,
+                        help="checkpoint the replay into this directory "
+                             "and resume from its newest checkpoint on "
+                             "rerun (estimates are identical to an "
+                             "uninterrupted run)")
+    parser.add_argument("--checkpoint-every", type=_positive_int,
+                        default=5000,
+                        help="checkpoint interval in updates processed "
+                             "(with --checkpoint-dir)")
+    parser.add_argument("--checkpoint-keep", type=_positive_int, default=3,
+                        help="how many checkpoints to retain "
+                             "(keep-last-K compaction)")
+
+
 def add_workload_args(parser: argparse.ArgumentParser) -> None:
     """Workload + parameter flags shared by every subcommand."""
     parser.add_argument("--workload", default="zipf",
@@ -161,10 +187,70 @@ class _EstimatorCommand:
     extra_args: Callable[[argparse.ArgumentParser], None] | None = None
 
 
+def _run_estimator_checkpointed(cmd: _EstimatorCommand,
+                                args: argparse.Namespace,
+                                stream, truth, spec_name, params,
+                                overrides) -> int:
+    """The durable replay path: a checkpointed StreamSession that
+    resumes from the newest checkpoint in ``--checkpoint-dir``."""
+    from repro.api.checkpoint import Checkpointer, CheckpointStore, recover
+    from repro.api.session import StreamSession
+
+    if args.workers > 1:
+        print("note: --checkpoint-dir replays through an in-process "
+              "session; --workers ignored")
+    store = CheckpointStore(args.checkpoint_dir,
+                            keep_last=args.checkpoint_keep)
+    session = recover(store)
+    if session is not None:
+        if session.n != stream.n or session.names() != [spec_name]:
+            raise SystemExit(
+                f"checkpoint directory {args.checkpoint_dir} holds a "
+                f"different run (universe {session.n}, consumers "
+                f"{session.names()}); expected universe {stream.n}, "
+                f"consumer [{spec_name!r}] — use a fresh directory"
+            )
+        print(f"recovered checkpoint   : {session.updates_processed} "
+              f"updates already ingested")
+    else:
+        session = StreamSession(
+            stream.n, params=params, chunk_size=args.chunk_size,
+            coalesce=args.coalesce,
+        )
+        session.track(spec_name, **overrides)
+    done = min(session.updates_processed, len(stream))
+    checkpointer = Checkpointer(session, store,
+                                every_updates=args.checkpoint_every)
+    items, deltas = stream.as_arrays()
+    start = time.perf_counter()
+    for pos in range(done, len(items), args.chunk_size):
+        checkpointer.push(items[pos:pos + args.chunk_size],
+                          deltas[pos:pos + args.chunk_size])
+    session.flush()
+    checkpointer.checkpoint()  # the tail becomes durable
+    elapsed = time.perf_counter() - start
+    sketch = session[spec_name]
+    cmd.report(sketch, truth, args, spec_name)
+    print(f"sketch space           : {sketch.space_bits()} bits")
+    print(f"checkpoints            : {checkpointer.checkpoints_written} "
+          f"written to {args.checkpoint_dir} "
+          f"(every {args.checkpoint_every} updates, "
+          f"keep {args.checkpoint_keep})")
+    _print_throughput(ReplayStats(
+        updates=len(items) - done, seconds=elapsed,
+        chunk_size=args.chunk_size, batched=True,
+    ))
+    return 0
+
+
 def _run_estimator(cmd: _EstimatorCommand, args: argparse.Namespace) -> int:
     stream = _build_workload(args)
     truth = stream.frequency_vector()
     spec_name, params, overrides, note = cmd.select(stream, args)
+    if getattr(args, "checkpoint_dir", None):
+        return _run_estimator_checkpointed(
+            cmd, args, stream, truth, spec_name, params, overrides
+        )
     if not cmd.sharded and args.workers > 1:
         print(f"note: {note} is provably order-sensitive (its certificate "
               f"needs strict prefixes, which shards of a strict stream are "
@@ -300,6 +386,7 @@ def build_parser() -> argparse.ArgumentParser:
         p = sub.add_parser(cmd.name, help=cmd.help)
         add_workload_args(p)
         add_engine_args(p)
+        add_checkpoint_args(p)
         if cmd.extra_args is not None:
             cmd.extra_args(p)
         p.set_defaults(func=lambda args, cmd=cmd: _run_estimator(cmd, args))

@@ -1,0 +1,64 @@
+"""Subprocess worker for the kill-and-recover harness.
+
+Not a test module (no ``test_`` prefix): ``test_checkpoint.py`` spawns
+this script, waits for a durable mid-stream checkpoint, and SIGKILLs
+it.  The workload, session battery, and pacing constants live here so
+the parent test and the child process provably build the same run.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+N = 512
+M = 6_000
+STREAM_SEED = 0xD15C
+SESSION_SEED = 0xC0FE
+#: Representative battery across plan regimes: coalescing linear,
+#: sampling-seeded (CSSS), RNG-consuming sampler, composed estimator.
+BATTERY = ("countsketch", "csss", "l1_strict", "alpha_l0",
+           "frequency_vector")
+PUSH_SIZE = 200
+CHECKPOINT_EVERY = 800
+KEEP_LAST = 2
+SLEEP_PER_PUSH = 0.03
+
+
+def build_stream():
+    from repro.streams.generators import bounded_deletion_stream
+
+    return bounded_deletion_stream(N, M, alpha=4, seed=STREAM_SEED,
+                                   strict=True)
+
+
+def build_session():
+    from repro.api import Params, StreamSession
+
+    params = Params(n=N, eps=0.2, delta=0.25, alpha=4.0,
+                    seed=SESSION_SEED)
+    session = StreamSession(N, params=params, chunk_size=700)
+    for name in BATTERY:
+        session.track(name)
+    return session
+
+
+def main(checkpoint_dir: str) -> None:
+    from repro.api.checkpoint import Checkpointer, CheckpointStore
+
+    session = build_session()
+    checkpointer = Checkpointer(
+        session, CheckpointStore(checkpoint_dir, keep_last=KEEP_LAST),
+        every_updates=CHECKPOINT_EVERY,
+    )
+    items, deltas = build_stream().as_arrays()
+    for pos in range(0, len(items), PUSH_SIZE):
+        checkpointer.push(items[pos:pos + PUSH_SIZE],
+                          deltas[pos:pos + PUSH_SIZE])
+        time.sleep(SLEEP_PER_PUSH)  # paced like a live monitor
+    checkpointer.checkpoint()
+    print("FINISHED", flush=True)
+
+
+if __name__ == "__main__":
+    main(sys.argv[1])
