@@ -1,0 +1,192 @@
+"""Service-tier load generator — the ``service`` section of
+``BENCH_throughput.json``.
+
+End-to-end measurement of the network ingest path: one in-process
+:class:`~repro.service.server.ServerThread`, N concurrent WebSocket
+clients each pushing a contiguous shard of the stream into its *own*
+named session (distinct ``node`` indices, the distributed-sibling
+setup), frames pipelined so the wire — not ack round-trips — is the
+bottleneck.  After ingest, the sibling sessions are folded into
+session 0 over the wire (snapshot container + merge endpoint), the
+aggregate is snapshotted back out, and the restored state is compared
+**bit-identically** against an offline mirror: local sibling sessions
+fed the same shards and merged in the same order.  The batch contract
+end to end — HTTP, frames, WebSocket messages, and merges in the
+middle change nothing.
+
+Recorded: end-to-end updates/sec (wall clock from first frame to last
+ack, all clients), the per-client rate, the offline ``replay_many``
+rate for the same battery as context, and the bit-identity verdict.
+
+Run as a script to update the artifact in place::
+
+    PYTHONPATH=src python benchmarks/bench_service.py
+
+``--smoke`` runs a tiny stream, writes nothing, and hard-fails unless
+the served state is bit-identical — the CI gate.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.api.serialize import payload_equal
+from repro.api.session import StreamSession
+from repro.service import (
+    AsyncSessionClient,
+    MetricsRegistry,
+    ServerThread,
+    ServiceClient,
+    ServiceMetrics,
+    SketchService,
+)
+from repro.streams.io import payload_from_bytes
+
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_throughput.json"
+
+N_UNIVERSE = 1 << 14
+BATTERY = ("countsketch", "countmin", "frequency_vector")
+CLIENTS = 4
+M = 400_000
+PUSH = 4096
+SEED = 0xBDE5
+SMOKE_M = 8_000
+
+
+def make_stream(m: int) -> tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(SEED)
+    items = rng.integers(0, N_UNIVERSE, size=m)
+    deltas = rng.integers(1, 6, size=m)
+    return items, deltas
+
+
+def offline_session(node: int) -> StreamSession:
+    session = StreamSession(N_UNIVERSE, seed=SEED & 0xFFFF, node=node)
+    for spec in BATTERY:
+        session.track(spec)
+    return session
+
+
+def measure_service(m: int, clients: int, push: int) -> dict:
+    items, deltas = make_stream(m)
+    bounds = np.linspace(0, m, clients + 1).astype(int)
+    shards = [(items[bounds[i]:bounds[i + 1]],
+               deltas[bounds[i]:bounds[i + 1]])
+              for i in range(clients)]
+
+    service = SketchService(ServiceMetrics(MetricsRegistry()))
+    with ServerThread(service) as handle:
+        http = ServiceClient(handle.host, handle.port)
+        for i in range(clients):
+            http.create_session(f"load_{i}", n=N_UNIVERSE,
+                                seed=SEED & 0xFFFF, node=i,
+                                track=list(BATTERY))
+
+        async def one_client(i: int) -> int:
+            shard_items, shard_deltas = shards[i]
+            async with AsyncSessionClient(handle.host, handle.port,
+                                          f"load_{i}") as ws:
+                batches = [
+                    (shard_items[pos:pos + push],
+                     shard_deltas[pos:pos + push])
+                    for pos in range(0, len(shard_items), push)
+                ]
+                return await ws.ingest_many(batches)
+
+        async def drive() -> float:
+            start = time.perf_counter()
+            await asyncio.gather(*(one_client(i) for i in range(clients)))
+            return time.perf_counter() - start
+
+        elapsed = asyncio.run(drive())
+
+        # Fold the siblings into session 0 over the wire.
+        for i in range(1, clients):
+            http.merge("load_0", http.snapshot(f"load_{i}"))
+        served = StreamSession.restore(
+            payload_from_bytes(http.snapshot("load_0"))
+        )
+        http.close()
+
+    # The offline mirror: same shards, same nodes, same merge order.
+    mirror = offline_session(0)
+    mirror.push(*shards[0])
+    for i in range(1, clients):
+        sibling = offline_session(i)
+        sibling.push(*shards[i])
+        mirror.merge(sibling)
+    identical = payload_equal(served.snapshot(), mirror.snapshot())
+
+    # Offline replay context: one session, whole stream, no network.
+    offline = offline_session(0)
+    start = time.perf_counter()
+    for pos in range(0, m, push):
+        offline.push(items[pos:pos + push], deltas[pos:pos + push])
+    offline.flush()
+    offline_elapsed = time.perf_counter() - start
+
+    return {
+        "transport": "websocket+frames",
+        "clients": clients,
+        "m": m,
+        "push_size": push,
+        "battery": list(BATTERY),
+        "updates_per_sec": int(m / elapsed),
+        "per_client_updates_per_sec": int(m / elapsed / clients),
+        "offline_updates_per_sec": int(m / offline_elapsed),
+        "service_over_offline": round(offline_elapsed / elapsed, 4),
+        "identical_states": bool(identical),
+        "merged_sessions": clients,
+    }
+
+
+def run_smoke() -> int:
+    report = measure_service(SMOKE_M, clients=2, push=512)
+    assert report["identical_states"], (
+        "service smoke: served state diverged from the offline mirror"
+    )
+    assert report["updates_per_sec"] > 0
+    print(f"service smoke ok: {report['updates_per_sec']:,} updates/s "
+          f"end-to-end, bit-identical to the offline mirror")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny-size CI gate; no artifact write")
+    parser.add_argument("--clients", type=int, default=CLIENTS)
+    parser.add_argument("--m", type=int, default=M)
+    args = parser.parse_args(argv)
+    if args.smoke:
+        return run_smoke()
+    report = measure_service(args.m, clients=args.clients, push=PUSH)
+    if not report["identical_states"]:
+        raise SystemExit(
+            "served state diverged from the offline mirror; not writing "
+            "the artifact"
+        )
+    artifact = json.loads(ARTIFACT.read_text()) if ARTIFACT.exists() else {}
+    artifact["service"] = report
+    ARTIFACT.write_text(json.dumps(artifact, indent=2) + "\n")
+    print(
+        f"service: {report['clients']} clients x "
+        f"{report['per_client_updates_per_sec']:,}/s = "
+        f"{report['updates_per_sec']:,} updates/s end-to-end "
+        f"(offline replay {report['offline_updates_per_sec']:,}/s, "
+        f"ratio x{report['service_over_offline']:.3f}, "
+        f"identical={report['identical_states']})"
+    )
+    print(f"updated {ARTIFACT}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,9 +11,13 @@ tiny.  This example:
 2. measures the achieved alpha,
 3. runs heavy hitters + the general-turnstile L1 estimator in one
    push-based StreamSession,
-4. shows *distributed* monitoring: two vantage points each run their
-   own session over half the traffic and the sessions MERGE (the
-   Mergeable ladder — exactly what ``replay_sharded`` does per shard),
+4. shows **genuinely remote** distributed monitoring: a sketch service
+   (:mod:`repro.service`) hosts one named session per vantage point;
+   each vantage point is a network *client* that streams its half of
+   the traffic as binary ingest frames, and aggregation happens over
+   the wire too — one vantage point's snapshot container is POSTed
+   into the other's live session (the Mergeable ladder behind a merge
+   endpoint, exactly what ``replay_sharded`` does per shard),
 5. estimates the similarity of the two snapshots via the inner-product
    sketch of Theorem 2 (a self-join-size style query).
 
@@ -27,23 +31,20 @@ import numpy as np
 from repro import (
     AlphaInnerProduct,
     Params,
-    StreamSession,
     l1_alpha,
     traffic_difference_stream,
 )
+from repro.service import ServerThread, ServiceClient
 
-
-def make_session(n: int, params: Params, node: int) -> StreamSession:
-    """Both vantage points build THE SAME specs and params (one root
-    seed = value-equal hash functions, the precondition for merging)
-    but a DISTINCT node index, so their sampling structures draw
-    independent sampling streams and the merged estimate's sampling
-    errors cancel instead of correlating."""
-    return (
-        StreamSession(n=n, params=params, node=node)
-        .track("changed_flows", "heavy_hitters_general")
-        .track("change_mass", "l1_general")
-    )
+#: Both vantage points track THE SAME specs and params (one root seed =
+#: value-equal hash functions, the precondition for merging) but a
+#: DISTINCT node index, so their sampling structures draw independent
+#: sampling streams and the merged estimate's sampling errors cancel
+#: instead of correlating.
+TRACK = {
+    "changed_flows": "heavy_hitters_general",
+    "change_mass": "l1_general",
+}
 
 
 def main() -> None:
@@ -62,33 +63,48 @@ def main() -> None:
           "(small because changes are not arbitrarily tiny — Section 1)")
     print(f"changed flows (support of f): {truth.l0()}")
 
-    print("\n=== two vantage points, merged sessions ===")
+    print("\n=== two REMOTE vantage points behind a sketch service ===")
     eps = 1 / 8
-    params = Params(n=n, eps=eps, alpha=min(alpha, 64), seed=11)
-    east, west = make_session(n, params, 0), make_session(n, params, 1)
+    session_params = {"eps": eps, "alpha": min(alpha, 64)}
     items, deltas = diff.as_arrays()
     half = len(items) // 2
-    east.push(items[:half], deltas[:half])
-    west.push(items[half:], deltas[half:])
-    print(f"east saw {east.updates_processed} updates, "
-          f"west {west.updates_processed}")
-    merged = east.merge(west)
-    print(f"merged session covers {merged.updates_processed} updates")
+    with ServerThread() as handle:
+        print(f"service up at http://{handle.host}:{handle.port}")
+        east = ServiceClient(handle.host, handle.port)
+        west = ServiceClient(handle.host, handle.port)
+        for client, name, node in [(east, "east", 0), (west, "west", 1)]:
+            client.create_session(name, n=n, seed=11, node=node,
+                                  params=session_params, track=TRACK)
+        # Each vantage point streams its own traffic over the wire, in
+        # frames of whatever size the capture loop produced.
+        for pos in range(0, half, 4096):
+            end = min(pos + 4096, half)
+            east.ingest("east", items[pos:end], deltas[pos:end])
+        for pos in range(half, len(items), 4096):
+            end = min(pos + 4096, len(items))
+            west.ingest("west", items[pos:end], deltas[pos:end])
+        east_info, west_info = east.info("east"), west.info("west")
+        print(f"east saw {east_info['updates_processed']} updates, "
+              f"west {west_info['updates_processed']}")
+        # Aggregation is remote too: west's snapshot container crosses
+        # the wire into east's live session.
+        merged = east.merge("east", west.snapshot("west"))
+        print(f"merged session covers {merged['updates_processed']} "
+              f"updates")
 
-    print("\n=== which flows changed the most? (heavy hitters) ===")
-    reported = merged.query("changed_flows")
-    true_heavy = truth.heavy_hitters(eps)
-    print(f"true eps-heavy changed flows: {len(true_heavy)}")
-    print(f"reported: {len(reported)}  "
-          f"(recall: {len(true_heavy & reported)}/{len(true_heavy)})")
-    hh = merged["changed_flows"]
-    for flow in sorted(true_heavy)[:5]:
-        print(f"  flow {flow}: true change {int(truth.f[flow]):+d}, "
-              f"estimated {hh.query(flow):+.0f}")
+        print("\n=== which flows changed the most? (heavy hitters) ===")
+        reported = set(east.query("east", "changed_flows"))
+        true_heavy = truth.heavy_hitters(eps)
+        print(f"true eps-heavy changed flows: {len(true_heavy)}")
+        print(f"reported: {len(reported)}  "
+              f"(recall: {len(true_heavy & reported)}/{len(true_heavy)})")
 
-    print("\n=== total traffic change (general-turnstile L1) ===")
-    print(f"||f1 - f2||_1 estimate = {merged.query('change_mass'):.0f} "
-          f"(true {truth.l1()})")
+        print("\n=== total traffic change (general-turnstile L1) ===")
+        print(f"||f1 - f2||_1 estimate = "
+              f"{east.query('east', 'change_mass'):.0f} "
+              f"(true {truth.l1()})")
+        east.close()
+        west.close()
 
     print("\n=== cross-interval correlation (inner product, Theorem 2) ===")
     rng = np.random.default_rng(11)

@@ -40,6 +40,7 @@ batch pipeline's throughput.  :class:`StreamSession` is that surface:
 
 from __future__ import annotations
 
+import threading
 import warnings
 from typing import Any, Callable, Iterable
 
@@ -174,6 +175,14 @@ class StreamSession:
         self._buf_items = np.empty(self.chunk_size, dtype=np.int64)
         self._buf_deltas = np.empty(self.chunk_size, dtype=np.int64)
         self._fill = 0
+        #: Session-level reentrant lock: push/flush/query/merge/snapshot
+        #: are atomic with respect to each other, so one session can sit
+        #: behind a threaded server (or a checkpointer thread) without
+        #: interleaved pushes corrupting the partial-chunk buffer.
+        #: Reentrant because query() flushes and merge() flushes both
+        #: sides.  (The sketches themselves are single-writer; the lock
+        #: serializes that writer.)
+        self._lock = threading.RLock()
 
     # -- consumer registration ----------------------------------------------
     def add(self, name: str, sketch: Any,
@@ -184,15 +193,18 @@ class StreamSession:
         >>> StreamSession(n=8).add("truth", FrequencyVector(8)).names()
         ['truth']
         """
-        if name in self._sketches:
-            raise ValueError(f"duplicate consumer name {name!r}")
-        if not callable(getattr(sketch, "update", None)):
-            raise TypeError(f"{type(sketch).__name__} has no update method")
-        self._sketches[name] = sketch
-        self._queries[name] = query or _query_for_type(type(sketch))
-        self._spec_names[name] = None
-        self._custom_query[name] = query is not None
-        self._plan_dirty = True
+        with self._lock:
+            if name in self._sketches:
+                raise ValueError(f"duplicate consumer name {name!r}")
+            if not callable(getattr(sketch, "update", None)):
+                raise TypeError(
+                    f"{type(sketch).__name__} has no update method"
+                )
+            self._sketches[name] = sketch
+            self._queries[name] = query or _query_for_type(type(sketch))
+            self._spec_names[name] = None
+            self._custom_query[name] = query is not None
+            self._plan_dirty = True
         return self
 
     def track(self, name: str, spec: str | SketchSpec | None = None,
@@ -221,14 +233,25 @@ class StreamSession:
             raise ValueError("cannot override n away from the session "
                              "universe")
         params = self.params.replace(**param_changes)
-        self.add(name,
-                 resolved.build(params, shard_index=self.node, **overrides),
-                 query=resolved.query)
-        self._spec_names[name] = resolved.name
-        # The hook came from the registry, not the user: a restored
-        # session can re-resolve it from the spec name.
-        self._custom_query[name] = False
+        with self._lock:
+            self.add(name,
+                     resolved.build(params, shard_index=self.node,
+                                    **overrides),
+                     query=resolved.query)
+            self._spec_names[name] = resolved.name
+            # The hook came from the registry, not the user: a restored
+            # session can re-resolve it from the spec name.
+            self._custom_query[name] = False
         return self
+
+    def spec_of(self, name: str) -> str | None:
+        """The registry spec a consumer was built from (``None`` for
+        sketches registered via :meth:`add`)."""
+        if name not in self._sketches:
+            raise KeyError(
+                f"unknown consumer {name!r}; registered: {self.names()}"
+            )
+        return self._spec_names[name]
 
     def names(self) -> list[str]:
         """Registered consumer names, in registration order."""
@@ -244,7 +267,9 @@ class StreamSession:
     def space_report(self) -> dict[str, int]:
         """``space_bits`` per consumer (skips structures without)."""
         out = {}
-        for name, sketch in self._sketches.items():
+        with self._lock:
+            sketches = list(self._sketches.items())
+        for name, sketch in sketches:
             fn = getattr(sketch, "space_bits", None)
             if callable(fn):
                 out[name] = int(fn())
@@ -291,29 +316,32 @@ class StreamSession:
                 "no consumers registered; track() or add() before push()"
             )
         items_arr, deltas_arr = as_update_arrays(items, deltas, self.n)
-        self._refresh_planner()
-        m = len(items_arr)
-        self.updates_processed += m
-        chunk = self.chunk_size
-        pos = 0
-        if self._fill:
-            take = min(chunk - self._fill, m)
-            self._buf_items[self._fill:self._fill + take] = items_arr[:take]
-            self._buf_deltas[self._fill:self._fill + take] = deltas_arr[:take]
-            self._fill += take
-            pos = take
-            if self._fill == chunk:
-                self._dispatch(self._buf_items, self._buf_deltas)
-                self._fill = 0
-        while pos + chunk <= m:
-            self._dispatch(items_arr[pos:pos + chunk],
-                           deltas_arr[pos:pos + chunk])
-            pos += chunk
-        if pos < m:
-            tail = m - pos
-            self._buf_items[:tail] = items_arr[pos:]
-            self._buf_deltas[:tail] = deltas_arr[pos:]
-            self._fill = tail
+        with self._lock:
+            self._refresh_planner()
+            m = len(items_arr)
+            self.updates_processed += m
+            chunk = self.chunk_size
+            pos = 0
+            if self._fill:
+                take = min(chunk - self._fill, m)
+                self._buf_items[self._fill:self._fill + take] = (
+                    items_arr[:take])
+                self._buf_deltas[self._fill:self._fill + take] = (
+                    deltas_arr[:take])
+                self._fill += take
+                pos = take
+                if self._fill == chunk:
+                    self._dispatch(self._buf_items, self._buf_deltas)
+                    self._fill = 0
+            while pos + chunk <= m:
+                self._dispatch(items_arr[pos:pos + chunk],
+                               deltas_arr[pos:pos + chunk])
+                pos += chunk
+            if pos < m:
+                tail = m - pos
+                self._buf_items[:tail] = items_arr[pos:]
+                self._buf_deltas[:tail] = deltas_arr[pos:]
+                self._fill = tail
         return self
 
     def push_stream(self, stream: Iterable) -> "StreamSession":
@@ -334,17 +362,18 @@ class StreamSession:
         a chunk boundary, and the batch contract makes boundaries
         unobservable — it just costs one smaller dispatch.
         """
-        if self._fill:
-            self._refresh_planner()
-            items = self._buf_items[:self._fill].copy()
-            deltas = self._buf_deltas[:self._fill].copy()
-            # Dispatch *then* clear: if a consumer raises mid-dispatch
-            # the buffer survives and a retried flush re-delivers it.
-            # Consumers ordered before the raiser will then see the
-            # chunk twice — delivery is at-least-once on failure, never
-            # a silent drop.
-            self._dispatch(items, deltas)
-            self._fill = 0
+        with self._lock:
+            if self._fill:
+                self._refresh_planner()
+                items = self._buf_items[:self._fill].copy()
+                deltas = self._buf_deltas[:self._fill].copy()
+                # Dispatch *then* clear: if a consumer raises
+                # mid-dispatch the buffer survives and a retried flush
+                # re-delivers it.  Consumers ordered before the raiser
+                # will then see the chunk twice — delivery is
+                # at-least-once on failure, never a silent drop.
+                self._dispatch(items, deltas)
+                self._fill = 0
         return self
 
     @property
@@ -356,28 +385,31 @@ class StreamSession:
     def query(self, name: str):
         """The headline estimate of consumer ``name`` (buffer flushed
         first, so the answer reflects every pushed update)."""
-        if name not in self._sketches:
-            raise KeyError(
-                f"unknown consumer {name!r}; registered: {self.names()}"
-            )
-        self.flush()
-        sketch = self._sketches[name]
-        query = self._queries.get(name)
-        if query is not None:
-            return query(sketch)
-        return _default_query(sketch)
+        with self._lock:
+            if name not in self._sketches:
+                raise KeyError(
+                    f"unknown consumer {name!r}; registered: "
+                    f"{self.names()}"
+                )
+            self.flush()
+            sketch = self._sketches[name]
+            query = self._queries.get(name)
+            if query is not None:
+                return query(sketch)
+            return _default_query(sketch)
 
     def query_all(self) -> dict[str, Any]:
         """Every queryable consumer's headline estimate (point-query
         structures are skipped; a failing query hook raises)."""
-        self.flush()
-        out = {}
-        for name in self._sketches:
-            try:
-                out[name] = self.query(name)
-            except QueryNotSupported:
-                pass  # point-query structures have no no-arg answer
-        return out
+        with self._lock:
+            self.flush()
+            out = {}
+            for name in self._sketches:
+                try:
+                    out[name] = self.query(name)
+                except QueryNotSupported:
+                    pass  # point-query structures have no no-arg answer
+            return out
 
     # -- distributed aggregation --------------------------------------------
     def merge(self, other: "StreamSession") -> "StreamSession":
@@ -393,6 +425,13 @@ class StreamSession:
         """
         if not isinstance(other, StreamSession) or other.n != self.n:
             raise ValueError("sessions cover different universes")
+        # Take both session locks in a global order (by object id) so
+        # two threads merging in opposite directions cannot deadlock.
+        first, second = sorted((self, other), key=id)
+        with first._lock, second._lock:
+            return self._merge_locked(other)
+
+    def _merge_locked(self, other: "StreamSession") -> "StreamSession":
         if set(other._sketches) != set(self._sketches):
             raise ValueError(
                 f"consumer sets differ: {sorted(self._sketches)} vs "
@@ -452,7 +491,11 @@ class StreamSession:
         objects (hash functions, contexts) are snapshotted once and
         stay shared after restore.
         """
-        self.flush()
+        with self._lock:
+            self.flush()
+            return self._snapshot_locked()
+
+    def _snapshot_locked(self) -> dict:
         return {
             "format": FORMAT_VERSION,
             "session": {

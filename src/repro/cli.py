@@ -10,6 +10,7 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli support --workload sensor --k 10
     python -m repro.cli generate --workload traffic --out /tmp/stream.npz
     python -m repro.cli l1 --stream /tmp/stream.npz --alpha 8
+    python -m repro.cli serve --port 8321 --session edge --track countmin
 
 Every estimator subcommand is generated from the sketch-spec registry
 (:mod:`repro.api.registry`): the spec supplies the factory (root-seed →
@@ -336,6 +337,63 @@ def _report_support(sketch, truth, args, spec_name):
     print(f"sample                 : {sorted(got)[:20]}")
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the sketch service tier until interrupted.
+
+    ``--session NAME`` pre-creates a session (repeatable); each one
+    tracks the specs in ``--track`` (comma-separated, default
+    ``countmin``).  Sessions can also be created over the API at any
+    time (``POST /v1/sessions``).
+    """
+    import asyncio
+
+    from repro.service import ServiceServer, SketchService
+
+    service = SketchService()
+    track = [s for s in args.track.split(",") if s]
+    for name in args.session or []:
+        service.create_session(
+            name, n=args.n, seed=args.seed, chunk_size=args.chunk_size,
+            node=args.node, track=track,
+        )
+
+    async def run() -> None:
+        server = ServiceServer(service, host=args.host, port=args.port)
+        await server.start()
+        print(f"serving on http://{server.host}:{server.port} "
+              f"(sessions: {sorted(service.sessions) or 'none yet'})")
+        try:
+            await server.serve_forever()
+        finally:
+            await server.close()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("shutting down")
+    return 0
+
+
+def add_serve_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8321,
+                        help="listen port (0 picks a free one)")
+    parser.add_argument("--session", action="append", default=None,
+                        metavar="NAME",
+                        help="pre-create a session (repeatable)")
+    parser.add_argument("--track", default="countmin",
+                        help="comma-separated registry specs each "
+                             "pre-created session tracks")
+    parser.add_argument("--n", type=int, default=1 << 16,
+                        help="universe size of pre-created sessions")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--node", type=int, default=0,
+                        help="node index of pre-created sessions "
+                             "(give every merging sibling a distinct one)")
+    parser.add_argument("--chunk-size", type=_positive_int,
+                        default=DEFAULT_CHUNK_SIZE)
+
+
 ESTIMATOR_COMMANDS = [
     _EstimatorCommand(
         name="heavy-hitters",
@@ -390,6 +448,14 @@ def build_parser() -> argparse.ArgumentParser:
         if cmd.extra_args is not None:
             cmd.extra_args(p)
         p.set_defaults(func=lambda args, cmd=cmd: _run_estimator(cmd, args))
+
+    p = sub.add_parser(
+        "serve",
+        help="run the sketch service tier (HTTP + WebSocket ingest/"
+             "query/merge over named sessions, /metrics exposition)",
+    )
+    add_serve_args(p)
+    p.set_defaults(func=_cmd_serve)
     return parser
 
 

@@ -1,0 +1,162 @@
+"""Minimal RFC 6455 WebSocket framing over asyncio streams.
+
+Only what the service tier needs — no extensions, no compression:
+binary/text data frames with fragmentation, close/ping/pong control
+frames, client-side masking (mandatory per the RFC) and server-side
+unmasking.  Both :mod:`repro.service.server` and the async client in
+:mod:`repro.service.client` build on these helpers, so the two ends
+cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import hashlib
+import os
+import struct
+
+import numpy as np
+
+#: RFC 6455 handshake GUID: accept = b64(sha1(key + GUID)).
+WS_GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+OP_CONT = 0x0
+OP_TEXT = 0x1
+OP_BINARY = 0x2
+OP_CLOSE = 0x8
+OP_PING = 0x9
+OP_PONG = 0xA
+
+#: Per-message ceiling, aligned with the frame protocol's payload
+#: ceiling plus header slack.
+MAX_MESSAGE = (1 << 24) + 1024
+
+
+class WebSocketError(ConnectionError):
+    """The peer violated the WebSocket framing rules."""
+
+
+def accept_key(key: str) -> str:
+    """The Sec-WebSocket-Accept value for a client's key."""
+    digest = hashlib.sha1((key + WS_GUID).encode("ascii")).digest()
+    return base64.b64encode(digest).decode("ascii")
+
+
+def _mask(payload: bytes, key: bytes) -> bytes:
+    if not payload:
+        return b""
+    data = np.frombuffer(payload, dtype=np.uint8)
+    mask = np.frombuffer((key * (len(data) // 4 + 1))[:len(data)],
+                         dtype=np.uint8)
+    return (data ^ mask).tobytes()
+
+
+def encode_ws_frame(opcode: int, payload: bytes = b"", *,
+                    mask: bool = False, fin: bool = True) -> bytes:
+    """Serialize one WebSocket frame (clients set ``mask=True``)."""
+    head = bytearray()
+    head.append((0x80 if fin else 0x00) | (opcode & 0x0F))
+    mask_bit = 0x80 if mask else 0x00
+    n = len(payload)
+    if n < 126:
+        head.append(mask_bit | n)
+    elif n < (1 << 16):
+        head.append(mask_bit | 126)
+        head += struct.pack(">H", n)
+    else:
+        head.append(mask_bit | 127)
+        head += struct.pack(">Q", n)
+    if mask:
+        key = os.urandom(4)
+        return bytes(head) + key + _mask(payload, key)
+    return bytes(head) + payload
+
+
+async def read_ws_frame(
+    reader: asyncio.StreamReader,
+) -> tuple[int, bool, bytes, bool]:
+    """Read one raw frame; returns ``(opcode, fin, payload, masked)``
+    with the payload already unmasked.  Raises :class:`WebSocketError`
+    on framing violations and ``IncompleteReadError`` when the peer
+    dies mid-frame."""
+    b1, b2 = await reader.readexactly(2)
+    fin = bool(b1 & 0x80)
+    if b1 & 0x70:
+        raise WebSocketError("reserved WebSocket bits set (no extensions)")
+    opcode = b1 & 0x0F
+    masked = bool(b2 & 0x80)
+    length = b2 & 0x7F
+    if length == 126:
+        (length,) = struct.unpack(">H", await reader.readexactly(2))
+    elif length == 127:
+        (length,) = struct.unpack(">Q", await reader.readexactly(8))
+    if length > MAX_MESSAGE:
+        raise WebSocketError(
+            f"WebSocket frame of {length} bytes exceeds the "
+            f"{MAX_MESSAGE}-byte ceiling"
+        )
+    if opcode >= OP_CLOSE and (length > 125 or not fin):
+        raise WebSocketError("malformed control frame")
+    key = await reader.readexactly(4) if masked else b""
+    payload = await reader.readexactly(length) if length else b""
+    if masked:
+        payload = _mask(payload, key)
+    return opcode, fin, payload, masked
+
+
+async def read_ws_message(
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    *,
+    require_masked: bool,
+    mask_replies: bool,
+) -> tuple[int, bytes] | None:
+    """Read one complete data message, transparently answering pings
+    and reassembling fragments.
+
+    Returns ``(opcode, payload)`` for a binary/text message, or
+    ``None`` when the peer sent CLOSE (a close reply is written) or the
+    connection ended cleanly between messages.
+    """
+    opcode_out: int | None = None
+    parts: list[bytes] = []
+    total = 0
+    while True:
+        try:
+            opcode, fin, payload, masked = await read_ws_frame(reader)
+        except (asyncio.IncompleteReadError, ConnectionResetError):
+            return None
+        if require_masked and not masked:
+            # Servers MUST refuse unmasked client frames (RFC 6455 §5.1).
+            raise WebSocketError("client frame is not masked")
+        if opcode == OP_CLOSE:
+            try:
+                writer.write(encode_ws_frame(OP_CLOSE, payload[:125],
+                                             mask=mask_replies))
+                await writer.drain()
+            except (ConnectionResetError, RuntimeError, OSError):
+                pass
+            return None
+        if opcode == OP_PING:
+            writer.write(encode_ws_frame(OP_PONG, payload,
+                                         mask=mask_replies))
+            await writer.drain()
+            continue
+        if opcode == OP_PONG:
+            continue
+        if opcode == OP_CONT:
+            if opcode_out is None:
+                raise WebSocketError("continuation frame without a start")
+        elif opcode in (OP_TEXT, OP_BINARY):
+            if opcode_out is not None:
+                raise WebSocketError("interleaved data messages")
+            opcode_out = opcode
+        else:
+            raise WebSocketError(f"unknown WebSocket opcode {opcode}")
+        total += len(payload)
+        if total > MAX_MESSAGE:
+            raise WebSocketError("fragmented message exceeds the ceiling")
+        parts.append(payload)
+        if fin:
+            return opcode_out, b"".join(parts)

@@ -1,0 +1,328 @@
+"""Clients for the sketch service: sync HTTP and async WebSocket.
+
+:class:`ServiceClient` is the blocking driver — ``http.client`` over a
+keep-alive connection, one method per endpoint — for scripts, tests,
+and the offline halves of the examples.  :class:`AsyncSessionClient`
+speaks the binary frame protocol over a WebSocket for the hot path:
+ingest frames go out back-to-back (optionally pipelined) and the
+server's acks carry the session's cumulative ``updates_processed``
+watermark, so a client always knows exactly how much of its stream the
+remote state reflects.
+
+>>> with ServerThread() as handle:                      # doctest: +SKIP
+...     client = ServiceClient(handle.host, handle.port)
+...     client.create_session("edge", n=1 << 16, track=["countmin"])
+...     client.ingest("edge", items, deltas)
+...     client.query("edge", "countmin")
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import http.client
+import json
+import os
+from typing import Any
+
+from repro.service import protocol
+from repro.service._ws import (
+    OP_BINARY,
+    WebSocketError,
+    accept_key,
+    encode_ws_frame,
+    read_ws_message,
+)
+
+__all__ = ["ServiceClientError", "ServiceClient", "AsyncSessionClient"]
+
+
+class ServiceClientError(RuntimeError):
+    """The service refused a request; carries its error code."""
+
+    def __init__(self, code: str, message: str,
+                 status: int | None = None) -> None:
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.message = message
+        self.status = status
+
+
+class ServiceClient:
+    """Synchronous HTTP client over one keep-alive connection."""
+
+    def __init__(self, host: str, port: int, *,
+                 timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self._conn = http.client.HTTPConnection(host, port, timeout=timeout)
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- plumbing ------------------------------------------------------------
+    def _request(self, method: str, path: str, body: bytes = b"",
+                 content_type: str = "application/json") -> bytes:
+        headers = {"Content-Type": content_type} if body else {}
+        try:
+            self._conn.request(method, path, body=body or None,
+                               headers=headers)
+            response = self._conn.getresponse()
+            data = response.read()
+        except (http.client.HTTPException, ConnectionError, OSError):
+            # One transparent retry: keep-alive connections go stale.
+            self._conn.close()
+            self._conn.connect()
+            self._conn.request(method, path, body=body or None,
+                               headers=headers)
+            response = self._conn.getresponse()
+            data = response.read()
+        if response.status >= 400:
+            try:
+                err = json.loads(data.decode("utf-8"))
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                err = {}
+            raise ServiceClientError(
+                err.get("error", "http_error"),
+                err.get("message", data.decode("utf-8", "replace")),
+                response.status,
+            )
+        return data
+
+    def _json(self, method: str, path: str, obj: Any = None) -> Any:
+        body = json.dumps(obj).encode("utf-8") if obj is not None else b""
+        return json.loads(self._request(method, path, body))
+
+    # -- endpoints -----------------------------------------------------------
+    def healthz(self) -> bool:
+        return self._request("GET", "/healthz") == b"ok\n"
+
+    def metrics(self) -> str:
+        """The server's Prometheus text exposition."""
+        return self._request("GET", "/metrics").decode("utf-8")
+
+    def sessions(self) -> list[dict]:
+        return self._json("GET", "/v1/sessions")
+
+    def create_session(self, name: str, *, n: int, **spec: Any) -> dict:
+        return self._json(
+            "POST", "/v1/sessions", {"name": name, "n": n, **spec}
+        )
+
+    def info(self, name: str) -> dict:
+        return self._json("GET", f"/v1/sessions/{name}")
+
+    def delete_session(self, name: str) -> dict:
+        return self._json("DELETE", f"/v1/sessions/{name}")
+
+    def ingest(self, name: str, items, deltas) -> dict:
+        """Push one update batch as a single INGEST frame."""
+        return json.loads(self._request(
+            "POST", f"/v1/sessions/{name}/ingest",
+            protocol.encode_ingest(items, deltas),
+            content_type="application/octet-stream",
+        ))
+
+    def flush(self, name: str) -> dict:
+        return self._json("POST", f"/v1/sessions/{name}/flush")
+
+    def query(self, name: str, consumer: str) -> Any:
+        out = self._json("GET", f"/v1/sessions/{name}/query/{consumer}")
+        return out["value"]
+
+    def snapshot(self, name: str) -> bytes:
+        """The session's snapshot container — feed it to
+        :func:`repro.streams.io.payload_from_bytes` /
+        ``StreamSession.restore``, or post it to another session's
+        :meth:`merge`."""
+        return self._request("GET", f"/v1/sessions/{name}/snapshot")
+
+    def merge(self, name: str, container: bytes) -> dict:
+        """Fold a snapshot container into session ``name``."""
+        return json.loads(self._request(
+            "POST", f"/v1/sessions/{name}/merge", container,
+            content_type="application/octet-stream",
+        ))
+
+
+class AsyncSessionClient:
+    """Binary frame protocol over one WebSocket, for the hot path.
+
+    ``connect`` performs the RFC 6455 handshake against
+    ``/v1/sessions/<name>/ws``; every frame the client sends is masked
+    (mandatory for clients).  :meth:`ingest` is lockstep
+    (frame out, ack in); :meth:`ingest_many` pipelines a whole sequence
+    of batches before collecting acks — the load generator's mode.
+
+    An application error (unknown consumer, refused frame) arrives as
+    an ERROR frame and raises :class:`ServiceClientError`; the
+    connection remains usable.
+    """
+
+    def __init__(self, host: str, port: int, session: str) -> None:
+        self.host = host
+        self.port = port
+        self.session = session
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._decoder = protocol.FrameDecoder()
+        self._frames: list[protocol.Frame] = []
+
+    async def connect(self) -> "AsyncSessionClient":
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        key = base64.b64encode(os.urandom(16)).decode("ascii")
+        path = f"/v1/sessions/{self.session}/ws"
+        writer.write(
+            (
+                f"GET {path} HTTP/1.1\r\n"
+                f"Host: {self.host}:{self.port}\r\n"
+                "Upgrade: websocket\r\n"
+                "Connection: Upgrade\r\n"
+                f"Sec-WebSocket-Key: {key}\r\n"
+                "Sec-WebSocket-Version: 13\r\n"
+                "\r\n"
+            ).encode("ascii")
+        )
+        await writer.drain()
+        head = await reader.readuntil(b"\r\n\r\n")
+        status_line = head.split(b"\r\n", 1)[0].decode("latin-1")
+        if " 101 " not in f"{status_line} ":
+            body = b""
+            for line in head.split(b"\r\n"):
+                if line.lower().startswith(b"content-length:"):
+                    body = await reader.readexactly(
+                        int(line.split(b":", 1)[1].strip())
+                    )
+            writer.close()
+            raise ServiceClientError(
+                "upgrade_failed",
+                f"{status_line}: {body.decode('utf-8', 'replace')}",
+            )
+        expected = accept_key(key)
+        for line in head.split(b"\r\n"):
+            if line.lower().startswith(b"sec-websocket-accept:"):
+                got = line.split(b":", 1)[1].strip().decode("ascii")
+                if got != expected:
+                    writer.close()
+                    raise WebSocketError("bad Sec-WebSocket-Accept")
+        self._reader, self._writer = reader, writer
+        return self
+
+    async def close(self) -> None:
+        if self._writer is None:
+            return
+        try:
+            self._writer.write(
+                encode_ws_frame(0x8, b"", mask=True)  # CLOSE
+            )
+            await self._writer.drain()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+        self._reader = self._writer = None
+
+    async def __aenter__(self) -> "AsyncSessionClient":
+        return await self.connect()
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()
+
+    # -- frame plumbing ------------------------------------------------------
+    async def send_raw(self, data: bytes) -> None:
+        """Ship pre-encoded protocol bytes as one binary message (the
+        fault tests use this to split or corrupt frames on purpose)."""
+        assert self._writer is not None, "connect() first"
+        self._writer.write(encode_ws_frame(OP_BINARY, data, mask=True))
+        await self._writer.drain()
+
+    async def recv_frame(self) -> protocol.Frame:
+        """The next protocol frame from the server."""
+        assert self._reader is not None and self._writer is not None
+        while not self._frames:
+            message = await read_ws_message(
+                self._reader, self._writer,
+                require_masked=False, mask_replies=True,
+            )
+            if message is None:
+                raise ServiceClientError(
+                    "closed", "server closed the connection"
+                )
+            opcode, data = message
+            if opcode != OP_BINARY:
+                continue
+            self._frames.extend(self._decoder.feed(data))
+        return self._frames.pop(0)
+
+    @staticmethod
+    def _raise_if_error(frame: protocol.Frame) -> protocol.Frame:
+        if frame.type is protocol.FrameType.ERROR:
+            code, message = protocol.decode_error(frame.payload)
+            raise ServiceClientError(code, message)
+        return frame
+
+    def _expect(self, frame: protocol.Frame,
+                ftype: protocol.FrameType) -> protocol.Frame:
+        self._raise_if_error(frame)
+        if frame.type is not ftype:
+            raise ServiceClientError(
+                "protocol",
+                f"expected {ftype.name}, got {frame.type.name}",
+            )
+        return frame
+
+    # -- verbs ---------------------------------------------------------------
+    async def ingest(self, items, deltas) -> int:
+        """One batch, lockstep; returns the server's cumulative
+        updates-processed watermark."""
+        await self.send_raw(protocol.encode_ingest(items, deltas))
+        frame = self._expect(await self.recv_frame(),
+                             protocol.FrameType.INGEST_ACK)
+        return protocol.decode_ack(frame.payload)
+
+    async def ingest_many(self, batches) -> int:
+        """Pipeline a sequence of ``(items, deltas)`` batches: all
+        frames go out, then all acks come in.  Returns the final
+        watermark."""
+        assert self._writer is not None, "connect() first"
+        count = 0
+        for items, deltas in batches:
+            self._writer.write(encode_ws_frame(
+                OP_BINARY, protocol.encode_ingest(items, deltas), mask=True
+            ))
+            count += 1
+        await self._writer.drain()
+        watermark = 0
+        for _ in range(count):
+            frame = self._expect(await self.recv_frame(),
+                                 protocol.FrameType.INGEST_ACK)
+            watermark = protocol.decode_ack(frame.payload)
+        return watermark
+
+    async def query(self, consumer: str) -> Any:
+        await self.send_raw(protocol.encode_query(consumer))
+        frame = self._expect(await self.recv_frame(),
+                             protocol.FrameType.QUERY_RESULT)
+        name, value = protocol.decode_query_result(frame.payload)
+        if name != consumer:
+            raise ServiceClientError(
+                "protocol",
+                f"result for {name!r} arrived while awaiting {consumer!r}",
+            )
+        return value
+
+    async def merge(self, container: bytes) -> int:
+        """Fold a snapshot container into the remote session."""
+        await self.send_raw(protocol.encode_merge(container))
+        frame = self._expect(await self.recv_frame(),
+                             protocol.FrameType.MERGE_ACK)
+        return protocol.decode_ack(frame.payload)

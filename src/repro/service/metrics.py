@@ -1,0 +1,353 @@
+"""One central metrics registry for the service tier.
+
+Prometheus-style instrumentation without the client library: counters,
+gauges (optionally callback-backed), and cumulative-bucket histograms,
+all living in **one** :class:`MetricsRegistry` rendered in the
+Prometheus text exposition format at ``/metrics``.  Registration is
+get-or-create — asking twice for the same name with the same shape
+returns the same family, asking with a different shape raises — so
+every server, handler, and test shares one set of time series instead
+of tripping duplicate-registration errors (the single-registry
+discipline of the exemplar ``Concya/metrics.py``).
+
+The service inventory (created by :class:`ServiceMetrics`):
+
+================================== ========= ==========================
+metric                             kind      meaning
+================================== ========= ==========================
+``repro_ingest_frames_total``      counter   INGEST frames received
+``repro_ingest_updates_total``     counter   updates applied to sessions
+``repro_ingest_refused_total``     counter   INGEST frames refused
+``repro_merges_total``             counter   snapshot merges folded in
+``repro_errors_total{code}``       counter   request failures by code
+``repro_flush_latency_seconds``    histogram session flush wall time
+``repro_query_latency_seconds``    histogram per-spec query wall time
+  ``{spec}``
+``repro_sessions``                 gauge     live named sessions
+``repro_pending_updates``          gauge     buffered, undispatched
+                                             updates across sessions
+``repro_connections``              gauge     open WebSocket connections
+================================== ========= ==========================
+
+The ingest counters satisfy a conservation law the end-to-end tests
+assert: ``frames_total == acked frames + refused_total``, and every
+acked frame's updates land in ``updates_total`` exactly once.
+
+>>> reg = MetricsRegistry()
+>>> c = reg.counter("demo_total", "demo counter")
+>>> c.inc(); c.inc(2.0); c.value
+3.0
+>>> "demo_total 3" in reg.render()
+True
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Iterable
+
+#: Default histogram buckets, tuned for sub-millisecond sketch
+#: operations up to multi-second merges.
+DEFAULT_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, float("inf"),
+)
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(names: tuple[str, ...], values: tuple[str, ...],
+                   extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = list(zip(names, values)) + list(extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{v}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+class _Child:
+    """One labeled time series of a family."""
+
+    def __init__(self, family: "MetricFamily") -> None:
+        self._family = family
+        self._lock = family._lock
+
+
+class Counter(_Child):
+    def __init__(self, family: "MetricFamily") -> None:
+        super().__init__(family)
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge(_Child):
+    def __init__(self, family: "MetricFamily") -> None:
+        super().__init__(family)
+        self._value = 0.0
+        self._fn: Callable[[], float] | None = None
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    def set_function(self, fn: Callable[[], float]) -> None:
+        """Compute the gauge at scrape time instead of by set/inc —
+        for values owned elsewhere (e.g. summed pending buffers)."""
+        with self._lock:
+            self._fn = fn
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return float(self._fn()) if self._fn is not None else self._value
+
+
+class Histogram(_Child):
+    def __init__(self, family: "MetricFamily") -> None:
+        super().__init__(family)
+        self._counts = [0] * len(family.buckets)
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._sum += value
+            self._count += 1
+            for i, bound in enumerate(self._family.buckets):
+                if value <= bound:
+                    self._counts[i] += 1
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+
+_KINDS: dict[str, type] = {
+    "counter": Counter, "gauge": Gauge, "histogram": Histogram,
+}
+
+
+class MetricFamily:
+    """All time series sharing one metric name (one per label set)."""
+
+    def __init__(self, kind: str, name: str, help: str,
+                 labelnames: tuple[str, ...],
+                 buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        self.kind = kind
+        self.name = name
+        self.help = help
+        self.labelnames = labelnames
+        self.buckets = tuple(buckets) if kind == "histogram" else ()
+        if self.buckets and self.buckets[-1] != float("inf"):
+            self.buckets = self.buckets + (float("inf"),)
+        self._lock = threading.RLock()
+        self._children: dict[tuple[str, ...], Any] = {}
+        if not labelnames:
+            self._children[()] = _KINDS[kind](self)
+
+    def labels(self, **labels: str) -> Any:
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"{self.name} takes labels {self.labelnames}, "
+                f"got {tuple(labels)}"
+            )
+        key = tuple(str(labels[k]) for k in self.labelnames)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._children[key] = _KINDS[self.kind](self)
+            return child
+
+    def _sole(self) -> Any:
+        if self.labelnames:
+            raise ValueError(
+                f"{self.name} is labeled by {self.labelnames}; "
+                "call .labels(...) first"
+            )
+        return self._children[()]
+
+    # Unlabeled families act as their sole child.
+    def inc(self, amount: float = 1.0) -> None:
+        self._sole().inc(amount)
+
+    def set(self, value: float) -> None:
+        self._sole().set(value)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._sole().dec(amount)
+
+    def set_function(self, fn: Callable[[], float]) -> None:
+        self._sole().set_function(fn)
+
+    def observe(self, value: float) -> None:
+        self._sole().observe(value)
+
+    @property
+    def value(self) -> float:
+        return self._sole().value
+
+    @property
+    def count(self) -> int:
+        return self._sole().count
+
+    @property
+    def sum(self) -> float:
+        return self._sole().sum
+
+    def samples(self) -> Iterable[str]:
+        with self._lock:
+            children = list(self._children.items())
+        for key, child in children:
+            if self.kind == "histogram":
+                acc = 0
+                with self._lock:
+                    counts = list(child._counts)
+                    total, s = child._count, child._sum
+                for bound, n in zip(self.buckets, counts):
+                    acc = n  # counts are already cumulative per bucket
+                    yield (
+                        f"{self.name}_bucket"
+                        f"{_format_labels(self.labelnames, key, (('le', _format_value(bound)),))}"
+                        f" {acc}"
+                    )
+                yield (f"{self.name}_sum"
+                       f"{_format_labels(self.labelnames, key)}"
+                       f" {_format_value(s)}")
+                yield (f"{self.name}_count"
+                       f"{_format_labels(self.labelnames, key)} {total}")
+            else:
+                yield (f"{self.name}"
+                       f"{_format_labels(self.labelnames, key)}"
+                       f" {_format_value(child.value)}")
+
+
+class MetricsRegistry:
+    """The one place metrics live; renders the whole inventory."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._families: dict[str, MetricFamily] = {}
+
+    def _get_or_create(self, kind: str, name: str, help: str,
+                       labelnames: tuple[str, ...],
+                       **kw: Any) -> MetricFamily:
+        labelnames = tuple(labelnames)
+        with self._lock:
+            family = self._families.get(name)
+            if family is not None:
+                if family.kind != kind or family.labelnames != labelnames:
+                    raise ValueError(
+                        f"metric {name!r} already registered as a "
+                        f"{family.kind} with labels {family.labelnames}"
+                    )
+                return family
+            family = MetricFamily(kind, name, help, labelnames, **kw)
+            self._families[name] = family
+            return family
+
+    def counter(self, name: str, help: str,
+                labelnames: tuple[str, ...] = ()) -> MetricFamily:
+        return self._get_or_create("counter", name, help, labelnames)
+
+    def gauge(self, name: str, help: str,
+              labelnames: tuple[str, ...] = ()) -> MetricFamily:
+        return self._get_or_create("gauge", name, help, labelnames)
+
+    def histogram(self, name: str, help: str,
+                  labelnames: tuple[str, ...] = (),
+                  buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+                  ) -> MetricFamily:
+        return self._get_or_create(
+            "histogram", name, help, labelnames, buckets=buckets
+        )
+
+    def get(self, name: str) -> MetricFamily:
+        with self._lock:
+            return self._families[name]
+
+    def render(self) -> str:
+        """The whole registry in Prometheus text exposition format."""
+        lines: list[str] = []
+        with self._lock:
+            families = [self._families[k] for k in sorted(self._families)]
+        for family in families:
+            lines.append(f"# HELP {family.name} {family.help}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            lines.extend(family.samples())
+        return "\n".join(lines) + "\n"
+
+
+#: The process-wide default registry (the Concya pattern: import it,
+#: never build a second one unless you need test isolation).
+REGISTRY = MetricsRegistry()
+
+
+class ServiceMetrics:
+    """The service tier's metric inventory, bound to one registry.
+
+    Constructing this against the same registry twice hands back the
+    same underlying families (get-or-create), so any number of servers
+    in one process share counters — and tests pass a fresh
+    :class:`MetricsRegistry` for isolation.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else REGISTRY
+        reg = self.registry
+        self.ingest_frames = reg.counter(
+            "repro_ingest_frames_total", "INGEST frames received")
+        self.ingest_updates = reg.counter(
+            "repro_ingest_updates_total",
+            "updates applied to sessions via ingest frames")
+        self.ingest_refused = reg.counter(
+            "repro_ingest_refused_total",
+            "INGEST frames refused by validation")
+        self.merges = reg.counter(
+            "repro_merges_total", "snapshot containers merged into sessions")
+        self.errors = reg.counter(
+            "repro_errors_total", "request failures by error code",
+            labelnames=("code",))
+        self.flush_latency = reg.histogram(
+            "repro_flush_latency_seconds",
+            "wall time of session partial-buffer flushes")
+        self.query_latency = reg.histogram(
+            "repro_query_latency_seconds",
+            "wall time of consumer queries (flush excluded)",
+            labelnames=("spec",))
+        self.sessions = reg.gauge(
+            "repro_sessions", "live named sessions")
+        self.pending = reg.gauge(
+            "repro_pending_updates",
+            "updates buffered but not yet dispatched, across sessions")
+        self.connections = reg.gauge(
+            "repro_connections", "open WebSocket connections")

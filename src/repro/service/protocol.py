@@ -1,0 +1,376 @@
+"""Wire protocol of the sketch service tier: versioned binary frames.
+
+Every message between a client and the service — over a raw socket, a
+WebSocket binary message, or an HTTP request body — is one **frame**:
+
+====== ======== =========================================================
+offset size     field
+====== ======== =========================================================
+0      2        magic ``b"SK"`` (rejects foreign traffic immediately)
+2      1        protocol version (currently ``1``)
+3      1        frame type (:class:`FrameType`)
+4      4        payload length, unsigned little-endian
+8      length   payload
+====== ======== =========================================================
+
+Frame payloads:
+
+* ``INGEST`` — ``count:u32`` then ``count`` little-endian int64 items
+  followed by ``count`` little-endian int64 deltas: the exact
+  ``(items, deltas)`` columns :meth:`repro.api.StreamSession.push`
+  takes.  Decoding applies the same untrusted-input rules as
+  :func:`repro.streams.io.load_stream`: exact length, integral dtypes
+  by construction, non-negative items, nonzero deltas.  (The universe
+  bound needs the target session and is enforced server-side by
+  ``push`` itself.)
+* ``INGEST_ACK`` — ``applied:u64``: the session's cumulative
+  ``updates_processed`` after the ingest.
+* ``QUERY`` — the utf-8 consumer name; ``QUERY_RESULT`` — a JSON
+  object ``{"name": ..., "value": ...}`` (:func:`json_safe` maps numpy
+  scalars, sets, and tuples onto JSON types).
+* ``MERGE`` — a whole snapshot container
+  (:func:`repro.streams.io.payload_to_bytes` of
+  ``StreamSession.snapshot()``, i.e. exactly what
+  :func:`repro.api.checkpoint.export_snapshot` writes to disk);
+  ``MERGE_ACK`` — ``applied:u64`` cumulative updates after the fold.
+* ``ERROR`` — JSON ``{"code": ..., "message": ...}``.
+
+All refusals raise :class:`ProtocolError` (a ``ValueError``): truncated
+or trailing bytes, foreign magic, foreign versions, lengths beyond
+:data:`MAX_PAYLOAD`, and malformed payloads never reach a session.
+:class:`FrameDecoder` reassembles frames from an arbitrarily chunked
+byte stream (the WebSocket loop feeds it message by message), so a
+frame split across transport reads is delivered exactly once and a
+connection dropped mid-frame delivers nothing.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+import struct
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+import numpy as np
+
+#: First bytes of every frame; foreign traffic fails before any parse.
+MAGIC = b"SK"
+
+#: Version byte; a decoder refuses frames from any other version, so
+#: the format can evolve without silent misreads.
+PROTOCOL_VERSION = 1
+
+#: magic(2) | version(1) | type(1) | payload length(4, LE).
+HEADER = struct.Struct("<2sBBI")
+HEADER_SIZE = HEADER.size
+
+#: Hard payload ceiling (16 MiB): an oversized length prefix is refused
+#: from the header alone, before any allocation.
+MAX_PAYLOAD = 1 << 24
+
+#: Updates per INGEST frame (count * 16 bytes must also fit the
+#: payload ceiling; this is the stricter, intent-level bound).
+MAX_INGEST_UPDATES = 1 << 20
+
+#: Consumer-name bound for QUERY frames.
+MAX_QUERY_NAME = 4096
+
+_COUNT = struct.Struct("<I")
+_ACK = struct.Struct("<Q")
+
+
+class ProtocolError(ValueError):
+    """A frame violated the wire format; nothing was applied."""
+
+
+class FrameType(enum.IntEnum):
+    INGEST = 1
+    INGEST_ACK = 2
+    QUERY = 3
+    QUERY_RESULT = 4
+    MERGE = 5
+    MERGE_ACK = 6
+    ERROR = 7
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One decoded frame: its type and raw payload bytes."""
+
+    type: FrameType
+    payload: bytes
+
+
+# -- framing -----------------------------------------------------------------
+
+def encode_frame(ftype: FrameType, payload: bytes = b"") -> bytes:
+    """Serialize one frame (header + payload).
+
+    >>> encode_frame(FrameType.QUERY, b"countmin")[:4]
+    b'SK\\x01\\x03'
+    """
+    payload = bytes(payload)
+    if len(payload) > MAX_PAYLOAD:
+        raise ProtocolError(
+            f"payload of {len(payload)} bytes exceeds the "
+            f"{MAX_PAYLOAD}-byte frame ceiling"
+        )
+    return HEADER.pack(
+        MAGIC, PROTOCOL_VERSION, int(FrameType(ftype)), len(payload)
+    ) + payload
+
+
+def _decode_header(data: bytes) -> tuple[FrameType, int]:
+    magic, version, ftype, length = HEADER.unpack_from(data)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad frame magic {magic!r}")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"unsupported protocol version {version} "
+            f"(this side speaks {PROTOCOL_VERSION})"
+        )
+    try:
+        ftype = FrameType(ftype)
+    except ValueError:
+        raise ProtocolError(f"unknown frame type {ftype}") from None
+    if length > MAX_PAYLOAD:
+        raise ProtocolError(
+            f"declared payload of {length} bytes exceeds the "
+            f"{MAX_PAYLOAD}-byte frame ceiling"
+        )
+    return ftype, length
+
+
+def decode_frame(data: bytes) -> Frame:
+    """Decode exactly one frame; truncated or trailing bytes are
+    refused (the HTTP-body discipline: one request, one frame).
+
+    >>> decode_frame(encode_frame(FrameType.QUERY, b"ams")).payload
+    b'ams'
+    """
+    data = bytes(data)
+    if len(data) < HEADER_SIZE:
+        raise ProtocolError(
+            f"truncated frame: {len(data)} bytes is shorter than the "
+            f"{HEADER_SIZE}-byte header"
+        )
+    ftype, length = _decode_header(data)
+    if len(data) != HEADER_SIZE + length:
+        raise ProtocolError(
+            f"frame length mismatch: header declares {length} payload "
+            f"bytes, got {len(data) - HEADER_SIZE}"
+        )
+    return Frame(ftype, data[HEADER_SIZE:])
+
+
+class FrameDecoder:
+    """Incremental frame reassembly over an arbitrarily chunked byte
+    stream.
+
+    ``feed(data)`` returns every frame completed by those bytes; a
+    partial frame waits for more input.  A connection that dies
+    mid-frame therefore delivers nothing for the incomplete tail —
+    the at-most-once half of the ingest contract.
+
+    >>> dec = FrameDecoder()
+    >>> raw = encode_frame(FrameType.QUERY, b"cauchy")
+    >>> dec.feed(raw[:5])
+    []
+    >>> [f.payload for f in dec.feed(raw[5:])]
+    [b'cauchy']
+    """
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered toward an incomplete frame."""
+        return len(self._buf)
+
+    def feed(self, data: bytes) -> list[Frame]:
+        self._buf += data
+        return list(self._drain())
+
+    def _drain(self) -> Iterator[Frame]:
+        while len(self._buf) >= HEADER_SIZE:
+            ftype, length = _decode_header(bytes(self._buf[:HEADER_SIZE]))
+            end = HEADER_SIZE + length
+            if len(self._buf) < end:
+                return
+            payload = bytes(self._buf[HEADER_SIZE:end])
+            del self._buf[:end]
+            yield Frame(ftype, payload)
+
+
+# -- ingest payloads ---------------------------------------------------------
+
+def encode_ingest(items, deltas) -> bytes:
+    """An INGEST frame for ``(items, deltas)`` update columns.
+
+    >>> frame = encode_ingest([3, 1], [2, -1])
+    >>> decode_ingest(decode_frame(frame).payload)[0].tolist()
+    [3, 1]
+    """
+    items_arr = np.ascontiguousarray(items, dtype="<i8")
+    deltas_arr = np.ascontiguousarray(deltas, dtype="<i8")
+    if items_arr.ndim != 1 or deltas_arr.ndim != 1:
+        raise ProtocolError("items and deltas must be 1-D")
+    if len(items_arr) != len(deltas_arr):
+        raise ProtocolError(
+            f"items and deltas lengths differ "
+            f"({len(items_arr)} != {len(deltas_arr)})"
+        )
+    if not 1 <= len(items_arr) <= MAX_INGEST_UPDATES:
+        raise ProtocolError(
+            f"ingest frames carry 1..{MAX_INGEST_UPDATES} updates, "
+            f"got {len(items_arr)}"
+        )
+    payload = (
+        _COUNT.pack(len(items_arr))
+        + items_arr.tobytes()
+        + deltas_arr.tobytes()
+    )
+    return encode_frame(FrameType.INGEST, payload)
+
+
+def decode_ingest(payload: bytes) -> tuple[np.ndarray, np.ndarray]:
+    """Validate and unpack an INGEST payload to int64 columns.
+
+    Mirrors ``load_stream``'s untrusted-input rules: the count must
+    match the payload length exactly, items must be non-negative, and
+    deltas nonzero.  The universe upper bound is the target session's
+    and is enforced by ``push``.
+    """
+    if len(payload) < _COUNT.size:
+        raise ProtocolError("ingest payload shorter than its count field")
+    (count,) = _COUNT.unpack_from(payload)
+    if not 1 <= count <= MAX_INGEST_UPDATES:
+        raise ProtocolError(
+            f"ingest frames carry 1..{MAX_INGEST_UPDATES} updates, "
+            f"got {count}"
+        )
+    expected = _COUNT.size + 16 * count
+    if len(payload) != expected:
+        raise ProtocolError(
+            f"ingest payload length mismatch: count {count} needs "
+            f"{expected} bytes, got {len(payload)}"
+        )
+    items = np.frombuffer(payload, dtype="<i8", count=count,
+                          offset=_COUNT.size).astype(np.int64, copy=False)
+    deltas = np.frombuffer(payload, dtype="<i8", count=count,
+                           offset=_COUNT.size + 8 * count
+                           ).astype(np.int64, copy=False)
+    if items.min() < 0:
+        raise ProtocolError("ingest frame carries a negative item")
+    if not deltas.all():
+        raise ProtocolError("ingest frame carries a zero delta")
+    return items, deltas
+
+
+def encode_ingest_ack(applied: int) -> bytes:
+    return encode_frame(FrameType.INGEST_ACK, _ACK.pack(int(applied)))
+
+
+def encode_merge_ack(applied: int) -> bytes:
+    return encode_frame(FrameType.MERGE_ACK, _ACK.pack(int(applied)))
+
+
+def decode_ack(payload: bytes) -> int:
+    """The cumulative updates-processed watermark in an ACK payload."""
+    if len(payload) != _ACK.size:
+        raise ProtocolError(
+            f"ack payload must be {_ACK.size} bytes, got {len(payload)}"
+        )
+    return _ACK.unpack(payload)[0]
+
+
+# -- query / result / error payloads -----------------------------------------
+
+def encode_query(name: str) -> bytes:
+    raw = str(name).encode("utf-8")
+    if not 1 <= len(raw) <= MAX_QUERY_NAME:
+        raise ProtocolError(
+            f"query names are 1..{MAX_QUERY_NAME} utf-8 bytes"
+        )
+    return encode_frame(FrameType.QUERY, raw)
+
+
+def decode_query(payload: bytes) -> str:
+    if not 1 <= len(payload) <= MAX_QUERY_NAME:
+        raise ProtocolError(
+            f"query names are 1..{MAX_QUERY_NAME} utf-8 bytes"
+        )
+    try:
+        return payload.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise ProtocolError(f"query name is not valid utf-8: {exc}") from None
+
+
+def json_safe(value: Any) -> Any:
+    """Map a query answer onto JSON types: numpy scalars to Python
+    scalars, arrays/tuples to lists, sets to sorted lists.
+
+    >>> json_safe({np.int64(3), np.int64(1)})
+    [1, 3]
+    """
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return [json_safe(v) for v in value.tolist()]
+    if isinstance(value, (set, frozenset)):
+        return sorted((json_safe(v) for v in value), key=repr)
+    if isinstance(value, (list, tuple)):
+        return [json_safe(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): json_safe(v) for k, v in value.items()}
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError(
+        f"query result of type {type(value).__name__} has no JSON form"
+    )
+
+
+def encode_query_result(name: str, value: Any) -> bytes:
+    payload = json.dumps(
+        {"name": str(name), "value": json_safe(value)}
+    ).encode("utf-8")
+    return encode_frame(FrameType.QUERY_RESULT, payload)
+
+
+def _decode_json(payload: bytes, what: str) -> dict:
+    try:
+        out = json.loads(payload.decode("utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"corrupt {what} payload: {exc}") from None
+    if not isinstance(out, dict):
+        raise ProtocolError(f"{what} payload is not a JSON object")
+    return out
+
+
+def decode_query_result(payload: bytes) -> tuple[str, Any]:
+    out = _decode_json(payload, "query-result")
+    if "name" not in out or "value" not in out:
+        raise ProtocolError("query-result payload missing name/value")
+    return str(out["name"]), out["value"]
+
+
+def encode_merge(container: bytes) -> bytes:
+    """A MERGE frame carrying a whole snapshot container (the bytes of
+    :func:`repro.streams.io.payload_to_bytes`)."""
+    if not container:
+        raise ProtocolError("merge frame carries an empty container")
+    return encode_frame(FrameType.MERGE, container)
+
+
+def encode_error(code: str, message: str) -> bytes:
+    payload = json.dumps(
+        {"code": str(code), "message": str(message)}
+    ).encode("utf-8")
+    return encode_frame(FrameType.ERROR, payload)
+
+
+def decode_error(payload: bytes) -> tuple[str, str]:
+    out = _decode_json(payload, "error")
+    return str(out.get("code", "unknown")), str(out.get("message", ""))

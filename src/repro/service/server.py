@@ -1,0 +1,752 @@
+"""The sketch service: named ``StreamSession``s behind HTTP + WebSocket.
+
+The missing layer between the in-process facade and remote shards: an
+asyncio server (stdlib only — no aiohttp/websockets dependency) hosting
+any number of **named sessions**, each a full
+:class:`~repro.api.session.StreamSession` with its registry-built
+consumer battery.  Three verbs cover the paper's distributed-streaming
+story:
+
+* **ingest** — a binary INGEST frame (:mod:`repro.service.protocol`)
+  pushes ``(items, deltas)`` columns into a session; state is
+  bit-identical to an offline ``replay_many`` of the same updates, by
+  the session's batch contract;
+* **query** — any tracked spec's uniform ``query(name)`` answer,
+  mid-stream, serialized to JSON;
+* **merge** — a posted snapshot container (the bytes
+  :func:`repro.api.checkpoint.export_snapshot` writes) folds into a
+  live session through the ``Mergeable`` ladder — the remote analogue
+  of ``StreamSession.merge``.
+
+Layering: :class:`SketchService` is the transport-agnostic core
+(sessions + metrics + validation); :class:`ServiceServer` speaks
+HTTP/1.1 and upgrades ``/v1/sessions/<name>/ws`` to a WebSocket whose
+binary messages carry protocol frames; :class:`ServerThread` runs the
+whole thing on a background event loop for tests, examples, and
+benchmarks.
+
+HTTP surface (all JSON unless noted)::
+
+    GET    /healthz                        liveness probe
+    GET    /metrics                        Prometheus text exposition
+    GET    /v1/sessions                    list sessions
+    POST   /v1/sessions                    create a named session
+    GET    /v1/sessions/<name>             session info
+    DELETE /v1/sessions/<name>             drop a session
+    POST   /v1/sessions/<name>/ingest      body = one INGEST frame
+    POST   /v1/sessions/<name>/flush       dispatch the partial buffer
+    GET    /v1/sessions/<name>/query/<consumer>
+    GET    /v1/sessions/<name>/snapshot    snapshot container (binary)
+    POST   /v1/sessions/<name>/merge       body = snapshot container
+    GET    /v1/sessions/<name>/ws          WebSocket upgrade
+
+Consistency contract: an INGEST frame is applied atomically (the
+session lock) or refused whole; a connection dropped mid-frame applies
+nothing for the incomplete tail.  Queries flush the partial buffer
+first, so every answer reflects every acked update.  A merge folds the
+posted snapshot entirely or not at all (``StreamSession.merge``
+validates every consumer before mutating any).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import re
+import threading
+import time
+from typing import Any
+
+from repro.api.registry import PARAM_FIELDS, Params
+from repro.api.session import QueryNotSupported, StreamSession
+from repro.service import protocol
+from repro.service._ws import (
+    OP_BINARY,
+    WebSocketError,
+    accept_key,
+    encode_ws_frame,
+    read_ws_message,
+)
+from repro.service.metrics import MetricsRegistry, ServiceMetrics
+from repro.streams.io import payload_from_bytes, payload_to_bytes
+
+__all__ = [
+    "ServiceError",
+    "SketchService",
+    "ServiceServer",
+    "ServerThread",
+]
+
+#: Session names are path segments; keep them boring.
+_NAME_RE = re.compile(r"^[A-Za-z0-9_.\-]{1,128}$")
+
+_SESSION_PATH_RE = re.compile(
+    r"^/v1/sessions/([A-Za-z0-9_.\-]{1,128})"
+    r"(?:/(ingest|flush|query/([^/]+)|snapshot|merge|ws))?$"
+)
+
+#: Largest HTTP body we accept: a protocol frame plus header slack.
+_MAX_BODY = protocol.MAX_PAYLOAD + protocol.HEADER_SIZE + 4096
+
+_REASONS = {
+    200: "OK", 201: "Created", 204: "No Content", 400: "Bad Request",
+    404: "Not Found", 405: "Method Not Allowed", 409: "Conflict",
+    413: "Payload Too Large", 426: "Upgrade Required",
+    500: "Internal Server Error",
+}
+
+
+class ServiceError(Exception):
+    """A request the service refuses; carries the wire error code and
+    the HTTP status it maps to."""
+
+    def __init__(self, code: str, message: str, status: int = 400) -> None:
+        super().__init__(message)
+        self.code = code
+        self.message = message
+        self.status = status
+
+
+class SketchService:
+    """Transport-agnostic core: named sessions, metrics, validation.
+
+    One service owns its sessions dict and its
+    :class:`~repro.service.metrics.ServiceMetrics` inventory; both the
+    HTTP routes and the WebSocket frame loop call into the same
+    methods, so the two transports cannot disagree about semantics.
+    """
+
+    def __init__(self, metrics: ServiceMetrics | None = None,
+                 registry: MetricsRegistry | None = None) -> None:
+        if metrics is None:
+            metrics = ServiceMetrics(registry)
+        self.metrics = metrics
+        self.sessions: dict[str, StreamSession] = {}
+        self._lock = threading.Lock()
+        metrics.sessions.set_function(lambda: len(self.sessions))
+        metrics.pending.set_function(
+            lambda: sum(s.pending for s in list(self.sessions.values()))
+        )
+
+    # -- session lifecycle ---------------------------------------------------
+    def create_session(self, name: str, *, n: int, seed: int = 0,
+                       chunk_size: int | None = None, node: int = 0,
+                       coalesce: bool = True,
+                       params: dict[str, Any] | None = None,
+                       track: dict[str, Any] | list[str] | None = None,
+                       ) -> dict:
+        """Create a named session and track its consumer battery.
+
+        ``track`` maps consumer names to spec names (or to
+        ``{"spec": ..., <override>: ...}`` dicts); a plain list tracks
+        each spec under its own name.  ``params`` refines the session's
+        base :class:`~repro.api.registry.Params` (``eps`` / ``delta`` /
+        ``alpha``).
+        """
+        if not isinstance(name, str) or not _NAME_RE.match(name):
+            raise ServiceError(
+                "bad_name",
+                "session names are 1-128 chars of [A-Za-z0-9_.-]",
+            )
+        with self._lock:
+            if name in self.sessions:
+                raise ServiceError(
+                    "conflict", f"session {name!r} already exists", 409
+                )
+            params = dict(params or {})
+            unknown = set(params) - (PARAM_FIELDS - {"n", "seed"})
+            if unknown:
+                raise ServiceError(
+                    "bad_params",
+                    f"unknown params {sorted(unknown)}; allowed: "
+                    f"{sorted(PARAM_FIELDS - {'n', 'seed'})}",
+                )
+            try:
+                base = Params(n=int(n), seed=int(seed), **params)
+                session = StreamSession(
+                    int(n), params=base, chunk_size=chunk_size,
+                    coalesce=coalesce, node=int(node),
+                )
+                if isinstance(track, (list, tuple)):
+                    track = {spec: spec for spec in track}
+                for cname, spec in (track or {}).items():
+                    overrides = {}
+                    if isinstance(spec, dict):
+                        overrides = dict(spec)
+                        spec = overrides.pop("spec", cname)
+                    session.track(cname, spec, **overrides)
+            except (KeyError, ValueError, TypeError) as exc:
+                raise ServiceError("bad_session", str(exc)) from exc
+            self.sessions[name] = session
+        return self.info(name)
+
+    def delete_session(self, name: str) -> None:
+        with self._lock:
+            if self.sessions.pop(name, None) is None:
+                raise ServiceError(
+                    "not_found", f"no session {name!r}", 404
+                )
+
+    def get(self, name: str) -> StreamSession:
+        try:
+            return self.sessions[name]
+        except KeyError:
+            raise ServiceError(
+                "not_found", f"no session {name!r}; live: "
+                f"{sorted(self.sessions)}", 404
+            ) from None
+
+    def info(self, name: str) -> dict:
+        session = self.get(name)
+        return {
+            "name": name,
+            "n": session.n,
+            "node": session.node,
+            "chunk_size": session.chunk_size,
+            "updates_processed": session.updates_processed,
+            "pending": session.pending,
+            "consumers": {
+                cname: session.spec_of(cname) for cname in session.names()
+            },
+        }
+
+    def list_sessions(self) -> list[dict]:
+        return [self.info(name) for name in sorted(self.sessions)]
+
+    # -- the three verbs -----------------------------------------------------
+    def ingest(self, name: str, payload: bytes) -> int:
+        """Apply one INGEST frame payload; returns the session's
+        cumulative updates-processed watermark.
+
+        Counted in ``repro_ingest_frames_total`` always, and in
+        exactly one of ``repro_ingest_updates_total`` (by update count)
+        or ``repro_ingest_refused_total`` — the conservation law the
+        end-to-end tests assert.
+        """
+        self.metrics.ingest_frames.inc()
+        session = self.get(name)
+        try:
+            items, deltas = protocol.decode_ingest(payload)
+            session.push(items, deltas)
+        except (protocol.ProtocolError, ValueError, TypeError) as exc:
+            self.metrics.ingest_refused.inc()
+            raise ServiceError("bad_frame", str(exc)) from exc
+        self.metrics.ingest_updates.inc(len(items))
+        return session.updates_processed
+
+    def flush(self, name: str) -> int:
+        """Dispatch a session's partial buffer, observed in the flush
+        latency histogram; returns the number of updates flushed."""
+        session = self.get(name)
+        pending = session.pending
+        start = time.perf_counter()
+        session.flush()
+        self.metrics.flush_latency.observe(time.perf_counter() - start)
+        return pending
+
+    def query(self, name: str, consumer: str) -> Any:
+        """A consumer's headline answer (flushed first; the flush and
+        the query land in separate histograms)."""
+        session = self.get(name)
+        if consumer not in session.names():
+            raise ServiceError(
+                "not_found",
+                f"no consumer {consumer!r} in session {name!r}; "
+                f"tracked: {session.names()}", 404,
+            )
+        self.flush(name)
+        spec = session.spec_of(consumer) or "custom"
+        start = time.perf_counter()
+        try:
+            value = session.query(consumer)
+        except QueryNotSupported as exc:
+            raise ServiceError("query_unsupported", str(exc)) from exc
+        self.metrics.query_latency.labels(spec=spec).observe(
+            time.perf_counter() - start
+        )
+        return value
+
+    def merge(self, name: str, container: bytes) -> int:
+        """Fold a snapshot container into a live session; returns the
+        merged updates-processed watermark."""
+        session = self.get(name)
+        try:
+            other = StreamSession.restore(payload_from_bytes(container))
+            session.merge(other)
+        except (ValueError, TypeError, KeyError) as exc:
+            raise ServiceError("bad_merge", str(exc)) from exc
+        self.metrics.merges.inc()
+        return session.updates_processed
+
+    def snapshot(self, name: str) -> bytes:
+        """The session's snapshot container (what ``export_snapshot``
+        writes to disk), for shipping to a remote merge."""
+        return payload_to_bytes(self.get(name).snapshot())
+
+
+class ServiceServer:
+    """Asyncio HTTP/1.1 + WebSocket front-end over a
+    :class:`SketchService`."""
+
+    def __init__(self, service: SketchService | None = None, *,
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        self.service = service if service is not None else SketchService()
+        self.host = host
+        self.port = port
+        self._server: asyncio.base_events.Server | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+
+    async def start(self) -> "ServiceServer":
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        await self._server.serve_forever()
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Keep-alive connections outlive the listener; reap them so the
+        # loop shuts down without destroying pending handler tasks.
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+            self._conn_tasks.clear()
+
+    # -- HTTP plumbing -------------------------------------------------------
+    @staticmethod
+    def _response(status: int, body: bytes,
+                  content_type: str, *, close: bool) -> bytes:
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'close' if close else 'keep-alive'}\r\n"
+            "\r\n"
+        )
+        return head.encode("ascii") + body
+
+    def _json(self, status: int, obj: Any, *, close: bool = False) -> bytes:
+        return self._response(
+            status, json.dumps(obj).encode("utf-8"),
+            "application/json", close=close,
+        )
+
+    def _error(self, status: int, code: str, message: str, *,
+               close: bool = False) -> bytes:
+        self.service.metrics.errors.labels(code=code).inc()
+        return self._json(
+            status, {"error": code, "message": message}, close=close
+        )
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        try:
+            while True:
+                try:
+                    head = await reader.readuntil(b"\r\n\r\n")
+                except asyncio.IncompleteReadError as exc:
+                    if exc.partial:
+                        # A request died mid-headers; nothing applied.
+                        self.service.metrics.errors.labels(
+                            code="disconnect").inc()
+                    return
+                except asyncio.LimitOverrunError:
+                    writer.write(self._error(
+                        413, "headers_too_large",
+                        "request headers exceed the limit", close=True))
+                    await writer.drain()
+                    return
+                try:
+                    method, path, headers = self._parse_head(head)
+                except ValueError as exc:
+                    writer.write(self._error(
+                        400, "bad_request", str(exc), close=True))
+                    await writer.drain()
+                    return
+                length = int(headers.get("content-length", "0") or "0")
+                if length > _MAX_BODY:
+                    writer.write(self._error(
+                        413, "body_too_large",
+                        f"bodies are capped at {_MAX_BODY} bytes",
+                        close=True))
+                    await writer.drain()
+                    return
+                try:
+                    body = await reader.readexactly(length) if length else b""
+                except asyncio.IncompleteReadError:
+                    # Disconnect mid-body: the frame never completed,
+                    # nothing reaches any session.
+                    self.service.metrics.errors.labels(
+                        code="disconnect").inc()
+                    return
+                if (headers.get("upgrade", "").lower() == "websocket"
+                        and method == "GET"):
+                    await self._websocket(reader, writer, path, headers)
+                    return
+                close = (
+                    headers.get("connection", "").lower() == "close"
+                )
+                writer.write(self._route(method, path, body, close=close))
+                await writer.drain()
+                if close:
+                    return
+        except (ConnectionResetError, BrokenPipeError, TimeoutError):
+            pass
+        except asyncio.CancelledError:
+            # Server shutdown reaps open keep-alive connections.
+            pass
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError,
+                    RuntimeError):
+                pass
+
+    @staticmethod
+    def _parse_head(head: bytes) -> tuple[str, str, dict[str, str]]:
+        try:
+            text = head.decode("latin-1")
+        except UnicodeDecodeError:
+            raise ValueError("undecodable request head") from None
+        lines = text.split("\r\n")
+        parts = lines[0].split(" ")
+        if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+            raise ValueError(f"malformed request line {lines[0]!r}")
+        method, path, _ = parts
+        headers: dict[str, str] = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            key, sep, value = line.partition(":")
+            if not sep:
+                raise ValueError(f"malformed header line {line!r}")
+            headers[key.strip().lower()] = value.strip()
+        return method.upper(), path, headers
+
+    # -- routing -------------------------------------------------------------
+    def _route(self, method: str, path: str, body: bytes, *,
+               close: bool) -> bytes:
+        try:
+            return self._dispatch(method, path, body, close=close)
+        except ServiceError as exc:
+            return self._error(exc.status, exc.code, exc.message,
+                               close=close)
+        except Exception as exc:  # noqa: BLE001 — the server must answer
+            return self._error(500, "internal",
+                               f"{type(exc).__name__}: {exc}", close=close)
+
+    def _dispatch(self, method: str, path: str, body: bytes, *,
+                  close: bool) -> bytes:
+        service = self.service
+        if path == "/healthz" and method == "GET":
+            return self._response(200, b"ok\n", "text/plain", close=close)
+        if path == "/metrics" and method == "GET":
+            text = service.metrics.registry.render().encode("utf-8")
+            return self._response(
+                200, text, "text/plain; version=0.0.4", close=close
+            )
+        if path == "/v1/sessions":
+            if method == "GET":
+                return self._json(200, service.list_sessions(), close=close)
+            if method == "POST":
+                spec = self._json_body(body)
+                name = spec.pop("name", None)
+                if name is None:
+                    raise ServiceError("bad_session",
+                                       "session spec needs a 'name'")
+                if "n" not in spec:
+                    raise ServiceError("bad_session",
+                                       "session spec needs a universe 'n'")
+                return self._json(
+                    201, service.create_session(name, **spec), close=close
+                )
+            raise ServiceError("method_not_allowed",
+                               f"{method} not supported here", 405)
+        match = _SESSION_PATH_RE.match(path)
+        if not match:
+            raise ServiceError("not_found", f"no route {path!r}", 404)
+        name, action, consumer = match.group(1), match.group(2), match.group(3)
+        if action is None:
+            if method == "GET":
+                return self._json(200, service.info(name), close=close)
+            if method == "DELETE":
+                service.delete_session(name)
+                return self._json(200, {"deleted": name}, close=close)
+        elif action == "ingest" and method == "POST":
+            frame = self._body_frame(body, protocol.FrameType.INGEST)
+            applied = service.ingest(name, frame.payload)
+            return self._json(200, {
+                "applied": applied,
+                "pending": service.get(name).pending,
+            }, close=close)
+        elif action == "flush" and method == "POST":
+            return self._json(
+                200, {"flushed": service.flush(name)}, close=close
+            )
+        elif action.startswith("query/") and method == "GET":
+            value = service.query(name, consumer)
+            return self._json(200, {
+                "name": consumer, "value": protocol.json_safe(value),
+            }, close=close)
+        elif action == "snapshot" and method == "GET":
+            return self._response(
+                200, service.snapshot(name),
+                "application/octet-stream", close=close,
+            )
+        elif action == "merge" and method == "POST":
+            if not body:
+                raise ServiceError("bad_merge", "empty merge body")
+            applied = service.merge(name, body)
+            return self._json(
+                200, {"updates_processed": applied}, close=close
+            )
+        elif action == "ws":
+            raise ServiceError(
+                "upgrade_required",
+                "this endpoint speaks WebSocket; send an Upgrade request",
+                426,
+            )
+        raise ServiceError(
+            "method_not_allowed", f"{method} {path} not supported", 405
+        )
+
+    @staticmethod
+    def _json_body(body: bytes) -> dict:
+        try:
+            obj = json.loads(body.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise ServiceError("bad_json", f"undecodable body: {exc}")
+        if not isinstance(obj, dict):
+            raise ServiceError("bad_json", "body must be a JSON object")
+        return obj
+
+    def _body_frame(self, body: bytes,
+                    expect: protocol.FrameType) -> protocol.Frame:
+        try:
+            frame = protocol.decode_frame(body)
+        except protocol.ProtocolError as exc:
+            if expect is protocol.FrameType.INGEST:
+                self.service.metrics.ingest_frames.inc()
+                self.service.metrics.ingest_refused.inc()
+            raise ServiceError("bad_frame", str(exc)) from exc
+        if frame.type is not expect:
+            raise ServiceError(
+                "bad_frame",
+                f"expected a {expect.name} frame, got {frame.type.name}",
+            )
+        return frame
+
+    # -- WebSocket -----------------------------------------------------------
+    async def _websocket(self, reader: asyncio.StreamReader,
+                         writer: asyncio.StreamWriter, path: str,
+                         headers: dict[str, str]) -> None:
+        match = _SESSION_PATH_RE.match(path)
+        if not match or match.group(2) != "ws":
+            writer.write(self._error(404, "not_found",
+                                     f"no WebSocket route {path!r}",
+                                     close=True))
+            await writer.drain()
+            return
+        name = match.group(1)
+        key = headers.get("sec-websocket-key")
+        if not key:
+            writer.write(self._error(400, "bad_upgrade",
+                                     "missing Sec-WebSocket-Key",
+                                     close=True))
+            await writer.drain()
+            return
+        try:
+            self.service.get(name)
+        except ServiceError as exc:
+            writer.write(self._error(exc.status, exc.code, exc.message,
+                                     close=True))
+            await writer.drain()
+            return
+        writer.write(
+            b"HTTP/1.1 101 Switching Protocols\r\n"
+            b"Upgrade: websocket\r\n"
+            b"Connection: Upgrade\r\n"
+            b"Sec-WebSocket-Accept: "
+            + accept_key(key).encode("ascii")
+            + b"\r\n\r\n"
+        )
+        await writer.drain()
+        # A modest send buffer makes drain() engage early: a slow
+        # consumer suspends this handler (backpressure) instead of
+        # growing an unbounded server-side buffer.
+        writer.transport.set_write_buffer_limits(high=1 << 16)
+        metrics = self.service.metrics
+        metrics.connections.inc()
+        decoder = protocol.FrameDecoder()
+        try:
+            while True:
+                message = await read_ws_message(
+                    reader, writer, require_masked=True, mask_replies=False
+                )
+                if message is None:
+                    return
+                opcode, data = message
+                if opcode != OP_BINARY:
+                    metrics.errors.labels(code="protocol").inc()
+                    writer.write(encode_ws_frame(
+                        OP_BINARY,
+                        protocol.encode_error(
+                            "protocol", "frames travel as binary messages"
+                        ),
+                    ))
+                    await writer.drain()
+                    continue
+                try:
+                    frames = decoder.feed(data)
+                except protocol.ProtocolError as exc:
+                    # Framing is broken: after an undecodable prefix the
+                    # stream can never resynchronise — answer and close.
+                    metrics.errors.labels(code="protocol").inc()
+                    writer.write(encode_ws_frame(
+                        OP_BINARY, protocol.encode_error("protocol", str(exc))
+                    ))
+                    await writer.drain()
+                    return
+                for frame in frames:
+                    writer.write(encode_ws_frame(
+                        OP_BINARY, self._answer_frame(name, frame)
+                    ))
+                await writer.drain()
+        except WebSocketError:
+            metrics.errors.labels(code="websocket").inc()
+            return
+        except (asyncio.IncompleteReadError, ConnectionResetError,
+                BrokenPipeError):
+            # Dropped mid-frame: the decoder's partial tail is
+            # discarded, nothing half-applied.
+            metrics.errors.labels(code="disconnect").inc()
+            return
+        finally:
+            metrics.connections.dec()
+
+    def _answer_frame(self, name: str, frame: protocol.Frame) -> bytes:
+        """One protocol frame in, one out; errors become ERROR frames
+        so an application failure never kills the connection."""
+        service = self.service
+        try:
+            if frame.type is protocol.FrameType.INGEST:
+                return protocol.encode_ingest_ack(
+                    service.ingest(name, frame.payload)
+                )
+            if frame.type is protocol.FrameType.QUERY:
+                consumer = protocol.decode_query(frame.payload)
+                return protocol.encode_query_result(
+                    consumer, service.query(name, consumer)
+                )
+            if frame.type is protocol.FrameType.MERGE:
+                return protocol.encode_merge_ack(
+                    service.merge(name, frame.payload)
+                )
+            raise ServiceError(
+                "protocol",
+                f"clients do not send {frame.type.name} frames",
+            )
+        except ServiceError as exc:
+            service.metrics.errors.labels(code=exc.code).inc()
+            return protocol.encode_error(exc.code, exc.message)
+        except Exception as exc:  # noqa: BLE001 — answer, don't die
+            service.metrics.errors.labels(code="internal").inc()
+            return protocol.encode_error(
+                "internal", f"{type(exc).__name__}: {exc}"
+            )
+
+
+class ServerThread:
+    """A :class:`ServiceServer` on a background event loop.
+
+    The in-process harness tests, examples, and the load generator's
+    sync drivers use: enter the context manager, talk to
+    ``http://host:port``, leave, and the loop is gone.
+
+    >>> with ServerThread() as handle:  # doctest: +SKIP
+    ...     client = ServiceClient(handle.host, handle.port)
+    """
+
+    def __init__(self, service: SketchService | None = None, *,
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        self.service = service if service is not None else SketchService()
+        self.server = ServiceServer(self.service, host=host, port=port)
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._stop: asyncio.Event | None = None
+        self._startup_error: BaseException | None = None
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def start(self) -> "ServerThread":
+        if self._thread is not None:
+            return self
+
+        async def main() -> None:
+            self._stop = asyncio.Event()
+            try:
+                await self.server.start()
+            except BaseException as exc:
+                self._startup_error = exc
+                self._ready.set()
+                raise
+            self._ready.set()
+            await self._stop.wait()
+            await self.server.close()
+
+        def run() -> None:
+            loop = asyncio.new_event_loop()
+            self._loop = loop
+            try:
+                loop.run_until_complete(main())
+            finally:
+                loop.close()
+
+        self._thread = threading.Thread(
+            target=run, name="repro-service", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait()
+        if self._startup_error is not None:
+            self._thread.join()
+            raise RuntimeError(
+                f"service failed to start: {self._startup_error}"
+            )
+        return self
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        assert self._loop is not None and self._stop is not None
+        self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join()
+        self._thread = None
+        self._loop = None
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

@@ -19,7 +19,9 @@ in-memory payload contract promises.
 
 from __future__ import annotations
 
+import io
 import json
+import zipfile
 from pathlib import Path
 from typing import Any, Iterable
 
@@ -89,22 +91,10 @@ def load_stream(path: str | Path) -> Stream:
     return Stream.from_arrays(n, items, deltas)
 
 
-def save_payload(payload: dict, path: str | Path) -> None:
-    """Persist a pickle-free state payload to a flattened-key ``.npz``.
-
-    ``payload`` is the output of :func:`repro.api.serialize.snapshot`
-    or ``StreamSession.snapshot()``: nested dicts/lists of scalars plus
-    numpy arrays.  Each ndarray is stored natively under a flat
-    ``a<k>`` entry (compressed, dtype preserved bit-exactly) and
-    replaced in the tree by a ``{"__npz__": "a<k>"}`` marker; the
-    remaining pure-JSON tree goes into one utf-8 sidecar entry.  Shared
-    arrays appear once in the payload (the snapshot encoder memoizes
-    them), so flattening preserves sharing.
-
-    Object-dtype arrays are rejected — ``np.savez`` would silently
-    pickle them, which would break the no-pickle guarantee that lets
-    :func:`load_payload` read untrusted files.
-    """
+def _payload_entries(payload: dict) -> dict[str, Any]:
+    """Flatten a snapshot payload into the npz entry dict (the shared
+    implementation of :func:`save_payload` and
+    :func:`payload_to_bytes`)."""
     arrays: dict[str, np.ndarray] = {}
 
     def strip(node: Any) -> Any:
@@ -155,16 +145,86 @@ def save_payload(payload: dict, path: str | Path) -> None:
 
     tree = strip(payload)
     sidecar = np.frombuffer(json.dumps(tree).encode("utf-8"), dtype=np.uint8)
-    entries = {
+    entries: dict[str, Any] = {
         _PAYLOAD_VERSION_KEY: np.int64(_PAYLOAD_FORMAT_VERSION),
         _PAYLOAD_JSON_KEY: sidecar,
     }
     entries.update(arrays)
+    return entries
+
+
+def save_payload(payload: dict, path: str | Path) -> None:
+    """Persist a pickle-free state payload to a flattened-key ``.npz``.
+
+    ``payload`` is the output of :func:`repro.api.serialize.snapshot`
+    or ``StreamSession.snapshot()``: nested dicts/lists of scalars plus
+    numpy arrays.  Each ndarray is stored natively under a flat
+    ``a<k>`` entry (compressed, dtype preserved bit-exactly) and
+    replaced in the tree by a ``{"__npz__": "a<k>"}`` marker; the
+    remaining pure-JSON tree goes into one utf-8 sidecar entry.  Shared
+    arrays appear once in the payload (the snapshot encoder memoizes
+    them), so flattening preserves sharing.
+
+    Object-dtype arrays are rejected — ``np.savez`` would silently
+    pickle them, which would break the no-pickle guarantee that lets
+    :func:`load_payload` read untrusted files.
+    """
+    entries = _payload_entries(payload)
     # A file handle (not a path) keeps numpy from appending ".npz" to
     # names that lack the suffix — temp-file callers rely on the exact
     # path they asked for.
     with open(Path(path), "wb") as fh:
         np.savez_compressed(fh, **entries)
+
+
+def payload_to_bytes(payload: dict) -> bytes:
+    """The payload container as in-memory bytes — exactly the file
+    :func:`save_payload` would write, for shipping a snapshot over a
+    wire (the service tier's merge frames) instead of through disk."""
+    buf = io.BytesIO()
+    np.savez_compressed(buf, **_payload_entries(payload))
+    return buf.getvalue()
+
+
+def _payload_rebuild(data, source: str) -> dict:
+    """Decode an open payload ``NpzFile`` back into the state dict."""
+    if (_PAYLOAD_VERSION_KEY not in data.files
+            or _PAYLOAD_JSON_KEY not in data.files):
+        raise ValueError(f"{source} is not a repro payload container")
+    version = int(data[_PAYLOAD_VERSION_KEY])
+    if version != _PAYLOAD_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported payload container version {version}"
+        )
+    try:
+        tree = json.loads(data[_PAYLOAD_JSON_KEY].tobytes().decode("utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise ValueError(f"corrupt payload sidecar in {source}: {exc}")
+
+    def rebuild(node: Any) -> Any:
+        if isinstance(node, dict):
+            if set(node) == {_PAYLOAD_ARRAY_TAG}:
+                key = node[_PAYLOAD_ARRAY_TAG]
+                if not isinstance(key, str) or key not in data.files:
+                    raise ValueError(
+                        f"payload references missing array entry "
+                        f"{key!r}"
+                    )
+                return data[key]
+            if set(node) == {_PAYLOAD_BIGINT_TAG}:
+                spec = node[_PAYLOAD_BIGINT_TAG]
+                out = np.empty(len(spec["v"]), dtype=object)
+                out[:] = spec["v"]
+                return out.reshape(spec["shape"])
+            return {k: rebuild(v) for k, v in node.items()}
+        if isinstance(node, list):
+            return [rebuild(x) for x in node]
+        return node
+
+    out = rebuild(tree)
+    if not isinstance(out, dict):
+        raise ValueError(f"{source} does not contain a payload dict")
+    return out
 
 
 def load_payload(path: str | Path) -> dict:
@@ -177,43 +237,27 @@ def load_payload(path: str | Path) -> dict:
     "skip this file and fall back to an older checkpoint").
     """
     with np.load(Path(path), allow_pickle=False) as data:
-        if (_PAYLOAD_VERSION_KEY not in data.files
-                or _PAYLOAD_JSON_KEY not in data.files):
-            raise ValueError(f"{path} is not a repro payload container")
-        version = int(data[_PAYLOAD_VERSION_KEY])
-        if version != _PAYLOAD_FORMAT_VERSION:
-            raise ValueError(
-                f"unsupported payload container version {version}"
-            )
-        try:
-            tree = json.loads(data[_PAYLOAD_JSON_KEY].tobytes().decode("utf-8"))
-        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
-            raise ValueError(f"corrupt payload sidecar in {path}: {exc}")
+        return _payload_rebuild(data, str(path))
 
-        def rebuild(node: Any) -> Any:
-            if isinstance(node, dict):
-                if set(node) == {_PAYLOAD_ARRAY_TAG}:
-                    key = node[_PAYLOAD_ARRAY_TAG]
-                    if not isinstance(key, str) or key not in data.files:
-                        raise ValueError(
-                            f"payload references missing array entry "
-                            f"{key!r}"
-                        )
-                    return data[key]
-                if set(node) == {_PAYLOAD_BIGINT_TAG}:
-                    spec = node[_PAYLOAD_BIGINT_TAG]
-                    out = np.empty(len(spec["v"]), dtype=object)
-                    out[:] = spec["v"]
-                    return out.reshape(spec["shape"])
-                return {k: rebuild(v) for k, v in node.items()}
-            if isinstance(node, list):
-                return [rebuild(x) for x in node]
-            return node
 
-        out = rebuild(tree)
-    if not isinstance(out, dict):
-        raise ValueError(f"{path} does not contain a payload dict")
-    return out
+def payload_from_bytes(data: bytes) -> dict:
+    """Decode a payload container shipped as bytes (the inverse of
+    :func:`payload_to_bytes`).
+
+    The bytes are untrusted input exactly like a payload *file*:
+    loading uses ``allow_pickle=False`` and every structural check of
+    :func:`load_payload` applies — truncated, foreign, or hand-edited
+    containers raise ``ValueError``-family errors rather than
+    smuggling state into a session.
+    """
+    if not isinstance(data, (bytes, bytearray, memoryview)):
+        raise TypeError("payload container must be bytes")
+    try:
+        npz = np.load(io.BytesIO(bytes(data)), allow_pickle=False)
+    except (OSError, EOFError, zipfile.BadZipFile) as exc:
+        raise ValueError(f"corrupt payload container: {exc}") from None
+    with npz:
+        return _payload_rebuild(npz, "<bytes>")
 
 
 class StreamRunner:

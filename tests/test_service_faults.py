@@ -1,0 +1,243 @@
+"""Fault injection against the live service: a harness test is only
+credible if the server survives misbehaving clients.
+
+Covered faults, each asserting the *session* contract afterwards:
+
+* a client that disconnects mid-frame — the incomplete tail applies
+  nothing, the watermark is unchanged, and the server answers the next
+  client normally;
+* a frame split across several WebSocket messages — applied exactly
+  once (the decoder reassembles, never duplicates);
+* undecodable framing (foreign magic) — an ERROR frame comes back and
+  the connection closes, but the server and session live on;
+* an application error mid-connection (unknown consumer, refused
+  ingest) — an ERROR frame, connection stays usable;
+* a raising query hook — the error is contained, the flush that
+  preceded the query has already applied (at-least-once, never a
+  silent drop), and other consumers still answer exactly;
+* a slow consumer that stops reading while queries pile up — the
+  server applies backpressure instead of dying, other connections stay
+  responsive, and every queued answer eventually arrives.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.service import (
+    AsyncSessionClient,
+    MetricsRegistry,
+    ServerThread,
+    ServiceClient,
+    ServiceClientError,
+    ServiceMetrics,
+    SketchService,
+    protocol,
+)
+from repro.service._ws import OP_BINARY, encode_ws_frame
+
+N = 1 << 10
+
+
+@pytest.fixture()
+def service():
+    return SketchService(ServiceMetrics(MetricsRegistry()))
+
+
+@pytest.fixture()
+def server(service):
+    with ServerThread(service) as handle:
+        yield handle
+
+
+@pytest.fixture()
+def client(server):
+    with ServiceClient(server.host, server.port) as c:
+        yield c
+
+
+def test_disconnect_mid_frame_applies_nothing(server, client):
+    """Kill the connection after half an INGEST frame: the session
+    watermark must not move, and the server must stay healthy."""
+    client.create_session("edge", n=N, track=["frequency_vector"])
+    client.ingest("edge", [1, 2], [1, 1])
+
+    async def die_mid_frame():
+        async with AsyncSessionClient(server.host, server.port,
+                                      "edge") as ws:
+            frame = protocol.encode_ingest([5] * 100, [1] * 100)
+            half = encode_ws_frame(OP_BINARY, frame[:20], mask=True,
+                                   fin=False)
+            ws._writer.write(half)
+            await ws._writer.drain()
+            # Abort without CLOSE: simulate a crashed client.
+            ws._writer.transport.abort()
+            ws._reader = ws._writer = None
+
+    asyncio.run(die_mid_frame())
+    assert client.info("edge")["updates_processed"] == 2
+    assert client.query("edge", "frequency_vector") == 2
+    assert client.healthz()
+
+
+def test_frame_split_across_messages_applies_once(server, client):
+    """One INGEST frame delivered in three WebSocket messages is
+    reassembled and applied exactly once."""
+    client.create_session("edge", n=N, track=["frequency_vector"])
+
+    async def split_send():
+        async with AsyncSessionClient(server.host, server.port,
+                                      "edge") as ws:
+            frame = protocol.encode_ingest([3, 4, 5], [2, 2, 2])
+            for lo, hi in [(0, 5), (5, 11), (11, len(frame))]:
+                await ws.send_raw(frame[lo:hi])
+            ack = ws._expect(await ws.recv_frame(),
+                             protocol.FrameType.INGEST_ACK)
+            return protocol.decode_ack(ack.payload)
+
+    assert asyncio.run(split_send()) == 3
+    assert client.info("edge")["updates_processed"] == 3
+    assert client.query("edge", "frequency_vector") == 6
+
+
+def test_undecodable_framing_errors_and_closes(server, client):
+    """Foreign magic can never resynchronise: the server answers with
+    an ERROR frame, closes that connection, and keeps serving."""
+    client.create_session("edge", n=N, track=["frequency_vector"])
+
+    async def send_garbage():
+        async with AsyncSessionClient(server.host, server.port,
+                                      "edge") as ws:
+            await ws.send_raw(b"XXnot-a-frame-at-all")
+            frame = await ws.recv_frame()
+            assert frame.type is protocol.FrameType.ERROR
+            code, _ = protocol.decode_error(frame.payload)
+            assert code == "protocol"
+            # The server closes after a framing error.
+            with pytest.raises(ServiceClientError, match="closed"):
+                await ws.recv_frame()
+
+    asyncio.run(send_garbage())
+    client.ingest("edge", [1], [1])
+    assert client.info("edge")["updates_processed"] == 1
+
+
+def test_application_errors_keep_connection_usable(server, client):
+    """Refused frames and unknown consumers come back as ERROR frames;
+    the same connection then carries good traffic."""
+    client.create_session("edge", n=N, track=["frequency_vector"])
+
+    async def drive():
+        async with AsyncSessionClient(server.host, server.port,
+                                      "edge") as ws:
+            # Out-of-universe item: frame decodes, push refuses.
+            with pytest.raises(ServiceClientError, match="bad_frame"):
+                await ws.ingest([N + 5], [1])
+            with pytest.raises(ServiceClientError, match="not_found"):
+                await ws.query("ghost")
+            # Still alive:
+            assert await ws.ingest([7], [3]) == 1
+            assert await ws.query("frequency_vector") == 3
+
+    asyncio.run(drive())
+
+
+def test_raising_query_hook_leaves_session_consistent(service, server):
+    """A query hook that raises is contained: the ERROR frame comes
+    back, the pre-query flush has applied (at-least-once), and every
+    other consumer still answers exactly."""
+    session_info = service.create_session(
+        "edge", n=N, chunk_size=4096, track=["frequency_vector"]
+    )
+    assert session_info["name"] == "edge"
+
+    def boom(sketch):
+        raise RuntimeError("hook exploded")
+
+    from repro.streams.model import FrequencyVector
+    service.sessions["edge"].add("boom", FrequencyVector(N), query=boom)
+
+    async def drive(handle):
+        async with AsyncSessionClient(handle.host, handle.port,
+                                      "edge") as ws:
+            await ws.ingest([1, 2, 3], [1, 1, 1])
+            with pytest.raises(ServiceClientError, match="internal"):
+                await ws.query("boom")
+            # The flush preceding the failed query already dispatched:
+            # the healthy consumer reflects every update, exactly.
+            assert await ws.query("frequency_vector") == 3
+            assert await ws.ingest([4], [5]) == 4
+            assert await ws.query("frequency_vector") == 8
+
+    with_handle = server
+    asyncio.run(drive(with_handle))
+    assert service.sessions["edge"].pending == 0
+
+
+def test_slow_consumer_backpressure(server, client):
+    """A client that floods queries and stops reading: the server's
+    write buffer fills and drain() suspends that handler (bounded
+    memory) while other connections stay responsive; once the slow
+    client reads again, every queued answer arrives in order."""
+    client.create_session("edge", n=N, track=["frequency_vector"])
+    items = np.arange(200) % N
+    deltas = np.ones(200, dtype=np.int64)
+    client.ingest("edge", items, deltas)
+    queries = 300
+
+    async def drive():
+        async with AsyncSessionClient(server.host, server.port,
+                                      "edge") as slow:
+            # Fire a burst of queries without reading any response.
+            for _ in range(queries):
+                slow._writer.write(encode_ws_frame(
+                    OP_BINARY, protocol.encode_query("frequency_vector"),
+                    mask=True,
+                ))
+            await slow._writer.drain()
+
+            # While the slow client sits on its responses, a second
+            # connection must answer promptly.
+            async def probe():
+                async with AsyncSessionClient(server.host, server.port,
+                                              "edge") as other:
+                    return await other.query("frequency_vector")
+
+            assert await asyncio.wait_for(probe(), timeout=10) == 200
+
+            # Now read everything; all answers arrive, in order.
+            got = 0
+            for _ in range(queries):
+                frame = slow._expect(await ws_recv(slow),
+                                     protocol.FrameType.QUERY_RESULT)
+                name, value = protocol.decode_query_result(frame.payload)
+                assert (name, value) == ("frequency_vector", 200)
+                got += 1
+            return got
+
+    async def ws_recv(ws):
+        return await asyncio.wait_for(ws.recv_frame(), timeout=30)
+
+    assert asyncio.run(drive()) == queries
+    assert client.healthz()
+
+
+def test_http_disconnect_mid_body_applies_nothing(server, client):
+    """An HTTP ingest whose body never finishes applies nothing."""
+    import socket
+
+    client.create_session("edge", n=N, track=["frequency_vector"])
+    frame = protocol.encode_ingest([1] * 50, [1] * 50)
+    head = (
+        f"POST /v1/sessions/edge/ingest HTTP/1.1\r\n"
+        f"Host: x\r\nContent-Length: {len(frame)}\r\n\r\n"
+    ).encode("ascii")
+    with socket.create_connection((server.host, server.port)) as sock:
+        sock.sendall(head + frame[: len(frame) // 2])
+        # Hard close mid-body.
+    assert client.info("edge")["updates_processed"] == 0
+    client.ingest("edge", [1], [1])
+    assert client.info("edge")["updates_processed"] == 1

@@ -1,0 +1,269 @@
+"""Wire-protocol tests for the service tier's binary frame codec.
+
+Three layers of assurance: hypothesis round-trips (any encodable frame
+decodes to itself, through any chunking of the byte stream), refusal
+tests (truncated, corrupt, oversized, foreign-magic, foreign-version
+frames raise ``ProtocolError`` before touching any session), and a
+hash-pinned golden frame — if the byte layout ever changes, the pin
+fails and the protocol version must be bumped.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service import protocol
+from repro.service.protocol import (
+    HEADER_SIZE,
+    MAX_INGEST_UPDATES,
+    MAX_PAYLOAD,
+    Frame,
+    FrameDecoder,
+    FrameType,
+    ProtocolError,
+)
+
+update_columns = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=2**62),
+        st.integers(min_value=-(2**31), max_value=2**31).filter(bool),
+    ),
+    min_size=1,
+    max_size=200,
+).map(lambda pairs: tuple(np.array(cols, dtype=np.int64)
+                          for cols in zip(*pairs)))
+
+
+class TestRoundTrips:
+    @given(cols=update_columns)
+    @settings(max_examples=50, deadline=None)
+    def test_ingest_round_trip(self, cols):
+        items, deltas = cols
+        frame = protocol.decode_frame(protocol.encode_ingest(items, deltas))
+        assert frame.type is FrameType.INGEST
+        out_items, out_deltas = protocol.decode_ingest(frame.payload)
+        np.testing.assert_array_equal(out_items, items)
+        np.testing.assert_array_equal(out_deltas, deltas)
+
+    @given(name=st.text(min_size=1, max_size=64).filter(
+        lambda s: 1 <= len(s.encode("utf-8")) <= protocol.MAX_QUERY_NAME))
+    @settings(max_examples=50, deadline=None)
+    def test_query_round_trip(self, name):
+        frame = protocol.decode_frame(protocol.encode_query(name))
+        assert protocol.decode_query(frame.payload) == name
+
+    @given(applied=st.integers(min_value=0, max_value=2**64 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_ack_round_trip(self, applied):
+        for encode in (protocol.encode_ingest_ack,
+                       protocol.encode_merge_ack):
+            frame = protocol.decode_frame(encode(applied))
+            assert protocol.decode_ack(frame.payload) == applied
+
+    def test_query_result_round_trip(self):
+        for value in (3, 2.5, [1, 2], {"a": [True, None]}, "text",
+                      np.int64(9), np.array([1, 2, 3])):
+            frame = protocol.decode_frame(
+                protocol.encode_query_result("spec", value)
+            )
+            name, out = protocol.decode_query_result(frame.payload)
+            assert name == "spec"
+            assert out == protocol.json_safe(value)
+
+    def test_error_round_trip(self):
+        frame = protocol.decode_frame(
+            protocol.encode_error("bad_frame", "because")
+        )
+        assert protocol.decode_error(frame.payload) == (
+            "bad_frame", "because")
+
+    @given(cols=update_columns,
+           cut=st.lists(st.integers(min_value=1, max_value=64),
+                        max_size=8))
+    @settings(max_examples=50, deadline=None)
+    def test_decoder_reassembles_any_chunking(self, cols, cut):
+        """A frame split at arbitrary byte boundaries arrives exactly
+        once; a trailing partial frame arrives zero times."""
+        items, deltas = cols
+        raw = (protocol.encode_ingest(items, deltas)
+               + protocol.encode_query("countmin"))
+        positions = sorted({min(c, len(raw)) for c in cut})
+        pieces, prev = [], 0
+        for pos in positions + [len(raw)]:
+            pieces.append(raw[prev:pos])
+            prev = pos
+        dec = FrameDecoder()
+        frames = [f for piece in pieces for f in dec.feed(piece)]
+        assert [f.type for f in frames] == [FrameType.INGEST,
+                                            FrameType.QUERY]
+        assert dec.pending_bytes == 0
+
+
+class TestRefusals:
+    def test_truncated_header(self):
+        raw = protocol.encode_query("x")
+        for cut in range(HEADER_SIZE):
+            with pytest.raises(ProtocolError, match="truncated"):
+                protocol.decode_frame(raw[:cut])
+
+    def test_truncated_payload_and_trailing_bytes(self):
+        raw = protocol.encode_query("countmin")
+        with pytest.raises(ProtocolError, match="length mismatch"):
+            protocol.decode_frame(raw[:-1])
+        with pytest.raises(ProtocolError, match="length mismatch"):
+            protocol.decode_frame(raw + b"\x00")
+
+    def test_foreign_magic(self):
+        raw = bytearray(protocol.encode_query("x"))
+        raw[0:2] = b"PB"
+        with pytest.raises(ProtocolError, match="magic"):
+            protocol.decode_frame(bytes(raw))
+        with pytest.raises(ProtocolError, match="magic"):
+            FrameDecoder().feed(bytes(raw))
+
+    def test_foreign_version(self):
+        raw = bytearray(protocol.encode_query("x"))
+        raw[2] = protocol.PROTOCOL_VERSION + 1
+        with pytest.raises(ProtocolError, match="version"):
+            protocol.decode_frame(bytes(raw))
+
+    def test_unknown_frame_type(self):
+        raw = bytearray(protocol.encode_query("x"))
+        raw[3] = 0x7F
+        with pytest.raises(ProtocolError, match="frame type"):
+            protocol.decode_frame(bytes(raw))
+
+    def test_oversized_declared_length_refused_from_header(self):
+        """An absurd length prefix is refused before any allocation —
+        the decoder never waits for 4 GiB that will not come."""
+        header = protocol.HEADER.pack(
+            protocol.MAGIC, protocol.PROTOCOL_VERSION,
+            int(FrameType.INGEST), MAX_PAYLOAD + 1,
+        )
+        with pytest.raises(ProtocolError, match="ceiling"):
+            FrameDecoder().feed(header)
+
+    def test_oversized_encode_refused(self):
+        with pytest.raises(ProtocolError, match="ceiling"):
+            protocol.encode_frame(FrameType.MERGE,
+                                  b"\x00" * (MAX_PAYLOAD + 1))
+
+    def test_ingest_count_mismatch(self):
+        frame = protocol.decode_frame(protocol.encode_ingest([1], [1]))
+        with pytest.raises(ProtocolError, match="mismatch"):
+            protocol.decode_ingest(frame.payload + b"\x00" * 8)
+        too_many = protocol._COUNT.pack(MAX_INGEST_UPDATES + 1)
+        with pytest.raises(ProtocolError, match="1\\.\\."):
+            protocol.decode_ingest(too_many)
+
+    def test_ingest_refuses_negative_items_and_zero_deltas(self):
+        good = protocol.decode_frame(
+            protocol.encode_ingest([5, 6], [1, 2])).payload
+        negative = bytearray(good)
+        negative[4:12] = np.int64(-3).tobytes()
+        with pytest.raises(ProtocolError, match="negative"):
+            protocol.decode_ingest(bytes(negative))
+        zero = bytearray(good)
+        zero[20:28] = np.int64(0).tobytes()
+        with pytest.raises(ProtocolError, match="zero delta"):
+            protocol.decode_ingest(bytes(zero))
+
+    def test_ingest_refuses_mismatched_columns(self):
+        with pytest.raises(ProtocolError, match="lengths differ"):
+            protocol.encode_ingest([1, 2], [1])
+        with pytest.raises(ProtocolError, match="1-D"):
+            protocol.encode_ingest([[1]], [[1]])
+
+    def test_empty_refusals(self):
+        with pytest.raises(ProtocolError):
+            protocol.encode_ingest([], [])
+        with pytest.raises(ProtocolError):
+            protocol.encode_query("")
+        with pytest.raises(ProtocolError):
+            protocol.encode_merge(b"")
+        with pytest.raises(ProtocolError):
+            protocol.decode_query(b"")
+        with pytest.raises(ProtocolError):
+            protocol.decode_ack(b"\x00" * 7)
+
+    def test_corrupt_json_payloads(self):
+        for decoder in (protocol.decode_query_result,
+                        protocol.decode_error):
+            with pytest.raises(ProtocolError, match="corrupt|JSON"):
+                decoder(b"\xff\xfe not json")
+        with pytest.raises(ProtocolError, match="name/value"):
+            protocol.decode_query_result(b"{}")
+
+
+class TestGoldenFrame:
+    """The byte layout is pinned: changing it without bumping
+    PROTOCOL_VERSION breaks deployed peers silently — this test makes
+    the break loud instead."""
+
+    GOLDEN_SHA256 = (
+        "12d4baf28ff0c3e317fc220d2f330e0577a984b77dc1bdb73c100f6081b2b609"
+    )
+
+    def golden_bytes(self) -> bytes:
+        return (
+            protocol.encode_ingest([3, 1, 4], [2, -1, 7])
+            + protocol.encode_query("countmin")
+            + protocol.encode_ingest_ack(12345678901234)
+            + protocol.encode_error("bad_frame", "nope")
+        )
+
+    def test_header_layout(self):
+        raw = protocol.encode_query("ams")
+        assert raw[:2] == b"SK"
+        assert raw[2] == protocol.PROTOCOL_VERSION == 1
+        assert raw[3] == int(FrameType.QUERY) == 3
+        assert raw[4:8] == (3).to_bytes(4, "little")
+        assert raw[8:] == b"ams"
+        assert HEADER_SIZE == 8
+
+    def test_golden_frame_hash(self):
+        digest = hashlib.sha256(self.golden_bytes()).hexdigest()
+        assert digest == self.GOLDEN_SHA256, (
+            "the wire layout changed; bump PROTOCOL_VERSION and "
+            "re-pin this digest"
+        )
+
+    def test_golden_frames_decode(self):
+        dec = FrameDecoder()
+        frames = dec.feed(self.golden_bytes())
+        assert [f.type for f in frames] == [
+            FrameType.INGEST, FrameType.QUERY,
+            FrameType.INGEST_ACK, FrameType.ERROR,
+        ]
+        items, deltas = protocol.decode_ingest(frames[0].payload)
+        assert items.tolist() == [3, 1, 4]
+        assert deltas.tolist() == [2, -1, 7]
+        assert protocol.decode_ack(frames[2].payload) == 12345678901234
+
+
+class TestJsonSafe:
+    def test_numpy_and_container_mapping(self):
+        out = protocol.json_safe({
+            "scalar": np.int64(7),
+            "arr": np.arange(3),
+            "set": {np.int64(2), np.int64(1)},
+            "tup": (1, 2),
+            3: "int-key",
+        })
+        assert out == {"scalar": 7, "arr": [0, 1, 2], "set": [1, 2],
+                       "tup": [1, 2], "3": "int-key"}
+
+    def test_unencodable_raises(self):
+        with pytest.raises(TypeError, match="no JSON form"):
+            protocol.json_safe(object())
+
+
+def test_frame_dataclass_is_frozen():
+    frame = Frame(FrameType.QUERY, b"x")
+    with pytest.raises(AttributeError):
+        frame.payload = b"y"

@@ -522,3 +522,89 @@ class TestPersistencePathBugSweep:
         with _w.catch_warnings():
             _w.simplefilter("error")
             a.merge(b)
+
+
+class TestThreadSafety:
+    """The session-level lock: concurrent pushers and queriers must
+    never corrupt the partial-chunk buffer or lose updates.
+
+    Before the lock, two racing ``push`` calls could interleave inside
+    the buffer bookkeeping (read ``_fill``, write past it, clobber the
+    other thread's tail) and drop or duplicate updates silently; with
+    the ℤ-linear frequency vector, any such corruption shows up as a
+    wrong exact L1.
+    """
+
+    def test_threaded_push_and_query_exact(self):
+        import threading
+
+        session = StreamSession(N, params=PARAMS, chunk_size=7)
+        session.track("frequency_vector").track("countmin")
+        rng = np.random.default_rng(5)
+        per_thread = 2_000
+        threads_n = 6
+        shards = []
+        for t in range(threads_n):
+            items = rng.integers(0, N, size=per_thread)
+            deltas = rng.integers(1, 4, size=per_thread)
+            shards.append((items, deltas))
+        errors = []
+
+        def hammer(items, deltas):
+            try:
+                for pos in range(0, per_thread, 13):
+                    session.push(items[pos:pos + 13],
+                                 deltas[pos:pos + 13])
+                    if pos % 260 == 0:
+                        session.query("frequency_vector")
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        workers = [
+            threading.Thread(target=hammer, args=shard)
+            for shard in shards
+        ]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        assert not errors
+        session.flush()
+        expected = int(sum(int(d.sum()) for _, d in shards))
+        assert session.query("frequency_vector") == expected
+        assert session.updates_processed == threads_n * per_thread
+        # The exact frequency of every item survived the interleaving.
+        truth = np.zeros(N, dtype=np.int64)
+        for items, deltas in shards:
+            np.add.at(truth, items, deltas)
+        np.testing.assert_array_equal(session["frequency_vector"].f, truth)
+
+    def test_threaded_merge_has_no_lock_ordering_deadlock(self):
+        """Two threads merging sibling pairs in opposite directions:
+        the ordered two-lock acquisition must not deadlock."""
+        import threading
+
+        def make(node):
+            s = StreamSession(N, params=PARAMS, node=node)
+            s.track("countsketch")
+            s.push([1, 2, 3], [1, 1, 1])
+            return s
+
+        for _ in range(20):
+            a, b = make(0), make(1)
+            barrier = threading.Barrier(2)
+            errors = []
+
+            def run(dst, src):
+                try:
+                    barrier.wait(timeout=5)
+                    dst.merge(src)
+                except Exception as exc:
+                    errors.append(exc)
+
+            t1 = threading.Thread(target=run, args=(a, b))
+            t2 = threading.Thread(target=run, args=(b, a))
+            t1.start(); t2.start()
+            t1.join(timeout=10); t2.join(timeout=10)
+            assert not t1.is_alive() and not t2.is_alive(), "deadlock"
+            assert not errors
