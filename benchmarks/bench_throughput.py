@@ -70,9 +70,11 @@ from _common import (
     measure_throughput,
     spec_factory,
 )
+from repro import kernels
 from repro.api import Params
+from repro.api.serialize import payload_equal, snapshot
 from repro.batch import supports_plan
-from repro.streams.engine import iter_chunks, replay_sharded_timed
+from repro.streams.engine import iter_chunks, replay, replay_sharded_timed
 from repro.streams.generators import zipfian_insertion_stream
 from repro.streams.model import FrequencyVector
 from repro.streams.plan import ChunkPlanner
@@ -245,7 +247,68 @@ def _measure_all(chunk_size: int = CHUNK, m: int = M,
         report["skew_sweep"] = _measure_skew(chunk_size, m)
     if with_sharded:
         report["sharded"] = _measure_sharded(chunk_size)
+    report["kernels"] = _measure_kernels(chunk_size, m)
     return report
+
+
+#: The compiled-backend section: kernel-dispatching structures plus
+#: alpha_support, which has no fused update kernel but rides the C
+#: Horner hash through the shared hashing layer.
+KERNEL_STRUCTURES = (
+    "countsketch", "countmin", "ams", "cauchy", "csss", "alpha_support",
+)
+
+#: Acceptance (hard-gated in the artifact test when a toolchain
+#: exists): >= 2x kernel-over-NumPy on >= 3 of these, and
+#: ``identical_states`` on every row — the backend is a pure
+#: throughput lever, never an accuracy one.
+KERNEL_ACCEPT_NAMES = (
+    "cauchy", "ams", "countsketch", "csss", "alpha_support",
+)
+KERNEL_ACCEPT_SPEEDUP = 2.0
+KERNEL_ACCEPT_MIN_STRUCTURES = 3
+
+
+def _measure_kernels(chunk_size: int = CHUNK, m: int = M) -> dict:
+    """Kernel vs pure-NumPy batch rates per structure (best of 3 each),
+    with a bitwise state-identity check between the two replays.  When
+    no compiled backend is available the section records that honestly
+    and skips the rates."""
+    with kernels.override("auto") as probe:
+        active = probe.active
+        info = probe.describe()
+    section = {
+        "active": bool(active),
+        "mode": info["mode"],
+        "compiler": info["compiler"],
+        "reason": info["reason"],
+        "results": {},
+    }
+    if not active:
+        return section
+    streams = _streams(m)
+    for name in KERNEL_STRUCTURES:
+        kind = SKETCHES[name][2]
+        make = _factory(name)
+        with kernels.override("off"):
+            plain = measure_throughput(
+                streams[kind], make, chunk_size=chunk_size, repeats=3,
+            )
+            want = replay(streams[kind], make(), chunk_size=chunk_size)
+        with kernels.override("auto"):
+            fused = measure_throughput(
+                streams[kind], make, chunk_size=chunk_size, repeats=3,
+            )
+            got = replay(streams[kind], make(), chunk_size=chunk_size)
+        section["results"][name] = {
+            "numpy_updates_per_sec": int(round(plain.updates_per_sec)),
+            "kernel_updates_per_sec": int(round(fused.updates_per_sec)),
+            "kernel_speedup": round(
+                fused.updates_per_sec / plain.updates_per_sec, 2
+            ),
+            "identical_states": payload_equal(snapshot(want), snapshot(got)),
+        }
+    return section
 
 
 #: The push-mode battery: a representative mixed battery (two
@@ -479,6 +542,23 @@ def test_throughput_artifact():
         f"{winners} at zipf({SKEW_ACCEPT_LEVEL}) "
         f"(need {SKEW_ACCEPT_MIN_STRUCTURES} structures)"
     )
+    kern = report["kernels"]
+    if kern["active"]:
+        for name, row in kern["results"].items():
+            assert row["identical_states"], (
+                f"{name}: compiled kernel replay diverged from the "
+                f"NumPy path (bit-identity is the backend's contract)"
+            )
+        winners = [
+            name for name in KERNEL_ACCEPT_NAMES
+            if kern["results"][name]["kernel_speedup"]
+            >= KERNEL_ACCEPT_SPEEDUP
+        ]
+        assert len(winners) >= KERNEL_ACCEPT_MIN_STRUCTURES, (
+            f"compiled kernels gained >= {KERNEL_ACCEPT_SPEEDUP}x on only "
+            f"{winners} of {KERNEL_ACCEPT_NAMES} "
+            f"(need {KERNEL_ACCEPT_MIN_STRUCTURES})"
+        )
     for name, row in report["sharded"]["results"].items():
         assert row["identical_estimates"], (
             f"{name}: sharded replay changed the estimates"
@@ -539,6 +619,22 @@ def run_smoke() -> int:
         )
         if not ok:
             failures.append(name)
+    kern = report["kernels"]
+    if kern["active"]:
+        # Speed bars are meaningless at smoke sizes; bit-identity of
+        # the two backends is not — gate it on every structure.
+        broken = [
+            name for name, row in kern["results"].items()
+            if not row["identical_states"]
+        ]
+        if broken:
+            print(f"kernels FAIL: backend diverged from NumPy on {broken}")
+            failures.append("kernels")
+        else:
+            print(f"kernels ok: both backends bit-identical on "
+                  f"{len(kern['results'])} structures")
+    else:
+        print(f"kernels skipped: backend inactive ({kern['reason']})")
     if failures:
         print(f"smoke FAILED (< {SMOKE_BAR}x at m={SMOKE_M}): {failures}")
         return 1
@@ -558,7 +654,8 @@ def run_floor_check() -> int:
     and fail if any falls below ``FLOOR_FRACTION`` of the recorded
     updates/sec.  Wall-clock sensitive by nature — CI runs it as a
     non-blocking job, so a noisy host warns instead of breaking."""
-    recorded = json.loads(ARTIFACT.read_text())["results"]
+    artifact = json.loads(ARTIFACT.read_text())
+    recorded = artifact["results"]
     streams = _streams(M)
     failures = []
     width = max(len(k) for k in recorded)
@@ -576,6 +673,26 @@ def run_floor_check() -> int:
         )
         if measured < floor:
             failures.append(name)
+    kern = artifact.get("kernels", {})
+    if kern.get("active") and kernels.backend().active:
+        # Kernel-rate floors only apply where both the recording host
+        # and this host have a working backend.
+        with kernels.override("auto"):
+            for name, row in kern["results"].items():
+                measured = measure_throughput(
+                    streams[SKETCHES[name][2]], _factory(name),
+                    chunk_size=CHUNK, repeats=3,
+                ).updates_per_sec
+                floor = FLOOR_FRACTION * row["kernel_updates_per_sec"]
+                status = "ok" if measured >= floor else "FAIL"
+                print(
+                    f"{name + ' (kernel)':<{width + 9}}  recorded "
+                    f"{row['kernel_updates_per_sec']:>10,}/s  measured "
+                    f"{measured:>12,.0f}/s  floor {floor:>12,.0f}/s"
+                    f"  [{status}]"
+                )
+                if measured < floor:
+                    failures.append(f"{name} (kernel)")
     if failures:
         print(f"floor check FAILED (< {FLOOR_FRACTION}x recorded): "
               f"{failures}")
@@ -645,6 +762,18 @@ def main(argv: list[str] | None = None) -> int:
             f"{row[f'workers_{SHARDED_WORKERS}_updates_per_sec']:>10,}/s  "
             f"identical={row['identical_estimates']}"
         )
+    kern = report["kernels"]
+    if kern["active"]:
+        for name, row in kern["results"].items():
+            print(
+                f"kernel  {name:<{width}}  numpy "
+                f"{row['numpy_updates_per_sec']:>10,}/s  fused "
+                f"{row['kernel_updates_per_sec']:>10,}/s  speedup "
+                f"x{row['kernel_speedup']:.2f}  "
+                f"identical={row['identical_states']}"
+            )
+    else:
+        print(f"kernel  backend inactive ({kern['reason']})")
     print(f"wrote {ARTIFACT} (cores={report['cores']})")
     return 0
 

@@ -42,6 +42,7 @@ import numpy as np
 from repro.batch import (
     supports_batch,
     supports_coalescing,
+    supports_kernels,
     supports_merge,
     supports_plan,
     supports_plan_solo,
@@ -169,6 +170,10 @@ class Capabilities:
     plan_solo: bool
     coalesce: bool
     merge: bool
+    #: Batch/plan paths dispatch to the compiled kernel backend
+    #: (:mod:`repro.kernels`) when it is active; state stays
+    #: bit-identical either way.
+    kernel: bool = False
 
     @classmethod
     def of(cls, sketch: Any) -> "Capabilities":
@@ -178,6 +183,7 @@ class Capabilities:
             plan_solo=supports_plan_solo(sketch),
             coalesce=supports_coalescing(sketch),
             merge=supports_merge(sketch),
+            kernel=supports_kernels(sketch),
         )
 
 

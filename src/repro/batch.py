@@ -277,6 +277,24 @@ def supports_coalescing(sketch) -> bool:
     return bool(getattr(sketch, "coalescable_updates", False))
 
 
+def supports_kernels(sketch) -> bool:
+    """True when ``sketch`` declares that its batch/plan paths dispatch
+    to the compiled kernel backend (:mod:`repro.kernels`) when active.
+
+    The flag describes *dispatch capability*, not backend state: it is
+    True even when the backend is inactive (no compiler, forced off) —
+    the sketch then silently takes its NumPy path.
+
+    >>> from repro.sketches.countmin import CountMin
+    >>> import numpy as np
+    >>> supports_kernels(CountMin(8, 4, 2, np.random.default_rng(0)))
+    True
+    >>> supports_kernels(object())
+    False
+    """
+    return bool(getattr(sketch, "kernel_updates", False))
+
+
 def supports_merge(sketch) -> bool:
     """True when ``sketch`` implements the :class:`Mergeable` protocol.
 

@@ -130,6 +130,12 @@ def add_engine_args(parser: argparse.ArgumentParser) -> None:
                              "the shard sketches (all subcommands except "
                              "support, the documented order-sensitive "
                              "holdout, which notes the fallback)")
+    parser.add_argument("--no-kernels", dest="kernels",
+                        action="store_false",
+                        help="force the pure-NumPy update paths instead of "
+                             "the compiled kernel backend; states and "
+                             "estimates are bit-identical either way — "
+                             "this is a throughput/debugging escape hatch")
 
 
 def add_checkpoint_args(parser: argparse.ArgumentParser) -> None:
@@ -337,6 +343,32 @@ def _report_support(sketch, truth, args, spec_name):
     print(f"sample                 : {sorted(got)[:20]}")
 
 
+def _cmd_kernels(args: argparse.Namespace) -> int:
+    """Report the compiled kernel backend: mode, activity, compiler,
+    cache, per-kernel self-test status, and which registry specs
+    dispatch to it."""
+    from repro import kernels
+    from repro.api.registry import specs
+
+    info = kernels.backend().describe()
+    print(f"{'mode':>14}: {info['mode']}")
+    print(f"{'active':>14}: {info['active']}")
+    if info["reason"]:
+        print(f"{'reason':>14}: {info['reason']}")
+    print(f"{'compiler':>14}: {info['compiler'] or '(none found)'}")
+    print(f"{'cache dir':>14}: {info['cache_dir']}")
+    if info["library"]:
+        print(f"{'library':>14}: {info['library']}")
+    print(f"{'cflags':>14}: {info['cflags']}")
+    for name in sorted(info["kernels"]):
+        print(f"{name:>14}: {'ok' if info['kernels'][name] else 'off'}")
+    dispatching = sorted(
+        s.name for s in specs() if s.capabilities().kernel
+    )
+    print(f"{'specs':>14}: {', '.join(dispatching)}")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the sketch service tier until interrupted.
 
@@ -450,6 +482,13 @@ def build_parser() -> argparse.ArgumentParser:
         p.set_defaults(func=lambda args, cmd=cmd: _run_estimator(cmd, args))
 
     p = sub.add_parser(
+        "kernels",
+        help="report the compiled kernel backend (mode, compiler, "
+             "per-kernel self-test status, dispatching specs)",
+    )
+    p.set_defaults(func=_cmd_kernels)
+
+    p = sub.add_parser(
         "serve",
         help="run the sketch service tier (HTTP + WebSocket ingest/"
              "query/merge over named sessions, /metrics exposition)",
@@ -461,6 +500,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if not getattr(args, "kernels", True):
+        from repro import kernels
+
+        # Scoped override rather than a global set_mode: the CLI entry
+        # point is importable (tests call main() in-process) and must
+        # not leak backend state into its host.
+        with kernels.override("off"):
+            return args.func(args)
     return args.func(args)
 
 

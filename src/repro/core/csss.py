@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import numpy as np
 
+import repro.kernels as _kernels
 from repro.batch import as_update_arrays, consume_stream
 from repro.core.schedules import AdaptiveSamplingSchedule
 from repro.hashing.kwise import FourWiseHash, SignHash
@@ -218,23 +219,35 @@ class CSSS:
         sched = self._schedules[r]
         for start, stop, k_seg in sched.accept_batch(mags):
             seg = slice(start, stop)
-            nz = k_seg > 0
-            if nz.any():
-                b = buckets[seg][nz]
-                s = eff_signs[seg][nz]
-                kv = k_seg[nz]
-                pos_m = s > 0
-                if pos_m.any():
-                    np.add.at(self.pos[r], b[pos_m], kv[pos_m])
-                    touched = int(self.pos[r][b[pos_m]].max())
-                    if touched > self._max_abs_counter:
-                        self._max_abs_counter = touched
-                neg_m = ~pos_m
-                if neg_m.any():
-                    np.add.at(self.neg[r], b[neg_m], kv[neg_m])
-                    touched = int(self.neg[r][b[neg_m]].max())
-                    if touched > self._max_abs_counter:
-                        self._max_abs_counter = touched
+            # Fused segment scatter: one pass drives the kept counts
+            # into the pos/neg rows and tracks the post-add maximum.
+            # Counters only grow within a segment, so its running max
+            # equals the NumPy path's max over touched final values.
+            touched = _kernels.try_csss_scatter(
+                self.pos[r], self.neg[r], buckets[seg], eff_signs[seg],
+                k_seg,
+            )
+            if touched is not None:
+                if touched > self._max_abs_counter:
+                    self._max_abs_counter = int(touched)
+            else:
+                nz = k_seg > 0
+                if nz.any():
+                    b = buckets[seg][nz]
+                    s = eff_signs[seg][nz]
+                    kv = k_seg[nz]
+                    pos_m = s > 0
+                    if pos_m.any():
+                        np.add.at(self.pos[r], b[pos_m], kv[pos_m])
+                        touched = int(self.pos[r][b[pos_m]].max())
+                        if touched > self._max_abs_counter:
+                            self._max_abs_counter = touched
+                    neg_m = ~pos_m
+                    if neg_m.any():
+                        np.add.at(self.neg[r], b[neg_m], kv[neg_m])
+                        touched = int(self.neg[r][b[neg_m]].max())
+                        if touched > self._max_abs_counter:
+                            self._max_abs_counter = touched
             while sched.needs_halving():
                 self._halve_row(r)
 
@@ -265,6 +278,11 @@ class CSSS:
     # exist and desynchronise the sampling streams from the scalar loop.
     # The plan still pays off through cached unique-item hashing.
     coalescable_updates = False
+
+    #: Hashing rides the fused Horner kernel; the accepted-segment
+    #: scatter dispatches to ``csss_scatter`` (:mod:`repro.kernels`).
+    #: Acceptance sampling stays in NumPy (it drives the RNG streams).
+    kernel_updates = True
 
     def update_plan(self, plan) -> None:
         """Planned batch update: bucket/sign hashes are evaluated once
@@ -411,6 +429,10 @@ class CSSSWithTailEstimate:
     factor estimate of ``‖s - ŷ‖_2`` per row — is turned into a value v
     with ``Err_2^k(z) <= v <= O(√k ε ‖z‖_1 + Err_2^k(z))`` w.h.p.
     """
+
+    #: Delegates wholesale to two CSSS instances, which dispatch to the
+    #: compiled kernels when active.
+    kernel_updates = True
 
     def __init__(
         self,

@@ -51,6 +51,10 @@ class AlphaHeavyHitters:
         shared — the shard-indexed-factory knob).
     """
 
+    #: Composes CSSS + norm tracker; the constituents dispatch to the
+    #: compiled kernels (:mod:`repro.kernels`) when active.
+    kernel_updates = True
+
     def __init__(
         self,
         n: int,

@@ -79,6 +79,10 @@ class AlphaL2HeavyHitters:
     #: |Δ| per item, the verify sketch sums Δ per item).
     coalescable_updates = True
 
+    #: Both constituent CountSketches dispatch to the fused table
+    #: kernel (:mod:`repro.kernels`) when active.
+    kernel_updates = True
+
     def update_batch(self, items, deltas) -> None:
         """Composed batch update (both CountSketches are deterministic,
         so chunk-major feeding equals the scalar interleaving)."""

@@ -39,6 +39,7 @@ from typing import Sequence
 
 import numpy as np
 
+import repro.kernels as _kernels
 from repro.hashing.primes import prime_for_universe
 
 
@@ -116,6 +117,12 @@ class KWiseHash:
         """
         arr = np.asarray(xs)
         if self._u64_ok and arr.dtype != object:
+            # The compiled backend fuses the Horner loop into one pass
+            # (repro.kernels); it declines (None) on ineligible layouts
+            # and is bit-identical when it accepts.
+            fused = _kernels.try_kwise(arr, self)
+            if fused is not None:
+                return fused
             p = np.uint64(self.prime)
             x = arr.astype(np.uint64) % p
             acc = np.zeros(x.shape, dtype=np.uint64)

@@ -1,0 +1,94 @@
+"""On-demand compilation of the C kernel source.
+
+No build system, no third-party deps: one ``subprocess`` call to the
+host C compiler (discovered through ``$REPRO_KERNELS_CC``/``$CC``,
+:mod:`sysconfig`, then ``cc``/``gcc``/``clang`` on ``PATH``) produces a
+shared object in a content-addressed cache — the sha256 of the source
+text, compiler path, and flag set keys the ``.so`` filename, so a
+source or toolchain change recompiles and anything else reuses the
+cached build.  Compilation lands in a temp file first and is moved
+into place with ``os.replace``, so concurrent processes race safely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import shutil
+import subprocess
+import sysconfig
+import tempfile
+from pathlib import Path
+
+SOURCE = Path(__file__).with_name("_kernels.c")
+
+#: -fwrapv pins int64 overflow to two's-complement wrapping (NumPy's
+#: behaviour); -ffp-contract=off forbids FMA contraction so the Cauchy
+#: fold keeps NumPy's one-rounding-per-operation semantics.
+CFLAGS = ("-O3", "-fPIC", "-shared", "-std=c99", "-fwrapv",
+          "-ffp-contract=off")
+LDFLAGS = ("-lm",)
+
+
+class BuildError(RuntimeError):
+    """Kernel compilation failed (missing or broken compiler)."""
+
+
+def find_compiler() -> str | None:
+    """The first usable C compiler: env override, the interpreter's
+    build compiler, then common names on ``PATH``."""
+    candidates: list[str] = []
+    for env in ("REPRO_KERNELS_CC", "CC"):
+        value = os.environ.get(env, "").split()
+        if value:
+            candidates.append(value[0])
+    configured = (sysconfig.get_config_var("CC") or "").split()
+    if configured:
+        candidates.append(configured[0])
+    candidates += ["cc", "gcc", "clang"]
+    for cand in candidates:
+        path = shutil.which(cand)
+        if path:
+            return path
+    return None
+
+
+def cache_dir() -> Path:
+    root = os.environ.get("REPRO_KERNELS_CACHE")
+    if root:
+        return Path(root)
+    base = os.environ.get("XDG_CACHE_HOME") or str(Path.home() / ".cache")
+    return Path(base) / "repro-kernels"
+
+
+def cache_key(compiler: str) -> str:
+    digest = hashlib.sha256()
+    digest.update(SOURCE.read_bytes())
+    digest.update(compiler.encode())
+    digest.update(" ".join(CFLAGS + LDFLAGS).encode())
+    return digest.hexdigest()[:16]
+
+
+def build(compiler: str | None = None) -> Path:
+    """Compile (or reuse) the kernel shared object; returns its path."""
+    compiler = compiler or find_compiler()
+    if compiler is None:
+        raise BuildError(
+            "no C compiler found (set $CC or $REPRO_KERNELS_CC)"
+        )
+    target_dir = cache_dir()
+    target = target_dir / f"repro_kernels_{cache_key(compiler)}.so"
+    if target.exists():
+        return target
+    target_dir.mkdir(parents=True, exist_ok=True)
+    with tempfile.TemporaryDirectory(dir=target_dir) as tmp:
+        tmp_so = Path(tmp) / target.name
+        cmd = [compiler, *CFLAGS, str(SOURCE), "-o", str(tmp_so), *LDFLAGS]
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+        if proc.returncode != 0:
+            raise BuildError(
+                f"{' '.join(cmd)} failed "
+                f"(exit {proc.returncode}): {proc.stderr.strip()}"
+            )
+        os.replace(tmp_so, target)
+    return target

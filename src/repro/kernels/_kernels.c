@@ -1,0 +1,176 @@
+/* Fused hash->scatter kernels for the hot sketch update paths.
+ *
+ * Contract: every kernel is bit-identical to the NumPy path it
+ * replaces.  The equivalences this file relies on:
+ *
+ *  - k-wise Horner hashing is exact integer arithmetic: with
+ *    prime < 2^32, (acc * x + c) stays below 2^64, so uint64
+ *    arithmetic mod p matches NumPy's vectorised uint64 path
+ *    literally.  (uint64_t)item wraps negatives two's-complement,
+ *    exactly like ndarray.astype(np.uint64).  The modulus runs
+ *    through exact Barrett reduction (bar_red below) — same value
+ *    as %, a fraction of the cost.
+ *  - int64 scatter-adds: addition is associative and commutative
+ *    mod 2^64 (-fwrapv pins wrapping), so sequential C adds equal
+ *    np.add.at / np.dot for any accumulation order.
+ *  - the Cauchy fold performs the same two double-precision
+ *    operations in the same order as the NumPy multiply+cumsum
+ *    (compiled with -ffp-contract=off so no FMA contraction).
+ *
+ * C99, no dependencies; built by repro/kernels/_build.py.
+ */
+#include <stdint.h>
+#include <stddef.h>
+
+int64_t repro_abi_version(void) { return 1; }
+
+/* Barrett reduction: x mod m via two multiplies instead of a hardware
+ * divide (the big win over NumPy's vectorised %, which must issue a
+ * 64-bit division per element).  With mu = floor(2^64 / m) the
+ * quotient estimate q = floor(x*mu / 2^64) satisfies
+ * floor(x/m) - 2 <= q <= floor(x/m), so at most two correcting
+ * subtractions land on exactly x mod m — bit-identical to %, for any
+ * 64-bit x and any m >= 2. */
+typedef struct { uint64_t m, mu; } bar_t;
+
+static inline bar_t bar_make(uint64_t m) {
+    bar_t b;
+    b.m = m;
+    b.mu = m > 1 ? (uint64_t)((((__uint128_t)1) << 64) / m) : 0;
+    return b;
+}
+
+static inline uint64_t bar_red(uint64_t x, bar_t b) {
+    uint64_t q, r;
+    if (b.m <= 1)
+        return 0;
+    q = (uint64_t)(((__uint128_t)x * b.mu) >> 64);
+    r = x - q * b.m;
+    while (r >= b.m)
+        r -= b.m;
+    return r;
+}
+
+/* Horner over a pre-reduced point x < prime; every intermediate
+ * (acc * x + c) stays below 2^64 because prime < 2^32. */
+static inline uint64_t horner_red(uint64_t x, const uint64_t *coeffs,
+                                  int64_t k, bar_t bp) {
+    uint64_t acc = 0;
+    for (int64_t j = 0; j < k; j++)
+        acc = bar_red(acc * x + coeffs[j], bp);
+    return acc;
+}
+
+/* KWiseHash.hash_array: out[t] = horner(items[t]) % range_size.
+ * (uint64_t)item wraps negatives two's-complement, exactly like
+ * ndarray.astype(np.uint64). */
+void repro_kwise_hash(const int64_t *items, int64_t m,
+                      const uint64_t *coeffs, int64_t k,
+                      uint64_t prime, uint64_t range_size,
+                      int64_t *out) {
+    bar_t bp = bar_make(prime), br = bar_make(range_size);
+    for (int64_t t = 0; t < m; t++) {
+        uint64_t x = bar_red((uint64_t)items[t], bp);
+        out[t] = (int64_t)bar_red(horner_red(x, coeffs, k, bp), br);
+    }
+}
+
+/* One pass over the chunk, item-major: bucket hash + sign hash +
+ * scatter for every row of the table per item, with the item's field
+ * reduction hoisted out of the row loop (and shared between the two
+ * hash families when they live in the same field).  Scatter order
+ * differs from the NumPy per-row order only across *distinct* cells;
+ * within a cell the adds stay in item order, and int64 addition is
+ * associative/commutative mod 2^64 (-fwrapv), so the table is
+ * bit-identical either way.
+ *
+ * bucket_coeffs == NULL means every update lands in column 0 (the AMS
+ * layout: table is the z vector viewed as (depth, 1)).  sign_coeffs ==
+ * NULL means no sign flip (CountMin).  The sign convention matches
+ * SignHash: range-2 hash value 0 -> -1, value 1 -> +1.
+ *
+ * Serves both the raw-chunk path (items/deltas straight from the
+ * stream) and the plan-coalesced path (unique items + summed deltas,
+ * zero sums included: adding zero is the identity, so the table stays
+ * bit-identical to the nz-masked NumPy scatter).
+ */
+void repro_fused_table_update(
+    int64_t *table, int64_t depth, int64_t width,
+    const uint64_t *bucket_coeffs, int64_t kb, uint64_t bucket_prime,
+    const uint64_t *sign_coeffs, int64_t ks, uint64_t sign_prime,
+    const int64_t *items, const int64_t *deltas, int64_t m) {
+    bar_t bb = bar_make(bucket_prime);
+    bar_t bs = bar_make(sign_prime);
+    bar_t bw = bar_make((uint64_t)width);
+    int shared_field = (bucket_coeffs && sign_coeffs
+                        && bucket_prime == sign_prime);
+    for (int64_t t = 0; t < m; t++) {
+        uint64_t xi = (uint64_t)items[t];
+        uint64_t xb = bucket_coeffs ? bar_red(xi, bb) : 0u;
+        uint64_t xs = 0u;
+        int64_t d0 = deltas[t];
+        if (sign_coeffs)
+            xs = shared_field ? xb : bar_red(xi, bs);
+        for (int64_t r = 0; r < depth; r++) {
+            uint64_t b = bucket_coeffs
+                ? bar_red(horner_red(xb, bucket_coeffs + r * kb, kb, bb), bw)
+                : 0u;
+            int64_t d = d0;
+            if (sign_coeffs
+                && (horner_red(xs, sign_coeffs + r * ks, ks, bs) & 1u) == 0u)
+                d = -d;
+            table[r * width + b] += d;
+        }
+    }
+}
+
+/* Sequential left-fold of the Cauchy accumulators:
+ *   acc[r] += sum_t entries[r][idx(t)] * (double)deltas[t]
+ * evaluated strictly left to right, one rounded multiply and one
+ * rounded add per term -- the exact operation order of the NumPy
+ * np.multiply(out=buf[1:]) + np.cumsum fold.  `entries` holds the
+ * PRECOMPUTED NumPy row entries (np.tan stays in NumPy: libm tan
+ * differs from np.tan by 1 ulp on part of the angle grid).  `inverse`
+ * is the plan's unique->chunk gather (NULL for the identity).
+ */
+void repro_cauchy_fold(double *acc, int64_t n_rows,
+                       const double *const *entries,
+                       const int64_t *inverse,
+                       const int64_t *deltas, int64_t m) {
+    for (int64_t r = 0; r < n_rows; r++) {
+        const double *e = entries[r];
+        double a = acc[r];
+        if (inverse) {
+            for (int64_t t = 0; t < m; t++)
+                a += e[inverse[t]] * (double)deltas[t];
+        } else {
+            for (int64_t t = 0; t < m; t++)
+                a += e[t] * (double)deltas[t];
+        }
+        acc[r] = a;
+    }
+}
+
+/* CSSS accepted-segment scatter: drive the kept counts into the
+ * pos/neg rows and return the running post-add maximum over every
+ * touched cell (-1 when nothing was kept).  Counters only grow inside
+ * a segment, so the running maximum equals NumPy's maximum over the
+ * final values of the touched cells, and one combined pos/neg max
+ * equals the two separate NumPy maxima.
+ */
+int64_t repro_csss_scatter(int64_t *pos, int64_t *neg,
+                           const int64_t *buckets,
+                           const int64_t *eff_signs,
+                           const int64_t *kept, int64_t m) {
+    int64_t mx = -1;
+    for (int64_t t = 0; t < m; t++) {
+        if (kept[t] <= 0)
+            continue;
+        int64_t *row = eff_signs[t] > 0 ? pos : neg;
+        int64_t v = row[buckets[t]] + kept[t];
+        row[buckets[t]] = v;
+        if (v > mx)
+            mx = v;
+    }
+    return mx;
+}

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+import repro.kernels as _kernels
 from repro.batch import as_update_arrays, consume_stream, exact_sum
 from repro.hashing.kwise import SignHash
 from repro.space.accounting import counter_bits
@@ -23,6 +24,11 @@ class AMSSketch:
     #: Each Z_j is a ℤ-linear functional of the stream, so in-chunk
     #: duplicates coalesce bit-identically.
     coalescable_updates = True
+
+    #: Batch/plan paths dispatch to the fused sign+accumulate kernel
+    #: (:mod:`repro.kernels`, z viewed as an (r, 1) table) when the
+    #: compiled backend is active.
+    kernel_updates = True
 
     def __init__(
         self,
@@ -52,6 +58,12 @@ class AMSSketch:
         evaluation and one integer dot product — exactly the scalar sum."""
         items_arr, deltas_arr = as_update_arrays(items, deltas, self.n)
         self._gross_weight += int(np.abs(deltas_arr).sum())
+        # The reshape must alias z (guaranteed for a contiguous vector)
+        # or the kernel would scatter into a copy.
+        if self.z.flags.c_contiguous and _kernels.try_table_update(
+                self.z.reshape(self.r, 1), None, self._signs,
+                items_arr, deltas_arr):
+            return
         for j in range(self.r):
             signs = self._signs[j].hash_array(items_arr)
             self.z[j] += int(np.dot(signs, deltas_arr))
@@ -68,6 +80,13 @@ class AMSSketch:
             return
         self._gross_weight += plan.gross_weight
         sums = plan.summed_deltas
+        # coalesce_safe bounds |sum signs*sums| under 2^62, so both the
+        # exact_sum int64 path and the kernel's sequential adds are the
+        # same exact integer.
+        if self.z.flags.c_contiguous and _kernels.try_table_update(
+                self.z.reshape(self.r, 1), None, self._signs,
+                plan.unique_items, sums):
+            return
         for j in range(self.r):
             signs = plan.unique_values(self._signs[j])
             self.z[j] += exact_sum(signs * sums)

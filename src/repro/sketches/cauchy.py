@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import numpy as np
 
+import repro.kernels as _kernels
 from repro.batch import as_update_arrays, consume_stream
 from repro.hashing.kwise import KWiseHash
 from repro.space.accounting import counter_bits
@@ -116,7 +117,8 @@ class CauchyL1Sketch:
         self._gross_weight += abs(delta)
 
     def _accumulate_batch(
-        self, acc: np.ndarray, rows, deltas: np.ndarray, entries_of
+        self, acc: np.ndarray, rows, deltas: np.ndarray, entries_of,
+        unique_of=None, inverse=None,
     ) -> None:
         # Floating-point addition is not associative, so a vectorised
         # sum() would depend on the chunking.  A running (left-fold)
@@ -126,6 +128,22 @@ class CauchyL1Sketch:
         # array (direct evaluation, or the plan's cached gather) — one
         # fold implementation for both paths, so the bit-identity-
         # critical sequence cannot drift between them.
+        #
+        # The compiled backend runs the same fold (one rounded multiply
+        # + one rounded add per term, left to right, no FMA) over the
+        # same precomputed entry arrays — tan stays in NumPy, whose
+        # np.tan differs from libm by an ulp on part of the angle grid.
+        # The plan path hands the kernel the *unique* entries plus the
+        # inverse gather, skipping the per-update gather copy entirely.
+        if _kernels.has("cauchy_fold"):
+            if unique_of is not None and inverse is not None:
+                entries = [unique_of(row) for row in rows]
+                if _kernels.try_cauchy_fold(acc, entries, deltas, inverse):
+                    return
+            else:
+                entries = [entries_of(row) for row in rows]
+                if _kernels.try_cauchy_fold(acc, entries, deltas):
+                    return
         buf = np.empty(len(deltas) + 1, dtype=np.float64)
         for j, row in enumerate(rows):
             buf[0] = acc[j]
@@ -148,6 +166,10 @@ class CauchyL1Sketch:
     # separate.  The plan still pays off through entry-evaluation reuse.
     coalescable_updates = False
 
+    #: Both update paths dispatch the left-fold to the compiled
+    #: ``cauchy_fold`` kernel (:mod:`repro.kernels`) when active.
+    kernel_updates = True
+
     def update_plan(self, plan) -> None:
         """Planned batch update: the per-row hash/tan entry pipeline —
         the dominant cost — runs once over the chunk's *unique* items
@@ -157,9 +179,14 @@ class CauchyL1Sketch:
         builds, so the state is bit-identical."""
         plan.check_universe(self.n)
         entries_of = lambda row: plan.values(row, row.entries)  # noqa: E731
-        self._accumulate_batch(self.y, self._rows, plan.deltas, entries_of)
+        unique_of = lambda row: plan.unique_values(row, row.entries)  # noqa: E731
         self._accumulate_batch(
-            self.y_prime, self._cal_rows, plan.deltas, entries_of
+            self.y, self._rows, plan.deltas, entries_of,
+            unique_of=unique_of, inverse=plan.inverse,
+        )
+        self._accumulate_batch(
+            self.y_prime, self._cal_rows, plan.deltas, entries_of,
+            unique_of=unique_of, inverse=plan.inverse,
         )
         self._gross_weight += int(plan.abs_deltas.sum())
 

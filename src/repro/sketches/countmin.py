@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+import repro.kernels as _kernels
 from repro.batch import as_update_arrays, consume_stream
 from repro.hashing.kwise import PairwiseHash
 from repro.space.accounting import counter_bits
@@ -22,6 +23,10 @@ class CountMin:
 
     #: ℤ-linear table: in-chunk duplicates coalesce bit-identically.
     coalescable_updates = True
+
+    #: Batch/plan paths dispatch to the fused hash+scatter kernel
+    #: (:mod:`repro.kernels`) when the compiled backend is active.
+    kernel_updates = True
 
     def __init__(
         self, n: int, width: int, depth: int, rng: np.random.Generator
@@ -46,6 +51,9 @@ class CountMin:
         update loop exactly (integer scatter-adds commute)."""
         items_arr, deltas_arr = as_update_arrays(items, deltas, self.n)
         self._gross_weight += int(np.abs(deltas_arr).sum())
+        if _kernels.try_table_update(self.table, self._hashes, None,
+                                     items_arr, deltas_arr):
+            return
         for r in range(self.depth):
             buckets = self._hashes[r].hash_array(items_arr)
             np.add.at(self.table[r], buckets, deltas_arr)
@@ -61,12 +69,18 @@ class CountMin:
         self._gross_weight += plan.gross_weight
         sums = plan.summed_deltas
         nz = plan.nonzero_sums
+        # Fused kernel over the coalesced view (zero sums are identity
+        # adds, so the nz mask is unnecessary there).
+        if _kernels.try_table_update(self.table, self._hashes, None,
+                                     plan.unique_items, sums):
+            return
+        # The filtered sum view is row-invariant — hoist it out of the
+        # row loop instead of re-slicing per row.
+        sums_nz = sums if nz is None else sums[nz]
         for r in range(self.depth):
             buckets = plan.unique_values(self._hashes[r])
-            if nz is None:
-                np.add.at(self.table[r], buckets, sums)
-            else:
-                np.add.at(self.table[r], buckets[nz], sums[nz])
+            target = buckets if nz is None else buckets[nz]
+            np.add.at(self.table[r], target, sums_nz)
 
     def consume(self, stream) -> "CountMin":
         return consume_stream(self, stream)

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+import repro.kernels as _kernels
 from repro.batch import as_update_arrays, consume_stream
 from repro.hashing.kwise import FourWiseHash, SignHash
 from repro.space.accounting import counter_bits
@@ -39,6 +40,10 @@ class CountSketch:
     #: The table is ℤ-linear in the updates: duplicate items within a
     #: chunk coalesce to one (item, summed-delta) pair bit-identically.
     coalescable_updates = True
+
+    #: Batch/plan paths dispatch to the fused hash+sign+scatter kernel
+    #: (:mod:`repro.kernels`) when the compiled backend is active.
+    kernel_updates = True
 
     def __init__(
         self, n: int, width: int, depth: int, rng: np.random.Generator
@@ -67,6 +72,10 @@ class CountSketch:
         the scalar update loop exactly."""
         items_arr, deltas_arr = as_update_arrays(items, deltas, self.n)
         self._gross_weight += int(np.abs(deltas_arr).sum())
+        if _kernels.try_table_update(self.table, self._bucket_hashes,
+                                     self._sign_hashes, items_arr,
+                                     deltas_arr):
+            return
         for r in range(self.depth):
             buckets = self._bucket_hashes[r].hash_array(items_arr)
             signed = self._sign_hashes[r].hash_array(items_arr) * deltas_arr
@@ -94,14 +103,24 @@ class CountSketch:
         else:
             sums = plan.summed_magnitudes  # > 0: nothing cancels
             nz = None
+        # Fused kernel over the coalesced view: zero sums pass straight
+        # through (adding zero is the identity), so the table matches
+        # the nz-masked scatter below bit for bit.
+        if _kernels.try_table_update(self.table, self._bucket_hashes,
+                                     self._sign_hashes, plan.unique_items,
+                                     sums):
+            return
+        # The filtered sum view is row-invariant — compute it once, not
+        # per row (the per-row fancy-index copies only exist for the
+        # buckets/signs, which genuinely differ by row).
+        sums_nz = sums if nz is None else sums[nz]
         for r in range(self.depth):
             buckets = plan.unique_values(self._bucket_hashes[r])
             signs = plan.unique_values(self._sign_hashes[r])
-            signed_sums = signs * sums
             if nz is None:
-                np.add.at(self.table[r], buckets, signed_sums)
+                np.add.at(self.table[r], buckets, signs * sums_nz)
             else:
-                np.add.at(self.table[r], buckets[nz], signed_sums[nz])
+                np.add.at(self.table[r], buckets[nz], signs[nz] * sums_nz)
 
     def consume(self, stream) -> "CountSketch":
         """Feed every update of a stream; returns self for chaining."""

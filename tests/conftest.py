@@ -8,15 +8,40 @@ to catch real regressions).
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
+from repro import kernels
 from repro.streams.generators import (
     bounded_deletion_stream,
     sensor_occupancy_stream,
     strong_alpha_stream,
     traffic_difference_stream,
 )
+
+
+@pytest.fixture(params=["numpy", "kernel"])
+def backend(request) -> str:
+    """Run the test once per update backend.
+
+    ``numpy`` forces the pure-NumPy paths; ``kernel`` requires the
+    compiled backend (skipping, not silently passing, where it cannot
+    build — CI's main job separately asserts it *is* active there).
+    The equivalence harnesses opt in per test; everything else runs
+    under whatever ``REPRO_KERNELS`` selects, which keeps the suite's
+    cost flat."""
+    if request.param == "kernel":
+        forced = os.environ.get("REPRO_KERNELS", "").strip().lower()
+        if forced == "off":
+            # CI's tests-no-kernels job: stay genuinely NumPy-only.
+            pytest.skip("REPRO_KERNELS=off forces the NumPy backend")
+    mode = "off" if request.param == "numpy" else "auto"
+    with kernels.override(mode) as b:
+        if request.param == "kernel" and not b.active:
+            pytest.skip(f"kernel backend inactive: {b.reason}")
+        yield request.param
 
 
 @pytest.fixture

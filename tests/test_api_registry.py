@@ -24,6 +24,7 @@ from repro.api.registry import (
 from repro.batch import (
     supports_batch,
     supports_coalescing,
+    supports_kernels,
     supports_merge,
     supports_plan,
     supports_plan_solo,
@@ -79,6 +80,7 @@ class TestRegistryPins:
             plan_solo=supports_plan_solo(sketch),
             coalesce=supports_coalescing(sketch),
             merge=supports_merge(sketch),
+            kernel=supports_kernels(sketch),
         )
 
     #: Hard pins for the load-bearing structures: a silent capability
@@ -110,6 +112,28 @@ class TestRegistryPins:
         assert (caps.batch, caps.plan, caps.coalesce, caps.merge) == (
             batch, plan, coalesce, merge
         ), name
+
+    #: Kernel-dispatch pins: exactly these specs route their batch/plan
+    #: updates through :mod:`repro.kernels` when the backend is active.
+    EXPECTED_KERNEL = {
+        "countsketch": True,
+        "countmin": True,
+        "ams": True,
+        "cauchy": True,
+        "csss": True,
+        "csss_tail": True,
+        "heavy_hitters": True,
+        "heavy_hitters_general": True,
+        "l2_heavy_hitters": True,
+        "frequency_vector": False,
+        "misra_gries": False,
+        "support_sampler": False,
+    }
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED_KERNEL))
+    def test_pinned_kernel_flags(self, name):
+        caps = get_spec(name).capabilities()
+        assert caps.kernel == self.EXPECTED_KERNEL[name], name
 
     def test_shared_only_planners_are_not_solo(self):
         """FrequencyVector (lever f verdict) and Misra-Gries (lever e)

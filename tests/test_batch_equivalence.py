@@ -221,10 +221,12 @@ def _feed_batch(sketch, stream, chunk_size):
 
 
 @pytest.mark.parametrize("name", sorted(CASES))
-def test_update_batch_equals_scalar_loop(name):
+def test_update_batch_equals_scalar_loop(name, backend):
     """Scalar-fed reference vs batch-fed copies at every chunk size:
     bit-identical state and estimates (mixed-sign alpha-property
-    streams; insertion-only for the alpha = 1 endpoint)."""
+    streams; insertion-only for the alpha = 1 endpoint).  Runs under
+    both update backends: the compiled kernels must land the same
+    bits as the NumPy paths."""
     factory, kind = CASES[name]
     stream = STREAMS[kind]
     reference = _feed_scalar(factory(np.random.default_rng(SEED)), stream)
@@ -423,9 +425,10 @@ def _golden_values() -> dict:
     return out
 
 
-def test_seeded_determinism_regression():
+def test_seeded_determinism_regression(backend):
     """Same generator seed => bit-identical estimates, scalar or batch,
-    for any chunk size — pinned against golden values."""
+    for any chunk size or update backend — pinned against golden
+    values recorded before the compiled kernels existed."""
     got = _golden_values()
     for key, expected in GOLDEN.items():
         assert expected is not None, (

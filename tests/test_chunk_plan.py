@@ -37,6 +37,7 @@ from repro.core.sampling import SampledFrequencies
 from repro.hashing.kwise import KWiseHash
 from repro.sketches.ams import AMSSketch
 from repro.sketches.cauchy import CauchyL1Sketch
+from repro import kernels
 from repro.sketches.countmin import CountMin
 from repro.sketches.countsketch import CountSketch
 from repro.streams.engine import replay, replay_many
@@ -94,9 +95,11 @@ PLAN_CASES = {
 
 
 @pytest.mark.parametrize("name", sorted(PLAN_CASES))
-def test_planned_replay_equals_batch_replay(name):
+def test_planned_replay_equals_batch_replay(name, backend):
     """Coalesced (planned) replay vs uncoalesced batch replay at every
-    chunk size: bit-identical state, including consumed randomness."""
+    chunk size: bit-identical state, including consumed randomness.
+    Runs under both update backends — the kernels' plan paths (fused
+    coalesced scatter, unique-entry folds) must land the same bits."""
     factory, _ = PLAN_CASES[name]
     for chunk_size in CHUNK_SIZES:
         reference = replay(
@@ -315,7 +318,11 @@ def test_replay_many_hashes_each_chunk_once(monkeypatch):
                           strict_turnstile=True, depth=depth_hh),
     ]
     calls = _count_hash_calls(monkeypatch)
-    replay_many(stream, sketches, chunk_size=chunk)
+    # The compiled kernels bypass hash_array entirely (they evaluate
+    # Horner from packed coefficients in C), so the evaluation-count
+    # contract is only observable on the NumPy paths.
+    with kernels.override("off"):
+        replay_many(stream, sketches, chunk_size=chunk)
     n_chunks = -(-len(stream) // chunk)
     # Distinct hash functions: CountSketch 4 bucket + 4 sign (the twin
     # shares them by value), CountMin 4, heavy-hitters CSSS 4 + 4.
@@ -331,7 +338,8 @@ def test_replay_many_hashes_each_chunk_once(monkeypatch):
                           strict_turnstile=True, depth=depth_hh),
     ]
     calls.clear()
-    replay_many(stream, sketches2, chunk_size=chunk, coalesce=False)
+    with kernels.override("off"):
+        replay_many(stream, sketches2, chunk_size=chunk, coalesce=False)
     assert len(calls) == n_chunks * (distinct + 8)  # the twin re-hashes
 
 
@@ -344,7 +352,8 @@ def test_theorem2_sketch_pair_hashes_each_chunk_once(monkeypatch):
     sf, sg = ctx.make_sketch(), ctx.make_sketch()
     stream = bounded_deletion_stream(N, 700, alpha=4, seed=313, strict=False)
     calls = _count_hash_calls(monkeypatch)
-    replay_many(stream, [sf, sg], chunk_size=128)
+    with kernels.override("off"):
+        replay_many(stream, [sf, sg], chunk_size=128)
     n_chunks = -(-len(stream) // 128)
     # One bucket hash + one sign hash per chunk, shared by both sides.
     assert len(calls) == n_chunks * 2

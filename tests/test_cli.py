@@ -114,6 +114,44 @@ class TestCommands:
 
         assert answers(planned) == answers(planless)
 
+    def test_no_kernels_is_estimate_invariant(self, capsys):
+        """--no-kernels forces the pure-NumPy update paths; every
+        reported line except the updates/sec figure must match the
+        kernel-backed replay exactly (the bit-identity contract,
+        observed end to end through the CLI)."""
+        args = ["heavy-hitters", "--n", "512", "--m", "4000",
+                "--alpha", "4", "--eps", "0.125"]
+        assert main(args) == 0
+        fused = capsys.readouterr().out
+        assert main(args + ["--no-kernels"]) == 0
+        numpy_only = capsys.readouterr().out
+
+        def answers(out):
+            return [l for l in out.splitlines() if "throughput" not in l]
+
+        assert answers(fused) == answers(numpy_only)
+
+    def test_no_kernels_restores_backend(self):
+        """The CLI's backend override must not leak into the host
+        process (tests import and call main() in-process)."""
+        from repro import kernels
+
+        before = kernels.backend()
+        assert main(["describe", "--n", "256", "--m", "500",
+                     "--no-kernels"]) == 0
+        assert kernels.backend() is before
+
+    def test_kernels_subcommand_reports_backend(self, capsys):
+        """`repro kernels` prints the backend record and the registry
+        specs that dispatch to it."""
+        assert main(["kernels"]) == 0
+        out = capsys.readouterr().out
+        assert "mode" in out and "active" in out
+        for name in ("kwise_hash", "fused_table_update",
+                     "cauchy_fold", "csss_scatter"):
+            assert name in out
+        assert "countsketch" in out and "csss" in out
+
     def test_l1_general_sharded(self, capsys):
         """The general (Theorem 8) estimator shards with per-shard
         thinning seeds (ROADMAP lever c) and still answers."""

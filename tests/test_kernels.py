@@ -1,0 +1,270 @@
+"""The compiled kernel backend: build cache, selection modes,
+self-test gating, dispatch-helper contracts, and bit-identity of every
+kernel against the NumPy paths it replaces.
+
+The broad equivalence harnesses (test_batch_equivalence,
+test_chunk_plan) already run their full sweeps under both backends via
+the ``backend`` fixture; this module covers the backend machinery
+itself plus targeted parity checks that exercise the dispatch helpers
+directly.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import kernels
+from repro.api.serialize import payload_equal, restore, snapshot
+from repro.core.csss import CSSS
+from repro.hashing.kwise import KWiseHash, SignHash
+from repro.kernels import _build
+from repro.sketches.cauchy import CauchyL1Sketch
+from repro.sketches.countsketch import CountSketch
+from repro.streams.generators import bounded_deletion_stream
+from repro.streams.model import Stream, Update
+
+from test_batch_equivalence import assert_same_state
+
+N = 256
+SEED = 0x5EED
+
+
+@lru_cache(maxsize=1)
+def _kernel_available() -> bool:
+    if os.environ.get("REPRO_KERNELS", "").strip().lower() == "off":
+        return False  # CI's tests-no-kernels job: stay NumPy-only
+    return kernels.KernelBackend("auto").active
+
+
+def _require_kernels() -> None:
+    if not _kernel_available():
+        pytest.skip("no working C toolchain in this environment")
+
+
+def _replay_chunks(sketch, stream, chunk_size):
+    items, deltas = stream.as_arrays()
+    for start in range(0, len(items), chunk_size):
+        sketch.update_batch(items[start:start + chunk_size],
+                            deltas[start:start + chunk_size])
+    return sketch
+
+
+# -- build + cache ------------------------------------------------------------
+
+def test_compile_cache_reuses_library(tmp_path, monkeypatch):
+    """Second build with an unchanged source tree returns the cached
+    .so without recompiling (the cache key pins source + compiler +
+    flags)."""
+    compiler = _build.find_compiler()
+    if compiler is None:
+        pytest.skip("no C compiler")
+    monkeypatch.setenv("REPRO_KERNELS_CACHE", str(tmp_path))
+    first = _build.build(compiler)
+    assert first.parent == tmp_path
+    assert _build.cache_key(compiler) in first.name
+    stamp = first.stat().st_mtime_ns
+    second = _build.build(compiler)
+    assert second == first
+    assert second.stat().st_mtime_ns == stamp  # no rebuild
+
+
+def test_backend_loads_from_fresh_cache_dir(tmp_path, monkeypatch):
+    """A cold cache directory is populated and the backend passes all
+    self-tests from it."""
+    _require_kernels()
+    monkeypatch.setenv("REPRO_KERNELS_CACHE", str(tmp_path))
+    b = kernels.KernelBackend("auto")
+    assert b.active
+    assert b.lib_path is not None and b.lib_path.parent == tmp_path
+    assert all(b.kernels.values())
+
+
+# -- selection modes ----------------------------------------------------------
+
+def test_mode_off_never_loads():
+    b = kernels.KernelBackend("off")
+    assert not b.active
+    assert b.lib is None
+    assert "off" in b.reason
+    assert not b.has("kwise_hash")
+
+
+def test_mode_on_raises_without_compiler(monkeypatch):
+    monkeypatch.setattr(kernels, "find_compiler", lambda: None)
+    with pytest.raises(RuntimeError, match="REPRO_KERNELS=on"):
+        kernels.KernelBackend("on")
+
+
+def test_invalid_mode_rejected():
+    with pytest.raises(ValueError, match="REPRO_KERNELS"):
+        kernels.KernelBackend("sometimes")
+
+
+def test_env_selects_mode(monkeypatch):
+    monkeypatch.setenv("REPRO_KERNELS", "off")
+    assert kernels.KernelBackend().mode == "off"
+
+
+def test_override_swaps_and_restores_singleton():
+    before = kernels.backend()
+    with kernels.override("off") as inner:
+        assert kernels.backend() is inner
+        assert not inner.active
+    assert kernels.backend() is before
+
+
+def test_describe_is_complete():
+    info = kernels.backend().describe()
+    assert set(info) >= {"mode", "active", "reason", "compiler",
+                         "cache_dir", "library", "cflags", "kernels"}
+    assert set(info["kernels"]) == set(kernels.KERNEL_NAMES)
+
+
+# -- dispatch-helper contracts ------------------------------------------------
+
+def test_dispatch_helpers_decline_when_off():
+    """Every try_* helper must decline (not raise, not mutate) when
+    the backend is inactive — the callers' NumPy fallback depends on
+    that."""
+    with kernels.override("off"):
+        h = KWiseHash(N, 64, k=3, rng=np.random.default_rng(0))
+        assert kernels.try_kwise(np.arange(8, dtype=np.int64), h) is None
+        cs = CountSketch(N, 8, 2, np.random.default_rng(0))
+        before = cs.table.copy()
+        ok = kernels.try_table_update(
+            cs.table, cs._bucket_hashes, cs._sign_hashes,
+            np.arange(4, dtype=np.int64), np.ones(4, dtype=np.int64))
+        assert ok is False
+        assert np.array_equal(cs.table, before)
+        acc = np.zeros(2)
+        assert kernels.try_cauchy_fold(
+            acc, [np.zeros(4), np.zeros(4)],
+            np.ones(4, dtype=np.int64)) is False
+        assert kernels.try_csss_scatter(
+            np.zeros(4, dtype=np.int64), np.zeros(4, dtype=np.int64),
+            np.zeros(4, dtype=np.int64), np.ones(4, dtype=np.int64),
+            np.ones(4, dtype=np.int64)) is None
+
+
+def test_table_kernel_rejects_unsuitable_arrays():
+    """Wrong dtype / layout never reaches C — the helper declines and
+    leaves the target untouched."""
+    _require_kernels()
+    with kernels.override("auto"):
+        cs = CountSketch(N, 8, 2, np.random.default_rng(0))
+        items = np.arange(4, dtype=np.int64)
+        deltas = np.ones(4, dtype=np.int64)
+        bad_dtype = cs.table.astype(np.float64)
+        assert kernels.try_table_update(
+            bad_dtype, cs._bucket_hashes, cs._sign_hashes,
+            items, deltas) is False
+        bad_layout = np.asfortranarray(np.zeros((3, 8), dtype=np.int64))
+        assert kernels.try_table_update(
+            bad_layout, cs._bucket_hashes, cs._sign_hashes[:3],
+            items, deltas) is False
+
+
+# -- targeted parity ----------------------------------------------------------
+
+def test_kwise_hash_parity():
+    """hash_array dispatches to the C Horner kernel and returns the
+    same uint-reduced values, for plain and sign hashes."""
+    _require_kernels()
+    rng = np.random.default_rng(SEED)
+    items = rng.integers(0, 1 << 16, size=997, dtype=np.int64)
+    h = KWiseHash(1 << 16, 4096, k=5, rng=np.random.default_rng(1))
+    s = SignHash(1 << 16, np.random.default_rng(2), k=4)
+    with kernels.override("off"):
+        want_h, want_s = h.hash_array(items), s.hash_array(items)
+    with kernels.override("auto"):
+        got_h, got_s = h.hash_array(items), s.hash_array(items)
+    assert np.array_equal(got_h, want_h)
+    assert np.array_equal(got_s, want_s)
+
+
+@pytest.mark.parametrize("chunk", [1, 13, 512])
+def test_replay_parity_across_backends(chunk):
+    """Full replays under each backend leave bit-identical deep state
+    (hash seeds, tables, accumulators, consumed randomness)."""
+    _require_kernels()
+    stream = bounded_deletion_stream(N, 2000, alpha=4, seed=41,
+                                     strict=False)
+    for factory in (
+        lambda rng: CountSketch(N, 32, 3, rng),
+        lambda rng: CauchyL1Sketch(N, eps=0.4, rng=rng),
+        lambda rng: CSSS(N, k=6, eps=0.15, alpha=4, rng=rng, depth=3),
+    ):
+        with kernels.override("off"):
+            want = _replay_chunks(
+                factory(np.random.default_rng(SEED)), stream, chunk)
+        with kernels.override("auto"):
+            got = _replay_chunks(
+                factory(np.random.default_rng(SEED)), stream, chunk)
+        assert_same_state(want, got)
+
+
+def test_snapshot_restore_across_backend_flips():
+    """A snapshot taken under one backend restores and continues under
+    the other, landing on the same bits as an uninterrupted replay —
+    backend choice must be invisible to persistence."""
+    _require_kernels()
+    stream = bounded_deletion_stream(N, 1600, alpha=4, seed=42,
+                                     strict=False)
+    items, deltas = stream.as_arrays()
+    half = len(items) // 2
+    first = Stream(N, (Update(int(i), int(d))
+                       for i, d in zip(items[:half], deltas[:half])))
+    second = Stream(N, (Update(int(i), int(d))
+                        for i, d in zip(items[half:], deltas[half:])))
+
+    with kernels.override("auto"):
+        sk = _replay_chunks(
+            CountSketch(N, 32, 3, np.random.default_rng(SEED)), first, 256)
+        payload = snapshot(sk)
+    with kernels.override("off"):
+        resumed = restore(payload)
+        _replay_chunks(resumed, second, 256)
+        reference = _replay_chunks(
+            CountSketch(N, 32, 3, np.random.default_rng(SEED)), stream, 256)
+    assert_same_state(reference, resumed)
+    assert payload_equal(snapshot(reference), snapshot(resumed))
+
+
+_update_lists = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=N - 1),
+        st.integers(min_value=-40, max_value=40).filter(lambda d: d != 0),
+    ),
+    min_size=1,
+    max_size=200,
+)
+
+
+@settings(max_examples=15, deadline=None)
+@given(pairs=_update_lists, data=st.data())
+def test_property_kernel_parity_random_chunkings(pairs, data):
+    """Arbitrary mixed-sign streams and arbitrary chunk boundaries:
+    kernel and NumPy backends are bit-identical on the structures with
+    fused update paths."""
+    if not _kernel_available():
+        pytest.skip("no working C toolchain in this environment")
+    stream = Stream(N, (Update(i, d) for i, d in pairs))
+    chunk = data.draw(
+        st.integers(min_value=1, max_value=len(pairs)), label="chunk")
+    for factory in (
+        lambda rng: CountSketch(N, 16, 3, rng),
+        lambda rng: CSSS(N, k=4, eps=0.2, alpha=4, rng=rng, depth=3),
+    ):
+        with kernels.override("off"):
+            want = _replay_chunks(
+                factory(np.random.default_rng(7)), stream, chunk)
+        with kernels.override("auto"):
+            got = _replay_chunks(
+                factory(np.random.default_rng(7)), stream, chunk)
+        assert_same_state(want, got)
