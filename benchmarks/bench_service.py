@@ -29,6 +29,7 @@ the served state is bit-identical — the CI gate.
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import json
 import time
 from pathlib import Path
@@ -40,11 +41,13 @@ from repro.api.session import StreamSession
 from repro.service import (
     AsyncSessionClient,
     MetricsRegistry,
+    RetryPolicy,
     ServerThread,
     ServiceClient,
     ServiceMetrics,
     SketchService,
 )
+from repro.service.testing import ChaosProxy, FaultSchedule
 from repro.streams.io import payload_from_bytes
 
 ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_throughput.json"
@@ -56,6 +59,11 @@ M = 400_000
 PUSH = 4096
 SEED = 0xBDE5
 SMOKE_M = 8_000
+
+FAULT_RATES = (0.0, 0.01, 0.05)
+FAULT_M = 100_000
+FAULT_PUSH = 512  # ~200 frames/run, so the 1% drop rate actually fires
+SMOKE_FAULT_M = 4_000
 
 
 def make_stream(m: int) -> tuple[np.ndarray, np.ndarray]:
@@ -145,6 +153,81 @@ def measure_service(m: int, clients: int, push: int) -> dict:
     }
 
 
+def measure_faults(m: int, push: int,
+                   rates: tuple[float, ...] = FAULT_RATES) -> dict:
+    """Exactly-once WS ingest throughput under injected frame loss.
+
+    One stamped :class:`AsyncSessionClient` pushes the stream through
+    a :class:`ChaosProxy` dropping ``rate`` of all data frames (both
+    directions — lost ingests force reconnect-and-resend, lost acks
+    exercise the cumulative-ack healing path).  Every run is
+    hard-gated on bit-identity against an offline ``push_once`` mirror
+    carrying the same stamps: faults may cost throughput, never
+    correctness.
+    """
+    items, deltas = make_stream(m)
+    batches = [(items[pos:pos + push], deltas[pos:pos + push])
+               for pos in range(0, m, push)]
+    runs = []
+    for rate in rates:
+        service = SketchService(ServiceMetrics(MetricsRegistry()))
+        with ServerThread(service) as handle:
+            http = ServiceClient(handle.host, handle.port)
+            http.create_session("faulty", n=N_UNIVERSE, seed=SEED & 0xFFFF,
+                                node=0, track=list(BATTERY))
+
+            async def drive(drop_rate: float) -> tuple[float, int, int]:
+                schedule = FaultSchedule(seed=SEED + int(drop_rate * 1000),
+                                         drop=drop_rate)
+                async with ChaosProxy(handle.host, handle.port,
+                                      schedule) as proxy:
+                    ws = AsyncSessionClient(
+                        proxy.host, proxy.port, "faulty",
+                        client_id="bench",
+                        retry=RetryPolicy(attempts=30, base_delay=0.01,
+                                          max_delay=0.25, seed=SEED),
+                        timeout=1.0,
+                    )
+                    start = time.perf_counter()
+                    try:
+                        await ws.ingest_many(batches)
+                        elapsed = time.perf_counter() - start
+                    finally:
+                        with contextlib.suppress(Exception):
+                            await ws.close()
+                    return elapsed, ws.retries_total, len(proxy.fault_log)
+
+            elapsed, retries, faults = asyncio.run(drive(rate))
+            served = StreamSession.restore(
+                payload_from_bytes(http.snapshot("faulty"))
+            )
+            http.close()
+
+        mirror = offline_session(0)
+        for i, (b_items, b_deltas) in enumerate(batches):
+            mirror.push_once("bench", i + 1, b_items, b_deltas)
+        identical = payload_equal(served.snapshot(), mirror.snapshot())
+        if not identical:
+            raise SystemExit(
+                f"service_faults: state diverged at drop rate {rate}"
+            )
+        runs.append({
+            "drop_rate": rate,
+            "updates_per_sec": int(m / elapsed),
+            "client_retries": retries,
+            "faults_injected": faults,
+            "identical_states": bool(identical),
+        })
+    return {
+        "transport": "websocket+frames via ChaosProxy",
+        "delivery": "exactly-once (stamped frames, cumulative acks)",
+        "m": m,
+        "push_size": push,
+        "battery": list(BATTERY),
+        "runs": runs,
+    }
+
+
 def run_smoke() -> int:
     report = measure_service(SMOKE_M, clients=2, push=512)
     assert report["identical_states"], (
@@ -153,6 +236,12 @@ def run_smoke() -> int:
     assert report["updates_per_sec"] > 0
     print(f"service smoke ok: {report['updates_per_sec']:,} updates/s "
           f"end-to-end, bit-identical to the offline mirror")
+    faults = measure_faults(SMOKE_FAULT_M, push=256, rates=(0.05,))
+    run = faults["runs"][0]
+    assert run["identical_states"]  # measure_faults hard-gates too
+    print(f"chaos smoke ok: {run['updates_per_sec']:,} updates/s at "
+          f"{run['drop_rate']:.0%} drop ({run['faults_injected']} faults, "
+          f"{run['client_retries']} retries), bit-identical")
     return 0
 
 
@@ -173,8 +262,10 @@ def main(argv: list[str] | None = None) -> int:
             "served state diverged from the offline mirror; not writing "
             "the artifact"
         )
+    faults = measure_faults(FAULT_M, push=FAULT_PUSH)
     artifact = json.loads(ARTIFACT.read_text()) if ARTIFACT.exists() else {}
     artifact["service"] = report
+    artifact["service_faults"] = faults
     ARTIFACT.write_text(json.dumps(artifact, indent=2) + "\n")
     print(
         f"service: {report['clients']} clients x "
@@ -184,6 +275,14 @@ def main(argv: list[str] | None = None) -> int:
         f"ratio x{report['service_over_offline']:.3f}, "
         f"identical={report['identical_states']})"
     )
+    for run in faults["runs"]:
+        print(
+            f"service_faults: drop {run['drop_rate']:.0%} -> "
+            f"{run['updates_per_sec']:,} updates/s "
+            f"({run['faults_injected']} faults, "
+            f"{run['client_retries']} retries, "
+            f"identical={run['identical_states']})"
+        )
     print(f"updated {ARTIFACT}")
     return 0
 

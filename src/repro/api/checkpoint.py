@@ -58,6 +58,7 @@ __all__ = [
     "CheckpointStore",
     "Checkpointer",
     "recover",
+    "recover_all",
     "export_snapshot",
     "import_session",
     "import_and_merge",
@@ -329,6 +330,33 @@ def recover(
         return None
     payload, _ = found
     return StreamSession.restore(payload, queries=queries)
+
+
+def recover_all(
+    root: str | Path,
+    *,
+    keep_last: int = 3,
+) -> dict[str, StreamSession]:
+    """Recover every session checkpointed under ``root``.
+
+    The multi-session layout the service tier writes: one subdirectory
+    per session name, each a :class:`CheckpointStore` directory.
+    Returns ``{name: restored session}`` for every subdirectory holding
+    a readable checkpoint; empty or unreadable subdirectories are
+    skipped (the per-file warnings of :meth:`CheckpointStore.latest`
+    still fire).  A missing ``root`` recovers nothing.
+    """
+    root = Path(root)
+    recovered: dict[str, StreamSession] = {}
+    if not root.is_dir():
+        return recovered
+    for sub in sorted(root.iterdir()):
+        if not sub.is_dir():
+            continue
+        session = recover(CheckpointStore(sub, keep_last=keep_last))
+        if session is not None:
+            recovered[sub.name] = session
+    return recovered
 
 
 def export_snapshot(session: StreamSession, path: str | Path) -> Path:

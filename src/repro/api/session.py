@@ -81,6 +81,22 @@ class QueryNotSupported(TypeError):
     structures); ``query_all`` skips these, real hook failures raise."""
 
 
+class SequenceGapError(ValueError):
+    """A stamped push arrived more than one past its client's
+    watermark: an earlier frame from that client was lost in transit.
+    Nothing was applied; the client must rewind and resend from
+    ``expected``."""
+
+    def __init__(self, client_id: str, expected: int, got: int) -> None:
+        super().__init__(
+            f"client {client_id!r}: expected seq {expected}, got {got} "
+            "— an earlier frame was lost; resend from the watermark"
+        )
+        self.client_id = client_id
+        self.expected = expected
+        self.got = got
+
+
 def _default_query(sketch: Any):
     """The fallback answer surface for spec-less consumers: the common
     estimator verbs, in order of specificity (verbs whose signatures
@@ -175,6 +191,11 @@ class StreamSession:
         self._buf_items = np.empty(self.chunk_size, dtype=np.int64)
         self._buf_deltas = np.empty(self.chunk_size, dtype=np.int64)
         self._fill = 0
+        #: Exactly-once ingest watermarks: client id -> highest seq this
+        #: session has consumed from that client (see push_once).  Part
+        #: of the snapshot, so recovery rewinds delivery state together
+        #: with sketch state and the two can never disagree.
+        self._ingest_watermarks: dict[str, int] = {}
         #: Session-level reentrant lock: push/flush/query/merge/snapshot
         #: are atomic with respect to each other, so one session can sit
         #: behind a threaded server (or a checkpointer thread) without
@@ -344,6 +365,59 @@ class StreamSession:
                 self._fill = tail
         return self
 
+    def push_once(self, client_id: str, seq: int, items,
+                  deltas) -> bool:
+        """Exactly-once :meth:`push`: apply the batch iff ``seq`` is
+        one past ``client_id``'s watermark.
+
+        Returns ``True`` when applied, ``False`` for a duplicate
+        (``seq <= watermark`` — already consumed; ack it again, apply
+        nothing).  ``seq > watermark + 1`` raises
+        :class:`SequenceGapError` — an earlier frame was lost and
+        applying out of order would silently skip it.  A batch the
+        validator refuses *consumes* its seq (the refusal is
+        deterministic, so a retry of the same bytes would be refused
+        again; advancing lets the client's next good frame through).
+        The check and the push are one critical section under the
+        session lock, so a snapshot never observes a half-consumed seq.
+
+        >>> s = StreamSession(n=16).track("frequency_vector")
+        >>> s.push_once("edge", 1, [1], [2])
+        True
+        >>> s.push_once("edge", 1, [1], [2])  # retried frame: dedup
+        False
+        >>> s.query("frequency_vector")
+        2
+        """
+        client_id = str(client_id)
+        seq = int(seq)
+        if seq < 1:
+            raise ValueError(f"seq must be >= 1, got {seq}")
+        with self._lock:
+            watermark = self._ingest_watermarks.get(client_id, 0)
+            if seq <= watermark:
+                return False
+            if seq != watermark + 1:
+                raise SequenceGapError(client_id, watermark + 1, seq)
+            try:
+                self.push(items, deltas)
+            except (ValueError, TypeError):
+                self._ingest_watermarks[client_id] = seq
+                raise
+            self._ingest_watermarks[client_id] = seq
+            return True
+
+    def ingest_watermark(self, client_id: str) -> int:
+        """The highest seq consumed from ``client_id`` (0 if none)."""
+        with self._lock:
+            return self._ingest_watermarks.get(str(client_id), 0)
+
+    @property
+    def ingest_watermarks(self) -> dict[str, int]:
+        """A copy of every client's consumed-seq watermark."""
+        with self._lock:
+            return dict(self._ingest_watermarks)
+
     def push_stream(self, stream: Iterable) -> "StreamSession":
         """Push a whole :class:`~repro.streams.model.Stream` (or any
         object with ``as_arrays``); falls back to per-update pushes for
@@ -480,6 +554,11 @@ class StreamSession:
         for name, sketch in self._sketches.items():
             sketch.merge(other._sketches[name])
         self.updates_processed += other.updates_processed
+        # Dedup watermarks union by max: after a merge this session has
+        # consumed everything either sibling consumed from each client.
+        for cid, seq in other._ingest_watermarks.items():
+            if seq > self._ingest_watermarks.get(cid, 0):
+                self._ingest_watermarks[cid] = seq
         return self
 
     # -- persistence ---------------------------------------------------------
@@ -516,6 +595,7 @@ class StreamSession:
                     name for name, custom in self._custom_query.items()
                     if custom
                 ],
+                "ingest_watermarks": dict(self._ingest_watermarks),
             },
             "consumers": _snapshot_state(self._sketches),
         }
@@ -579,6 +659,12 @@ class StreamSession:
                 session._custom_query[name] = False
             session._spec_names[name] = spec_name
         session.updates_processed = int(meta["updates_processed"])
+        # Absent in pre-reliability snapshots: those sessions had no
+        # stamped clients, so the empty default is exact, not a guess.
+        session._ingest_watermarks = {
+            str(cid): int(seq)
+            for cid, seq in meta.get("ingest_watermarks", {}).items()
+        }
         return session
 
     def __repr__(self) -> str:  # pragma: no cover

@@ -376,14 +376,30 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     tracks the specs in ``--track`` (comma-separated, default
     ``countmin``).  Sessions can also be created over the API at any
     time (``POST /v1/sessions``).
+
+    With ``--checkpoint-dir`` the service is durable: every session
+    checkpoints to ``<dir>/<name>`` (cadence ``--checkpoint-every``
+    updates), sessions found there are recovered — dedup watermarks
+    included — before the listener comes up, and a clean shutdown
+    writes final checkpoints.  ``--ingest-deadline`` sheds ingest
+    frames that waited too long with a retryable BUSY error.
     """
     import asyncio
 
     from repro.service import ServiceServer, SketchService
 
-    service = SketchService()
+    service = SketchService(
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every_updates=args.checkpoint_every,
+        checkpoint_keep_last=args.checkpoint_keep,
+        ingest_deadline=args.ingest_deadline,
+    )
+    if service.sessions:
+        print(f"recovered sessions: {sorted(service.sessions)}")
     track = [s for s in args.track.split(",") if s]
     for name in args.session or []:
+        if name in service.sessions:
+            continue  # recovered from the checkpoint dir, keep it
         service.create_session(
             name, n=args.n, seed=args.seed, chunk_size=args.chunk_size,
             node=args.node, track=track,
@@ -424,6 +440,21 @@ def add_serve_args(parser: argparse.ArgumentParser) -> None:
                              "(give every merging sibling a distinct one)")
     parser.add_argument("--chunk-size", type=_positive_int,
                         default=DEFAULT_CHUNK_SIZE)
+    parser.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                        help="serve durably: checkpoint every session "
+                             "under DIR/<name> and recover sessions "
+                             "found there at startup")
+    parser.add_argument("--checkpoint-every", type=_positive_int,
+                        default=None, metavar="UPDATES",
+                        help="checkpoint cadence in applied updates "
+                             "(default 50000; needs --checkpoint-dir)")
+    parser.add_argument("--checkpoint-keep", type=_positive_int,
+                        default=3, metavar="K",
+                        help="durable checkpoints retained per session")
+    parser.add_argument("--ingest-deadline", type=float, default=None,
+                        metavar="SECONDS",
+                        help="shed ingest frames older than this with "
+                             "a retryable BUSY (load protection)")
 
 
 ESTIMATOR_COMMANDS = [

@@ -11,11 +11,17 @@ drivers.
 
 State served over the network path is bit-identical to an offline
 ``replay_many`` of the same updates — the session's batch contract,
-now with a wire in the middle.
+now with a wire in the middle.  PR 9 hardens the wire: stamped
+``(client_id, seq)`` ingest is exactly-once end to end, clients retry
+with capped jittered backoff (:class:`RetryPolicy`), served sessions
+checkpoint to disk and recover on restart, and
+:mod:`repro.service.testing` ships a fault-injecting chaos proxy the
+soak suite drives to prove bit-identity survives a hostile network.
 """
 
 from repro.service.client import (
     AsyncSessionClient,
+    RetryPolicy,
     ServiceClient,
     ServiceClientError,
 )
@@ -39,6 +45,7 @@ from repro.service.server import (
 
 __all__ = [
     "AsyncSessionClient",
+    "RetryPolicy",
     "ServiceClient",
     "ServiceClientError",
     "REGISTRY",

@@ -16,6 +16,9 @@ The service inventory (created by :class:`ServiceMetrics`):
 metric                             kind      meaning
 ================================== ========= ==========================
 ``repro_ingest_frames_total``      counter   INGEST frames received
+``repro_ingest_applied_total``     counter   INGEST frames applied
+``repro_ingest_duplicates_total``  counter   stamped frames deduplicated
+``repro_ingest_shed_total``        counter   frames refused with BUSY
 ``repro_ingest_updates_total``     counter   updates applied to sessions
 ``repro_ingest_refused_total``     counter   INGEST frames refused
 ``repro_merges_total``             counter   snapshot merges folded in
@@ -24,14 +27,20 @@ metric                             kind      meaning
 ``repro_query_latency_seconds``    histogram per-spec query wall time
   ``{spec}``
 ``repro_sessions``                 gauge     live named sessions
+``repro_recovered_sessions``       gauge     sessions recovered from the
+                                             checkpoint dir at startup
 ``repro_pending_updates``          gauge     buffered, undispatched
                                              updates across sessions
 ``repro_connections``              gauge     open WebSocket connections
 ================================== ========= ==========================
 
-The ingest counters satisfy a conservation law the end-to-end tests
-assert: ``frames_total == acked frames + refused_total``, and every
-acked frame's updates land in ``updates_total`` exactly once.
+The ingest counters satisfy a conservation law the end-to-end and
+reliability tests assert: every received frame is counted in exactly
+one of applied, duplicates, refused, or shed —
+``frames_total == applied_total + duplicates_total + refused_total +
+shed_total`` — and every *applied* frame's updates land in
+``updates_total`` exactly once (duplicates add nothing, which is the
+point of exactly-once ingest).
 
 >>> reg = MetricsRegistry()
 >>> c = reg.counter("demo_total", "demo counter")
@@ -326,6 +335,17 @@ class ServiceMetrics:
         reg = self.registry
         self.ingest_frames = reg.counter(
             "repro_ingest_frames_total", "INGEST frames received")
+        self.ingest_applied = reg.counter(
+            "repro_ingest_applied_total",
+            "INGEST frames applied to a session")
+        self.ingest_duplicates = reg.counter(
+            "repro_ingest_duplicates_total",
+            "stamped INGEST frames deduplicated (seq at or below the "
+            "client watermark); acked, nothing applied")
+        self.ingest_shed = reg.counter(
+            "repro_ingest_shed_total",
+            "INGEST frames refused with a BUSY error by load shedding "
+            "or a missed ingest deadline (retryable)")
         self.ingest_updates = reg.counter(
             "repro_ingest_updates_total",
             "updates applied to sessions via ingest frames")
@@ -346,6 +366,9 @@ class ServiceMetrics:
             labelnames=("spec",))
         self.sessions = reg.gauge(
             "repro_sessions", "live named sessions")
+        self.recovered_sessions = reg.gauge(
+            "repro_recovered_sessions",
+            "sessions recovered from the checkpoint directory at startup")
         self.pending = reg.gauge(
             "repro_pending_updates",
             "updates buffered but not yet dispatched, across sessions")

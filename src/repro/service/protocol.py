@@ -7,13 +7,13 @@ WebSocket binary message, or an HTTP request body — is one **frame**:
 offset size     field
 ====== ======== =========================================================
 0      2        magic ``b"SK"`` (rejects foreign traffic immediately)
-2      1        protocol version (currently ``1``)
+2      1        protocol version (``1`` or ``2``; see below)
 3      1        frame type (:class:`FrameType`)
 4      4        payload length, unsigned little-endian
 8      length   payload
 ====== ======== =========================================================
 
-Frame payloads:
+Frame payloads (version 1 forms; every v1 frame still decodes):
 
 * ``INGEST`` — ``count:u32`` then ``count`` little-endian int64 items
   followed by ``count`` little-endian int64 deltas: the exact
@@ -34,6 +34,24 @@ Frame payloads:
   :func:`repro.api.checkpoint.export_snapshot` writes to disk);
   ``MERGE_ACK`` — ``applied:u64`` cumulative updates after the fold.
 * ``ERROR`` — JSON ``{"code": ..., "message": ...}``.
+
+**Version 2** adds exactly-once ingest.  A v2 ``INGEST`` payload
+carries a dedup stamp before the v1 columns::
+
+    cid_len:u8 | client_id (1..64 utf-8 bytes) | seq:u64 |
+    count:u32  | items i64[count] | deltas i64[count]
+
+``seq`` starts at 1 and increments per frame per ``client_id``; the
+server applies a stamped frame iff ``seq`` is exactly one past its
+per-``(session, client)`` watermark, acks ``seq <= watermark``
+idempotently as a duplicate, and refuses ``seq > watermark + 1`` with
+a typed ``seq_gap`` error.  The matching v2 ``INGEST_ACK`` payload is
+``applied:u64 | seq:u64 | flags:u8`` (bit 0 = duplicate).  Two v2-only
+frame types support reconnect-and-resume: ``HELLO`` (a client_id, same
+length-prefixed form) asks where a client's stream stands, and
+``HELLO_ACK`` answers ``seq_watermark:u64 | updates:u64``.  Unstamped
+ingest still travels as v1 frames — byte-identical to the PR 7 wire
+format — so v1 clients interoperate unchanged.
 
 All refusals raise :class:`ProtocolError` (a ``ValueError``): truncated
 or trailing bytes, foreign magic, foreign versions, lengths beyond
@@ -57,9 +75,14 @@ import numpy as np
 #: First bytes of every frame; foreign traffic fails before any parse.
 MAGIC = b"SK"
 
-#: Version byte; a decoder refuses frames from any other version, so
+#: Version byte of frames this side *emits* by default; decoders accept
+#: every version in :data:`SUPPORTED_VERSIONS` and refuse the rest, so
 #: the format can evolve without silent misreads.
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2
+
+#: Versions a decoder accepts.  v1 is the PR 7 wire format (unstamped
+#: ingest); v2 adds the dedup stamp and the HELLO handshake.
+SUPPORTED_VERSIONS = frozenset({1, 2})
 
 #: magic(2) | version(1) | type(1) | payload length(4, LE).
 HEADER = struct.Struct("<2sBBI")
@@ -76,8 +99,14 @@ MAX_INGEST_UPDATES = 1 << 20
 #: Consumer-name bound for QUERY frames.
 MAX_QUERY_NAME = 4096
 
+#: Client-id bound for stamped ingest and HELLO frames.
+MAX_CLIENT_ID = 64
+
 _COUNT = struct.Struct("<I")
 _ACK = struct.Struct("<Q")
+_SEQ = struct.Struct("<Q")
+_ACK2 = struct.Struct("<QQB")       # applied | seq | flags (bit 0: dup)
+_HELLO_ACK = struct.Struct("<QQ")   # seq watermark | updates processed
 
 
 class ProtocolError(ValueError):
@@ -92,54 +121,70 @@ class FrameType(enum.IntEnum):
     MERGE = 5
     MERGE_ACK = 6
     ERROR = 7
+    HELLO = 8
+    HELLO_ACK = 9
+
+
+#: Frame types that only exist in protocol v2.
+_V2_ONLY = frozenset({FrameType.HELLO, FrameType.HELLO_ACK})
 
 
 @dataclass(frozen=True)
 class Frame:
-    """One decoded frame: its type and raw payload bytes."""
+    """One decoded frame: its type, raw payload bytes, and the wire
+    version it arrived with (payload interpretation is per-version for
+    INGEST and INGEST_ACK)."""
 
     type: FrameType
     payload: bytes
+    version: int = PROTOCOL_VERSION
 
 
 # -- framing -----------------------------------------------------------------
 
-def encode_frame(ftype: FrameType, payload: bytes = b"") -> bytes:
+def encode_frame(ftype: FrameType, payload: bytes = b"", *,
+                 version: int = PROTOCOL_VERSION) -> bytes:
     """Serialize one frame (header + payload).
 
     >>> encode_frame(FrameType.QUERY, b"countmin")[:4]
-    b'SK\\x01\\x03'
+    b'SK\\x02\\x03'
     """
     payload = bytes(payload)
+    if version not in SUPPORTED_VERSIONS:
+        raise ProtocolError(f"cannot encode protocol version {version}")
     if len(payload) > MAX_PAYLOAD:
         raise ProtocolError(
             f"payload of {len(payload)} bytes exceeds the "
             f"{MAX_PAYLOAD}-byte frame ceiling"
         )
     return HEADER.pack(
-        MAGIC, PROTOCOL_VERSION, int(FrameType(ftype)), len(payload)
+        MAGIC, int(version), int(FrameType(ftype)), len(payload)
     ) + payload
 
 
-def _decode_header(data: bytes) -> tuple[FrameType, int]:
+def _decode_header(data: bytes) -> tuple[FrameType, int, int]:
     magic, version, ftype, length = HEADER.unpack_from(data)
     if magic != MAGIC:
         raise ProtocolError(f"bad frame magic {magic!r}")
-    if version != PROTOCOL_VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise ProtocolError(
             f"unsupported protocol version {version} "
-            f"(this side speaks {PROTOCOL_VERSION})"
+            f"(this side speaks {sorted(SUPPORTED_VERSIONS)})"
         )
     try:
         ftype = FrameType(ftype)
     except ValueError:
         raise ProtocolError(f"unknown frame type {ftype}") from None
+    if ftype in _V2_ONLY and version < 2:
+        raise ProtocolError(
+            f"{ftype.name} frames require protocol version 2, got {version}"
+        )
     if length > MAX_PAYLOAD:
         raise ProtocolError(
             f"declared payload of {length} bytes exceeds the "
             f"{MAX_PAYLOAD}-byte frame ceiling"
         )
-    return ftype, length
+    return ftype, length, version
 
 
 def decode_frame(data: bytes) -> Frame:
@@ -155,13 +200,13 @@ def decode_frame(data: bytes) -> Frame:
             f"truncated frame: {len(data)} bytes is shorter than the "
             f"{HEADER_SIZE}-byte header"
         )
-    ftype, length = _decode_header(data)
+    ftype, length, version = _decode_header(data)
     if len(data) != HEADER_SIZE + length:
         raise ProtocolError(
             f"frame length mismatch: header declares {length} payload "
             f"bytes, got {len(data) - HEADER_SIZE}"
         )
-    return Frame(ftype, data[HEADER_SIZE:])
+    return Frame(ftype, data[HEADER_SIZE:], version)
 
 
 class FrameDecoder:
@@ -195,24 +240,48 @@ class FrameDecoder:
 
     def _drain(self) -> Iterator[Frame]:
         while len(self._buf) >= HEADER_SIZE:
-            ftype, length = _decode_header(bytes(self._buf[:HEADER_SIZE]))
+            ftype, length, version = _decode_header(
+                bytes(self._buf[:HEADER_SIZE])
+            )
             end = HEADER_SIZE + length
             if len(self._buf) < end:
                 return
             payload = bytes(self._buf[HEADER_SIZE:end])
             del self._buf[:end]
-            yield Frame(ftype, payload)
+            yield Frame(ftype, payload, version)
 
 
 # -- ingest payloads ---------------------------------------------------------
 
-def encode_ingest(items, deltas) -> bytes:
-    """An INGEST frame for ``(items, deltas)`` update columns.
+def _encode_client_id(client_id: str) -> bytes:
+    raw = str(client_id).encode("utf-8")
+    if not 1 <= len(raw) <= MAX_CLIENT_ID:
+        raise ProtocolError(
+            f"client ids are 1..{MAX_CLIENT_ID} utf-8 bytes"
+        )
+    return bytes([len(raw)]) + raw
 
-    >>> frame = encode_ingest([3, 1], [2, -1])
-    >>> decode_ingest(decode_frame(frame).payload)[0].tolist()
-    [3, 1]
-    """
+
+def _decode_client_id(payload: bytes, what: str) -> tuple[str, int]:
+    """``(client_id, bytes consumed)`` from a length-prefixed id."""
+    if not payload:
+        raise ProtocolError(f"{what} payload is empty")
+    cid_len = payload[0]
+    if not 1 <= cid_len <= MAX_CLIENT_ID:
+        raise ProtocolError(
+            f"client ids are 1..{MAX_CLIENT_ID} utf-8 bytes, "
+            f"got length {cid_len}"
+        )
+    if len(payload) < 1 + cid_len:
+        raise ProtocolError(f"{what} payload shorter than its client id")
+    try:
+        cid = payload[1:1 + cid_len].decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise ProtocolError(f"client id is not valid utf-8: {exc}") from None
+    return cid, 1 + cid_len
+
+
+def _encode_columns(items, deltas) -> bytes:
     items_arr = np.ascontiguousarray(items, dtype="<i8")
     deltas_arr = np.ascontiguousarray(deltas, dtype="<i8")
     if items_arr.ndim != 1 or deltas_arr.ndim != 1:
@@ -227,40 +296,34 @@ def encode_ingest(items, deltas) -> bytes:
             f"ingest frames carry 1..{MAX_INGEST_UPDATES} updates, "
             f"got {len(items_arr)}"
         )
-    payload = (
+    return (
         _COUNT.pack(len(items_arr))
         + items_arr.tobytes()
         + deltas_arr.tobytes()
     )
-    return encode_frame(FrameType.INGEST, payload)
 
 
-def decode_ingest(payload: bytes) -> tuple[np.ndarray, np.ndarray]:
-    """Validate and unpack an INGEST payload to int64 columns.
-
-    Mirrors ``load_stream``'s untrusted-input rules: the count must
-    match the payload length exactly, items must be non-negative, and
-    deltas nonzero.  The universe upper bound is the target session's
-    and is enforced by ``push``.
-    """
-    if len(payload) < _COUNT.size:
+def _decode_columns(payload: bytes,
+                    offset: int) -> tuple[np.ndarray, np.ndarray]:
+    if len(payload) - offset < _COUNT.size:
         raise ProtocolError("ingest payload shorter than its count field")
-    (count,) = _COUNT.unpack_from(payload)
+    (count,) = _COUNT.unpack_from(payload, offset)
     if not 1 <= count <= MAX_INGEST_UPDATES:
         raise ProtocolError(
             f"ingest frames carry 1..{MAX_INGEST_UPDATES} updates, "
             f"got {count}"
         )
-    expected = _COUNT.size + 16 * count
+    expected = offset + _COUNT.size + 16 * count
     if len(payload) != expected:
         raise ProtocolError(
             f"ingest payload length mismatch: count {count} needs "
             f"{expected} bytes, got {len(payload)}"
         )
+    base = offset + _COUNT.size
     items = np.frombuffer(payload, dtype="<i8", count=count,
-                          offset=_COUNT.size).astype(np.int64, copy=False)
+                          offset=base).astype(np.int64, copy=False)
     deltas = np.frombuffer(payload, dtype="<i8", count=count,
-                           offset=_COUNT.size + 8 * count
+                           offset=base + 8 * count
                            ).astype(np.int64, copy=False)
     if items.min() < 0:
         raise ProtocolError("ingest frame carries a negative item")
@@ -269,8 +332,85 @@ def decode_ingest(payload: bytes) -> tuple[np.ndarray, np.ndarray]:
     return items, deltas
 
 
+def encode_ingest(items, deltas, *, client_id: str | None = None,
+                  seq: int | None = None) -> bytes:
+    """An INGEST frame for ``(items, deltas)`` update columns.
+
+    Unstamped (the default) emits the v1 wire form, byte-identical to
+    PR 7, so existing peers interoperate.  Passing ``client_id`` and
+    ``seq`` emits a v2 frame carrying the dedup stamp, which the
+    server applies exactly once.
+
+    >>> frame = encode_ingest([3, 1], [2, -1])
+    >>> decode_ingest(decode_frame(frame).payload)[0].tolist()
+    [3, 1]
+    >>> stamped = decode_frame(encode_ingest([3], [2], client_id="edge-7",
+    ...                                      seq=12))
+    >>> decode_ingest_v2(stamped.payload)[2:]
+    ('edge-7', 12)
+    """
+    if (client_id is None) != (seq is None):
+        raise ProtocolError("client_id and seq travel together")
+    columns = _encode_columns(items, deltas)
+    if client_id is None:
+        return encode_frame(FrameType.INGEST, columns, version=1)
+    if not 1 <= int(seq) <= (1 << 64) - 1:
+        raise ProtocolError(f"seq must be a u64 >= 1, got {seq}")
+    payload = _encode_client_id(client_id) + _SEQ.pack(int(seq)) + columns
+    return encode_frame(FrameType.INGEST, payload, version=2)
+
+
+def decode_ingest(payload: bytes) -> tuple[np.ndarray, np.ndarray]:
+    """Validate and unpack a **v1** INGEST payload to int64 columns.
+
+    Mirrors ``load_stream``'s untrusted-input rules: the count must
+    match the payload length exactly, items must be non-negative, and
+    deltas nonzero.  The universe upper bound is the target session's
+    and is enforced by ``push``.
+    """
+    return _decode_columns(payload, 0)
+
+
+def decode_ingest_v2(
+    payload: bytes,
+) -> tuple[np.ndarray, np.ndarray, str, int]:
+    """Unpack a **v2** (stamped) INGEST payload:
+    ``(items, deltas, client_id, seq)``."""
+    client_id, offset = _decode_client_id(payload, "ingest")
+    if len(payload) < offset + _SEQ.size:
+        raise ProtocolError("ingest payload shorter than its seq field")
+    (seq,) = _SEQ.unpack_from(payload, offset)
+    if seq < 1:
+        raise ProtocolError("ingest seq must be >= 1")
+    items, deltas = _decode_columns(payload, offset + _SEQ.size)
+    return items, deltas, client_id, seq
+
+
+def decode_ingest_frame(
+    frame: Frame,
+) -> tuple[np.ndarray, np.ndarray, str | None, int | None]:
+    """Version-dispatching INGEST decode: v1 payloads come back
+    unstamped (``client_id is None``), v2 payloads stamped."""
+    if frame.type is not FrameType.INGEST:
+        raise ProtocolError(f"expected an INGEST frame, got {frame.type.name}")
+    if frame.version < 2:
+        items, deltas = decode_ingest(frame.payload)
+        return items, deltas, None, None
+    return decode_ingest_v2(frame.payload)
+
+
 def encode_ingest_ack(applied: int) -> bytes:
-    return encode_frame(FrameType.INGEST_ACK, _ACK.pack(int(applied)))
+    """The v1 ack: just the cumulative updates-processed watermark."""
+    return encode_frame(FrameType.INGEST_ACK, _ACK.pack(int(applied)),
+                        version=1)
+
+
+def encode_ingest_ack_v2(applied: int, seq: int, *,
+                         duplicate: bool = False) -> bytes:
+    """The v2 ack for a stamped frame: watermark, the acked seq, and a
+    duplicate flag (set when the frame was deduplicated, not applied)."""
+    payload = _ACK2.pack(int(applied), int(seq), 1 if duplicate else 0)
+    return encode_frame(FrameType.INGEST_ACK, payload, version=2)
 
 
 def encode_merge_ack(applied: int) -> bytes:
@@ -278,12 +418,70 @@ def encode_merge_ack(applied: int) -> bytes:
 
 
 def decode_ack(payload: bytes) -> int:
-    """The cumulative updates-processed watermark in an ACK payload."""
+    """The cumulative updates-processed watermark in an ACK payload
+    (either version; v2's extra fields are via :func:`decode_ack_info`)."""
+    if len(payload) == _ACK2.size:
+        return _ACK2.unpack(payload)[0]
     if len(payload) != _ACK.size:
         raise ProtocolError(
-            f"ack payload must be {_ACK.size} bytes, got {len(payload)}"
+            f"ack payload must be {_ACK.size} or {_ACK2.size} bytes, "
+            f"got {len(payload)}"
         )
     return _ACK.unpack(payload)[0]
+
+
+@dataclass(frozen=True)
+class AckInfo:
+    """A decoded INGEST_ACK: cumulative watermark plus, for v2 acks,
+    the acked seq and whether the frame was deduplicated."""
+
+    applied: int
+    seq: int | None = None
+    duplicate: bool = False
+
+
+def decode_ack_info(payload: bytes) -> AckInfo:
+    if len(payload) == _ACK.size:
+        return AckInfo(_ACK.unpack(payload)[0])
+    if len(payload) != _ACK2.size:
+        raise ProtocolError(
+            f"ack payload must be {_ACK.size} or {_ACK2.size} bytes, "
+            f"got {len(payload)}"
+        )
+    applied, seq, flags = _ACK2.unpack(payload)
+    return AckInfo(applied, seq, bool(flags & 1))
+
+
+# -- hello / resume ----------------------------------------------------------
+
+def encode_hello(client_id: str) -> bytes:
+    """Ask the server where ``client_id``'s stream stands (v2 only) —
+    the reconnect-and-resume handshake."""
+    return encode_frame(FrameType.HELLO, _encode_client_id(client_id))
+
+
+def decode_hello(payload: bytes) -> str:
+    client_id, consumed = _decode_client_id(payload, "hello")
+    if len(payload) != consumed:
+        raise ProtocolError("hello payload carries trailing bytes")
+    return client_id
+
+
+def encode_hello_ack(seq_watermark: int, updates_processed: int) -> bytes:
+    return encode_frame(
+        FrameType.HELLO_ACK,
+        _HELLO_ACK.pack(int(seq_watermark), int(updates_processed)),
+    )
+
+
+def decode_hello_ack(payload: bytes) -> tuple[int, int]:
+    """``(seq_watermark, updates_processed)`` from a HELLO_ACK."""
+    if len(payload) != _HELLO_ACK.size:
+        raise ProtocolError(
+            f"hello-ack payload must be {_HELLO_ACK.size} bytes, "
+            f"got {len(payload)}"
+        )
+    return _HELLO_ACK.unpack(payload)
 
 
 # -- query / result / error payloads -----------------------------------------

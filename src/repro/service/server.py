@@ -29,9 +29,12 @@ HTTP surface (all JSON unless noted)::
 
     GET    /healthz                        liveness probe
     GET    /metrics                        Prometheus text exposition
+    GET    /v1/shed                        load-shedding state
+    POST   /v1/shed                        toggle load shedding
     GET    /v1/sessions                    list sessions
     POST   /v1/sessions                    create a named session
-    GET    /v1/sessions/<name>             session info
+    GET    /v1/sessions/<name>             session info (incl. dedup
+                                           watermarks)
     DELETE /v1/sessions/<name>             drop a session
     POST   /v1/sessions/<name>/ingest      body = one INGEST frame
     POST   /v1/sessions/<name>/flush       dispatch the partial buffer
@@ -46,6 +49,20 @@ nothing for the incomplete tail.  Queries flush the partial buffer
 first, so every answer reflects every acked update.  A merge folds the
 posted snapshot entirely or not at all (``StreamSession.merge``
 validates every consumer before mutating any).
+
+Delivery semantics (PR 9): a v2 INGEST frame stamped ``(client_id,
+seq)`` is applied **exactly once** — the per-session watermark
+(:meth:`StreamSession.push_once`) dedups retries and refuses gaps with
+a typed ``seq_gap`` error; HELLO answers where a client's stream
+stands so a reconnecting client can rewind and resend.  With
+``checkpoint_dir`` set, every named session is durable: recovered on
+construction (watermarks travel inside the snapshot, so delivery state
+and sketch state rewind together) and checkpointed on a trigger after
+ingest/merge, plus a final checkpoint at shutdown.  Under overload the
+service degrades instead of queueing without bound: ``set_shedding``
+(or ``POST /v1/shed``) refuses new ingest with a retryable ``busy``
+error, and ``ingest_deadline`` sheds frames that waited longer than
+the budget between arrival and processing.
 """
 
 from __future__ import annotations
@@ -53,12 +70,19 @@ from __future__ import annotations
 import asyncio
 import json
 import re
+import shutil
 import threading
 import time
-from typing import Any
+from pathlib import Path
+from typing import Any, Callable
 
+from repro.api.checkpoint import CheckpointStore, Checkpointer, recover_all
 from repro.api.registry import PARAM_FIELDS, Params
-from repro.api.session import QueryNotSupported, StreamSession
+from repro.api.session import (
+    QueryNotSupported,
+    SequenceGapError,
+    StreamSession,
+)
 from repro.service import protocol
 from repro.service._ws import (
     OP_BINARY,
@@ -92,8 +116,11 @@ _REASONS = {
     200: "OK", 201: "Created", 204: "No Content", 400: "Bad Request",
     404: "Not Found", 405: "Method Not Allowed", 409: "Conflict",
     413: "Payload Too Large", 426: "Upgrade Required",
-    500: "Internal Server Error",
+    500: "Internal Server Error", 503: "Service Unavailable",
 }
+
+#: Checkpoint trigger when a durable service is given no explicit one.
+_DEFAULT_CHECKPOINT_EVERY = 50_000
 
 
 class ServiceError(Exception):
@@ -117,16 +144,96 @@ class SketchService:
     """
 
     def __init__(self, metrics: ServiceMetrics | None = None,
-                 registry: MetricsRegistry | None = None) -> None:
+                 registry: MetricsRegistry | None = None, *,
+                 checkpoint_dir: str | Path | None = None,
+                 checkpoint_every_updates: int | None = None,
+                 checkpoint_every_seconds: float | None = None,
+                 checkpoint_keep_last: int = 3,
+                 ingest_deadline: float | None = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
         if metrics is None:
             metrics = ServiceMetrics(registry)
         self.metrics = metrics
         self.sessions: dict[str, StreamSession] = {}
         self._lock = threading.Lock()
+        #: Durability: one CheckpointStore subdirectory per session
+        #: under checkpoint_dir; None means sessions are ephemeral.
+        self.checkpoint_dir = (
+            Path(checkpoint_dir) if checkpoint_dir is not None else None
+        )
+        self._checkpoint_every_updates = checkpoint_every_updates
+        self._checkpoint_every_seconds = checkpoint_every_seconds
+        self._checkpoint_keep_last = int(checkpoint_keep_last)
+        self._checkpointers: dict[str, Checkpointer] = {}
+        #: Graceful degradation: shedding refuses new ingest with a
+        #: retryable BUSY; ingest_deadline sheds frames that waited
+        #: longer than this many seconds between arrival (transport
+        #: read) and processing.
+        self.shedding = False
+        self.ingest_deadline = ingest_deadline
+        self.clock = clock
+        if self.checkpoint_dir is not None:
+            recovered = recover_all(
+                self.checkpoint_dir, keep_last=self._checkpoint_keep_last
+            )
+            for name, session in recovered.items():
+                if not _NAME_RE.match(name):
+                    continue  # foreign subdirectory, not a session
+                self.sessions[name] = session
+                self._attach_checkpointer(name, session)
+        metrics.recovered_sessions.set(len(self.sessions))
         metrics.sessions.set_function(lambda: len(self.sessions))
         metrics.pending.set_function(
             lambda: sum(s.pending for s in list(self.sessions.values()))
         )
+
+    def _attach_checkpointer(self, name: str,
+                             session: StreamSession) -> None:
+        """Wire a session into its per-name checkpoint store (no-op for
+        an ephemeral service).  New stores get an immediate checkpoint
+        so even an empty session survives a crash."""
+        if self.checkpoint_dir is None:
+            return
+        store = CheckpointStore(
+            self.checkpoint_dir / name,
+            keep_last=self._checkpoint_keep_last,
+        )
+        every_updates = self._checkpoint_every_updates
+        if every_updates is None and self._checkpoint_every_seconds is None:
+            every_updates = _DEFAULT_CHECKPOINT_EVERY
+        checkpointer = Checkpointer(
+            session, store,
+            every_updates=every_updates,
+            every_seconds=self._checkpoint_every_seconds,
+        )
+        if self._checkpoint_every_seconds is not None:
+            checkpointer.start()
+        if not store.checkpoint_paths():
+            checkpointer.checkpoint()
+        self._checkpointers[name] = checkpointer
+
+    def _maybe_checkpoint(self, name: str) -> None:
+        checkpointer = self._checkpointers.get(name)
+        if checkpointer is not None:
+            checkpointer.maybe_checkpoint()
+
+    def set_shedding(self, shedding: bool) -> None:
+        """Toggle load-shedding mode: while set, every new ingest is
+        refused with a retryable ``busy`` error (counted in
+        ``repro_ingest_shed_total``); queries, merges, and snapshots
+        still answer."""
+        self.shedding = bool(shedding)
+
+    def shutdown(self, final_checkpoint: bool = True) -> None:
+        """Stop every checkpointer; by default write final checkpoints
+        so the acked tail of each stream is durable.  Idempotent —
+        ``ServiceServer.close`` calls it, and so should anyone driving
+        a durable service directly."""
+        with self._lock:
+            checkpointers = dict(self._checkpointers)
+            self._checkpointers.clear()
+        for checkpointer in checkpointers.values():
+            checkpointer.stop(final_checkpoint=final_checkpoint)
 
     # -- session lifecycle ---------------------------------------------------
     def create_session(self, name: str, *, n: int, seed: int = 0,
@@ -178,14 +285,22 @@ class SketchService:
             except (KeyError, ValueError, TypeError) as exc:
                 raise ServiceError("bad_session", str(exc)) from exc
             self.sessions[name] = session
+            self._attach_checkpointer(name, session)
         return self.info(name)
 
     def delete_session(self, name: str) -> None:
         with self._lock:
-            if self.sessions.pop(name, None) is None:
-                raise ServiceError(
-                    "not_found", f"no session {name!r}", 404
-                )
+            session = self.sessions.pop(name, None)
+            checkpointer = self._checkpointers.pop(name, None)
+        if session is None:
+            raise ServiceError(
+                "not_found", f"no session {name!r}", 404
+            )
+        if checkpointer is not None:
+            # A deleted session must stay deleted across restarts:
+            # stop without a final checkpoint, then drop its store.
+            checkpointer.stop(final_checkpoint=False)
+            shutil.rmtree(checkpointer.store.directory, ignore_errors=True)
 
     def get(self, name: str) -> StreamSession:
         try:
@@ -208,31 +323,97 @@ class SketchService:
             "consumers": {
                 cname: session.spec_of(cname) for cname in session.names()
             },
+            "ingest_watermarks": session.ingest_watermarks,
+            "durable": name in self._checkpointers,
         }
 
     def list_sessions(self) -> list[dict]:
         return [self.info(name) for name in sorted(self.sessions)]
 
-    # -- the three verbs -----------------------------------------------------
-    def ingest(self, name: str, payload: bytes) -> int:
-        """Apply one INGEST frame payload; returns the session's
-        cumulative updates-processed watermark.
+    # -- the verbs -----------------------------------------------------------
+    def ingest(self, name: str, payload: bytes, *, version: int = 1,
+               received_at: float | None = None) -> dict:
+        """Apply one INGEST frame payload (v1 unstamped, v2 stamped).
 
-        Counted in ``repro_ingest_frames_total`` always, and in
-        exactly one of ``repro_ingest_updates_total`` (by update count)
-        or ``repro_ingest_refused_total`` — the conservation law the
-        end-to-end tests assert.
+        Returns ``{"applied": updates watermark, "seq": ...,
+        "duplicate": ..., "client_id": ...}``.  Every frame lands in
+        ``repro_ingest_frames_total`` and in exactly one of
+        ``repro_ingest_applied_total``,
+        ``repro_ingest_duplicates_total`` (stamped retries: acked
+        idempotently, nothing re-applied),
+        ``repro_ingest_refused_total``, or ``repro_ingest_shed_total``
+        (shedding/deadline BUSY — the only *retryable* refusal: it
+        consumes no seq) — the conservation law the tests assert.
         """
         self.metrics.ingest_frames.inc()
-        session = self.get(name)
+        if self.shedding:
+            self.metrics.ingest_shed.inc()
+            raise ServiceError(
+                "busy", "load shedding engaged; retry with backoff", 503
+            )
+        if (self.ingest_deadline is not None and received_at is not None
+                and self.clock() - received_at > self.ingest_deadline):
+            self.metrics.ingest_shed.inc()
+            raise ServiceError(
+                "busy",
+                f"frame waited past the {self.ingest_deadline}s ingest "
+                "deadline; retry with backoff", 503,
+            )
         try:
-            items, deltas = protocol.decode_ingest(payload)
-            session.push(items, deltas)
-        except (protocol.ProtocolError, ValueError, TypeError) as exc:
+            session = self.get(name)
+        except ServiceError:
+            self.metrics.ingest_refused.inc()
+            raise
+        try:
+            if version >= 2:
+                items, deltas, client_id, seq = (
+                    protocol.decode_ingest_v2(payload)
+                )
+            else:
+                items, deltas = protocol.decode_ingest(payload)
+                client_id = seq = None
+        except protocol.ProtocolError as exc:
             self.metrics.ingest_refused.inc()
             raise ServiceError("bad_frame", str(exc)) from exc
-        self.metrics.ingest_updates.inc(len(items))
-        return session.updates_processed
+        duplicate = False
+        if client_id is None:
+            try:
+                session.push(items, deltas)
+            except (ValueError, TypeError) as exc:
+                self.metrics.ingest_refused.inc()
+                raise ServiceError("bad_frame", str(exc)) from exc
+        else:
+            try:
+                duplicate = not session.push_once(
+                    client_id, seq, items, deltas
+                )
+            except SequenceGapError as exc:
+                self.metrics.ingest_refused.inc()
+                raise ServiceError("seq_gap", str(exc), 409) from exc
+            except (ValueError, TypeError) as exc:
+                # push_once consumed the seq: the refusal is
+                # deterministic, so the client must not resend.
+                self.metrics.ingest_refused.inc()
+                raise ServiceError("bad_frame", str(exc)) from exc
+        if duplicate:
+            self.metrics.ingest_duplicates.inc()
+        else:
+            self.metrics.ingest_applied.inc()
+            self.metrics.ingest_updates.inc(len(items))
+            self._maybe_checkpoint(name)
+        return {
+            "applied": session.updates_processed,
+            "seq": seq,
+            "duplicate": duplicate,
+            "client_id": client_id,
+        }
+
+    def hello(self, name: str, client_id: str) -> tuple[int, int]:
+        """Where ``client_id``'s stream stands in session ``name``:
+        ``(seq watermark, session updates_processed)`` — the
+        reconnect-and-resume handshake."""
+        session = self.get(name)
+        return session.ingest_watermark(client_id), session.updates_processed
 
     def flush(self, name: str) -> int:
         """Dispatch a session's partial buffer, observed in the flush
@@ -276,6 +457,7 @@ class SketchService:
         except (ValueError, TypeError, KeyError) as exc:
             raise ServiceError("bad_merge", str(exc)) from exc
         self.metrics.merges.inc()
+        self._maybe_checkpoint(name)
         return session.updates_processed
 
     def snapshot(self, name: str) -> bytes:
@@ -320,6 +502,9 @@ class ServiceServer:
         if self._conn_tasks:
             await asyncio.gather(*self._conn_tasks, return_exceptions=True)
             self._conn_tasks.clear()
+        # Durable sessions get their final checkpoints on clean
+        # shutdown (no-op for an ephemeral service).
+        self.service.shutdown()
 
     # -- HTTP plumbing -------------------------------------------------------
     @staticmethod
@@ -460,6 +645,19 @@ class ServiceServer:
             return self._response(
                 200, text, "text/plain; version=0.0.4", close=close
             )
+        if path == "/v1/shed":
+            if method == "GET":
+                return self._json(
+                    200, {"shedding": service.shedding}, close=close
+                )
+            if method == "POST":
+                obj = self._json_body(body)
+                service.set_shedding(bool(obj.get("shedding", True)))
+                return self._json(
+                    200, {"shedding": service.shedding}, close=close
+                )
+            raise ServiceError("method_not_allowed",
+                               f"{method} not supported here", 405)
         if path == "/v1/sessions":
             if method == "GET":
                 return self._json(200, service.list_sessions(), close=close)
@@ -489,10 +687,13 @@ class ServiceServer:
                 return self._json(200, {"deleted": name}, close=close)
         elif action == "ingest" and method == "POST":
             frame = self._body_frame(body, protocol.FrameType.INGEST)
-            applied = service.ingest(name, frame.payload)
+            result = service.ingest(name, frame.payload,
+                                    version=frame.version)
             return self._json(200, {
-                "applied": applied,
+                "applied": result["applied"],
                 "pending": service.get(name).pending,
+                "seq": result["seq"],
+                "duplicate": result["duplicate"],
             }, close=close)
         elif action == "flush" and method == "POST":
             return self._json(
@@ -622,9 +823,15 @@ class ServiceServer:
                     ))
                     await writer.drain()
                     return
+                # One arrival stamp per transport message: under a
+                # pipelined burst the later frames of the message age
+                # while the earlier ones process, which is exactly what
+                # the ingest deadline measures.
+                received_at = self.service.clock()
                 for frame in frames:
                     writer.write(encode_ws_frame(
-                        OP_BINARY, self._answer_frame(name, frame)
+                        OP_BINARY,
+                        self._answer_frame(name, frame, received_at),
                     ))
                 await writer.drain()
         except WebSocketError:
@@ -639,15 +846,27 @@ class ServiceServer:
         finally:
             metrics.connections.dec()
 
-    def _answer_frame(self, name: str, frame: protocol.Frame) -> bytes:
+    def _answer_frame(self, name: str, frame: protocol.Frame,
+                      received_at: float | None = None) -> bytes:
         """One protocol frame in, one out; errors become ERROR frames
         so an application failure never kills the connection."""
         service = self.service
         try:
             if frame.type is protocol.FrameType.INGEST:
-                return protocol.encode_ingest_ack(
-                    service.ingest(name, frame.payload)
+                result = service.ingest(
+                    name, frame.payload, version=frame.version,
+                    received_at=received_at,
                 )
+                if result["client_id"] is not None:
+                    return protocol.encode_ingest_ack_v2(
+                        result["applied"], result["seq"],
+                        duplicate=result["duplicate"],
+                    )
+                return protocol.encode_ingest_ack(result["applied"])
+            if frame.type is protocol.FrameType.HELLO:
+                client_id = protocol.decode_hello(frame.payload)
+                seq_watermark, updates = service.hello(name, client_id)
+                return protocol.encode_hello_ack(seq_watermark, updates)
             if frame.type is protocol.FrameType.QUERY:
                 consumer = protocol.decode_query(frame.payload)
                 return protocol.encode_query_result(

@@ -1,0 +1,359 @@
+"""Fault injection for the service tier: a chaos proxy.
+
+:class:`ChaosProxy` sits between a client and a
+:class:`~repro.service.server.ServiceServer`, passes the HTTP phase
+through untouched, and — once a connection upgrades to a WebSocket —
+re-frames every data message so it can inject faults *at the message
+level*, where the delivery guarantees live:
+
+``drop``
+    the message vanishes (a lost packet the TCP session never admits
+    to, from the protocol's point of view);
+``duplicate``
+    the message is delivered twice (a retransmit racing an ack);
+``delay``
+    the message (and everything queued behind it) waits;
+``resplit``
+    the message is re-fragmented into two WebSocket frames, exercising
+    continuation-frame reassembly on the receiving side;
+``truncate``
+    a frame header promising more bytes than follow goes out, then
+    **both halves of the connection are aborted** — a peer dying
+    mid-frame.  (The stream cannot be resynchronized after a partial
+    frame, so a truncating proxy that kept the connection alive would
+    be injecting a fault no real network produces.)
+
+Faults come from a :class:`FaultSchedule`: every decision is a pure
+function of ``(seed, direction, message_index)``, so a logged seed
+replays the same schedule.  The soak suite in
+``tests/test_service_chaos.py`` drives stamped clients through this
+proxy and hard-gates bit-identity of the served state against an
+offline replay — the PR 9 acceptance bar.
+
+>>> schedule = FaultSchedule(seed=7, drop=0.2, duplicate=0.1)
+>>> schedule.plan("c2s", 3).action in FaultSchedule.ACTIONS
+True
+>>> schedule.plan("c2s", 3) == schedule.plan("c2s", 3)  # deterministic
+True
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import random
+
+from repro.service._ws import (
+    OP_BINARY,
+    OP_CONT,
+    OP_TEXT,
+    WebSocketError,
+    encode_ws_frame,
+    read_ws_frame,
+)
+
+__all__ = ["FaultPlan", "FaultSchedule", "ChaosProxy"]
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultPlan:
+    """What happens to one WebSocket data message."""
+
+    action: str = "pass"
+    #: Seconds to hold the message (and the pipe behind it) first.
+    delay: float = 0.0
+    #: Fraction of the encoded frame kept (truncate) or of the payload
+    #: sent in the first fragment (resplit).
+    cut: float = 0.5
+
+
+class FaultSchedule:
+    """Seeded, replayable per-message fault decisions.
+
+    ``drop``/``duplicate``/``truncate``/``resplit`` are per-message
+    probabilities (mutually exclusive, checked in that order);
+    ``delay`` is an independent probability of sleeping up to
+    ``max_delay`` seconds.  ``directions`` restricts faults to client→
+    server (``"c2s"``), server→client (``"s2c"``), or both.
+    ``max_faults`` caps the total number of injected faults per proxy,
+    guaranteeing eventual progress under even hostile rates.
+    """
+
+    ACTIONS = ("pass", "drop", "duplicate", "truncate", "resplit")
+
+    def __init__(self, seed: int, *, drop: float = 0.0,
+                 duplicate: float = 0.0, truncate: float = 0.0,
+                 resplit: float = 0.0, delay: float = 0.0,
+                 max_delay: float = 0.01,
+                 directions: tuple[str, ...] = ("c2s", "s2c"),
+                 max_faults: int | None = None) -> None:
+        for name, p in (("drop", drop), ("duplicate", duplicate),
+                        ("truncate", truncate), ("resplit", resplit),
+                        ("delay", delay)):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {p}")
+        if drop + duplicate + truncate + resplit > 1.0:
+            raise ValueError("fault probabilities sum past 1")
+        unknown = set(directions) - {"c2s", "s2c"}
+        if unknown:
+            raise ValueError(f"unknown directions: {sorted(unknown)}")
+        self.seed = int(seed)
+        self.drop = drop
+        self.duplicate = duplicate
+        self.truncate = truncate
+        self.resplit = resplit
+        self.delay = delay
+        self.max_delay = max_delay
+        self.directions = tuple(directions)
+        self.max_faults = max_faults
+
+    def describe(self) -> dict:
+        return {
+            "seed": self.seed, "drop": self.drop,
+            "duplicate": self.duplicate, "truncate": self.truncate,
+            "resplit": self.resplit, "delay": self.delay,
+            "max_delay": self.max_delay, "directions": self.directions,
+            "max_faults": self.max_faults,
+        }
+
+    def plan(self, direction: str, index: int) -> FaultPlan:
+        """The fault for data message ``index`` (0-based, counted per
+        direction across the proxy's whole lifetime) — a pure function
+        of ``(seed, direction, index)``."""
+        if direction not in self.directions:
+            return FaultPlan()
+        rng = random.Random(f"{self.seed}:{direction}:{index}")
+        delay = 0.0
+        if rng.random() < self.delay:
+            delay = rng.random() * self.max_delay
+        roll = rng.random()
+        action = "pass"
+        for candidate, p in (("drop", self.drop),
+                             ("duplicate", self.duplicate),
+                             ("truncate", self.truncate),
+                             ("resplit", self.resplit)):
+            if roll < p:
+                action = candidate
+                break
+            roll -= p
+        return FaultPlan(action=action, delay=delay,
+                         cut=0.25 + 0.5 * rng.random())
+
+
+class ChaosProxy:
+    """A fault-injecting TCP proxy in front of the sketch service.
+
+    Async context manager; binds an ephemeral port on ``host`` and
+    relays every accepted connection to ``upstream_host:port``.  Plain
+    HTTP exchanges tunnel through unharmed; WebSocket upgrades switch
+    the connection into frame-aware chaos mode driven by the
+    :class:`FaultSchedule`.  Control frames (CLOSE/PING/PONG) always
+    pass — the chaos is aimed at the delivery layer, not the WebSocket
+    bookkeeping.  Every injected fault lands in :attr:`fault_log` as
+    ``(direction, index, action)`` for post-mortems.
+
+    >>> async with ChaosProxy(host, port, schedule) as proxy:
+    ...     client = AsyncSessionClient(proxy.host, proxy.port, "edge",
+    ...                                 client_id="c1")    # doctest: +SKIP
+    """
+
+    def __init__(self, upstream_host: str, upstream_port: int,
+                 schedule: FaultSchedule, *,
+                 host: str = "127.0.0.1") -> None:
+        self.upstream_host = upstream_host
+        self.upstream_port = upstream_port
+        self.schedule = schedule
+        self.host = host
+        self.port: int | None = None
+        self.fault_log: list[tuple[str, int, str]] = []
+        self._server: asyncio.base_events.Server | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._counts = {"c2s": 0, "s2c": 0}
+        self._faults_injected = 0
+
+    async def start(self) -> "ChaosProxy":
+        self._server = await asyncio.start_server(
+            self._handle, self.host, 0
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def aclose(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+            self._conn_tasks.clear()
+
+    async def __aenter__(self) -> "ChaosProxy":
+        return await self.start()
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.aclose()
+
+    # -- plumbing ------------------------------------------------------------
+    def _next_plan(self, direction: str) -> FaultPlan:
+        index = self._counts[direction]
+        self._counts[direction] = index + 1
+        plan = self.schedule.plan(direction, index)
+        budget = self.schedule.max_faults
+        if budget is not None and self._faults_injected >= budget:
+            plan = FaultPlan(action="pass")
+        if plan.action != "pass" or plan.delay > 0.0:
+            self._faults_injected += 1
+            self.fault_log.append((direction, index, plan.action))
+        return plan
+
+    def _handle(self, creader: asyncio.StreamReader,
+                cwriter: asyncio.StreamWriter) -> None:
+        task = asyncio.ensure_future(self._relay(creader, cwriter))
+        self._conn_tasks.add(task)
+        task.add_done_callback(self._conn_tasks.discard)
+
+    async def _relay(self, creader: asyncio.StreamReader,
+                     cwriter: asyncio.StreamWriter) -> None:
+        try:
+            sreader, swriter = await asyncio.open_connection(
+                self.upstream_host, self.upstream_port
+            )
+        except OSError:
+            _abort(cwriter)
+            return
+        try:
+            request = await creader.readuntil(b"\r\n\r\n")
+            swriter.write(request)
+            length = _content_length(request)
+            if length:
+                swriter.write(await creader.readexactly(length))
+            await swriter.drain()
+            response = await sreader.readuntil(b"\r\n\r\n")
+            cwriter.write(response)
+            await cwriter.drain()
+            status = response.split(b"\r\n", 1)[0]
+            if b" 101 " not in status + b" ":
+                # Not an upgrade: degrade to a dumb byte tunnel.
+                await self._tunnel(creader, cwriter, sreader, swriter)
+                return
+            pumps = [
+                asyncio.ensure_future(
+                    self._pump(creader, swriter, cwriter, "c2s")
+                ),
+                asyncio.ensure_future(
+                    self._pump(sreader, cwriter, swriter, "s2c")
+                ),
+            ]
+            done, pending = await asyncio.wait(
+                pumps, return_when=asyncio.FIRST_COMPLETED
+            )
+            for task in pending:
+                task.cancel()
+            await asyncio.gather(*pending, return_exceptions=True)
+        except (OSError, EOFError, WebSocketError,
+                asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            pass
+        finally:
+            _abort(cwriter)
+            _abort(swriter)
+
+    async def _pump(self, reader: asyncio.StreamReader,
+                    writer: asyncio.StreamWriter,
+                    back_writer: asyncio.StreamWriter,
+                    direction: str) -> None:
+        """Forward frames from ``reader`` to ``writer``, injecting the
+        schedule's faults on data messages.  ``back_writer`` is the
+        pipe back toward the reader's peer — truncation aborts both."""
+        masked_out = direction == "c2s"
+        try:
+            while True:
+                opcode, fin, payload, _ = await read_ws_frame(reader)
+                if opcode not in (OP_BINARY, OP_TEXT, OP_CONT):
+                    writer.write(encode_ws_frame(
+                        opcode, payload, mask=masked_out, fin=fin
+                    ))
+                    await writer.drain()
+                    continue
+                plan = self._next_plan(direction)
+                if plan.delay > 0.0:
+                    await asyncio.sleep(plan.delay)
+                if plan.action == "drop":
+                    continue
+                frame = encode_ws_frame(payload=payload, opcode=opcode,
+                                        mask=masked_out, fin=fin)
+                if plan.action == "truncate":
+                    cut = max(2, min(len(frame) - 1,
+                                     int(len(frame) * plan.cut)))
+                    writer.write(frame[:cut])
+                    with _suppress_oserror():
+                        await writer.drain()
+                    _abort(writer)
+                    _abort(back_writer)
+                    return
+                if plan.action == "resplit" and len(payload) >= 2 and fin:
+                    cut = max(1, min(len(payload) - 1,
+                                     int(len(payload) * plan.cut)))
+                    writer.write(encode_ws_frame(
+                        opcode, payload[:cut], mask=masked_out, fin=False
+                    ))
+                    writer.write(encode_ws_frame(
+                        OP_CONT, payload[cut:], mask=masked_out, fin=True
+                    ))
+                elif plan.action == "duplicate":
+                    writer.write(frame)
+                    writer.write(encode_ws_frame(
+                        payload=payload, opcode=opcode,
+                        mask=masked_out, fin=fin,
+                    ))
+                else:
+                    writer.write(frame)
+                await writer.drain()
+        except (OSError, EOFError, WebSocketError,
+                asyncio.IncompleteReadError):
+            return
+
+    async def _tunnel(self, creader, cwriter, sreader, swriter) -> None:
+        async def copy(reader, writer):
+            try:
+                while True:
+                    chunk = await reader.read(1 << 16)
+                    if not chunk:
+                        break
+                    writer.write(chunk)
+                    await writer.drain()
+            except OSError:
+                pass
+            finally:
+                _abort(writer)
+
+        await asyncio.gather(
+            copy(creader, swriter), copy(sreader, cwriter),
+            return_exceptions=True,
+        )
+
+
+def _content_length(head: bytes) -> int:
+    for line in head.split(b"\r\n"):
+        if line.lower().startswith(b"content-length:"):
+            return int(line.split(b":", 1)[1])
+    return 0
+
+
+def _abort(writer: asyncio.StreamWriter) -> None:
+    """Kill a connection without the shutdown handshake."""
+    try:
+        transport = writer.transport
+        if transport is not None:
+            transport.abort()
+    except (OSError, RuntimeError):
+        pass
+
+
+class _suppress_oserror:
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return exc_type is not None and issubclass(exc_type, OSError)

@@ -1,0 +1,52 @@
+"""Subprocess worker for the served kill-and-recover harness.
+
+Not a test module (no ``test_`` prefix): ``test_service_chaos.py``
+spawns this script to host a **durable** sketch service on a fixed
+port, SIGKILLs it mid-stream while concurrent clients are ingesting,
+then spawns it again on the same port and checkpoint directory.  The
+session battery and checkpoint cadence live here so both generations
+of the server provably run the same configuration.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+N = 1 << 10
+SESSION_SEED = 41
+#: Ordered per-session streams, so the full payload (sampling consumer
+#: included) is bit-comparable against an offline mirror.
+TRACK = ["countmin", "countsketch", "ams", "frequency_vector", "csss"]
+SESSIONS = ("east", "west", "north")
+CHECKPOINT_EVERY = 400
+KEEP_LAST = 2
+
+
+def main(port: str, checkpoint_dir: str) -> None:
+    from repro.service import (
+        MetricsRegistry,
+        ServerThread,
+        ServiceMetrics,
+        SketchService,
+    )
+
+    service = SketchService(
+        ServiceMetrics(MetricsRegistry()),
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_every_updates=CHECKPOINT_EVERY,
+        checkpoint_keep_last=KEEP_LAST,
+    )
+    handle = ServerThread(service, host="127.0.0.1", port=int(port))
+    handle.start()
+    for name in SESSIONS:
+        if name not in service.sessions:
+            service.create_session(name, n=N, seed=SESSION_SEED,
+                                   track=TRACK)
+    print("READY", flush=True)
+    while True:  # run until SIGKILLed (or terminated by the parent)
+        time.sleep(0.2)
+
+
+if __name__ == "__main__":
+    main(sys.argv[1], sys.argv[2])

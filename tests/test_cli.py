@@ -198,6 +198,25 @@ class TestServe:
         assert args.session == ["edge", "core"]
         assert args.track == "countmin,frequency_vector"
         assert args.port == 0
+        # durability knobs default to the non-durable service
+        assert args.checkpoint_dir is None
+        assert args.checkpoint_every is None
+        assert args.checkpoint_keep == 3
+        assert args.ingest_deadline is None
+
+    def test_serve_parses_durability_flags(self, tmp_path):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args([
+            "serve", "--port", "0", "--session", "edge",
+            "--checkpoint-dir", str(tmp_path),
+            "--checkpoint-every", "250", "--checkpoint-keep", "5",
+            "--ingest-deadline", "2.5",
+        ])
+        assert args.checkpoint_dir == str(tmp_path)
+        assert args.checkpoint_every == 250
+        assert args.checkpoint_keep == 5
+        assert args.ingest_deadline == 2.5
 
     def test_serve_round_trips_a_request(self):
         """Boot the served loop in a thread via the service layer the

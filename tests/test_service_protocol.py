@@ -200,31 +200,135 @@ class TestRefusals:
             protocol.decode_query_result(b"{}")
 
 
+class TestStampedIngest:
+    """Protocol v2: the dedup stamp and the HELLO resume handshake."""
+
+    @given(cols=update_columns,
+           seq=st.integers(min_value=1, max_value=2**63),
+           cid=st.text(min_size=1, max_size=21).filter(
+               lambda s: 1 <= len(s.encode("utf-8"))
+               <= protocol.MAX_CLIENT_ID))
+    @settings(max_examples=50, deadline=None)
+    def test_stamped_round_trip(self, cols, seq, cid):
+        items, deltas = cols
+        frame = protocol.decode_frame(
+            protocol.encode_ingest(items, deltas, client_id=cid, seq=seq)
+        )
+        assert frame.version == 2
+        out_i, out_d, out_cid, out_seq = protocol.decode_ingest_frame(frame)
+        np.testing.assert_array_equal(out_i, items)
+        np.testing.assert_array_equal(out_d, deltas)
+        assert (out_cid, out_seq) == (cid, seq)
+
+    def test_unstamped_stays_v1_on_the_wire(self):
+        """Backward compat is a byte-level contract: an unstamped
+        encode_ingest emits exactly the PR 7 v1 frame."""
+        frame = protocol.decode_frame(protocol.encode_ingest([1], [1]))
+        assert frame.version == 1
+        items, deltas, cid, seq = protocol.decode_ingest_frame(frame)
+        assert cid is None and seq is None
+        assert items.tolist() == [1]
+
+    def test_ack_v2_round_trip(self):
+        frame = protocol.decode_frame(
+            protocol.encode_ingest_ack_v2(900, 7, duplicate=True)
+        )
+        assert protocol.decode_ack(frame.payload) == 900
+        info = protocol.decode_ack_info(frame.payload)
+        assert (info.applied, info.seq, info.duplicate) == (900, 7, True)
+        v1 = protocol.decode_frame(protocol.encode_ingest_ack(900))
+        info = protocol.decode_ack_info(v1.payload)
+        assert (info.applied, info.seq, info.duplicate) == (900, None, False)
+
+    def test_hello_round_trip(self):
+        frame = protocol.decode_frame(protocol.encode_hello("edge-7"))
+        assert frame.type is FrameType.HELLO and frame.version == 2
+        assert protocol.decode_hello(frame.payload) == "edge-7"
+        ack = protocol.decode_frame(protocol.encode_hello_ack(42, 4200))
+        assert protocol.decode_hello_ack(ack.payload) == (42, 4200)
+
+    def test_stamp_refusals(self):
+        with pytest.raises(ProtocolError, match="travel together"):
+            protocol.encode_ingest([1], [1], client_id="a")
+        with pytest.raises(ProtocolError, match="travel together"):
+            protocol.encode_ingest([1], [1], seq=1)
+        with pytest.raises(ProtocolError, match="seq"):
+            protocol.encode_ingest([1], [1], client_id="a", seq=0)
+        with pytest.raises(ProtocolError, match="client ids"):
+            protocol.encode_ingest([1], [1], client_id="", seq=1)
+        with pytest.raises(ProtocolError, match="client ids"):
+            protocol.encode_hello("x" * (protocol.MAX_CLIENT_ID + 1))
+        with pytest.raises(ProtocolError, match="trailing"):
+            frame = protocol.decode_frame(protocol.encode_hello("a"))
+            protocol.decode_hello(frame.payload + b"\x00")
+        with pytest.raises(ProtocolError, match="seq field"):
+            protocol.decode_ingest_v2(b"\x01a\x00")
+
+    def test_hello_refused_as_v1(self):
+        """HELLO only exists in v2: a v1 header on a HELLO frame is a
+        protocol error, not a silent misparse."""
+        raw = bytearray(protocol.encode_hello("a"))
+        raw[2] = 1
+        with pytest.raises(ProtocolError, match="version 2"):
+            protocol.decode_frame(bytes(raw))
+
+
+def _reheader_v1(raw: bytes) -> bytes:
+    """Re-emit an encoded frame with a v1 header (payload unchanged)."""
+    frame = protocol.decode_frame(raw)
+    return protocol.encode_frame(frame.type, frame.payload, version=1)
+
+
 class TestGoldenFrame:
     """The byte layout is pinned: changing it without bumping
     PROTOCOL_VERSION breaks deployed peers silently — this test makes
-    the break loud instead."""
+    the break loud instead.  The v1 pin is the PR 7 digest, unchanged:
+    v1 frames must decode forever."""
 
-    GOLDEN_SHA256 = (
+    GOLDEN_V1_SHA256 = (
         "12d4baf28ff0c3e317fc220d2f330e0577a984b77dc1bdb73c100f6081b2b609"
     )
+    GOLDEN_SHA256 = (
+        "d58643dc0fcdc5c27abf4dd3442cf9f737e19dfcb6c03f8c407e5558f08cf98b"
+    )
+
+    def golden_v1_bytes(self) -> bytes:
+        """Exactly the PR 7 golden byte stream (every frame carried a
+        v1 header then; unstamped ingest and v1 acks still do)."""
+        return (
+            protocol.encode_ingest([3, 1, 4], [2, -1, 7])
+            + _reheader_v1(protocol.encode_query("countmin"))
+            + protocol.encode_ingest_ack(12345678901234)
+            + _reheader_v1(protocol.encode_error("bad_frame", "nope"))
+        )
 
     def golden_bytes(self) -> bytes:
         return (
-            protocol.encode_ingest([3, 1, 4], [2, -1, 7])
+            protocol.encode_ingest([3, 1, 4], [2, -1, 7],
+                                   client_id="edge-1", seq=9)
             + protocol.encode_query("countmin")
-            + protocol.encode_ingest_ack(12345678901234)
+            + protocol.encode_ingest_ack_v2(12345678901234, 9,
+                                            duplicate=True)
+            + protocol.encode_hello("edge-1")
+            + protocol.encode_hello_ack(9, 12345678901234)
             + protocol.encode_error("bad_frame", "nope")
         )
 
     def test_header_layout(self):
         raw = protocol.encode_query("ams")
         assert raw[:2] == b"SK"
-        assert raw[2] == protocol.PROTOCOL_VERSION == 1
+        assert raw[2] == protocol.PROTOCOL_VERSION == 2
         assert raw[3] == int(FrameType.QUERY) == 3
         assert raw[4:8] == (3).to_bytes(4, "little")
         assert raw[8:] == b"ams"
         assert HEADER_SIZE == 8
+
+    def test_golden_v1_frame_hash(self):
+        digest = hashlib.sha256(self.golden_v1_bytes()).hexdigest()
+        assert digest == self.GOLDEN_V1_SHA256, (
+            "the v1 wire layout changed; v1 frames are a compatibility "
+            "contract and may never be re-pinned"
+        )
 
     def test_golden_frame_hash(self):
         digest = hashlib.sha256(self.golden_bytes()).hexdigest()
@@ -235,15 +339,21 @@ class TestGoldenFrame:
 
     def test_golden_frames_decode(self):
         dec = FrameDecoder()
-        frames = dec.feed(self.golden_bytes())
+        frames = dec.feed(self.golden_v1_bytes() + self.golden_bytes())
         assert [f.type for f in frames] == [
             FrameType.INGEST, FrameType.QUERY,
             FrameType.INGEST_ACK, FrameType.ERROR,
+            FrameType.INGEST, FrameType.QUERY, FrameType.INGEST_ACK,
+            FrameType.HELLO, FrameType.HELLO_ACK, FrameType.ERROR,
         ]
         items, deltas = protocol.decode_ingest(frames[0].payload)
         assert items.tolist() == [3, 1, 4]
         assert deltas.tolist() == [2, -1, 7]
         assert protocol.decode_ack(frames[2].payload) == 12345678901234
+        items, deltas, cid, seq = protocol.decode_ingest_frame(frames[4])
+        assert items.tolist() == [3, 1, 4]
+        assert (cid, seq) == ("edge-1", 9)
+        assert protocol.decode_ack_info(frames[6].payload).duplicate
 
 
 class TestJsonSafe:
