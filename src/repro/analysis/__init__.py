@@ -1,0 +1,84 @@
+"""``repro.analysis`` — the repo-specific AST invariant analyzer.
+
+Exposed as ``repro lint [paths]``: parses the given files/directories,
+runs the rule battery (:mod:`repro.analysis.rules`), applies
+``# repro: allow[rule-id] -- justification`` pragmas, and reports in
+grep-friendly text or machine JSON.
+
+Exit-code contract (pinned in ``tests/test_cli.py``):
+
+* ``0`` — clean (no findings),
+* ``1`` — findings reported,
+* ``2`` — internal analyzer error (bad paths, rule crash).
+"""
+
+from __future__ import annotations
+
+import sys
+import traceback
+from typing import Sequence
+
+from repro.analysis.core import (
+    Finding,
+    Project,
+    Rule,
+    SourceFile,
+    lint_paths,
+    lint_sources,
+    run_rules,
+)
+from repro.analysis.report import render_json, render_text
+
+#: Default lint surface when `repro lint` is invoked with no paths.
+DEFAULT_PATHS = ("src", "tests", "benchmarks")
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_INTERNAL_ERROR = 2
+
+
+def run(
+    paths: Sequence[str],
+    fmt: str = "text",
+    list_rules: bool = False,
+    out=None,
+) -> int:
+    """CLI body for ``repro lint``; returns the process exit code."""
+    from repro.analysis.rules import all_rules
+
+    emit = out if out is not None else print
+    rules = all_rules()
+    if list_rules:
+        for rule in rules:
+            emit(f"{rule.id}: {rule.summary}")
+        return EXIT_CLEAN
+    try:
+        findings, files_scanned = lint_paths(
+            list(paths) or list(DEFAULT_PATHS), rules
+        )
+        if fmt == "json":
+            emit(render_json(findings, files_scanned, rules))
+        else:
+            emit(render_text(findings, files_scanned))
+    except Exception:
+        traceback.print_exc(file=sys.stderr)
+        return EXIT_INTERNAL_ERROR
+    return EXIT_FINDINGS if findings else EXIT_CLEAN
+
+
+__all__ = [
+    "DEFAULT_PATHS",
+    "EXIT_CLEAN",
+    "EXIT_FINDINGS",
+    "EXIT_INTERNAL_ERROR",
+    "Finding",
+    "Project",
+    "Rule",
+    "SourceFile",
+    "lint_paths",
+    "lint_sources",
+    "render_json",
+    "render_text",
+    "run",
+    "run_rules",
+]

@@ -1,0 +1,46 @@
+"""Reporters for ``repro lint``: grep-friendly text and machine JSON.
+
+The JSON document is the CI contract (the blocking step runs with
+``--format=json``): a fixed ``version``, the rule inventory that ran,
+every finding as a location record, and the total count — so a gating
+script never has to parse human text.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from repro.analysis.core import Finding, Rule
+
+JSON_FORMAT_VERSION = 1
+
+
+def render_text(
+    findings: Sequence[Finding], files_scanned: int
+) -> str:
+    lines = [f.format() for f in findings]
+    noun = "finding" if len(findings) == 1 else "findings"
+    lines.append(
+        f"{len(findings)} {noun} in {files_scanned} files scanned"
+    )
+    return "\n".join(lines)
+
+
+def render_json(
+    findings: Sequence[Finding],
+    files_scanned: int,
+    rules: Sequence[Rule],
+) -> str:
+    return json.dumps(
+        {
+            "version": JSON_FORMAT_VERSION,
+            "files_scanned": files_scanned,
+            "rules": [
+                {"id": r.id, "summary": r.summary} for r in rules
+            ],
+            "count": len(findings),
+            "findings": [f.to_dict() for f in findings],
+        },
+        indent=2,
+    )

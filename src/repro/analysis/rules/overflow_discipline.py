@@ -1,0 +1,101 @@
+"""overflow-discipline: integer reductions route through exact helpers.
+
+The stream model admits deltas up to ``|Δ| < 2^63``; NumPy int64
+reductions over them wrap silently (``-fwrapv`` semantics, no Python
+``OverflowError``).  ``repro.batch`` owns the guarded helpers —
+``exact_sum`` (float64-bounded int64 fast path, object-dtype exact
+fallback), ``running_sums`` (exact prefix sums), ``mod_scatter_add``,
+``running_sum_extrema``, ``signed_scatter_add_peak`` — and every
+delta/count reduction in the numeric modules must go through them.
+
+Flags, in ``repro.sketches.* / repro.core.* / repro.counters.* /
+repro.hashing.*`` and ``repro.streams.model``:
+
+* ``int(<expr containing .sum()>)`` — the classic wrap: the array sum
+  overflows *before* the exact Python ``int()`` conversion.  Sums
+  routed through ``.astype(np.float64)`` first are exempt (those are
+  bound *checks*, not results);
+* any ``np.cumsum(...)`` / ``<arr>.cumsum()`` — running int64 prefix
+  sums wrap mid-array; use ``repro.batch.running_sums`` (or pragma a
+  float-dtype accumulator, which the AST cannot see).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, Project, Rule, dotted_name
+
+_SCOPES = (
+    "repro.sketches", "repro.core", "repro.counters", "repro.hashing",
+    "repro.streams.model",
+)
+
+
+def _contains_sum_call(node: ast.AST) -> bool:
+    for n in ast.walk(node):
+        if isinstance(n, ast.Call):
+            if isinstance(n.func, ast.Attribute) and \
+                    n.func.attr == "sum":
+                return True
+            if dotted_name(n.func) in ("np.sum", "numpy.sum"):
+                return True
+    return False
+
+
+def _contains_float_astype(node: ast.AST) -> bool:
+    for n in ast.walk(node):
+        if isinstance(n, ast.Call) and \
+                isinstance(n.func, ast.Attribute) and \
+                n.func.attr == "astype":
+            for arg in n.args:
+                name = dotted_name(arg)
+                if name in ("np.float64", "numpy.float64", "float"):
+                    return True
+    return False
+
+
+class OverflowDiscipline(Rule):
+    id = "overflow-discipline"
+    summary = (
+        "integer reductions over delta/count arrays in the numeric"
+        " modules must route through repro.batch exact_sum /"
+        " running_sums / mod_scatter_add / running_sum_extrema"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for f in project.repro_files():
+            if f.tree is None or not f.in_module(*_SCOPES):
+                continue
+            for node in ast.walk(f.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                if (
+                    isinstance(node.func, ast.Name)
+                    and node.func.id == "int"
+                    and len(node.args) == 1
+                    and _contains_sum_call(node.args[0])
+                    and not _contains_float_astype(node.args[0])
+                ):
+                    yield Finding(
+                        f.path, node.lineno, node.col_offset, self.id,
+                        "int(<array>.sum()) wraps in int64 before the"
+                        " exact conversion; route through"
+                        " repro.batch.exact_sum",
+                    )
+                    continue
+                func_name = dotted_name(node.func)
+                is_cumsum = func_name in (
+                    "np.cumsum", "numpy.cumsum"
+                ) or (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "cumsum"
+                )
+                if is_cumsum:
+                    yield Finding(
+                        f.path, node.lineno, node.col_offset, self.id,
+                        "int64 cumsum wraps mid-array; route through"
+                        " repro.batch.running_sums (pragma float-dtype"
+                        " accumulators, which the AST cannot see)",
+                    )

@@ -1,0 +1,118 @@
+"""rng-discipline: all randomness in ``src/repro`` flows from the
+root-seed policy.
+
+Value-identical shards, merges, and restores all rest on one property:
+every generator in the package is derived deterministically from the
+session seed through ``rng_for(seed, label)`` (or an explicit
+``SeedSequence.spawn``).  A naked ``np.random.default_rng()`` — or
+worse, time-seeded stdlib ``random`` — anywhere in the library silently
+breaks that property the first time two shards must agree.
+
+Flags, inside ``repro.*`` modules (``repro.analysis`` excluded):
+
+* calls to ``np.random.default_rng`` / ``Generator`` / ``RandomState``
+  / ``seed`` / any ``np.random.<convenience>`` sampler;
+* ``import random`` / ``from random import ...`` (the stdlib module is
+  time-seeded by construction);
+* ``from numpy.random import ...`` of anything except ``Generator``
+  (type annotations) and ``SeedSequence`` (part of the policy).
+
+The policy root itself — ``rng_for`` in ``repro.api.registry`` — is
+exempt, as are ``np.random.SeedSequence`` calls.  Doctests live in
+string literals and are invisible to the AST, as intended: examples may
+show naked generators, library code may not.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import (
+    Finding,
+    Project,
+    Rule,
+    dotted_name,
+)
+
+_NUMPY_ALIASES = {"np", "numpy"}
+_ALLOWED_FROM_NUMPY_RANDOM = {"Generator", "SeedSequence", "BitGenerator",
+                              "PCG64"}
+_BANNED_MODULES = {"random"}
+_POLICY_ROOT = ("repro.api.registry", "rng_for")
+
+
+class RngDiscipline(Rule):
+    id = "rng-discipline"
+    summary = (
+        "randomness in src/repro must derive from the rng_for root-seed"
+        " policy, never naked default_rng/RandomState/stdlib random"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for f in project.repro_files():
+            if f.tree is None or f.in_module("repro.analysis"):
+                continue
+            exempt_spans = self._policy_root_spans(f)
+            for node in ast.walk(f.tree):
+                yield from self._check_node(f, node, exempt_spans)
+
+    def _policy_root_spans(self, f) -> list[tuple[int, int]]:
+        """Line spans of the policy-root function(s) in this file."""
+        if f.module != _POLICY_ROOT[0] or f.tree is None:
+            return []
+        return [
+            (node.lineno, node.end_lineno or node.lineno)
+            for node in ast.walk(f.tree)
+            if isinstance(node, ast.FunctionDef)
+            and node.name == _POLICY_ROOT[1]
+        ]
+
+    def _check_node(self, f, node, exempt_spans) -> Iterator[Finding]:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.split(".")[0] in _BANNED_MODULES:
+                    yield Finding(
+                        f.path, node.lineno, node.col_offset, self.id,
+                        "stdlib random is time-seeded; use the rng_for"
+                        " root-seed policy",
+                    )
+            return
+        if isinstance(node, ast.ImportFrom):
+            mod = node.module or ""
+            if mod.split(".")[0] in _BANNED_MODULES:
+                yield Finding(
+                    f.path, node.lineno, node.col_offset, self.id,
+                    "stdlib random is time-seeded; use the rng_for"
+                    " root-seed policy",
+                )
+            elif mod in ("numpy.random",):
+                for alias in node.names:
+                    if alias.name not in _ALLOWED_FROM_NUMPY_RANDOM:
+                        yield Finding(
+                            f.path, node.lineno, node.col_offset,
+                            self.id,
+                            f"import {alias.name} from numpy.random"
+                            " bypasses the rng_for root-seed policy",
+                        )
+            return
+        if not isinstance(node, ast.Call):
+            return
+        name = dotted_name(node.func)
+        if name is None:
+            return
+        parts = name.split(".")
+        if (
+            len(parts) >= 3
+            and parts[0] in _NUMPY_ALIASES
+            and parts[1] == "random"
+            and parts[2] != "SeedSequence"
+        ):
+            if any(lo <= node.lineno <= hi for lo, hi in exempt_spans):
+                return
+            yield Finding(
+                f.path, node.lineno, node.col_offset, self.id,
+                f"naked {name}(...): construct generators through the"
+                " rng_for(seed, label) policy (repro.api.registry) so"
+                " shards, merges, and restores stay value-identical",
+            )

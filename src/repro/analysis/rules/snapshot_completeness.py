@@ -1,0 +1,134 @@
+"""snapshot-completeness: snapshot-visible state is declared up front.
+
+``repro.api.serialize`` snapshots an object by walking ``__dict__`` (or
+``__slots__``): whatever attributes exist *at snapshot time* are what
+``restore()`` rebuilds.  An attribute first assigned outside the
+constructor is state the walker can silently miss — a sketch
+checkpointed before the attribute's first write restores into an object
+missing it, and the failure surfaces far from the cause (an
+``AttributeError`` mid-query after recovery, or worse, divergent
+estimates).
+
+For every class in ``repro.*`` that defines a constructor
+(``__init__`` / ``__post_init__`` / ``__new__``), any plain
+``self.X = ...`` in a non-constructor method where ``X`` was not
+assigned in a constructor, listed in ``__slots__``, or declared at
+class level is flagged.  Augmented assignment (``self.x += 1``) is
+exempt — it requires the attribute to already exist.  Classes that
+define no constructor in the same file (pure mixins) are skipped: their
+state contract belongs to the subclass that constructs them.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import (
+    Finding,
+    Project,
+    Rule,
+    self_attribute,
+)
+
+_CONSTRUCTORS = {"__init__", "__post_init__", "__new__"}
+
+
+def _assigned_self_attrs(fn: ast.FunctionDef) -> Iterator[ast.Attribute]:
+    """Attribute nodes ``self.X`` appearing as plain-assignment targets
+    anywhere inside ``fn`` (tuple unpacking included)."""
+    for node in ast.walk(fn):
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, ast.AnnAssign):
+            targets = [node.target]
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            targets = [node.target]
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            targets = [
+                item.optional_vars for item in node.items
+                if item.optional_vars is not None
+            ]
+        for target in targets:
+            stack = [target]
+            while stack:
+                t = stack.pop()
+                if isinstance(t, (ast.Tuple, ast.List)):
+                    stack.extend(t.elts)
+                elif isinstance(t, ast.Starred):
+                    stack.append(t.value)
+                elif isinstance(t, ast.Attribute) and \
+                        self_attribute(t) is not None:
+                    yield t
+
+
+def _class_level_names(cls: ast.ClassDef) -> set[str]:
+    names: set[str] = set()
+    for stmt in cls.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+                    if target.id == "__slots__":
+                        names |= _slot_entries(stmt.value)
+        elif isinstance(stmt, ast.AnnAssign) and \
+                isinstance(stmt.target, ast.Name):
+            names.add(stmt.target.id)
+    return names
+
+
+def _slot_entries(value: ast.expr) -> set[str]:
+    if isinstance(value, (ast.Tuple, ast.List, ast.Set)):
+        return {
+            e.value for e in value.elts
+            if isinstance(e, ast.Constant) and isinstance(e.value, str)
+        }
+    if isinstance(value, ast.Constant) and isinstance(value.value, str):
+        return {value.value}
+    return set()
+
+
+class SnapshotCompleteness(Rule):
+    id = "snapshot-completeness"
+    summary = (
+        "classes reachable from the serialize walker must assign all"
+        " state in a constructor (or __slots__); late-born attributes"
+        " are state snapshot()/restore() can silently miss"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for f in project.repro_files():
+            if f.tree is None or f.in_module("repro.analysis"):
+                continue
+            for node in ast.walk(f.tree):
+                if isinstance(node, ast.ClassDef):
+                    yield from self._check_class(f, node)
+
+    def _check_class(self, f, cls: ast.ClassDef) -> Iterator[Finding]:
+        methods = [
+            stmt for stmt in cls.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        ctors = [m for m in methods if m.name in _CONSTRUCTORS]
+        if not ctors:
+            return  # mixin: the constructing subclass owns the contract
+        declared = _class_level_names(cls)
+        for ctor in ctors:
+            declared |= {
+                self_attribute(a) for a in _assigned_self_attrs(ctor)
+            }
+        for method in methods:
+            if method.name in _CONSTRUCTORS:
+                continue
+            for attr in _assigned_self_attrs(method):
+                name = self_attribute(attr)
+                if name not in declared:
+                    declared.add(name)  # report the birth site once
+                    yield Finding(
+                        f.path, attr.lineno, attr.col_offset, self.id,
+                        f"self.{name} is first assigned in"
+                        f" {cls.name}.{method.name}(), not a"
+                        " constructor: a snapshot taken before this"
+                        " line restores an object missing it",
+                    )

@@ -244,6 +244,9 @@ class _Decoder:
         else:
             bit_gen = bg_cls()
         bit_gen.state = self.decode(node["state"])
+        # repro: allow[rng-discipline] -- restore path: the Generator is
+        # rebuilt around the snapshotted bit-generator state, no new
+        # entropy is introduced
         gen = np.random.Generator(bit_gen)
         if "id" in node:
             self._memo[node["id"]] = gen

@@ -268,22 +268,27 @@ class StreamSession:
     def spec_of(self, name: str) -> str | None:
         """The registry spec a consumer was built from (``None`` for
         sketches registered via :meth:`add`)."""
-        if name not in self._sketches:
-            raise KeyError(
-                f"unknown consumer {name!r}; registered: {self.names()}"
-            )
-        return self._spec_names[name]
+        with self._lock:
+            if name not in self._sketches:
+                raise KeyError(
+                    f"unknown consumer {name!r}; "
+                    f"registered: {self.names()}"
+                )
+            return self._spec_names[name]
 
     def names(self) -> list[str]:
         """Registered consumer names, in registration order."""
-        return list(self._sketches)
+        with self._lock:
+            return list(self._sketches)
 
     def __getitem__(self, name: str) -> Any:
-        return self._sketches[name]
+        with self._lock:
+            return self._sketches[name]
 
     def results(self) -> dict[str, Any]:
         """Name -> sketch mapping (the live objects, not copies)."""
-        return dict(self._sketches)
+        with self._lock:
+            return dict(self._sketches)
 
     def space_report(self) -> dict[str, int]:
         """``space_bits`` per consumer (skips structures without)."""
@@ -332,12 +337,13 @@ class StreamSession:
         >>> s.query("frequency_vector")  # flushes the partial chunk
         8
         """
-        if not self._sketches:
-            raise RuntimeError(
-                "no consumers registered; track() or add() before push()"
-            )
         items_arr, deltas_arr = as_update_arrays(items, deltas, self.n)
         with self._lock:
+            if not self._sketches:
+                raise RuntimeError(
+                    "no consumers registered; track() or add() "
+                    "before push()"
+                )
             self._refresh_planner()
             m = len(items_arr)
             self.updates_processed += m
@@ -453,7 +459,8 @@ class StreamSession:
     @property
     def pending(self) -> int:
         """Updates buffered but not yet dispatched."""
-        return self._fill
+        with self._lock:
+            return self._fill
 
     # -- answers -------------------------------------------------------------
     def query(self, name: str):
@@ -668,7 +675,9 @@ class StreamSession:
         return session
 
     def __repr__(self) -> str:  # pragma: no cover
+        with self._lock:
+            processed = self.updates_processed
         return (
             f"StreamSession(n={self.n}, consumers={self.names()}, "
-            f"processed={self.updates_processed}, pending={self.pending})"
+            f"processed={processed}, pending={self.pending})"
         )

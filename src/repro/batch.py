@@ -375,6 +375,27 @@ def exact_sum(values: np.ndarray) -> int:
     return int(values.astype(object).sum())
 
 
+def running_sums(values: np.ndarray, base: int = 0) -> np.ndarray:
+    """Exact prefix sums ``base + cumsum(values)``.
+
+    The schedule engines compare running retained weight against a
+    budget; a plain int64 ``np.cumsum`` wraps silently once a chunk
+    carries near-2^63 magnitudes, flipping the comparison and silently
+    corrupting the sampling trajectory.  The int64 fast path is used
+    only when the float64 magnitude bound proves every prefix fits;
+    otherwise the fold runs on object dtype (exact Python ints), which
+    compares against integer budgets just the same.
+    """
+    if len(values) == 0:
+        return np.zeros(0, dtype=np.int64)
+    bound = abs(float(base)) + float(
+        np.abs(values).astype(np.float64).sum()
+    )
+    if bound < _INT64_SAFE_BOUND:
+        return base + np.cumsum(values)
+    return base + np.cumsum(values.astype(object))
+
+
 def running_sum_extrema(start: int, values: np.ndarray) -> tuple[int, int]:
     """Left-fold ``start + values`` exactly; returns ``(final, peak)``.
 

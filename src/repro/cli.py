@@ -356,6 +356,8 @@ def _cmd_kernels(args: argparse.Namespace) -> int:
     if info["reason"]:
         print(f"{'reason':>14}: {info['reason']}")
     print(f"{'compiler':>14}: {info['compiler'] or '(none found)'}")
+    if info["sanitize"]:
+        print(f"{'sanitize':>14}: {info['sanitize']}")
     print(f"{'cache dir':>14}: {info['cache_dir']}")
     if info["library"]:
         print(f"{'library':>14}: {info['library']}")
@@ -367,6 +369,20 @@ def _cmd_kernels(args: argparse.Namespace) -> int:
     )
     print(f"{'specs':>14}: {', '.join(dispatching)}")
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Run the AST invariant analyzer (:mod:`repro.analysis`).
+
+    Exit codes: 0 clean, 1 findings reported, 2 internal analyzer
+    error — pinned in ``tests/test_cli.py`` and relied on by CI's
+    blocking lint step.
+    """
+    from repro import analysis
+
+    return analysis.run(
+        args.paths, fmt=args.format, list_rules=args.list_rules
+    )
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -518,6 +534,27 @@ def build_parser() -> argparse.ArgumentParser:
              "per-kernel self-test status, dispatching specs)",
     )
     p.set_defaults(func=_cmd_kernels)
+
+    p = sub.add_parser(
+        "lint",
+        help="run the repo-specific AST invariant analyzer "
+             "(rng/lock/overflow/snapshot/protocol rules; exit 0 "
+             "clean, 1 findings, 2 internal error)",
+    )
+    p.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: src tests "
+             "benchmarks)",
+    )
+    p.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (json is the CI contract)",
+    )
+    p.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule battery (id: summary) and exit 0",
+    )
+    p.set_defaults(func=_cmd_lint)
 
     p = sub.add_parser(
         "serve",

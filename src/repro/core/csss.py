@@ -26,7 +26,7 @@ from __future__ import annotations
 import numpy as np
 
 import repro.kernels as _kernels
-from repro.batch import as_update_arrays, consume_stream
+from repro.batch import as_update_arrays, consume_stream, exact_sum
 from repro.core.schedules import AdaptiveSamplingSchedule
 from repro.hashing.kwise import FourWiseHash, SignHash
 from repro.space.accounting import counter_bits
@@ -140,7 +140,10 @@ class CSSS:
         # private generator so shards can sample independently while
         # sharing hash seeds.
         sample_src = (
-            rng if sampling_seed is None else np.random.default_rng(sampling_seed)
+            rng if sampling_seed is None
+            # repro: allow[rng-discipline] -- sampling_seed reroot: the
+            # documented per-shard decorrelation seam (Params.sampling_seed)
+            else np.random.default_rng(sampling_seed)
         )
         self._schedules = [
             AdaptiveSamplingSchedule(self.budget, child)
@@ -170,7 +173,7 @@ class CSSS:
         self.pos[r] = rng.binomial(self.pos[r], 0.5)
         self.neg[r] = rng.binomial(self.neg[r], 0.5)
         self._schedules[r].register_halving(
-            int(self.pos[r].sum() + self.neg[r].sum())
+            exact_sum(self.pos[r]) + exact_sum(self.neg[r])
         )
 
     def update(self, item: int, delta: int) -> None:
@@ -338,7 +341,7 @@ class CSSS:
                 oneg = rng.binomial(oneg, 0.5)
             self.pos[r] += opos
             self.neg[r] += oneg
-            sched.weight = int(self.pos[r].sum() + self.neg[r].sum())
+            sched.weight = exact_sum(self.pos[r]) + exact_sum(self.neg[r])
             while sched.needs_halving():
                 self._halve_row(r)
         self._max_abs_counter = max(

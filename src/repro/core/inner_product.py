@@ -189,6 +189,8 @@ class AlphaInnerProductSketch:
 
     def __init__(self, ctx: AlphaInnerProduct) -> None:
         self.ctx = ctx
+        # repro: allow[rng-discipline] -- sampling coins derived
+        # deterministically from the shared prime, not fresh entropy
         self._rng = np.random.default_rng(
             int(ctx.prime) % (2**32) + 17
         )  # sampling coins are private per stream, derived deterministically

@@ -344,6 +344,8 @@ class AlphaL1EstimatorGeneral:
         self._cal_rows = [_CauchyRow(n, k_ind, rng) for _ in range(self.r_prime)]
         self._rng = (
             rng if sampling_seed is None
+            # repro: allow[rng-discipline] -- sampling_seed reroot: the
+            # documented per-shard decorrelation seam (Params.sampling_seed)
             else np.random.default_rng(sampling_seed)
         )
         total = self.r + self.r_prime

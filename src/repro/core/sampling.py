@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.batch import as_update_arrays, consume_stream
+from repro.batch import as_update_arrays, consume_stream, exact_sum
 from repro.space.accounting import counter_bits
 
 
@@ -265,7 +265,7 @@ class SampledFrequencies:
 
     def _retained_total(self) -> int:
         if self._dense:
-            return int(self._pos_arr.sum() + self._neg_arr.sum())
+            return exact_sum(self._pos_arr) + exact_sum(self._neg_arr)
         return sum(self._pos.values()) + sum(self._neg.values())
 
     def _halve(self) -> None:
@@ -436,7 +436,7 @@ class SampledFrequencies:
     def sum_estimate(self) -> float:
         """Rescaled ``sum_i f*_i`` (the final statement of Lemma 1)."""
         if self._dense:
-            raw = int(self._pos_arr.sum()) - int(self._neg_arr.sum())
+            raw = exact_sum(self._pos_arr) - exact_sum(self._neg_arr)
         else:
             raw = sum(self._pos.values()) - sum(self._neg.values())
         return raw / self.rate

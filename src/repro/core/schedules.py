@@ -53,6 +53,7 @@ from typing import Callable, Iterator
 
 import numpy as np
 
+from repro.batch import exact_sum, running_sums
 from repro.core.sampling import binomial_from_uniform, binomial_from_uniforms
 from repro.counters.morris import MorrisCounter
 
@@ -183,11 +184,14 @@ class AdaptiveSamplingSchedule:
         kept = self.quantise(u, mags)
         start = 0
         while start < m:
-            running = self.weight + np.cumsum(kept[start:])
+            # Exact prefix sums: retained magnitudes can approach 2^63,
+            # where a plain int64 cumsum would wrap and flip the budget
+            # comparison (the scalar offer() path is exact Python ints).
+            running = running_sums(kept[start:], self.weight)
             over = np.nonzero(running > self.budget)[0]
             stop = start + int(over[0]) + 1 if over.size else m
             seg = kept[start:stop]
-            self.weight += int(seg.sum())
+            self.weight += exact_sum(seg)
             yield start, stop, seg
             if over.size and stop < m:
                 kept[stop:] = self.quantise(u[stop:], mags[stop:])

@@ -47,7 +47,9 @@ from repro.kernels._build import (
     SOURCE,
     build,
     cache_dir,
+    effective_cflags,
     find_compiler,
+    sanitize_mode,
 )
 
 __all__ = [
@@ -172,6 +174,8 @@ def _np_csss_scatter(pos, neg, buckets, eff_signs, kept):
 
 
 def _selftest_rng():
+    # repro: allow[rng-discipline] -- fixed-literal seed for load-time
+    # kernel self-tests; never feeds sketch state
     return np.random.default_rng(12345)
 
 
@@ -305,6 +309,10 @@ class KernelBackend:
                 f"REPRO_KERNELS must be one of {_MODES}, got {mode!r}"
             )
         self.mode = mode
+        # Raises BuildError on an unknown value even in off/auto mode:
+        # a run that asked for a sanitizer must never silently get an
+        # uninstrumented library.
+        self.sanitize = sanitize_mode()
         self.compiler = find_compiler()
         self.lib: ctypes.CDLL | None = None
         self.lib_path = None
@@ -322,7 +330,7 @@ class KernelBackend:
         if self.compiler is None:
             return self._fail("no C compiler found")
         try:
-            path = build(self.compiler)
+            path = build(self.compiler, self.sanitize)
         except BuildError as exc:
             return self._fail(f"compile failed: {exc}")
         try:
@@ -376,9 +384,10 @@ class KernelBackend:
             "active": self.active,
             "reason": self.reason,
             "compiler": self.compiler,
+            "sanitize": self.sanitize,
             "cache_dir": str(cache_dir()),
             "library": str(self.lib_path) if self.lib_path else None,
-            "cflags": " ".join(CFLAGS),
+            "cflags": " ".join(effective_cflags(self.sanitize)),
             "source": str(SOURCE),
             "kernels": dict(self.kernels),
         }

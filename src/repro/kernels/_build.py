@@ -29,9 +29,53 @@ CFLAGS = ("-O3", "-fPIC", "-shared", "-std=c99", "-fwrapv",
           "-ffp-contract=off")
 LDFLAGS = ("-lm",)
 
+#: ``$REPRO_KERNELS_SANITIZE`` selects an instrumented build.  ASan
+#: keeps frame pointers for readable reports; UBSan aborts on the first
+#: undefined operation instead of recovering, so a CI run cannot paper
+#: over a finding.  Note -fwrapv (above) stays on in both modes: int64
+#: wrapping is *defined* for these kernels, UBSan must not flag it.
+SANITIZER_FLAGS = {
+    "asan": ("-fsanitize=address", "-fno-omit-frame-pointer", "-g"),
+    "ubsan": ("-fsanitize=undefined", "-fno-sanitize-recover=undefined",
+              "-g"),
+}
+
 
 class BuildError(RuntimeError):
     """Kernel compilation failed (missing or broken compiler)."""
+
+
+def sanitize_mode() -> str | None:
+    """The sanitizer selected by ``$REPRO_KERNELS_SANITIZE``, or None.
+
+    An unknown value raises rather than silently building an
+    uninstrumented library — a CI job asking for a sanitizer must
+    never pass without one.
+    """
+    raw = os.environ.get("REPRO_KERNELS_SANITIZE", "").strip().lower()
+    if not raw or raw == "off":
+        return None
+    if raw not in SANITIZER_FLAGS:
+        raise BuildError(
+            "REPRO_KERNELS_SANITIZE must be one of "
+            f"{sorted(SANITIZER_FLAGS)} (or off/empty), got {raw!r}"
+        )
+    return raw
+
+
+#: Default sentinel: "read $REPRO_KERNELS_SANITIZE".  Distinct from
+#: None so callers can explicitly request a plain build even when the
+#: environment selects a sanitizer.
+_READ_ENV = object()
+
+
+def effective_cflags(sanitize=_READ_ENV) -> tuple[str, ...]:
+    """CFLAGS plus the selected sanitizer's instrumentation flags."""
+    if sanitize is _READ_ENV:
+        sanitize = sanitize_mode()
+    if sanitize is None:
+        return CFLAGS
+    return CFLAGS + SANITIZER_FLAGS[sanitize]
 
 
 def find_compiler() -> str | None:
@@ -61,29 +105,41 @@ def cache_dir() -> Path:
     return Path(base) / "repro-kernels"
 
 
-def cache_key(compiler: str) -> str:
+def cache_key(compiler: str, sanitize=_READ_ENV) -> str:
     digest = hashlib.sha256()
     digest.update(SOURCE.read_bytes())
     digest.update(compiler.encode())
-    digest.update(" ".join(CFLAGS + LDFLAGS).encode())
+    digest.update(
+        " ".join(effective_cflags(sanitize) + LDFLAGS).encode()
+    )
     return digest.hexdigest()[:16]
 
 
-def build(compiler: str | None = None) -> Path:
-    """Compile (or reuse) the kernel shared object; returns its path."""
+def build(compiler: str | None = None, sanitize=_READ_ENV) -> Path:
+    """Compile (or reuse) the kernel shared object; returns its path.
+
+    ``sanitize`` defaults to :func:`sanitize_mode` (pass None to force
+    a plain build) — instrumented and plain builds land under different
+    cache keys, so toggling ``$REPRO_KERNELS_SANITIZE`` never reuses
+    the wrong artifact.
+    """
     compiler = compiler or find_compiler()
     if compiler is None:
         raise BuildError(
             "no C compiler found (set $CC or $REPRO_KERNELS_CC)"
         )
+    if sanitize is _READ_ENV:
+        sanitize = sanitize_mode()
+    cflags = effective_cflags(sanitize)
     target_dir = cache_dir()
-    target = target_dir / f"repro_kernels_{cache_key(compiler)}.so"
+    key = cache_key(compiler, sanitize)
+    target = target_dir / f"repro_kernels_{key}.so"
     if target.exists():
         return target
     target_dir.mkdir(parents=True, exist_ok=True)
     with tempfile.TemporaryDirectory(dir=target_dir) as tmp:
         tmp_so = Path(tmp) / target.name
-        cmd = [compiler, *CFLAGS, str(SOURCE), "-o", str(tmp_so), *LDFLAGS]
+        cmd = [compiler, *cflags, str(SOURCE), "-o", str(tmp_so), *LDFLAGS]
         proc = subprocess.run(cmd, capture_output=True, text=True)
         if proc.returncode != 0:
             raise BuildError(

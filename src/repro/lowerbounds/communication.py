@@ -23,6 +23,8 @@ import numpy as np
 def _rng(seed: int | np.random.Generator | None) -> np.random.Generator:
     if isinstance(seed, np.random.Generator):
         return seed
+    # repro: allow[rng-discipline] -- lower-bound experiment driver:
+    # instance generation from caller-supplied seeds, not sketch state
     return np.random.default_rng(seed)
 
 

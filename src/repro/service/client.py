@@ -39,6 +39,7 @@ import dataclasses
 import http.client
 import json
 import os
+# repro: allow[rng-discipline] -- seeded retry jitter (random.Random(seed)); never touches sketch state
 import random
 import time
 from typing import Any

@@ -538,6 +538,14 @@ def encode_query_result(name: str, value: Any) -> bytes:
 
 
 def _decode_json(payload: bytes, what: str) -> dict:
+    # Frames arriving through decode_frame are already length-capped;
+    # this guards the decoders' other life as client-library entry
+    # points handed raw bytes.
+    if len(payload) > MAX_PAYLOAD:
+        raise ProtocolError(
+            f"{what} payload of {len(payload)} bytes exceeds the "
+            f"{MAX_PAYLOAD}-byte frame ceiling"
+        )
     try:
         out = json.loads(payload.decode("utf-8"))
     except (json.JSONDecodeError, UnicodeDecodeError) as exc:
@@ -560,6 +568,24 @@ def encode_merge(container: bytes) -> bytes:
     if not container:
         raise ProtocolError("merge frame carries an empty container")
     return encode_frame(FrameType.MERGE, container)
+
+
+def decode_merge(payload: bytes) -> bytes:
+    """Validated MERGE payload: the snapshot-container bytes.
+
+    The container itself is validated downstream by
+    :func:`repro.streams.io.payload_from_bytes`; this decoder owns the
+    frame-level invariants (non-empty, within the frame ceiling), so
+    every frame type has a decode counterpart to its encode.
+    """
+    if not payload:
+        raise ProtocolError("merge frame carries an empty container")
+    if len(payload) > MAX_PAYLOAD:
+        raise ProtocolError(
+            f"merge payload of {len(payload)} bytes exceeds the "
+            f"{MAX_PAYLOAD}-byte frame ceiling"
+        )
+    return payload
 
 
 def encode_error(code: str, message: str) -> bytes:

@@ -155,7 +155,9 @@ class SketchService:
             metrics = ServiceMetrics(registry)
         self.metrics = metrics
         self.sessions: dict[str, StreamSession] = {}
-        self._lock = threading.Lock()
+        # Reentrant: public accessors hold it and call each other
+        # (list_sessions -> info -> get), so plain Lock would deadlock.
+        self._lock = threading.RLock()
         #: Durability: one CheckpointStore subdirectory per session
         #: under checkpoint_dir; None means sessions are ephemeral.
         self.checkpoint_dir = (
@@ -303,16 +305,19 @@ class SketchService:
             shutil.rmtree(checkpointer.store.directory, ignore_errors=True)
 
     def get(self, name: str) -> StreamSession:
-        try:
-            return self.sessions[name]
-        except KeyError:
-            raise ServiceError(
-                "not_found", f"no session {name!r}; live: "
-                f"{sorted(self.sessions)}", 404
-            ) from None
+        with self._lock:
+            try:
+                return self.sessions[name]
+            except KeyError:
+                raise ServiceError(
+                    "not_found", f"no session {name!r}; live: "
+                    f"{sorted(self.sessions)}", 404
+                ) from None
 
     def info(self, name: str) -> dict:
-        session = self.get(name)
+        with self._lock:
+            session = self.get(name)
+            durable = name in self._checkpointers
         return {
             "name": name,
             "n": session.n,
@@ -324,11 +329,12 @@ class SketchService:
                 cname: session.spec_of(cname) for cname in session.names()
             },
             "ingest_watermarks": session.ingest_watermarks,
-            "durable": name in self._checkpointers,
+            "durable": durable,
         }
 
     def list_sessions(self) -> list[dict]:
-        return [self.info(name) for name in sorted(self.sessions)]
+        with self._lock:
+            return [self.info(name) for name in sorted(self.sessions)]
 
     # -- the verbs -----------------------------------------------------------
     def ingest(self, name: str, payload: bytes, *, version: int = 1,
@@ -452,6 +458,10 @@ class SketchService:
         merged updates-processed watermark."""
         session = self.get(name)
         try:
+            # Frame-level validation first (non-empty, size ceiling):
+            # a ProtocolError is a ValueError, so a hostile container
+            # surfaces as the same typed bad_merge as a corrupt one.
+            container = protocol.decode_merge(container)
             other = StreamSession.restore(payload_from_bytes(container))
             session.merge(other)
         except (ValueError, TypeError, KeyError) as exc:

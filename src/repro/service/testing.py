@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import asyncio
 import dataclasses
+# repro: allow[rng-discipline] -- seeded chaos schedules (random.Random(seed)); deterministic replay by construction
 import random
 
 from repro.service._ws import (

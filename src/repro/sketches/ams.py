@@ -57,7 +57,7 @@ class AMSSketch:
         """Vectorised batch update: per atomic estimator, one array sign
         evaluation and one integer dot product — exactly the scalar sum."""
         items_arr, deltas_arr = as_update_arrays(items, deltas, self.n)
-        self._gross_weight += int(np.abs(deltas_arr).sum())
+        self._gross_weight += exact_sum(np.abs(deltas_arr))
         # The reshape must alias z (guaranteed for a contiguous vector)
         # or the kernel would scatter into a copy.
         if self.z.flags.c_contiguous and _kernels.try_table_update(

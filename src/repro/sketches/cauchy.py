@@ -25,7 +25,7 @@ from __future__ import annotations
 import numpy as np
 
 import repro.kernels as _kernels
-from repro.batch import as_update_arrays, consume_stream
+from repro.batch import as_update_arrays, consume_stream, exact_sum
 from repro.hashing.kwise import KWiseHash
 from repro.space.accounting import counter_bits
 
@@ -148,6 +148,8 @@ class CauchyL1Sketch:
         for j, row in enumerate(rows):
             buf[0] = acc[j]
             np.multiply(entries_of(row), deltas, out=buf[1:])
+            # repro: allow[overflow-discipline] -- float64 left-fold: the
+            # Cauchy accumulators are floats, integer wrap cannot occur
             acc[j] = np.cumsum(buf)[-1]
 
     def update_batch(self, items, deltas) -> None:
@@ -158,7 +160,7 @@ class CauchyL1Sketch:
         self._accumulate_batch(
             self.y_prime, self._cal_rows, deltas_arr, entries_of
         )
-        self._gross_weight += int(np.abs(deltas_arr).sum())
+        self._gross_weight += exact_sum(np.abs(deltas_arr))
 
     # Deliberately NOT coalescable: the y accumulators are float and the
     # batch contract is *bitwise* — regrouping e(i)·(Δ₁+Δ₂) differs from
@@ -188,7 +190,7 @@ class CauchyL1Sketch:
             self.y_prime, self._cal_rows, plan.deltas, entries_of,
             unique_of=unique_of, inverse=plan.inverse,
         )
-        self._gross_weight += int(plan.abs_deltas.sum())
+        self._gross_weight += exact_sum(plan.abs_deltas)
 
     def consume(self, stream) -> "CauchyL1Sketch":
         return consume_stream(self, stream)

@@ -13,7 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 import repro.kernels as _kernels
-from repro.batch import as_update_arrays, consume_stream
+from repro.batch import as_update_arrays, consume_stream, exact_sum
 from repro.hashing.kwise import PairwiseHash
 from repro.space.accounting import counter_bits
 
@@ -50,7 +50,7 @@ class CountMin:
         """Vectorised batch update; the final table equals the scalar
         update loop exactly (integer scatter-adds commute)."""
         items_arr, deltas_arr = as_update_arrays(items, deltas, self.n)
-        self._gross_weight += int(np.abs(deltas_arr).sum())
+        self._gross_weight += exact_sum(np.abs(deltas_arr))
         if _kernels.try_table_update(self.table, self._hashes, None,
                                      items_arr, deltas_arr):
             return

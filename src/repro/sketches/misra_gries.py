@@ -223,6 +223,8 @@ class MisraGries:
         counters = self._counters
         unique = plan.unique_items
         if counters:
+            # repro: allow[overflow-discipline] -- bool count bounded by
+            # the chunk's unique-item count, far below int64
             new = int(
                 (~np.isin(unique, self._tracked_keys_array())).sum()
             )

@@ -335,8 +335,13 @@ def replay_timed(
     chunk_size: int | None = None,
     force_scalar: bool = False,
     coalesce: bool = True,
+    clock: Callable[[], float] = time.perf_counter,
 ) -> tuple[Any, ReplayStats]:
     """Replay with wall-clock measurement.
+
+    The clock is an injected seam (``clock=``, defaulting to
+    ``time.perf_counter``) so timing behaviour is testable without
+    sleeping and the replay core itself stays wall-clock-free.
 
     ``force_scalar`` drives the per-update path even on batch-capable
     sketches — the baseline side of every throughput comparison.
@@ -353,7 +358,7 @@ def replay_timed(
         chunk_size = DEFAULT_CHUNK_SIZE
     items, deltas = stream.as_arrays()
     batched = supports_batch(sketch) and not force_scalar
-    start = time.perf_counter()
+    start = clock()
     if batched:
         consume_stream(sketch, stream, chunk_size, coalesce=coalesce)
     else:
@@ -362,7 +367,7 @@ def replay_timed(
         update = sketch.update
         for item, delta in zip(items.tolist(), deltas.tolist()):
             update(item, delta)
-    elapsed = time.perf_counter() - start
+    elapsed = clock() - start
     return sketch, ReplayStats(
         updates=len(items),
         seconds=elapsed,
@@ -378,18 +383,20 @@ def replay_sharded_timed(
     chunk_size: int | None = None,
     executor: str = "process",
     coalesce: bool = True,
+    clock: Callable[[], float] = time.perf_counter,
 ) -> tuple[Any, ReplayStats]:
     """:func:`replay_sharded` with wall-clock measurement (pool spawn and
-    merge costs included — that is the honest sharding overhead)."""
+    merge costs included — that is the honest sharding overhead).
+    ``clock`` is the injected timing seam, as in :func:`replay_timed`."""
     if chunk_size is None:
         chunk_size = DEFAULT_CHUNK_SIZE
     items, _ = stream.as_arrays()
-    start = time.perf_counter()
+    start = clock()
     sketch = replay_sharded(
         stream, factory, workers=workers, chunk_size=chunk_size,
         executor=executor, coalesce=coalesce,
     )
-    elapsed = time.perf_counter() - start
+    elapsed = clock() - start
     return sketch, ReplayStats(
         updates=len(items),
         seconds=elapsed,

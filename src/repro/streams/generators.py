@@ -24,6 +24,8 @@ from repro.streams.model import Stream, Update
 def _rng(seed: int | np.random.Generator | None) -> np.random.Generator:
     if isinstance(seed, np.random.Generator):
         return seed
+    # repro: allow[rng-discipline] -- workload generation entropy; every
+    # caller passes an explicit seed, sketch state never touches it
     return np.random.default_rng(seed)
 
 

@@ -18,7 +18,7 @@ from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
-from repro.batch import as_update_arrays
+from repro.batch import as_update_arrays, exact_sum
 
 
 @dataclass(frozen=True, slots=True)
@@ -313,7 +313,7 @@ class FrequencyVector:
     # -- norms -------------------------------------------------------------
     def l1(self) -> int:
         """``‖f‖_1``."""
-        return int(np.abs(self.f).sum())
+        return exact_sum(np.abs(self.f))
 
     def l2(self) -> float:
         """``‖f‖_2``."""

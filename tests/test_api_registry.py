@@ -5,6 +5,7 @@ deterministic (the property shard merges and snapshots rest on)."""
 from __future__ import annotations
 
 import inspect
+# repro: allow[pickle-ban] -- pins that shard factories are picklable (multiprocessing needs them to cross process boundaries); never loads untrusted bytes
 import pickle
 
 import numpy as np

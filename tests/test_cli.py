@@ -184,6 +184,56 @@ class TestCommands:
         assert "alpha_l1" in out
 
 
+class TestLint:
+    """Exit-code contract for `repro lint` (documented in
+    ARCHITECTURE.md): 0 clean, 1 findings, 2 internal error."""
+
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        target = tmp_path / "ok.py"
+        target.write_text("x = 1\n")
+        assert main(["lint", str(target)]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        pkg = tmp_path / "src" / "repro" / "core"
+        pkg.mkdir(parents=True)
+        (pkg / "bad.py").write_text("import random\n")
+        assert main(["lint", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "rng-discipline" in out and "1 finding" in out
+
+    def test_internal_error_exits_two(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "no" / "such.py")]) == 2
+        assert "FileNotFoundError" in capsys.readouterr().err
+
+    def test_json_format(self, tmp_path, capsys):
+        import json
+
+        pkg = tmp_path / "src" / "repro" / "core"
+        pkg.mkdir(parents=True)
+        (pkg / "bad.py").write_text("import random\n")
+        assert main(["lint", "--format=json", str(tmp_path)]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["count"] == 1
+        assert doc["findings"][0]["rule"] == "rng-discipline"
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("rng-discipline", "lock-discipline",
+                        "pickle-ban", "protocol-hygiene"):
+            assert rule_id in out
+
+    def test_repo_tree_is_clean(self, capsys):
+        """The exact invocation CI gates on."""
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parent.parent
+        paths = [str(root / p) for p in ("src", "tests", "benchmarks")
+                 if (root / p).exists()]
+        assert main(["lint", *paths]) == 0
+
+
 class TestServe:
     def test_serve_parses(self):
         from repro.cli import build_parser

@@ -126,6 +126,89 @@ def test_describe_is_complete():
     assert set(info["kernels"]) == set(kernels.KERNEL_NAMES)
 
 
+# -- sanitizer builds ---------------------------------------------------------
+
+def test_sanitize_mode_reads_env(monkeypatch):
+    monkeypatch.delenv("REPRO_KERNELS_SANITIZE", raising=False)
+    assert _build.sanitize_mode() is None
+    monkeypatch.setenv("REPRO_KERNELS_SANITIZE", "off")
+    assert _build.sanitize_mode() is None
+    monkeypatch.setenv("REPRO_KERNELS_SANITIZE", "UBSan")
+    assert _build.sanitize_mode() == "ubsan"
+
+
+def test_invalid_sanitizer_raises(monkeypatch):
+    """An unknown sanitizer name must fail loudly, never fall back to
+    an uninstrumented build a CI job would mistake for a clean pass."""
+    monkeypatch.setenv("REPRO_KERNELS_SANITIZE", "msan")
+    with pytest.raises(_build.BuildError,
+                       match="REPRO_KERNELS_SANITIZE"):
+        _build.sanitize_mode()
+    with pytest.raises(_build.BuildError):
+        kernels.KernelBackend("off")
+
+
+def test_effective_cflags_fold_in_sanitizer():
+    assert _build.effective_cflags(None) == _build.CFLAGS
+    for mode, extra in _build.SANITIZER_FLAGS.items():
+        eff = _build.effective_cflags(mode)
+        assert eff == _build.CFLAGS + extra
+    # -fwrapv stays on: int64 wrapping is defined for these kernels
+    # and UBSan must not flag it.
+    assert "-fwrapv" in _build.effective_cflags("ubsan")
+
+
+def test_sanitizer_flags_key_separate_cache_slots():
+    compiler = _build.find_compiler()
+    if compiler is None:
+        pytest.skip("no C compiler")
+    keys = {_build.cache_key(compiler, mode)
+            for mode in (None, "asan", "ubsan")}
+    assert len(keys) == 3
+
+
+def test_describe_reports_sanitize(monkeypatch):
+    monkeypatch.setenv("REPRO_KERNELS_SANITIZE", "ubsan")
+    info = kernels.KernelBackend("off").describe()
+    assert info["sanitize"] == "ubsan"
+    assert "-fsanitize=undefined" in info["cflags"]
+    monkeypatch.delenv("REPRO_KERNELS_SANITIZE")
+    assert kernels.KernelBackend("off").describe()["sanitize"] is None
+
+
+def test_ubsan_build_loads_and_stays_bit_identical(
+    tmp_path, monkeypatch
+):
+    """A UBSan-instrumented library builds, dlopens, passes the
+    self-tests, and hashes bit-identically to NumPy — with
+    -fno-sanitize-recover, any undefined operation would abort the
+    process here instead.  (The ASan leg needs its runtime preloaded
+    into the host process, so it runs in CI under LD_PRELOAD.)"""
+    compiler = _build.find_compiler()
+    if compiler is None:
+        pytest.skip("no C compiler")
+    monkeypatch.setenv("REPRO_KERNELS_CACHE", str(tmp_path))
+    monkeypatch.setenv("REPRO_KERNELS_SANITIZE", "ubsan")
+    try:
+        path = _build.build(compiler, "ubsan")
+    except _build.BuildError as exc:
+        pytest.skip(f"toolchain lacks UBSan support: {exc}")
+    assert _build.cache_key(compiler, "ubsan") in path.name
+
+    h = KWiseHash(1 << 12, 512, k=4, rng=np.random.default_rng(3))
+    items = np.arange(999, dtype=np.int64) % (1 << 12)
+    try:
+        with kernels.override("on") as b:
+            assert b.sanitize == "ubsan"
+            assert all(b.kernels.values())
+            got = h.hash_array(items)
+    except RuntimeError as exc:
+        pytest.skip(f"sanitized library did not activate: {exc}")
+    with kernels.override("off"):
+        want = h.hash_array(items)
+    assert np.array_equal(got, want)
+
+
 # -- dispatch-helper contracts ------------------------------------------------
 
 def test_dispatch_helpers_decline_when_off():

@@ -22,6 +22,7 @@ concatenation of both input streams.  This harness checks, for every
 
 from __future__ import annotations
 
+# repro: allow[pickle-ban] -- pins that shard factories are picklable (multiprocessing needs them to cross process boundaries); never loads untrusted bytes
 import pickle
 
 import numpy as np

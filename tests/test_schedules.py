@@ -150,6 +150,57 @@ class TestAdaptiveSamplingSchedule:
         with pytest.raises(ValueError):
             AdaptiveSamplingSchedule(0, np.random.default_rng(5))
 
+    def test_huge_magnitudes_segment_exactly_like_scalar(self):
+        """Regression: retained magnitudes near 2^62 used to run
+        through a plain int64 cumsum, whose wrap flips the budget
+        comparison (the prefix over 6 x 2^61 goes negative).  The
+        batch path must segment and halve exactly where the exact
+        scalar offer() path does."""
+        budget = 2**62
+        mags = np.full(6, 2**61, dtype=np.int64)
+        assert np.cumsum(mags)[-1] < 0  # the wrap the fix guards
+        scalar = AdaptiveSamplingSchedule(
+            budget, np.random.default_rng(9)
+        )
+        batch = AdaptiveSamplingSchedule(
+            budget, np.random.default_rng(9)
+        )
+        kept_scalar = self._drive_scalar(scalar, mags.tolist())
+        kept_batch = self._drive_batch(batch, mags, [len(mags)])
+        assert kept_scalar == kept_batch
+        assert scalar.weight == batch.weight
+        assert scalar.log2_inv_p == batch.log2_inv_p
+
+
+class TestRunningSums:
+    """repro.batch.running_sums — the exact prefix-sum helper the
+    adaptive schedule's budget comparison rides on."""
+
+    def test_fast_path_matches_cumsum(self):
+        from repro.batch import running_sums
+
+        vals = np.arange(1, 11, dtype=np.int64)
+        out = running_sums(vals, 5)
+        assert out.tolist() == (5 + np.cumsum(vals)).tolist()
+
+    def test_exact_beyond_int64(self):
+        from repro.batch import running_sums
+
+        vals = np.array([2**62, 2**62, -(2**62), 2**61],
+                        dtype=np.int64)
+        expect, acc = [], 2**61
+        for v in vals.tolist():
+            acc += int(v)
+            expect.append(acc)
+        got = running_sums(vals, 2**61)
+        assert [int(x) for x in got] == expect
+
+    def test_empty(self):
+        from repro.batch import running_sums
+
+        out = running_sums(np.zeros(0, dtype=np.int64), 7)
+        assert out.size == 0
+
 
 class TestBinomialFromUniform:
     @given(

@@ -241,3 +241,51 @@ def test_http_disconnect_mid_body_applies_nothing(server, client):
     assert client.info("edge")["updates_processed"] == 0
     client.ingest("edge", [1], [1])
     assert client.info("edge")["updates_processed"] == 1
+
+class TestMergeFrameValidation:
+    """Regression: SketchService.merge routes the container through
+    protocol.decode_merge first, so an empty or oversized body surfaces
+    as the typed bad_merge error instead of an opaque parse crash."""
+
+    def test_empty_container_is_bad_merge(self, service):
+        from repro.service.server import ServiceError
+
+        service.create_session("s", n=N, track=["countmin"])
+        with pytest.raises(ServiceError) as err:
+            service.merge("s", b"")
+        assert err.value.code == "bad_merge"
+
+    def test_oversized_container_is_bad_merge(self, service):
+        from repro.service.server import ServiceError
+
+        service.create_session("s", n=N, track=["countmin"])
+        with pytest.raises(ServiceError) as err:
+            service.merge("s", b"\x00" * (protocol.MAX_PAYLOAD + 1))
+        assert err.value.code == "bad_merge"
+        assert "ceiling" in err.value.message
+
+class TestServiceLockPins:
+    def test_accessors_hold_the_service_lock(self, service):
+        """Pin for the lock-discipline sweep: get/info/list_sessions
+        acquire the (reentrant) service lock — they nest, which is why
+        it must stay an RLock."""
+        service.create_session("s", n=N, track=["countmin"])
+
+        class RecordingLock:
+            def __init__(self, inner):
+                self.inner = inner
+                self.count = 0
+
+            def __enter__(self):
+                self.count += 1
+                return self.inner.__enter__()
+
+            def __exit__(self, *exc):
+                return self.inner.__exit__(*exc)
+
+        rec = service._lock = RecordingLock(service._lock)
+        service.get("s")
+        service.info("s")
+        service.list_sessions()
+        assert rec.count >= 3
+

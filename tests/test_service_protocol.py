@@ -104,6 +104,38 @@ class TestRoundTrips:
         assert dec.pending_bytes == 0
 
 
+class TestMergeDecoder:
+    """decode_merge — the frame-level validator SketchService.merge
+    routes containers through (regression: an empty or oversized body
+    used to reach the container parser as an opaque crash)."""
+
+    def test_round_trip(self):
+        container = b"npz-bytes-here"
+        frame = protocol.decode_frame(protocol.encode_merge(container))
+        assert protocol.decode_merge(frame.payload) == container
+
+    def test_empty_container_refused(self):
+        with pytest.raises(ProtocolError, match="empty"):
+            protocol.decode_merge(b"")
+        with pytest.raises(ProtocolError, match="empty"):
+            protocol.encode_merge(b"")
+
+    def test_oversized_container_refused(self):
+        big = b"\x00" * (MAX_PAYLOAD + 1)
+        with pytest.raises(ProtocolError, match="ceiling"):
+            protocol.decode_merge(big)
+
+    def test_json_decoders_refuse_oversized_payloads(self):
+        """_decode_json guards its client-library life: decoders handed
+        raw bytes (not through decode_frame) still enforce the frame
+        ceiling before trusting the payload."""
+        big = b"\x00" * (MAX_PAYLOAD + 1)
+        with pytest.raises(ProtocolError, match="ceiling"):
+            protocol.decode_query_result(big)
+        with pytest.raises(ProtocolError, match="ceiling"):
+            protocol.decode_error(big)
+
+
 class TestRefusals:
     def test_truncated_header(self):
         raw = protocol.encode_query("x")

@@ -579,6 +579,36 @@ class TestThreadSafety:
             np.add.at(truth, items, deltas)
         np.testing.assert_array_equal(session["frequency_vector"].f, truth)
 
+    def test_public_accessors_hold_the_lock(self):
+        """Pin for the lock-discipline sweep: every public accessor
+        that reads session state (names, spec_of, results, pending,
+        __getitem__, __repr__) acquires the session lock — a recording
+        wrapper counts the acquisitions."""
+        session = StreamSession(N, params=PARAMS)
+        session.track("frequency_vector")
+        session.push([1], [1])
+
+        class RecordingLock:
+            def __init__(self, inner):
+                self.inner = inner
+                self.count = 0
+
+            def __enter__(self):
+                self.count += 1
+                return self.inner.__enter__()
+
+            def __exit__(self, *exc):
+                return self.inner.__exit__(*exc)
+
+        rec = session._lock = RecordingLock(session._lock)
+        session.names()
+        session.spec_of("frequency_vector")
+        session.results()
+        _ = session.pending
+        repr(session)
+        session["frequency_vector"]
+        assert rec.count >= 6
+
     def test_threaded_merge_has_no_lock_ordering_deadlock(self):
         """Two threads merging sibling pairs in opposite directions:
         the ordered two-lock acquisition must not deadlock."""
